@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) for the building blocks on the hot
+// paths of the simulation and the protocol engines.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "sim/cpu_queue.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "store/partition_store.hpp"
+#include "store/version_chain.hpp"
+#include "vclock/version_vector.hpp"
+
+namespace {
+
+using namespace pocc;
+
+void BM_VersionVectorMergeMax(benchmark::State& state) {
+  VersionVector a{1, 2, 3};
+  VersionVector b{3, 2, 1};
+  for (auto _ : state) {
+    a.merge_max(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VersionVectorMergeMax);
+
+void BM_VersionVectorDominates(benchmark::State& state) {
+  VersionVector a{100, 200, 300};
+  VersionVector b{99, 200, 300};
+  bool r = false;
+  for (auto _ : state) {
+    r ^= a.dominates(b, 0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_VersionVectorDominates);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    x ^= rng.next();
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfGenerator zipf(static_cast<std::uint64_t>(state.range(0)), 0.99);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    x ^= zipf.next(rng);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1'000'000);
+
+void BM_VersionChainInsertFreshest(benchmark::State& state) {
+  // The common replication case: versions arrive in timestamp order.
+  store::VersionChain chain;
+  Timestamp t = 1;
+  store::Version v;
+  v.key = "k";
+  v.value = "12345678";
+  v.dv = VersionVector(3);
+  for (auto _ : state) {
+    v.ut = t++;
+    chain.insert(v);
+    if (chain.size() > 64) {
+      state.PauseTiming();
+      chain.gc([](const store::Version&) { return true; });
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_VersionChainInsertFreshest);
+
+void BM_ChainStableSearch(benchmark::State& state) {
+  // Cure*'s per-GET cost: search for the freshest stable version in a chain
+  // with `range` unstable versions at the head.
+  store::VersionChain chain;
+  const auto unstable = static_cast<Timestamp>(state.range(0));
+  for (Timestamp t = 1; t <= unstable + 1; ++t) {
+    store::Version v;
+    v.key = "k";
+    v.value = "12345678";
+    v.ut = t * 100;
+    v.sr = 1;
+    v.dv = VersionVector(3);
+    chain.insert(v);
+  }
+  const Timestamp gss = 100;  // only the oldest version is stable
+  for (auto _ : state) {
+    auto r = chain.freshest_where(
+        [&](const store::Version& v) { return v.ut <= gss; });
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChainStableSearch)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_PartitionStoreInsertLookup(benchmark::State& state) {
+  store::PartitionStore store;
+  Rng rng(7);
+  Timestamp t = 1;
+  for (auto _ : state) {
+    store::Version v;
+    v.key = "key" + std::to_string(rng.uniform(10'000));
+    v.value = "12345678";
+    v.ut = t++;
+    v.dv = VersionVector(3);
+    store.insert(std::move(v));
+    benchmark::DoNotOptimize(store.find("key42"));
+  }
+}
+BENCHMARK(BM_PartitionStoreInsertLookup);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i, [] {});
+    }
+    sim.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_CpuQueueSubmit(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::CpuQueue cpu(sim, 2);
+    for (int i = 0; i < 1000; ++i) {
+      cpu.submit([] { return Duration{10}; });
+    }
+    sim.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CpuQueueSubmit);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  Rng rng(3);
+  for (auto _ : state) {
+    h.record(static_cast<std::int64_t>(rng.uniform(1'000'000)));
+  }
+  benchmark::DoNotOptimize(h);
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  stats::Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100'000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.uniform(1'000'000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Social-network scenario on the *threaded runtime* — the engines running as
+// a real in-process store with wall-clock time and per-node threads.
+//
+// The classic causal-consistency anomaly (Lloyd et al., COPS): Alice removes
+// her boss from an access list and then posts a photo. Under causal
+// consistency no observer may see the photo while still reading the old
+// access list *if they read the ACL after the photo*, because the photo
+// causally depends on the ACL update.
+//
+// The demo also shows the freshness difference between POCC and Cure*: the
+// same write becomes visible in a remote DC as soon as it arrives under POCC,
+// but only after a stabilization round under Cure*.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "runtime/rt_cluster.hpp"
+
+using namespace pocc;
+
+namespace {
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void run_acl_scenario(rt::System system, const char* name) {
+  rt::RtClusterConfig cfg;
+  cfg.topology.num_dcs = 2;
+  cfg.topology.partitions_per_dc = 2;
+  cfg.system = system;
+  cfg.inter_dc_delay_us = 30'000;  // 30 ms WAN hop
+  cfg.protocol.heartbeat_interval_us = 5'000;
+  cfg.protocol.stabilization_interval_us = 20'000;
+  rt::Cluster cluster(cfg);
+
+  rt::Session& alice = cluster.connect(0);
+  rt::Session& boss = cluster.connect(1);
+
+  std::printf("--- %s ---\n", name);
+  alice.put("acl:alice", "friends+boss");
+  alice.put("photo:alice", "(none)");
+  sleep_ms(200);  // initial state replicates everywhere
+
+  // Alice removes her boss, *then* posts the party photo.
+  alice.put("acl:alice", "friends-only");
+  alice.put("photo:alice", "party.jpg");
+  std::printf("alice: acl=friends-only, then photo=party.jpg\n");
+
+  // The boss polls from the remote DC.
+  for (int i = 0; i < 10; ++i) {
+    const auto photo = boss.get("photo:alice");
+    if (photo.ok && photo.value == "party.jpg") {
+      // Causality: having seen the photo, the ACL update must be visible.
+      const auto acl = boss.get("acl:alice");
+      std::printf(
+          "boss sees photo after ~%d ms; acl read back: \"%s\" %s\n", i * 20,
+          acl.value.c_str(),
+          acl.value == "friends-only" ? "(causally consistent -- OK)"
+                                      : "**ANOMALY**");
+      return;
+    }
+    sleep_ms(20);
+  }
+  std::printf("boss never saw the photo (still hidden by visibility rules)\n");
+}
+
+void run_freshness_probe(rt::System system, const char* name) {
+  rt::RtClusterConfig cfg;
+  cfg.topology.num_dcs = 2;
+  cfg.topology.partitions_per_dc = 2;
+  cfg.system = system;
+  cfg.inter_dc_delay_us = 20'000;
+  cfg.protocol.heartbeat_interval_us = 5'000;
+  cfg.protocol.stabilization_interval_us = 100'000;  // slow GSS on purpose
+  rt::Cluster cluster(cfg);
+  rt::Session& writer = cluster.connect(0);
+  rt::Session& reader = cluster.connect(1);
+
+  writer.put("breaking-news", "headline!");
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 60; ++i) {
+    const auto r = reader.get("breaking-news");
+    if (r.ok && r.found) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      std::printf("%-6s: remote reader saw the update after ~%lld ms\n", name,
+                  static_cast<long long>(ms));
+      return;
+    }
+    sleep_ms(10);
+  }
+  std::printf("%-6s: update still not visible after 600 ms\n", name);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Social-network demo on the threaded runtime\n\n");
+  run_acl_scenario(rt::System::kPocc, "ACL scenario under POCC");
+  run_acl_scenario(rt::System::kCure, "ACL scenario under Cure*");
+
+  std::printf("\nFreshness probe (20 ms WAN, Cure* stabilization 100 ms):\n");
+  run_freshness_probe(rt::System::kPocc, "POCC");
+  run_freshness_probe(rt::System::kCure, "Cure*");
+  std::printf(
+      "\nPOCC exposes the update one WAN hop after the write; Cure* waits\n"
+      "for the next stabilization round on top of replication (§III-A).\n");
+  return 0;
+}

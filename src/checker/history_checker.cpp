@@ -1,0 +1,207 @@
+#include "checker/history_checker.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pocc::checker {
+
+void HistoryChecker::register_client(ClientId c, DcId dc, bool snapshot_rdv) {
+  Session s;
+  s.dc = dc;
+  s.snapshot_rdv = snapshot_rdv;
+  s.dv = VersionVector(num_dcs_);
+  s.rdv = VersionVector(num_dcs_);
+  s.rdv_at_issue = VersionVector(num_dcs_);
+  sessions_.emplace(c, std::move(s));
+}
+
+void HistoryChecker::on_version_created(ClientId c, const std::string& key,
+                                        Timestamp ut, DcId sr,
+                                        const VersionVector& dv) {
+  ++versions_registered_;
+  // Proposition 2: the update timestamp strictly dominates every dependency.
+  ++checks_;
+  if (ut <= dv.max_entry()) {
+    fail("Prop2 violated: version of '" + key + "' ut=" + std::to_string(ut) +
+         " <= max(dv)=" + std::to_string(dv.max_entry()));
+  }
+  auto s = sessions_.find(c);
+  PastMapPtr past;
+  if (s != sessions_.end()) {
+    past = s->second.pending_put_past;
+  }
+  registry_[key].push_back(VersionRecord{VersionId{ut, sr}, dv, past});
+}
+
+void HistoryChecker::on_get_issued(ClientId c, const proto::GetReq& req) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  Session& s = it->second;
+  // Algorithm 1 conformance: the RDV on the wire must equal the mirror.
+  ++checks_;
+  if (!(req.rdv == s.rdv)) {
+    fail("Alg1 violated: GET carries RDV " + req.rdv.to_string() +
+         ", expected " + s.rdv.to_string());
+  }
+  s.rdv_at_issue = s.rdv;
+}
+
+void HistoryChecker::on_tx_issued(ClientId c, const proto::RoTxReq& req) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  Session& s = it->second;
+  ++checks_;
+  // RO-TX carries the client's DV (see ClientEngine::make_ro_tx).
+  if (!(req.rdv == s.dv)) {
+    fail("Alg1 violated: RO-TX carries vector " + req.rdv.to_string() +
+         ", expected DV " + s.dv.to_string());
+  }
+  s.rdv_at_issue = s.rdv;
+}
+
+void HistoryChecker::on_put_issued(ClientId c, const proto::PutReq& req) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  Session& s = it->second;
+  ++checks_;
+  if (!(req.dv == s.dv)) {
+    fail("Alg1 violated: PUT carries DV " + req.dv.to_string() +
+         ", expected " + s.dv.to_string());
+  }
+  // Snapshot the writer's causal past: it becomes the new version's past.
+  s.pending_put_past = std::make_shared<PastMap>(s.past);
+}
+
+void HistoryChecker::on_put_reply(ClientId c, const proto::PutReply& reply) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  Session& s = it->second;
+  // Alg. 1 line 12.
+  s.dv.raise(s.dc, reply.ut);
+  // The client's own write joins its causal past (thread-of-execution edge).
+  const VersionId id{reply.ut, reply.sr};
+  auto& slot = s.past[reply.key];
+  if (id.fresher_than(slot)) slot = id;
+  s.pending_put_past.reset();
+}
+
+const HistoryChecker::VersionRecord* HistoryChecker::find_version(
+    const std::string& key, VersionId id) const {
+  auto it = registry_.find(key);
+  if (it == registry_.end()) return nullptr;
+  for (const VersionRecord& r : it->second) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+void HistoryChecker::check_read_item(ClientId c, Session& s,
+                                     const proto::ReadItem& item) {
+  const VersionId returned =
+      item.found ? VersionId{item.ut, item.sr} : VersionId{0, 0};
+  // Exact causal-past rule: the freshest version of this key in the client's
+  // causal past must not be fresher than the returned version. This subsumes
+  // read-your-writes and monotonic reads for sticky sessions.
+  ++checks_;
+  auto past_it = s.past.find(item.key);
+  if (past_it != s.past.end() && past_it->second.fresher_than(returned)) {
+    fail("causal GET rule violated for client " + std::to_string(c) +
+         ": read of '" + item.key + "' returned (ut=" +
+         std::to_string(returned.ut) + ",sr=" + std::to_string(returned.sr) +
+         ") but causal past holds (ut=" + std::to_string(past_it->second.ut) +
+         ",sr=" + std::to_string(past_it->second.sr) + ")");
+  }
+}
+
+void HistoryChecker::absorb_read(Session& s, const proto::ReadItem& item) {
+  if (!item.found) return;
+  // Mirror Algorithm 1 lines 4-6 (plus the snapshot-inclusive RDV used by
+  // commit-vector-gated sessions; see ClientEngine).
+  s.rdv.merge_max(item.dv);
+  if (s.snapshot_rdv || s.pessimistic) {
+    s.rdv.raise(item.sr, item.ut);
+  }
+  s.dv.merge_max(s.rdv);
+  s.dv.raise(item.sr, item.ut);
+  // Extend the causal past with the read version and its past.
+  const VersionId id{item.ut, item.sr};
+  const VersionRecord* rec = find_version(item.key, id);
+  if (rec == nullptr) {
+    fail("internal: read returned unregistered version of '" + item.key + "'");
+  } else if (rec->past != nullptr) {
+    for (const auto& [key, vid] : *rec->past) {
+      auto& slot = s.past[key];
+      if (vid.fresher_than(slot)) slot = vid;
+    }
+  }
+  auto& slot = s.past[item.key];
+  if (id.fresher_than(slot)) slot = id;
+}
+
+void HistoryChecker::on_get_reply(ClientId c, const proto::GetReply& reply) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  Session& s = it->second;
+  check_read_item(c, s, reply.item);
+  absorb_read(s, reply.item);
+}
+
+void HistoryChecker::on_tx_reply(ClientId c, const proto::RoTxReply& reply) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  Session& s = it->second;
+  // Per-item session rule, against the past as of transaction issue.
+  for (const proto::ReadItem& item : reply.items) {
+    check_read_item(c, s, item);
+  }
+  // Causal-snapshot rule (§II-A RO-TX semantics): for returned items X of x
+  // and Y of y, Y's causal past must not contain a version of x fresher than
+  // the returned X (the paper's Prop. 4 establishes exactly this from the
+  // visibility rule d.DV <= TV).
+  for (const proto::ReadItem& y : reply.items) {
+    if (!y.found) continue;
+    const VersionRecord* yrec = find_version(y.key, VersionId{y.ut, y.sr});
+    if (yrec == nullptr || yrec->past == nullptr) continue;
+    for (const proto::ReadItem& x : reply.items) {
+      if (&x == &y) continue;
+      ++checks_;
+      const VersionId returned_x =
+          x.found ? VersionId{x.ut, x.sr} : VersionId{0, 0};
+      auto in_past = yrec->past->find(x.key);
+      if (in_past != yrec->past->end() &&
+          in_past->second.fresher_than(returned_x)) {
+        fail("RO-TX snapshot violated for client " + std::to_string(c) +
+             ": returned '" + x.key + "'@(ut=" + std::to_string(returned_x.ut) +
+             ") together with '" + y.key + "'@(ut=" + std::to_string(y.ut) +
+             ") whose past holds '" + x.key + "'@(ut=" +
+             std::to_string(in_past->second.ut) + ")");
+      }
+    }
+  }
+  for (const proto::ReadItem& item : reply.items) {
+    absorb_read(s, item);
+  }
+}
+
+void HistoryChecker::on_session_reset(ClientId c) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  Session& s = it->second;
+  // §III-B: the re-initialized session may not see items read or written in
+  // the optimistic session; all session state restarts from scratch.
+  s.dv = VersionVector(num_dcs_);
+  s.rdv = VersionVector(num_dcs_);
+  s.rdv_at_issue = VersionVector(num_dcs_);
+  s.past.clear();
+  s.pending_put_past.reset();
+  s.pessimistic = true;
+}
+
+void HistoryChecker::on_session_promoted(ClientId c) {
+  auto it = sessions_.find(c);
+  POCC_ASSERT(it != sessions_.end());
+  it->second.pessimistic = false;
+}
+
+}  // namespace pocc::checker

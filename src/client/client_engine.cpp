@@ -1,0 +1,95 @@
+#include "client/client_engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pocc::client {
+
+ClientEngine::ClientEngine(ClientId id, DcId dc, std::uint32_t num_dcs,
+                           bool snapshot_rdv)
+    : id_(id), dc_(dc), dv_(num_dcs), rdv_(num_dcs),
+      snapshot_rdv_(snapshot_rdv) {
+  POCC_ASSERT(dc < num_dcs);
+}
+
+proto::GetReq ClientEngine::make_get(std::string key) const {
+  proto::GetReq req;
+  req.client = id_;
+  req.key = std::move(key);
+  req.rdv = rdv_;
+  req.pessimistic = pessimistic_;
+  return req;
+}
+
+proto::PutReq ClientEngine::make_put(std::string key,
+                                     std::string value) const {
+  proto::PutReq req;
+  req.client = id_;
+  req.key = std::move(key);
+  req.value = std::move(value);
+  req.dv = dv_;
+  req.pessimistic = pessimistic_;
+  return req;
+}
+
+proto::RoTxReq ClientEngine::make_ro_tx(std::vector<std::string> keys) const {
+  proto::RoTxReq req;
+  req.client = id_;
+  req.keys = std::move(keys);
+  // Alg. 1 line 15 sends RDV_c; we send DV_c (>= RDV_c entry-wise) instead.
+  // The paper's Prop. 4 proof assumes the snapshot "includes every item read
+  // or written by c" — the commit times of c's own writes and direct reads
+  // live only in DV, and under clock skew the coordinator's VV does not
+  // necessarily cover them. Carrying DV closes that window at identical
+  // metadata cost. See DESIGN.md ("Deviations").
+  req.rdv = dv_;
+  req.pessimistic = pessimistic_;
+  return req;
+}
+
+void ClientEngine::absorb_read_item(const proto::ReadItem& item) {
+  if (!item.found) return;  // implicit initial version: no dependencies
+  rdv_.merge_max(item.dv);  // track transitive dependencies
+  if (snapshot_rdv_ || pessimistic_) {
+    // Pessimistic visibility is commit-vector gated: the read vector must
+    // cover the read item itself, not only its dependencies.
+    rdv_.raise(item.sr, item.ut);
+  }
+  dv_.merge_max(rdv_);
+  dv_.raise(item.sr, item.ut);  // direct dependency on the read version
+}
+
+void ClientEngine::absorb_get(const proto::GetReply& reply) {
+  POCC_ASSERT(reply.client == id_);
+  absorb_read_item(reply.item);
+}
+
+void ClientEngine::absorb_put(const proto::PutReply& reply) {
+  POCC_ASSERT(reply.client == id_);
+  POCC_ASSERT_MSG(reply.sr == dc_, "session must stick to its data center");
+  dv_.raise(dc_, reply.ut);
+}
+
+void ClientEngine::absorb_ro_tx(const proto::RoTxReply& reply) {
+  POCC_ASSERT(reply.client == id_);
+  for (const proto::ReadItem& item : reply.items) {
+    absorb_read_item(item);
+  }
+}
+
+void ClientEngine::reinitialize_pessimistic() {
+  const std::uint32_t num_dcs = dv_.size();
+  dv_ = VersionVector(num_dcs);
+  rdv_ = VersionVector(num_dcs);
+  pessimistic_ = true;
+  ++session_generation_;
+}
+
+void ClientEngine::promote_optimistic() {
+  if (!pessimistic_) return;
+  pessimistic_ = false;
+  ++session_generation_;
+}
+
+}  // namespace pocc::client

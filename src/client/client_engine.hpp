@@ -1,0 +1,85 @@
+// Client-side protocol engine — Algorithm 1 of the paper.
+//
+// The client carries the dependency meta-data that makes OCC's lazy
+// dependency resolution possible: a dependency vector DV (everything the
+// client's next write must causally follow) and a read-dependency vector RDV
+// (the dependencies of everything the client has read, supplied with each
+// read so servers can detect missing dependencies).
+//
+// The same engine drives POCC and Cure* sessions — the algorithms are
+// identical client-side; only the server visibility rules differ. For HA-POCC
+// the engine additionally supports session re-initialization into pessimistic
+// mode after a server-detected network partition (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+#include "vclock/version_vector.hpp"
+
+namespace pocc::client {
+
+class ClientEngine {
+ public:
+  /// `dc` is the data center the session is sticky to (§II-C).
+  ///
+  /// `snapshot_rdv`: when true, the RDV additionally absorbs the *commit
+  /// time* of every item read (RDV[sr] raised to ut). Pessimistic protocols
+  /// (Cure*, and HA-POCC sessions in fallback mode) gate visibility on the
+  /// item's commit vector, so their sessions must carry a snapshot-inclusive
+  /// read vector — this mirrors the snapshot vector Cure clients maintain and
+  /// costs no extra metadata (still one timestamp per DC). POCC's Algorithm 1
+  /// does not need it: the freshest-version read rule plus partition
+  /// stickiness already cover re-reads (§IV-B discussion).
+  ClientEngine(ClientId id, DcId dc, std::uint32_t num_dcs,
+               bool snapshot_rdv = false);
+
+  // ----- request construction (Alg. 1 sends) -----
+  [[nodiscard]] proto::GetReq make_get(std::string key) const;
+  [[nodiscard]] proto::PutReq make_put(std::string key,
+                                       std::string value) const;
+  [[nodiscard]] proto::RoTxReq make_ro_tx(
+      std::vector<std::string> keys) const;
+
+  // ----- reply absorption (Alg. 1 dependency tracking) -----
+  /// Alg. 1 lines 4-6: RDV <- max(RDV, DV_item); DV <- max(RDV, DV);
+  /// DV[sr] <- max(DV[sr], ut).
+  void absorb_get(const proto::GetReply& reply);
+  /// Alg. 1 line 12: DV[m] <- ut.
+  void absorb_put(const proto::PutReply& reply);
+  /// Alg. 1 lines 17-19: each returned item is absorbed as if read by a GET.
+  void absorb_ro_tx(const proto::RoTxReply& reply);
+
+  // ----- HA-POCC session control (§III-B) -----
+  /// Re-initialize the session after a SessionClosed: dependency vectors are
+  /// dropped (the new session may not see items read/written before) and the
+  /// session switches to the pessimistic protocol.
+  void reinitialize_pessimistic();
+  /// Promote the session back to optimistic once the partition healed.
+  void promote_optimistic();
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] DcId dc() const { return dc_; }
+  [[nodiscard]] bool pessimistic() const { return pessimistic_; }
+  [[nodiscard]] const VersionVector& dv() const { return dv_; }
+  [[nodiscard]] const VersionVector& rdv() const { return rdv_; }
+  [[nodiscard]] std::uint32_t session_generation() const {
+    return session_generation_;
+  }
+
+ private:
+  void absorb_read_item(const proto::ReadItem& item);
+
+  ClientId id_;
+  DcId dc_;
+  VersionVector dv_;   // DV_c: write dependencies
+  VersionVector rdv_;  // RDV_c: dependencies of items read
+  bool snapshot_rdv_ = false;
+  bool pessimistic_ = false;
+  std::uint32_t session_generation_ = 0;
+};
+
+}  // namespace pocc::client

@@ -1,0 +1,44 @@
+#include "clock/physical_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pocc {
+
+PhysicalClock::PhysicalClock(const ClockConfig& cfg, Rng& rng)
+    : offset_us_(cfg.offset_bias_us +
+                 static_cast<Timestamp>(rng.normal(0.0, cfg.offset_sigma_us))),
+      drift_ppm_(rng.normal(0.0, cfg.drift_ppm_sigma)),
+      read_jitter_us_(cfg.read_jitter_us),
+      jitter_rng_(rng.split()) {}
+
+PhysicalClock::PhysicalClock(Timestamp offset_us, double drift_ppm)
+    : offset_us_(offset_us), drift_ppm_(drift_ppm), jitter_rng_(0) {}
+
+Timestamp PhysicalClock::skewed(Timestamp reference_now) const {
+  const double drifted =
+      static_cast<double>(reference_now) * (drift_ppm_ * 1e-6);
+  return reference_now + offset_us_ + static_cast<Timestamp>(drifted);
+}
+
+Timestamp PhysicalClock::read(Timestamp reference_now) {
+  Timestamp t = skewed(reference_now);
+  if (read_jitter_us_ > 0) {
+    t += static_cast<Timestamp>(
+        jitter_rng_.uniform(static_cast<std::uint64_t>(read_jitter_us_) + 1));
+  }
+  last_ = std::max(last_ + 1, t);
+  return last_;
+}
+
+Timestamp PhysicalClock::peek(Timestamp reference_now) const {
+  return std::max(last_, skewed(reference_now));
+}
+
+void PhysicalClock::resync(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  offset_us_ -= static_cast<Timestamp>(
+      std::round(static_cast<double>(offset_us_) * fraction));
+}
+
+}  // namespace pocc

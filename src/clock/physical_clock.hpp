@@ -1,0 +1,59 @@
+// Loosely synchronized per-node physical clocks (paper §IV: "each server is
+// equipped with a physical clock, which provides monotonically increasing
+// timestamps ... loosely synchronized by a time synchronization protocol,
+// such as NTP. The correctness of our protocol does not depend on the
+// synchronization precision.")
+//
+// The clock model adds a constant per-node offset, a linear drift and optional
+// per-read jitter to a reference time source, then enforces strict
+// monotonicity (consecutive reads differ by at least 1 microsecond), which the
+// last-writer-wins timestamp order relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pocc {
+
+/// A skewed, strictly monotonic physical clock.
+///
+/// `read(reference_now)` maps a reference ("true") time to this node's local
+/// clock value. In the simulator the reference is virtual time; in the
+/// threaded runtime it is steady_clock microseconds.
+class PhysicalClock {
+ public:
+  /// Draws offset/drift for this node from `cfg` using `rng`.
+  PhysicalClock(const ClockConfig& cfg, Rng& rng);
+
+  /// Construct with explicit skew parameters (tests).
+  PhysicalClock(Timestamp offset_us, double drift_ppm);
+
+  /// Local clock value for reference time `reference_now`. Strictly monotonic:
+  /// consecutive calls return strictly increasing values even if the
+  /// reference time stalls.
+  Timestamp read(Timestamp reference_now);
+
+  /// Same as read() but never advances past what skew dictates; used when the
+  /// caller only needs to *observe* the clock without creating a timestamp.
+  [[nodiscard]] Timestamp peek(Timestamp reference_now) const;
+
+  /// NTP-style resynchronization: slews the offset toward zero by `fraction`.
+  void resync(double fraction = 1.0);
+
+  [[nodiscard]] Timestamp offset_us() const { return offset_us_; }
+  [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  [[nodiscard]] Timestamp skewed(Timestamp reference_now) const;
+
+  Timestamp offset_us_ = 0;
+  double drift_ppm_ = 0.0;
+  Duration read_jitter_us_ = 0;
+  Rng jitter_rng_;
+  Timestamp last_ = kTimestampMin;
+};
+
+}  // namespace pocc

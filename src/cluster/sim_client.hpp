@@ -1,0 +1,107 @@
+// Simulated client session: either a closed-loop workload driver (the paper's
+// benchmark clients, §V-A: collocated with a server, think time between
+// operations) or a manually driven client with blocking calls (tests and
+// examples).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/client_engine.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/sim_network.hpp"
+#include "stats/metrics.hpp"
+#include "workload/workload.hpp"
+
+namespace pocc::cluster {
+
+class SimCluster;
+
+class SimClient final : public net::Endpoint {
+ public:
+  enum class Mode { kWorkload, kManual };
+
+  SimClient(ClientId id, DcId dc, NodeId home, Mode mode, SimCluster& cluster,
+            Rng rng, bool snapshot_rdv);
+
+  /// Workload mode: install the generator and schedule the first operation.
+  void start_workload(const workload::WorkloadConfig& wl);
+
+  /// Stop issuing new operations after the current one completes.
+  void stop() { stopped_ = true; }
+
+  // ----- manual (blocking) operations -----
+  struct GetResult {
+    bool ok = false;       // reply received (false: timed out / session closed)
+    bool found = false;    // an explicit version exists
+    std::string value;
+    Timestamp ut = 0;
+    DcId sr = 0;
+    Duration blocked_us = 0;
+  };
+  struct PutResult {
+    bool ok = false;
+    Timestamp ut = 0;
+    Duration blocked_us = 0;
+  };
+  struct TxResult {
+    bool ok = false;
+    std::vector<proto::ReadItem> items;
+    Duration blocked_us = 0;
+  };
+
+  GetResult get(const std::string& key, Duration max_wait = 600'000'000);
+  PutResult put(const std::string& key, const std::string& value,
+                Duration max_wait = 600'000'000);
+  TxResult ro_tx(const std::vector<std::string>& keys,
+                 Duration max_wait = 600'000'000);
+
+  // ----- observers -----
+  [[nodiscard]] ClientId id() const { return engine_.id(); }
+  [[nodiscard]] DcId dc() const { return engine_.dc(); }
+  client::ClientEngine& engine() { return engine_; }
+  [[nodiscard]] const stats::OpStats& op_stats() const { return ops_; }
+  [[nodiscard]] std::uint64_t completed_ops() const { return completed_; }
+  [[nodiscard]] std::uint64_t session_fallbacks() const { return fallbacks_; }
+  void reset_stats() {
+    ops_.reset();
+    completed_ = 0;
+  }
+
+  // --- net::Endpoint ---
+  void deliver(NodeId from, proto::Message m) override;
+
+ private:
+  void issue_next_workload_op();
+  void issue_op(const workload::Op& op);
+  void handle_reply(proto::Message m);
+  void handle_session_closed(const proto::SessionClosed& msg);
+  void record_latency(workload::OpType type, Duration latency);
+  [[nodiscard]] NodeId target_for_key(const std::string& key) const;
+
+  client::ClientEngine engine_;
+  NodeId home_;
+  Mode mode_;
+  SimCluster& cluster_;
+  Rng rng_;
+  std::unique_ptr<workload::Generator> generator_;
+
+  bool stopped_ = false;
+  bool awaiting_reply_ = false;
+  workload::Op current_op_;
+  Timestamp issued_at_ = 0;
+
+  // Manual-mode reply capture.
+  std::optional<proto::Message> manual_reply_;
+  bool manual_session_closed_ = false;
+
+  stats::OpStats ops_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace pocc::cluster

@@ -1,0 +1,74 @@
+#include "cluster/sim_node.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pocc::cluster {
+
+SimNode::SimNode(NodeId self, const ServiceConfig& service,
+                 const ClockConfig& clock_cfg, sim::Simulator& simulator,
+                 net::SimNetwork& network, Rng& seeder)
+    : self_(self),
+      sim_(simulator),
+      net_(network),
+      cpu_(simulator, service.cores, service.background_share_den),
+      clock_(clock_cfg, seeder) {
+  net_.register_node(self_, this);
+}
+
+void SimNode::install_engine(std::unique_ptr<server::ReplicaBase> engine) {
+  POCC_ASSERT(engine_ == nullptr);
+  engine_ = std::move(engine);
+}
+
+void SimNode::start() {
+  POCC_ASSERT(engine_ != nullptr);
+  engine_->start();
+}
+
+namespace {
+/// Client-facing traffic (requests and the RO-TX slice path) takes the
+/// foreground CPU class; replication, heartbeats, stabilization and GC take
+/// the background class and lag under load like a real server's maintenance
+/// path (see sim/cpu_queue.hpp).
+bool is_foreground(const proto::Message& m) {
+  switch (m.index()) {
+    case 0:   // GetReq
+    case 1:   // PutReq
+    case 2:   // RoTxReq
+    case 9:   // SliceReq
+    case 10:  // SliceReply
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void SimNode::deliver(NodeId from, proto::Message m) {
+  // Message handling contends for this node's CPU: the handler runs when a
+  // core picks the job up, and the job reports the CPU time it consumed.
+  const bool fg = is_foreground(m);
+  auto job = [this, from, msg = std::move(m)]() mutable -> Duration {
+    return engine_->handle_message(from, std::move(msg));
+  };
+  if (fg) {
+    cpu_.submit(std::move(job));
+  } else {
+    cpu_.submit_background(std::move(job));
+  }
+}
+
+void SimNode::set_timer(Duration delay, std::uint64_t timer_id) {
+  // Timers run foreground: heartbeat/stabilization *sending* is cheap and
+  // keeps flowing on a loaded server (dedicated sender threads in real
+  // systems); it is the receive/apply path that lags under load.
+  sim_.schedule(delay, [this, timer_id] {
+    cpu_.submit([this, timer_id]() -> Duration {
+      return engine_->on_timer(timer_id);
+    });
+  });
+}
+
+}  // namespace pocc::cluster

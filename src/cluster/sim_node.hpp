@@ -1,0 +1,57 @@
+// One simulated server: protocol engine + CPU queue + physical clock,
+// implementing the engine's Context against the discrete-event simulator.
+#pragma once
+
+#include <memory>
+
+#include "clock/physical_clock.hpp"
+#include "common/config.hpp"
+#include "net/sim_network.hpp"
+#include "server/context.hpp"
+#include "server/replica_base.hpp"
+#include "sim/cpu_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace pocc::cluster {
+
+class SimNode final : public net::Endpoint, public server::Context {
+ public:
+  /// `engine_factory` builds the protocol engine against this node's Context.
+  SimNode(NodeId self, const ServiceConfig& service,
+          const ClockConfig& clock_cfg, sim::Simulator& simulator,
+          net::SimNetwork& network, Rng& seeder);
+
+  void install_engine(std::unique_ptr<server::ReplicaBase> engine);
+  void start();
+
+  [[nodiscard]] NodeId id() const { return self_; }
+  server::ReplicaBase& engine() { return *engine_; }
+  [[nodiscard]] const server::ReplicaBase& engine() const { return *engine_; }
+  sim::CpuQueue& cpu() { return cpu_; }
+  PhysicalClock& clock() { return clock_; }
+
+  // --- net::Endpoint ---
+  void deliver(NodeId from, proto::Message m) override;
+
+  // --- server::Context ---
+  Timestamp clock_now() override { return clock_.read(sim_.now()); }
+  Timestamp clock_peek() override { return clock_.peek(sim_.now()); }
+  Timestamp time() override { return sim_.now(); }
+  void send(NodeId to, proto::Message m) override {
+    net_.send(self_, to, std::move(m));
+  }
+  void reply(ClientId client, proto::Message m) override {
+    net_.send_to_client(self_, client, std::move(m));
+  }
+  void set_timer(Duration delay, std::uint64_t timer_id) override;
+
+ private:
+  NodeId self_;
+  sim::Simulator& sim_;
+  net::SimNetwork& net_;
+  sim::CpuQueue cpu_;
+  PhysicalClock clock_;
+  std::unique_ptr<server::ReplicaBase> engine_;
+};
+
+}  // namespace pocc::cluster

@@ -1,0 +1,32 @@
+// Lightweight runtime assertion that is active in all build types.
+//
+// Protocol invariants (e.g. FIFO delivery order, version-vector monotonicity)
+// guard correctness of the consistency protocols; violating them silently
+// would invalidate every experiment, so they stay on in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pocc::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "POCC_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace pocc::detail
+
+#define POCC_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::pocc::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+    }                                                                  \
+  } while (false)
+
+#define POCC_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::pocc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (false)

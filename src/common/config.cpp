@@ -1,0 +1,41 @@
+#include "common/config.hpp"
+
+#include "common/assert.hpp"
+
+namespace pocc {
+
+Duration LatencyConfig::base_delay(DcId a, DcId b) const {
+  if (a == b) return intra_dc_base_us;
+  if (a < inter_dc_base_us.size() && b < inter_dc_base_us[a].size() &&
+      inter_dc_base_us[a][b] > 0) {
+    return inter_dc_base_us[a][b];
+  }
+  return default_inter_dc_us;
+}
+
+LatencyConfig LatencyConfig::aws_three_dc() {
+  LatencyConfig cfg;
+  cfg.intra_dc_base_us = 250;
+  cfg.jitter_mean_us = 50;
+  // One-way delays (us): Oregon<->Virginia ~36ms, Oregon<->Ireland ~62ms,
+  // Virginia<->Ireland ~38ms.
+  cfg.inter_dc_base_us = {
+      {0, 36'000, 62'000},
+      {36'000, 0, 38'000},
+      {62'000, 38'000, 0},
+  };
+  cfg.default_inter_dc_us = 40'000;
+  return cfg;
+}
+
+LatencyConfig LatencyConfig::uniform(Duration one_way_us, Duration jitter_us) {
+  POCC_ASSERT(one_way_us >= 0);
+  LatencyConfig cfg;
+  cfg.intra_dc_base_us = one_way_us;
+  cfg.jitter_mean_us = jitter_us;
+  cfg.inter_dc_base_us.clear();
+  cfg.default_inter_dc_us = one_way_us;
+  return cfg;
+}
+
+}  // namespace pocc

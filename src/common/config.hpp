@@ -1,0 +1,142 @@
+// Deployment-level configuration shared by the simulator host, the threaded
+// runtime host, the workload generators and the benchmark harnesses.
+//
+// Defaults mirror the paper's test-bed (§V-A): 3 DCs (Oregon, Virginia,
+// Ireland), 32 partitions per DC, NTP-synchronized clocks, 1 ms heartbeat
+// interval, 5 ms Cure* stabilization interval, last-writer-wins with the PUT
+// wait enabled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pocc {
+
+/// How keys map to partitions. `kHash` is the production scheme (§II-C:
+/// "each key is deterministically assigned to a single partition according to
+/// a hash function"); `kPrefix` reads an explicit "<partition>:" key prefix,
+/// which the workload generators use to target specific partitions the way
+/// the paper's workloads do ("Each GET operation targets a different
+/// partition", §V-B).
+enum class PartitionScheme { kHash, kPrefix };
+
+/// Shape of the deployment: M data centers × N partitions per DC.
+struct TopologyConfig {
+  std::uint32_t num_dcs = 3;
+  std::uint32_t partitions_per_dc = 32;
+  PartitionScheme partition_scheme = PartitionScheme::kHash;
+
+  [[nodiscard]] std::size_t total_nodes() const {
+    return static_cast<std::size_t>(num_dcs) * partitions_per_dc;
+  }
+};
+
+/// One-way network delays. Channels are lossless and FIFO (paper §II-C); the
+/// sampled delay adds exponential jitter but delivery order per channel is
+/// preserved by the network layer.
+struct LatencyConfig {
+  /// One-way delay between two servers in the same DC.
+  Duration intra_dc_base_us = 250;
+  /// One-way delay between a client and the server it is collocated with.
+  Duration loopback_us = 20;
+  /// Exponential jitter mean added on top of any base delay.
+  Duration jitter_mean_us = 50;
+  /// inter_dc_base_us[i][j]: one-way delay from DC i to DC j (i != j).
+  std::vector<std::vector<Duration>> inter_dc_base_us;
+  /// Used to fill the matrix for DC pairs not explicitly configured.
+  Duration default_inter_dc_us = 40'000;
+
+  /// One-way base delay from DC a to DC b (a == b gives intra-DC delay).
+  [[nodiscard]] Duration base_delay(DcId a, DcId b) const;
+
+  /// The paper's deployment: Oregon (0), Virginia (1), Ireland (2).
+  /// One-way delays approximating the public inter-region RTT/2 figures.
+  static LatencyConfig aws_three_dc();
+
+  /// A fast LAN-like configuration for unit tests.
+  static LatencyConfig uniform(Duration one_way_us, Duration jitter_us = 0);
+};
+
+/// Physical-clock behaviour. The protocol only assumes *loose* synchronization
+/// (NTP); correctness never depends on the skew bound, but performance does
+/// (PUT waits until max(DV_c) < local clock, Alg. 2 line 7).
+struct ClockConfig {
+  /// Per-node constant offset is drawn from N(offset_bias_us,
+  /// offset_sigma_us). NTP inside a DC (LAN) syncs to ~100 us.
+  double offset_sigma_us = 150.0;
+  /// Shared per-DC bias drawn from N(0, dc_offset_sigma_us) — WAN-level NTP
+  /// error between sites (~1 ms). Applied by the cluster host via
+  /// offset_bias_us.
+  double dc_offset_sigma_us = 1'000.0;
+  /// Constant bias added to the drawn offset (set per node by the host).
+  Timestamp offset_bias_us = 0;
+  /// Per-node drift drawn from N(0, drift_ppm_sigma) parts-per-million.
+  double drift_ppm_sigma = 10.0;
+  /// Per-read jitter (models OS/timer quantization), uniform in [0, read_jitter_us].
+  Duration read_jitter_us = 0;
+
+  static ClockConfig perfect() {
+    ClockConfig c;
+    c.offset_sigma_us = 0.0;
+    c.dc_offset_sigma_us = 0.0;
+    c.offset_bias_us = 0;
+    c.drift_ppm_sigma = 0.0;
+    c.read_jitter_us = 0;
+    return c;
+  }
+};
+
+/// CPU cost model for the discrete-event host. Each node is a FIFO queueing
+/// station with `cores` servers; each handler invocation costs a base service
+/// time plus per-unit increments reported by the protocol engine (e.g. version
+/// chain hops for Cure* GETs). Calibrated so that a 96-node full-scale
+/// deployment saturates around the paper's ~0.65 Mops/s (§V-B).
+struct ServiceConfig {
+  std::uint32_t cores = 2;           // c4.large: 2 vCPUs
+  /// Guaranteed CPU share of the background (replication-apply/maintenance)
+  /// class under overload: one dispatch in `background_share_den` (see
+  /// sim/cpu_queue.hpp).
+  std::uint32_t background_share_den = 8;
+  Duration get_us = 110;             // client-facing GET handling
+  Duration put_us = 130;             // client-facing PUT handling
+  Duration replicate_us = 25;        // applying one replicated update
+  Duration heartbeat_us = 4;         // applying a heartbeat
+  Duration version_hop_us = 9;       // traversing one version in a chain
+  Duration tx_coord_us = 60;         // RO-TX coordinator fixed cost
+  Duration tx_coord_per_part_us = 18;// RO-TX coordinator per contacted partition
+  Duration slice_us = 70;            // SliceReq handling fixed cost
+  Duration slice_per_key_us = 25;    // per key read within a slice
+  Duration stabilization_us = 12;    // processing one stabilization message
+  Duration gc_round_us = 40;         // processing one GC exchange message
+};
+
+/// Protocol intervals and switches (paper §IV-B and §V-A).
+struct ProtocolConfig {
+  /// Heartbeat idleness threshold Δ: a partition that has not served a PUT for
+  /// this long broadcasts its clock to its replicas.
+  Duration heartbeat_interval_us = 1'000;
+  /// Cure* stabilization period (GSS recomputation).
+  Duration stabilization_interval_us = 5'000;
+  /// POCC garbage-collection exchange period.
+  Duration gc_interval_us = 50'000;
+  /// Whether PUT waits for the client's dependencies to be locally installed
+  /// (Alg. 2 line 6 — optional for LWW; the paper enables it, §V-A).
+  bool put_dependency_wait = true;
+  /// HA-POCC: how long a request may stay parked before the server suspects a
+  /// network partition and closes the session (§III-B).
+  Duration block_timeout_us = 500'000;
+  /// HA-POCC: stabilization period while operating optimistically (run much
+  /// less frequently than Cure's, §IV-C).
+  Duration ha_stabilization_interval_us = 100'000;
+};
+
+/// Number of keys pre-loaded per partition (paper: 1M; tests use fewer).
+struct DatasetConfig {
+  std::uint64_t keys_per_partition = 1'000'000;
+  double zipf_theta = 0.99;
+  std::uint32_t value_size = 8;
+};
+
+}  // namespace pocc

@@ -1,0 +1,32 @@
+#include "common/hash.hpp"
+
+#include <charconv>
+
+#include "common/assert.hpp"
+#include "common/config.hpp"
+
+namespace pocc {
+
+PartitionId partition_of(std::string_view key, std::uint32_t partitions,
+                         PartitionScheme scheme) {
+  POCC_ASSERT(partitions > 0);
+  if (scheme == PartitionScheme::kPrefix) {
+    const std::size_t colon = key.find(':');
+    if (colon != std::string_view::npos && colon > 0) {
+      std::uint32_t part = 0;
+      const auto [ptr, ec] =
+          std::from_chars(key.data(), key.data() + colon, part);
+      if (ec == std::errc{} && ptr == key.data() + colon) {
+        return part % partitions;
+      }
+    }
+    // Fall through: keys without a valid prefix are hashed.
+  }
+  return partition_of(key, partitions);
+}
+
+std::string make_partition_key(PartitionId part, std::uint64_t rank) {
+  return std::to_string(part) + ":" + std::to_string(rank);
+}
+
+}  // namespace pocc

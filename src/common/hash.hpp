@@ -1,0 +1,48 @@
+// Key hashing and deterministic key->partition placement (paper §II-C: "each
+// key is deterministically assigned to a single partition according to a hash
+// function").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace pocc {
+
+/// FNV-1a 64-bit hash. Stable across platforms (unlike std::hash).
+constexpr std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Finalizer from MurmurHash3 — used to mix integer keys.
+constexpr std::uint64_t mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Deterministic partition placement for a key.
+inline PartitionId partition_of(std::string_view key, std::uint32_t partitions) {
+  return static_cast<PartitionId>(fnv1a(key) % partitions);
+}
+
+/// Scheme-aware placement: kPrefix parses a decimal "<partition>:" prefix
+/// (falling back to hashing when absent), kHash always hashes.
+PartitionId partition_of(std::string_view key, std::uint32_t partitions,
+                         PartitionScheme scheme);
+
+/// Builds a key that `partition_of(..., kPrefix)` places on `part`.
+std::string make_partition_key(PartitionId part, std::uint64_t rank);
+
+}  // namespace pocc

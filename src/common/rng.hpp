@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the simulator (clock skew, network jitter, workload key
+// choice, think-time sampling) flows through these generators so that a single
+// seed reproduces an experiment bit-for-bit. We implement the generators
+// ourselves instead of using <random> distributions because libstdc++ does not
+// guarantee cross-version stability of distribution algorithms.
+#pragma once
+
+#include <cstdint>
+
+namespace pocc {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ — fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Derive an independent generator (for per-node / per-client streams).
+  [[nodiscard]] Rng split();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (deterministic, platform independent).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace pocc

@@ -1,0 +1,72 @@
+// Core identifier and time types shared by every module.
+//
+// The system model (paper §II-C): a key-value store sharded into N partitions,
+// each replicated at M data centers. A node is therefore addressed by the pair
+// (data center, partition). Timestamps are physical-clock microseconds, the
+// granularity used for update times and dependency/version vectors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace pocc {
+
+/// Identifier of a data center (replica site). The paper calls this the
+/// "source replica" id when attached to an item version.
+using DcId = std::uint32_t;
+
+/// Identifier of a partition (shard) within a data center.
+using PartitionId = std::uint32_t;
+
+/// Identifier of a client session, unique across the whole deployment.
+using ClientId = std::uint64_t;
+
+/// Physical-clock timestamp in microseconds. Also used for simulated time.
+using Timestamp = std::int64_t;
+
+/// Time duration in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Timestamp kTimestampMin = std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kTimestampMax = std::numeric_limits<Timestamp>::max();
+
+inline constexpr Duration operator""_us(unsigned long long v) {
+  return static_cast<Duration>(v);
+}
+inline constexpr Duration operator""_ms(unsigned long long v) {
+  return static_cast<Duration>(v) * 1000;
+}
+inline constexpr Duration operator""_s(unsigned long long v) {
+  return static_cast<Duration>(v) * 1000 * 1000;
+}
+
+/// Address of a server: partition `part` of data center `dc`. The paper's
+/// notation p^m_n maps to NodeId{.dc = m, .part = n}.
+struct NodeId {
+  DcId dc = 0;
+  PartitionId part = 0;
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+  friend auto operator<=>(const NodeId&, const NodeId&) = default;
+
+  /// Dense encoding usable as a flat-array index given the partition count.
+  [[nodiscard]] std::size_t flat_index(std::size_t partitions_per_dc) const {
+    return static_cast<std::size_t>(dc) * partitions_per_dc +
+           static_cast<std::size_t>(part);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "dc" + std::to_string(dc) + "/p" + std::to_string(part);
+  }
+};
+
+struct NodeIdHash {
+  std::size_t operator()(const NodeId& n) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(n.dc) << 32) | n.part);
+  }
+};
+
+}  // namespace pocc

@@ -1,0 +1,63 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pocc {
+
+namespace {
+// helper1(x) = log1p(x) / x, stable near 0.
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+// helper2(x) = expm1(x) / x, stable near 0.
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  POCC_ASSERT(n > 0);
+  POCC_ASSERT(theta >= 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfGenerator::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - theta_) * log_x) * log_x;
+}
+
+double ZipfGenerator::h(double x) const {
+  return std::exp(-theta_ * std::log(x));
+}
+
+double ZipfGenerator::h_integral_inverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // Numerical guard per the reference implementation.
+  return std::exp(helper1(t) * x);
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.next_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // external rank is 0-based
+    }
+  }
+}
+
+}  // namespace pocc

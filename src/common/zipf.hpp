@@ -1,0 +1,40 @@
+// Zipf-distributed key sampling.
+//
+// The paper's workload (§V-A) chooses keys "within each partition according to
+// a zipf distribution with parameter 0.99". We use the rejection-inversion
+// sampler of Hörmann & Derflinger (1996), which needs O(1) memory and O(1)
+// expected time per sample regardless of the key-space size (1M keys per
+// partition at paper scale).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace pocc {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1 / (k+1)^theta.
+class ZipfGenerator {
+ public:
+  /// n: number of elements (> 0); theta: skew exponent (>= 0; 0 = uniform).
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  /// Draw one rank in [0, n). Rank 0 is the most popular element.
+  std::uint64_t next(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_ = 0.0;
+  double h_integral_n_ = 0.0;
+  double s_ = 0.0;
+};
+
+}  // namespace pocc

@@ -1,0 +1,176 @@
+#include "net/sim_network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pocc::net {
+
+SimNetwork::SimNetwork(sim::Simulator& simulator, const LatencyConfig& latency,
+                       Rng rng)
+    : sim_(simulator), latency_(latency), rng_(rng) {}
+
+void SimNetwork::register_node(NodeId id, Endpoint* ep) {
+  POCC_ASSERT(ep != nullptr);
+  endpoints_[node_addr(id)] = Destination{ep, id.dc};
+}
+
+void SimNetwork::register_client(ClientId id, DcId dc, NodeId collocated_with,
+                                 Endpoint* ep) {
+  POCC_ASSERT(ep != nullptr);
+  Destination d{ep, dc};
+  endpoints_[client_addr(id)] = d;
+  collocation_[id] = collocated_with;
+}
+
+Duration SimNetwork::sample_delay(DcId from, DcId to, bool loopback) {
+  const Duration base =
+      loopback ? latency_.loopback_us : latency_.base_delay(from, to);
+  Duration jitter = 0;
+  if (latency_.jitter_mean_us > 0) {
+    jitter = static_cast<Duration>(
+        rng_.exponential(static_cast<double>(latency_.jitter_mean_us)));
+  }
+  return base + jitter;
+}
+
+void SimNetwork::account(const proto::Message& m) {
+  ++stats_.messages;
+  stats_.bytes += proto::wire_size(m);
+  switch (m.index()) {
+    case 0:  // GetReq
+    case 1:  // PutReq
+    case 2:  // RoTxReq
+    case 3:  // GetReply
+    case 4:  // PutReply
+    case 5:  // RoTxReply
+    case 6:  // SessionClosed
+      ++stats_.client_messages;
+      break;
+    case 7:  // Replicate
+      ++stats_.replication_messages;
+      break;
+    case 8:  // Heartbeat
+      ++stats_.heartbeat_messages;
+      break;
+    case 9:   // SliceReq
+    case 10:  // SliceReply
+      ++stats_.slice_messages;
+      break;
+    case 11:  // GcReport
+    case 12:  // GcVector
+      ++stats_.gc_messages;
+      break;
+    case 13:  // StabReport
+    case 14:  // GssBroadcast
+      ++stats_.stabilization_messages;
+      break;
+    default:
+      break;
+  }
+}
+
+void SimNetwork::transmit(std::uint64_t from_addr, DcId from_dc,
+                          std::uint64_t to_addr, NodeId from_node,
+                          proto::Message m) {
+  auto dst_it = endpoints_.find(to_addr);
+  POCC_ASSERT_MSG(dst_it != endpoints_.end(), "unknown destination endpoint");
+  Destination& dst = dst_it->second;
+
+  Channel& ch = channels_[ChannelKey{from_addr, to_addr}];
+  if (is_partitioned(from_dc, dst.dc)) {
+    // Lossless link: buffer until the partition heals.
+    ch.blocked.emplace_back(from_node, std::move(m));
+    return;
+  }
+  account(m);
+
+  bool loopback = false;
+  if ((to_addr & kClientTag) != 0) {
+    auto coll = collocation_.find(to_addr & ~kClientTag);
+    loopback = coll != collocation_.end() &&
+               node_addr(coll->second) == from_addr;
+  } else if ((from_addr & kClientTag) != 0) {
+    auto coll = collocation_.find(from_addr & ~kClientTag);
+    loopback =
+        coll != collocation_.end() && node_addr(coll->second) == to_addr;
+  }
+
+  const Duration delay = sample_delay(from_dc, dst.dc, loopback);
+  const Timestamp at = std::max(sim_.now() + delay, ch.last_delivery);
+  ch.last_delivery = at;
+  Endpoint* ep = dst.endpoint;
+  sim_.schedule_at(at, [ep, from_node, msg = std::move(m)]() mutable {
+    ep->deliver(from_node, std::move(msg));
+  });
+}
+
+void SimNetwork::send(NodeId from, NodeId to, proto::Message m) {
+  transmit(node_addr(from), from.dc, node_addr(to), from, std::move(m));
+}
+
+void SimNetwork::send_to_client(NodeId from, ClientId to, proto::Message m) {
+  transmit(node_addr(from), from.dc, client_addr(to), from, std::move(m));
+}
+
+void SimNetwork::client_send(ClientId from, NodeId to, proto::Message m) {
+  auto src_it = endpoints_.find(client_addr(from));
+  POCC_ASSERT_MSG(src_it != endpoints_.end(), "unregistered client");
+  // Client traffic is attributed to the client's home node for FIFO purposes.
+  auto coll = collocation_.find(from);
+  POCC_ASSERT(coll != collocation_.end());
+  transmit(client_addr(from), src_it->second.dc, node_addr(to), coll->second,
+           std::move(m));
+}
+
+void SimNetwork::partition_dcs(DcId a, DcId b) {
+  if (a == b) return;
+  partitions_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void SimNetwork::heal_dcs(DcId a, DcId b) {
+  partitions_.erase({std::min(a, b), std::max(a, b)});
+  // Flush buffered traffic on every channel crossing the healed pair, in the
+  // original send order (FIFO is preserved by the per-channel last_delivery).
+  for (auto& [key, ch] : channels_) {
+    if (ch.blocked.empty()) continue;
+    auto src = endpoints_.find(key.from);
+    auto dst = endpoints_.find(key.to);
+    if (src == endpoints_.end() || dst == endpoints_.end()) continue;
+    const DcId sd = src->second.dc;
+    const DcId dd = dst->second.dc;
+    if (!((sd == a && dd == b) || (sd == b && dd == a))) continue;
+    std::deque<std::pair<NodeId, proto::Message>> pending;
+    pending.swap(ch.blocked);
+    for (auto& [from_node, msg] : pending) {
+      account(msg);
+      const Duration delay = sample_delay(sd, dd, false);
+      const Timestamp at = std::max(sim_.now() + delay, ch.last_delivery);
+      ch.last_delivery = at;
+      Endpoint* ep = dst->second.endpoint;
+      sim_.schedule_at(at, [ep, fn = from_node, m = std::move(msg)]() mutable {
+        ep->deliver(fn, std::move(m));
+      });
+    }
+  }
+}
+
+void SimNetwork::isolate_dc(DcId dc, std::uint32_t num_dcs) {
+  for (DcId other = 0; other < num_dcs; ++other) {
+    if (other != dc) partition_dcs(dc, other);
+  }
+}
+
+void SimNetwork::heal_dc(DcId dc, std::uint32_t num_dcs) {
+  for (DcId other = 0; other < num_dcs; ++other) {
+    if (other != dc) heal_dcs(dc, other);
+  }
+}
+
+bool SimNetwork::is_partitioned(DcId a, DcId b) const {
+  if (a == b) return false;
+  return partitions_.contains({std::min(a, b), std::max(a, b)});
+}
+
+}  // namespace pocc::net

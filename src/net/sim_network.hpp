@@ -1,0 +1,125 @@
+// Simulated point-to-point network.
+//
+// Implements the paper's network assumptions (§II-C): lossless FIFO channels
+// between any two processes. Each (source, destination) pair is an independent
+// channel; a message's delivery time is `max(now + sampled_delay,
+// last_delivery_on_channel)`, which preserves per-channel FIFO order under
+// jitter. Inter-DC delays come from the latency matrix; network partitions
+// between DC pairs can be injected and healed at runtime — while a partition
+// is up, affected messages are buffered (lossless links: think TCP
+// retransmission) and flushed in order on heal.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace pocc::net {
+
+/// Anything that can receive protocol messages (servers, client sessions).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// `from` is the sending server, or NodeId of the client's home server for
+  /// client-originated traffic (senders identify themselves in the payload).
+  virtual void deliver(NodeId from, proto::Message m) = 0;
+};
+
+/// Byte/message accounting, split by traffic class for the resource-overhead
+/// comparisons (§V-B: stabilization/heartbeat overhead vs useful work).
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t replication_messages = 0;
+  std::uint64_t heartbeat_messages = 0;
+  std::uint64_t stabilization_messages = 0;
+  std::uint64_t gc_messages = 0;
+  std::uint64_t client_messages = 0;
+  std::uint64_t slice_messages = 0;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulator& simulator, const LatencyConfig& latency,
+             Rng rng);
+
+  /// Register endpoints. Servers are addressed by NodeId; client sessions by
+  /// ClientId plus the DC they live in (clients are collocated with servers,
+  /// §V-A).
+  void register_node(NodeId id, Endpoint* ep);
+  void register_client(ClientId id, DcId dc, NodeId collocated_with,
+                       Endpoint* ep);
+
+  // --- traffic ---
+  void send(NodeId from, NodeId to, proto::Message m);
+  void send_to_client(NodeId from, ClientId to, proto::Message m);
+  void client_send(ClientId from, NodeId to, proto::Message m);
+
+  // --- fault injection ---
+  /// Cut connectivity between DC a and DC b (both directions). In-flight
+  /// messages already scheduled still arrive (they were on the wire); new
+  /// messages are buffered until heal_dcs().
+  void partition_dcs(DcId a, DcId b);
+  void heal_dcs(DcId a, DcId b);
+  /// Cut `dc` off from every other DC.
+  void isolate_dc(DcId dc, std::uint32_t num_dcs);
+  void heal_dc(DcId dc, std::uint32_t num_dcs);
+  [[nodiscard]] bool is_partitioned(DcId a, DcId b) const;
+  [[nodiscard]] bool any_partitions() const { return !partitions_.empty(); }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+ private:
+  // Endpoint addressing: servers in the low half, clients tagged by the top
+  // bit, so one channel table covers both.
+  static constexpr std::uint64_t kClientTag = 1ULL << 63;
+  static std::uint64_t node_addr(NodeId n) {
+    return (static_cast<std::uint64_t>(n.dc) << 32) | n.part;
+  }
+  static std::uint64_t client_addr(ClientId c) { return kClientTag | c; }
+
+  struct ChannelKey {
+    std::uint64_t from;
+    std::uint64_t to;
+    bool operator==(const ChannelKey&) const = default;
+  };
+  struct ChannelKeyHash {
+    std::size_t operator()(const ChannelKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.from * 0x9e3779b97f4a7c15ULL ^ k.to);
+    }
+  };
+  struct Channel {
+    Timestamp last_delivery = 0;
+    std::deque<std::pair<NodeId, proto::Message>> blocked;  // partition buffer
+  };
+  struct Destination {
+    Endpoint* endpoint = nullptr;
+    DcId dc = 0;
+  };
+
+  void transmit(std::uint64_t from_addr, DcId from_dc, std::uint64_t to_addr,
+                NodeId from_node, proto::Message m);
+  void account(const proto::Message& m);
+  [[nodiscard]] Duration sample_delay(DcId from, DcId to,
+                                      bool loopback);
+
+  sim::Simulator& sim_;
+  LatencyConfig latency_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, Destination> endpoints_;
+  std::unordered_map<ClientId, NodeId> collocation_;
+  std::unordered_map<ChannelKey, Channel, ChannelKeyHash> channels_;
+  std::set<std::pair<DcId, DcId>> partitions_;  // normalized (min,max) pairs
+  NetworkStats stats_;
+};
+
+}  // namespace pocc::net

@@ -1,0 +1,32 @@
+// Umbrella header — the public API of the POCC library.
+//
+//   #include "pocc/api.hpp"
+//
+// Three ways to use the library, from highest to lowest level:
+//
+//  1. Deployments.
+//     * pocc::cluster::SimCluster — a deterministic simulated geo-replicated
+//       deployment (DES-backed); what the benchmarks and most tests use.
+//     * pocc::rt::Cluster — the same protocol engines as a real,
+//       multi-threaded in-process store with blocking sessions.
+//
+//  2. Protocol engines, for embedding in your own host: pocc::PoccServer,
+//     pocc::CureServer, pocc::HaPoccServer, pocc::ScalarPoccServer and
+//     pocc::client::ClientEngine. Implement pocc::server::Context (clock,
+//     send, reply, timers) and feed messages to ReplicaBase::handle_message.
+//
+//  3. Building blocks: version vectors, the multi-version store, the
+//     discrete-event simulator, workload generators, metrics and the
+//     causal-consistency checker.
+#pragma once
+
+#include "client/client_engine.hpp"
+#include "cluster/sim_cluster.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "cure/cure_server.hpp"
+#include "ha/ha_pocc_server.hpp"
+#include "pocc/pocc_server.hpp"
+#include "pocc/scalar_pocc_server.hpp"
+#include "runtime/rt_cluster.hpp"
+#include "workload/workload.hpp"

@@ -1,0 +1,4 @@
+#include "pocc/scalar_pocc_server.hpp"
+
+// All behaviour lives in the header; this translation unit anchors the vtable.
+namespace pocc {}

@@ -1,0 +1,98 @@
+#include "proto/messages.hpp"
+
+namespace pocc::proto {
+
+namespace {
+
+constexpr std::size_t kVectorBytes = sizeof(Timestamp);  // per VV entry
+
+std::size_t vv_bytes(const VersionVector& vv) {
+  return static_cast<std::size_t>(vv.size()) * kVectorBytes;
+}
+
+std::size_t item_bytes(const ReadItem& it) {
+  return it.key.size() + it.value.size() + vv_bytes(it.dv) + 16;
+}
+
+struct SizeVisitor {
+  std::size_t operator()(const GetReq& m) const {
+    return m.key.size() + vv_bytes(m.rdv) + 8;
+  }
+  std::size_t operator()(const PutReq& m) const {
+    return m.key.size() + m.value.size() + vv_bytes(m.dv) + 8;
+  }
+  std::size_t operator()(const RoTxReq& m) const {
+    std::size_t n = vv_bytes(m.rdv) + 8;
+    for (const auto& k : m.keys) n += k.size() + 2;
+    return n;
+  }
+  std::size_t operator()(const GetReply& m) const {
+    return item_bytes(m.item) + 8;
+  }
+  std::size_t operator()(const PutReply& m) const {
+    return m.key.size() + 20;
+  }
+  std::size_t operator()(const RoTxReply& m) const {
+    std::size_t n = vv_bytes(m.tv) + 8;
+    for (const auto& it : m.items) n += item_bytes(it);
+    return n;
+  }
+  std::size_t operator()(const SessionClosed& m) const {
+    return m.reason.size() + 8;
+  }
+  std::size_t operator()(const Replicate& m) const {
+    return m.version.key.size() + m.version.value.size() +
+           vv_bytes(m.version.dv) + 16;
+  }
+  std::size_t operator()(const Heartbeat&) const { return 12; }
+  std::size_t operator()(const SliceReq& m) const {
+    std::size_t n = vv_bytes(m.tv) + 16;
+    for (const auto& k : m.keys) n += k.size() + 2;
+    return n;
+  }
+  std::size_t operator()(const SliceReply& m) const {
+    std::size_t n = 8;
+    for (const auto& it : m.items) n += item_bytes(it);
+    return n;
+  }
+  std::size_t operator()(const GcReport& m) const {
+    return vv_bytes(m.low_watermark) + 8;
+  }
+  std::size_t operator()(const GcVector& m) const { return vv_bytes(m.gv); }
+  std::size_t operator()(const StabReport& m) const {
+    return vv_bytes(m.vv) + 8;
+  }
+  std::size_t operator()(const GssBroadcast& m) const {
+    return vv_bytes(m.gss);
+  }
+};
+
+struct NameVisitor {
+  const char* operator()(const GetReq&) const { return "GetReq"; }
+  const char* operator()(const PutReq&) const { return "PutReq"; }
+  const char* operator()(const RoTxReq&) const { return "RoTxReq"; }
+  const char* operator()(const GetReply&) const { return "GetReply"; }
+  const char* operator()(const PutReply&) const { return "PutReply"; }
+  const char* operator()(const RoTxReply&) const { return "RoTxReply"; }
+  const char* operator()(const SessionClosed&) const { return "SessionClosed"; }
+  const char* operator()(const Replicate&) const { return "Replicate"; }
+  const char* operator()(const Heartbeat&) const { return "Heartbeat"; }
+  const char* operator()(const SliceReq&) const { return "SliceReq"; }
+  const char* operator()(const SliceReply&) const { return "SliceReply"; }
+  const char* operator()(const GcReport&) const { return "GcReport"; }
+  const char* operator()(const GcVector&) const { return "GcVector"; }
+  const char* operator()(const StabReport&) const { return "StabReport"; }
+  const char* operator()(const GssBroadcast&) const { return "GssBroadcast"; }
+};
+
+}  // namespace
+
+const char* message_name(const Message& m) {
+  return std::visit(NameVisitor{}, m);
+}
+
+std::size_t wire_size(const Message& m) {
+  return std::visit(SizeVisitor{}, m);
+}
+
+}  // namespace pocc::proto

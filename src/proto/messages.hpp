@@ -1,0 +1,165 @@
+// Wire messages exchanged between clients, servers and replicas.
+//
+// Client <-> server messages follow Algorithms 1 and 2 of the paper; server <->
+// server messages cover update replication, heartbeats, RO-TX slices, the
+// garbage-collection exchange and the (Cure* / HA-POCC) stabilization
+// protocol. All channels are point-to-point, lossless and FIFO (§II-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "store/version.hpp"
+#include "vclock/version_vector.hpp"
+
+namespace pocc::proto {
+
+/// Client-observable metadata for one read item (GET reply or RO-TX item).
+struct ReadItem {
+  std::string key;
+  bool found = false;
+  std::string value;
+  DcId sr = 0;          // source replica of the returned version
+  Timestamp ut = 0;     // update time of the returned version
+  VersionVector dv;     // dependency vector of the returned version
+  // --- measurement-only fields (never used by the protocol) ---
+  std::uint32_t fresher_versions = 0;   // versions fresher than the returned
+  std::uint32_t unmerged_versions = 0;  // versions not yet stable in this DC
+};
+
+// ---------- client -> server ----------
+
+/// <GETReq k, RDV_c> (Alg. 1 line 2). `pessimistic` marks requests from
+/// sessions that fell back to the pessimistic protocol (HA-POCC, §IV-C).
+struct GetReq {
+  ClientId client = 0;
+  std::string key;
+  VersionVector rdv;
+  bool pessimistic = false;
+};
+
+/// <PUTReq k, v, DV_c> (Alg. 1 line 10).
+struct PutReq {
+  ClientId client = 0;
+  std::string key;
+  std::string value;
+  VersionVector dv;
+  bool pessimistic = false;
+};
+
+/// <RO-TX-Req chi, RDV_c> (Alg. 1 line 15).
+struct RoTxReq {
+  ClientId client = 0;
+  std::vector<std::string> keys;
+  VersionVector rdv;
+  bool pessimistic = false;
+};
+
+// ---------- server -> client ----------
+
+/// <GETReply v, ut, DV, sr> (Alg. 2 line 4) + measurement metadata.
+struct GetReply {
+  ClientId client = 0;
+  ReadItem item;
+  Duration blocked_us = 0;  // time the request spent parked (0 = no stall)
+};
+
+/// <PUTReply ut> (Alg. 2 line 15).
+struct PutReply {
+  ClientId client = 0;
+  std::string key;
+  Timestamp ut = 0;
+  DcId sr = 0;
+  Duration blocked_us = 0;
+};
+
+/// <RO-TX-Resp D> (Alg. 2 line 38).
+struct RoTxReply {
+  ClientId client = 0;
+  std::vector<ReadItem> items;
+  VersionVector tv;         // transaction snapshot vector (for the checker)
+  Duration blocked_us = 0;  // max slice stall observed by the coordinator
+};
+
+/// HA-POCC (§III-B): the server detected a (suspected) network partition while
+/// this client's request was parked; the session must be re-initialized in
+/// pessimistic mode.
+struct SessionClosed {
+  ClientId client = 0;
+  std::string reason;
+};
+
+// ---------- server -> server ----------
+
+/// <REPLICATE d> (Alg. 2 line 13): asynchronous update propagation, sent in
+/// update-timestamp order to the replicas of the partition.
+struct Replicate {
+  store::Version version;
+};
+
+/// <HEARTBEAT ct> (Alg. 2 line 24): broadcast when a partition served no PUT
+/// for Δ, so that remote version vectors keep advancing.
+struct Heartbeat {
+  DcId src_dc = 0;
+  Timestamp ts = 0;
+};
+
+/// <SliceREQ chi_i, TV> (Alg. 2 line 34): transactional read of the keys this
+/// partition owns, against snapshot TV.
+struct SliceReq {
+  std::uint64_t tx_id = 0;
+  NodeId coordinator;
+  std::vector<std::string> keys;
+  VersionVector tv;
+  bool pessimistic = false;  // Cure* / HA fallback visibility rule
+};
+
+/// <SliceRESP D> (Alg. 2 line 47). `aborted` is set by HA-POCC when the slice
+/// timed out waiting for a partitioned dependency; the coordinator then
+/// closes the client's session instead of completing the transaction.
+struct SliceReply {
+  std::uint64_t tx_id = 0;
+  std::vector<ReadItem> items;
+  Duration blocked_us = 0;
+  bool aborted = false;
+};
+
+/// Garbage-collection exchange (§IV-B): each node reports the entry-wise
+/// minimum of its active transactions' snapshot vectors (or its VV when idle)
+/// to the DC-local aggregator, which broadcasts the aggregate minimum GV.
+struct GcReport {
+  NodeId from;
+  VersionVector low_watermark;
+};
+struct GcVector {
+  VersionVector gv;
+};
+
+/// Stabilization protocol (Cure §IV-C; HA-POCC runs it infrequently): nodes
+/// report their VV to the DC-local aggregator; the aggregate minimum is the
+/// Global Stable Snapshot broadcast back to all nodes.
+struct StabReport {
+  NodeId from;
+  VersionVector vv;
+};
+struct GssBroadcast {
+  VersionVector gss;
+};
+
+using Message =
+    std::variant<GetReq, PutReq, RoTxReq, GetReply, PutReply, RoTxReply,
+                 SessionClosed, Replicate, Heartbeat, SliceReq, SliceReply,
+                 GcReport, GcVector, StabReport, GssBroadcast>;
+
+/// Human-readable message-type name (logging / tests).
+const char* message_name(const Message& m);
+
+/// Approximate serialized size in bytes (used for network byte accounting —
+/// POCC and Cure* exchange the *same* metadata, §V: "We can compare POCC and
+/// Cure* in a fair manner because the amount of meta-data ... is the same").
+std::size_t wire_size(const Message& m);
+
+}  // namespace pocc::proto

@@ -1,0 +1,285 @@
+#include "runtime/rt_cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "cure/cure_server.hpp"
+#include "ha/ha_pocc_server.hpp"
+#include "pocc/pocc_server.hpp"
+
+namespace pocc::rt {
+
+// ----------------------------------------------------------- Session ----
+
+Session::Session(ClientId id, DcId dc, NodeId home, Cluster& cluster)
+    : engine_(id, dc, cluster.config().topology.num_dcs,
+              /*snapshot_rdv=*/cluster.config().system == System::kCure),
+      home_(home),
+      cluster_(cluster) {}
+
+void Session::deliver(proto::Message m) {
+  {
+    std::lock_guard lk(mu_);
+    if (std::holds_alternative<proto::SessionClosed>(m)) {
+      closed_signal_ = true;
+    } else {
+      reply_ = std::move(m);
+    }
+  }
+  cv_.notify_all();
+}
+
+std::optional<proto::Message> Session::await_reply(Duration timeout_us) {
+  std::unique_lock lk(mu_);
+  cv_.wait_for(lk, std::chrono::microseconds(timeout_us),
+               [this] { return reply_.has_value() || closed_signal_; });
+  if (closed_signal_) {
+    closed_signal_ = false;
+    reply_.reset();
+    engine_.reinitialize_pessimistic();
+    return std::nullopt;
+  }
+  std::optional<proto::Message> r = std::move(reply_);
+  reply_.reset();
+  return r;
+}
+
+Session::GetResult Session::get(const std::string& key, Duration timeout_us) {
+  const auto& topo = cluster_.config().topology;
+  proto::GetReq req = engine_.make_get(key);
+  cluster_.route(home_,
+                 NodeId{engine_.dc(),
+                        partition_of(key, topo.partitions_per_dc,
+                                     topo.partition_scheme)},
+                 std::move(req));
+  GetResult r;
+  auto reply = await_reply(timeout_us);
+  if (!reply.has_value()) {
+    r.session_closed = engine_.pessimistic();
+    return r;
+  }
+  const auto& get_reply = std::get<proto::GetReply>(*reply);
+  engine_.absorb_get(get_reply);
+  r.ok = true;
+  r.found = get_reply.item.found;
+  r.value = get_reply.item.value;
+  r.ut = get_reply.item.ut;
+  r.sr = get_reply.item.sr;
+  r.blocked_us = get_reply.blocked_us;
+  return r;
+}
+
+Session::PutResult Session::put(const std::string& key,
+                                const std::string& value,
+                                Duration timeout_us) {
+  const auto& topo = cluster_.config().topology;
+  proto::PutReq req = engine_.make_put(key, value);
+  cluster_.route(home_,
+                 NodeId{engine_.dc(),
+                        partition_of(key, topo.partitions_per_dc,
+                                     topo.partition_scheme)},
+                 std::move(req));
+  PutResult r;
+  auto reply = await_reply(timeout_us);
+  if (!reply.has_value()) {
+    r.session_closed = engine_.pessimistic();
+    return r;
+  }
+  const auto& put_reply = std::get<proto::PutReply>(*reply);
+  engine_.absorb_put(put_reply);
+  r.ok = true;
+  r.ut = put_reply.ut;
+  return r;
+}
+
+Session::TxResult Session::ro_tx(const std::vector<std::string>& keys,
+                                 Duration timeout_us) {
+  proto::RoTxReq req = engine_.make_ro_tx(keys);
+  cluster_.route(home_, NodeId{engine_.dc(), home_.part}, std::move(req));
+  TxResult r;
+  auto reply = await_reply(timeout_us);
+  if (!reply.has_value()) {
+    r.session_closed = engine_.pessimistic();
+    return r;
+  }
+  auto& tx_reply = std::get<proto::RoTxReply>(*reply);
+  engine_.absorb_ro_tx(tx_reply);
+  r.ok = true;
+  r.items = std::move(tx_reply.items);
+  return r;
+}
+
+// ----------------------------------------------------------- Cluster ----
+
+Cluster::Cluster(RtClusterConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  const auto& topo = cfg_.topology;
+  nodes_.reserve(topo.total_nodes());
+  for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
+    for (PartitionId p = 0; p < topo.partitions_per_dc; ++p) {
+      const NodeId id{dc, p};
+      auto node = std::make_unique<RtNode>(id, *this, cfg_.clock, rng_);
+      std::unique_ptr<server::ReplicaBase> engine;
+      switch (cfg_.system) {
+        case System::kPocc:
+          engine = std::make_unique<PoccServer>(id, topo, cfg_.protocol,
+                                                cfg_.service, *node);
+          break;
+        case System::kCure:
+          engine = std::make_unique<CureServer>(id, topo, cfg_.protocol,
+                                                cfg_.service, *node);
+          break;
+        case System::kHaPocc:
+          engine = std::make_unique<HaPoccServer>(id, topo, cfg_.protocol,
+                                                  cfg_.service, *node);
+          break;
+      }
+      node->install_engine(std::move(engine));
+      nodes_.push_back(std::move(node));
+    }
+  }
+  delay_thread_ = std::thread([this] { delay_line_run(); });
+  for (auto& node : nodes_) node->start();
+  started_ = true;
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+void Cluster::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& node : nodes_) node->stop();
+  {
+    std::lock_guard lk(net_mu_);
+    net_stopping_ = true;
+  }
+  net_cv_.notify_all();
+  if (delay_thread_.joinable()) delay_thread_.join();
+}
+
+RtNode& Cluster::node_at(NodeId id) {
+  const std::size_t idx = id.flat_index(cfg_.topology.partitions_per_dc);
+  POCC_ASSERT(idx < nodes_.size());
+  return *nodes_[idx];
+}
+
+Session& Cluster::connect(DcId dc) {
+  POCC_ASSERT(dc < cfg_.topology.num_dcs);
+  std::lock_guard lk(net_mu_);
+  const ClientId id = next_client_id_++;
+  auto session =
+      std::unique_ptr<Session>(new Session(id, dc, NodeId{dc, 0}, *this));
+  session_index_[id] = session.get();
+  sessions_.push_back(std::move(session));
+  return *sessions_.back();
+}
+
+Duration Cluster::link_delay(DcId a, DcId b) const {
+  return a == b ? cfg_.intra_dc_delay_us : cfg_.inter_dc_delay_us;
+}
+
+void Cluster::route(NodeId from, NodeId to, proto::Message m) {
+  Pending p;
+  p.from = from;
+  p.to = to;
+  p.client = 0;
+  p.msg = std::move(m);
+  {
+    std::lock_guard lk(net_mu_);
+    if (partitions_.contains({std::min(from.dc, to.dc),
+                              std::max(from.dc, to.dc)})) {
+      p.deliver_at = 0;
+      blocked_.push_back(std::move(p));
+      return;
+    }
+    p.deliver_at = steady_now_us() + link_delay(from.dc, to.dc);
+    delay_line_.push(std::move(p));
+  }
+  net_cv_.notify_all();
+}
+
+void Cluster::route_to_client(NodeId from, ClientId client,
+                              proto::Message m) {
+  Pending p;
+  p.from = from;
+  p.client = client;
+  p.msg = std::move(m);
+  {
+    std::lock_guard lk(net_mu_);
+    p.deliver_at = steady_now_us() + cfg_.intra_dc_delay_us;
+    delay_line_.push(std::move(p));
+  }
+  net_cv_.notify_all();
+}
+
+void Cluster::delay_line_run() {
+  std::unique_lock lk(net_mu_);
+  while (true) {
+    if (net_stopping_) break;
+    if (delay_line_.empty()) {
+      net_cv_.wait(lk, [this] { return net_stopping_ || !delay_line_.empty(); });
+      continue;
+    }
+    const Timestamp next_at = delay_line_.top().deliver_at;
+    if (next_at > steady_now_us()) {
+      net_cv_.wait_for(lk, std::chrono::microseconds(
+                               next_at - steady_now_us()));
+      continue;
+    }
+    Pending p = std::move(const_cast<Pending&>(delay_line_.top()));
+    delay_line_.pop();
+    lk.unlock();
+    if (p.client != 0) {
+      Session* s = nullptr;
+      {
+        std::lock_guard slk(net_mu_);
+        auto it = session_index_.find(p.client);
+        if (it != session_index_.end()) s = it->second;
+      }
+      if (s != nullptr) s->deliver(std::move(p.msg));
+    } else {
+      node_at(p.to).enqueue(p.from, std::move(p.msg));
+    }
+    lk.lock();
+  }
+}
+
+void Cluster::partition_dcs(DcId a, DcId b) {
+  if (a == b) return;
+  std::lock_guard lk(net_mu_);
+  partitions_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Cluster::heal_dcs(DcId a, DcId b) {
+  std::vector<Pending> to_flush;
+  {
+    std::lock_guard lk(net_mu_);
+    partitions_.erase({std::min(a, b), std::max(a, b)});
+    for (auto it = blocked_.begin(); it != blocked_.end();) {
+      const DcId fd = it->from.dc;
+      const DcId td = it->to.dc;
+      if ((fd == a && td == b) || (fd == b && td == a)) {
+        to_flush.push_back(std::move(*it));
+        it = blocked_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Flush in the original order to preserve FIFO.
+    Timestamp at = steady_now_us() + link_delay(a, b);
+    for (auto& p : to_flush) {
+      p.deliver_at = at++;
+      delay_line_.push(std::move(p));
+    }
+  }
+  net_cv_.notify_all();
+}
+
+bool Cluster::has_active_partitions() const {
+  std::lock_guard lk(net_mu_);
+  return !partitions_.empty();
+}
+
+}  // namespace pocc::rt

@@ -1,0 +1,148 @@
+// In-process multi-threaded deployment of the protocol engines: a real
+// (wall-clock) geo-replicated store in miniature. Inter-DC links get an
+// artificial delay via a delay-line thread; DC partitions can be injected and
+// healed at runtime, with buffered (lossless FIFO) delivery on heal.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client_engine.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "proto/messages.hpp"
+#include "runtime/rt_node.hpp"
+
+namespace pocc::rt {
+
+enum class System { kPocc, kCure, kHaPocc };
+
+struct RtClusterConfig {
+  TopologyConfig topology{3, 4, PartitionScheme::kHash};
+  ClockConfig clock = ClockConfig::perfect();
+  ProtocolConfig protocol;
+  ServiceConfig service;  // cost model unused at runtime, kept for symmetry
+  System system = System::kPocc;
+  Duration intra_dc_delay_us = 200;
+  Duration inter_dc_delay_us = 20'000;
+  std::uint64_t seed = 1;
+};
+
+/// Blocking client session against the runtime cluster (sticky to one DC).
+class Session {
+ public:
+  struct GetResult {
+    bool ok = false;
+    bool session_closed = false;
+    bool found = false;
+    std::string value;
+    Timestamp ut = 0;
+    DcId sr = 0;
+    Duration blocked_us = 0;
+  };
+  struct PutResult {
+    bool ok = false;
+    bool session_closed = false;
+    Timestamp ut = 0;
+  };
+  struct TxResult {
+    bool ok = false;
+    bool session_closed = false;
+    std::vector<proto::ReadItem> items;
+  };
+
+  GetResult get(const std::string& key, Duration timeout_us = 10'000'000);
+  PutResult put(const std::string& key, const std::string& value,
+                Duration timeout_us = 10'000'000);
+  TxResult ro_tx(const std::vector<std::string>& keys,
+                 Duration timeout_us = 10'000'000);
+
+  [[nodiscard]] ClientId id() const { return engine_.id(); }
+  [[nodiscard]] bool pessimistic() const { return engine_.pessimistic(); }
+  client::ClientEngine& engine() { return engine_; }
+
+ private:
+  friend class Cluster;
+  Session(ClientId id, DcId dc, NodeId home, Cluster& cluster);
+  void deliver(proto::Message m);
+  std::optional<proto::Message> await_reply(Duration timeout_us);
+
+  client::ClientEngine engine_;
+  NodeId home_;
+  Cluster& cluster_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<proto::Message> reply_;
+  bool closed_signal_ = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(RtClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Open a blocking client session in `dc` (collocated with partition 0).
+  Session& connect(DcId dc);
+
+  // --- fault injection ---
+  void partition_dcs(DcId a, DcId b);
+  void heal_dcs(DcId a, DcId b);
+  [[nodiscard]] bool has_active_partitions() const;
+
+  /// Stop all node threads (destructor does this too).
+  void shutdown();
+
+  [[nodiscard]] const RtClusterConfig& config() const { return cfg_; }
+
+ private:
+  friend class RtNode;
+  friend class Session;
+
+  void route(NodeId from, NodeId to, proto::Message m);
+  void route_to_client(NodeId from, ClientId client, proto::Message m);
+  void delay_line_run();
+  [[nodiscard]] Duration link_delay(DcId a, DcId b) const;
+  RtNode& node_at(NodeId id);
+
+  struct Pending {
+    Timestamp deliver_at;
+    NodeId from;
+    NodeId to;          // valid when client == 0
+    ClientId client;    // != 0 for client deliveries
+    proto::Message msg;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.deliver_at > b.deliver_at;
+    }
+  };
+
+  RtClusterConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<RtNode>> nodes_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::unordered_map<ClientId, Session*> session_index_;
+  ClientId next_client_id_ = 1;
+  bool started_ = false;
+
+  mutable std::mutex net_mu_;
+  std::condition_variable net_cv_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> delay_line_;
+  std::set<std::pair<DcId, DcId>> partitions_;
+  std::vector<Pending> blocked_;  // buffered during partitions
+  bool net_stopping_ = false;
+  std::thread delay_thread_;
+};
+
+}  // namespace pocc::rt

@@ -1,0 +1,46 @@
+// Host-abstraction boundary for protocol engines.
+//
+// Engines (POCC, Cure*, HA-POCC, and the client protocol) are pure state
+// machines: they never touch a socket, a thread or a wall clock. Everything
+// environmental flows through this interface, implemented by
+//   * the discrete-event host (cluster/sim_node.*) — deterministic
+//     reproduction of the paper's figures, and
+//   * the threaded runtime host (runtime/*) — a real in-process store.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+
+namespace pocc::server {
+
+/// Environment provided to a server engine.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Read this node's physical clock, advancing it (strictly monotonic).
+  /// Used when creating update timestamps (Alg. 2 line 8).
+  virtual Timestamp clock_now() = 0;
+
+  /// Observe the physical clock without creating a timestamp.
+  virtual Timestamp clock_peek() = 0;
+
+  /// Reference time (virtual time in the simulator, steady clock in the
+  /// runtime). Used only for measurements and timeouts, never for protocol
+  /// timestamps.
+  virtual Timestamp time() = 0;
+
+  /// Send a message to another server over the FIFO network.
+  virtual void send(NodeId to, proto::Message m) = 0;
+
+  /// Reply to a client session.
+  virtual void reply(ClientId client, proto::Message m) = 0;
+
+  /// Request an `on_timer(timer_id)` callback after `delay`. One-shot; engines
+  /// re-arm periodic timers themselves.
+  virtual void set_timer(Duration delay, std::uint64_t timer_id) = 0;
+};
+
+}  // namespace pocc::server

@@ -1,0 +1,76 @@
+#include "server/parking_lot.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pocc::server {
+
+std::uint64_t ParkingLot::park(Timestamp now, ReadyFn ready, ResumeFn resume,
+                               Duration deadline_us, TimeoutFn on_timeout) {
+  POCC_ASSERT(ready != nullptr && resume != nullptr);
+  Entry e;
+  e.ticket = next_ticket_++;
+  e.parked_at = now;
+  e.deadline = deadline_us > 0 ? now + deadline_us : kTimestampMax;
+  e.ready = std::move(ready);
+  e.resume = std::move(resume);
+  e.on_timeout = std::move(on_timeout);
+  parked_.push_back(std::move(e));
+  return parked_.back().ticket;
+}
+
+std::size_t ParkingLot::poke(Timestamp now) {
+  // Collect ready entries first: resume callbacks may park new requests or
+  // advance state that makes further entries ready; poke() is re-entrant-safe
+  // because it operates on a snapshot.
+  std::vector<Entry> ready_now;
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (it->ready()) {
+      ready_now.push_back(std::move(*it));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Entry& e : ready_now) {
+    e.resume(now - e.parked_at);
+  }
+  return ready_now.size();
+}
+
+std::size_t ParkingLot::expire(Timestamp now) {
+  std::vector<Entry> expired;
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (it->deadline <= now) {
+      expired.push_back(std::move(*it));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Entry& e : expired) {
+    if (e.on_timeout) e.on_timeout(now - e.parked_at);
+  }
+  return expired.size();
+}
+
+Timestamp ParkingLot::next_deadline() const {
+  Timestamp earliest = kTimestampMax;
+  for (const Entry& e : parked_) {
+    if (e.deadline < earliest) earliest = e.deadline;
+  }
+  return earliest;
+}
+
+void ParkingLot::drain(Timestamp now) {
+  std::vector<Entry> all(std::make_move_iterator(parked_.begin()),
+                         std::make_move_iterator(parked_.end()));
+  parked_.clear();
+  for (Entry& e : all) {
+    if (e.on_timeout) e.on_timeout(now - e.parked_at);
+  }
+}
+
+}  // namespace pocc::server

@@ -1,0 +1,240 @@
+// Shared machinery for the POCC and Cure* server engines.
+//
+// Both systems share (paper §V: "the two mainly differ in that POCC does not
+// run any stabilization protocol and does not need to search for a stable
+// version of a key when serving a GET"):
+//   * the multiversion store and LWW convergent conflict handling,
+//   * the PUT path (clock wait, version creation, asynchronous replication in
+//     timestamp order),
+//   * update replication and heartbeats driving the version vector,
+//   * the RO-TX coordinator/slice structure,
+//   * the intra-DC garbage-collection exchange.
+// They differ in the visibility rule and in the wait conditions, expressed
+// here as virtual hooks overridden by PoccServer / CureServer / HaPoccServer.
+//
+// Every handler returns the CPU time it consumed (per the ServiceConfig cost
+// model); the discrete-event host feeds this into the node's CpuQueue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+#include "server/context.hpp"
+#include "server/parking_lot.hpp"
+#include "stats/metrics.hpp"
+#include "store/partition_store.hpp"
+#include "vclock/version_vector.hpp"
+
+namespace pocc::server {
+
+/// Timer identifiers used by engines (hosts just echo them back).
+enum TimerId : std::uint64_t {
+  kTimerHeartbeat = 1,
+  kTimerGc = 2,
+  kTimerStabilization = 3,
+  kTimerClockWait = 4,
+  kTimerExpire = 5,
+};
+
+class ReplicaBase {
+ public:
+  ReplicaBase(NodeId self, const TopologyConfig& topology,
+              const ProtocolConfig& protocol, const ServiceConfig& service,
+              Context& ctx);
+  virtual ~ReplicaBase() = default;
+
+  ReplicaBase(const ReplicaBase&) = delete;
+  ReplicaBase& operator=(const ReplicaBase&) = delete;
+
+  /// Arm periodic timers. Call once before the first event.
+  virtual void start();
+
+  /// Dispatch any message (client request, replica traffic). Returns CPU time
+  /// consumed by the handler, including any parked work it resumed.
+  Duration handle_message(NodeId from, proto::Message m);
+
+  /// Timer callback. Returns CPU time consumed.
+  virtual Duration on_timer(std::uint64_t timer_id);
+
+  // --- observers (tests, metrics aggregation) ---
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const VersionVector& version_vector() const { return vv_; }
+  [[nodiscard]] const store::PartitionStore& partition_store() const {
+    return store_;
+  }
+  [[nodiscard]] const stats::BlockingStats& blocking_stats() const {
+    return blocking_;
+  }
+  [[nodiscard]] const stats::StalenessStats& staleness_stats() const {
+    return staleness_;
+  }
+  [[nodiscard]] std::size_t parked_requests() const { return lot_.size(); }
+  [[nodiscard]] std::uint64_t puts_served() const { return puts_served_; }
+  [[nodiscard]] std::uint64_t gets_served() const { return gets_served_; }
+  [[nodiscard]] std::uint64_t slices_served() const { return slices_served_; }
+  void reset_stats() {
+    blocking_.reset();
+    staleness_.reset();
+  }
+
+  /// Observer invoked whenever a PUT creates a version (used by the history
+  /// checker to register versions the instant they become readable).
+  using VersionObserver =
+      std::function<void(ClientId, const store::Version&)>;
+  void set_version_observer(VersionObserver obs) {
+    version_observer_ = std::move(obs);
+  }
+
+ protected:
+  // ----- protocol-specific hooks -----
+
+  /// True when a GET can be served without stalling (POCC Alg. 2 line 2;
+  /// Cure* checks the GSS instead; HA-POCC switches on req.pessimistic).
+  [[nodiscard]] virtual bool get_ready(const proto::GetReq& req) const = 0;
+
+  /// Pick the version to return for a GET and fill the measurement fields.
+  /// May assume get_ready(req) holds. Must charge chain hops.
+  virtual proto::ReadItem choose_get_version(const proto::GetReq& req) = 0;
+
+  /// Snapshot vector for a read-only transaction (POCC Alg. 2 line 32:
+  /// max(VV, RDV); Cure*: GSS-based).
+  [[nodiscard]] virtual VersionVector compute_tx_snapshot(
+      const proto::RoTxReq& req) const = 0;
+
+  /// True when a slice against `tv` can be served (Alg. 2 line 40).
+  [[nodiscard]] virtual bool slice_ready(const VersionVector& tv) const;
+
+  /// Visibility of a version within snapshot `tv` (Alg. 2 line 43 for POCC;
+  /// commit-vector rule for Cure* and for HA-POCC's pessimistic sessions).
+  [[nodiscard]] virtual bool slice_visible(const store::Version& v,
+                                           const VersionVector& tv,
+                                           bool pessimistic) const = 0;
+
+  /// Count of not-yet-stable versions in a chain (staleness metric). POCC has
+  /// no stability notion during GETs and returns 0.
+  [[nodiscard]] virtual std::uint32_t count_unmerged(
+      const store::VersionChain& chain) const;
+
+  /// Low watermark this node contributes to the GC exchange.
+  [[nodiscard]] virtual VersionVector gc_watermark() const;
+
+  /// Deadline for parked requests (0 = none). HA-POCC overrides with the
+  /// partition-suspicion timeout.
+  [[nodiscard]] virtual Duration park_deadline() const { return 0; }
+
+  /// Called when a parked request expires (HA-POCC closes the session).
+  virtual void on_park_timeout(ClientId client, Duration blocked_us);
+
+  /// Extra visibility restriction applied when a *pessimistic* session reads
+  /// under HA-POCC (optimistically-created local items must be stable).
+  [[nodiscard]] virtual bool visible_to_pessimistic(
+      const store::Version& v) const;
+
+  /// Whether versions created by this PUT carry the optimistic-origin tag
+  /// (HA-POCC §IV-C). Base protocols never tag.
+  [[nodiscard]] virtual bool mark_opt_origin(const proto::PutReq& req) const;
+
+  /// GC retention floor: true when `v` is at or below the aggregate GC vector
+  /// (POCC: dv <= GV, Alg. §IV-B; Cure*: commit vector <= GV).
+  [[nodiscard]] virtual bool gc_version_at_floor(const store::Version& v,
+                                                 const VersionVector& gv) const;
+
+  /// Called when a parked slice expires (HA-POCC aborts the transaction).
+  virtual void on_slice_timeout(std::uint64_t tx_id, NodeId coordinator,
+                                Duration blocked_us);
+
+  // ----- shared handler implementations -----
+  Duration on_get(const proto::GetReq& req);
+  Duration on_put(const proto::PutReq& req);
+  Duration on_replicate(const proto::Replicate& msg);
+  Duration on_heartbeat(NodeId from, const proto::Heartbeat& msg);
+  Duration on_ro_tx(const proto::RoTxReq& req);
+  Duration on_slice_req(NodeId from, const proto::SliceReq& req);
+  Duration on_slice_reply(NodeId from, const proto::SliceReply& msg);
+  Duration on_gc_report(const proto::GcReport& msg);
+  Duration on_gc_vector(const proto::GcVector& msg);
+  virtual Duration on_stab_report(const proto::StabReport& msg);
+  virtual Duration on_gss_broadcast(const proto::GssBroadcast& msg);
+
+  void serve_get(const proto::GetReq& req, Duration blocked_us);
+  [[nodiscard]] bool put_ready(const proto::PutReq& req) const;
+  void serve_put(const proto::PutReq& req, Duration blocked_us);
+  void dispatch_slice(std::uint64_t tx_id, NodeId coordinator,
+                      const std::vector<std::string>& keys,
+                      const VersionVector& tv, bool pessimistic);
+  void serve_slice(std::uint64_t tx_id, NodeId coordinator,
+                   const std::vector<std::string>& keys,
+                   const VersionVector& tv, bool pessimistic,
+                   Duration blocked_us);
+  void accumulate_slice(std::uint64_t tx_id,
+                        std::vector<proto::ReadItem> items,
+                        Duration blocked_us);
+  void finish_tx_if_complete(std::uint64_t tx_id);
+
+  /// Read a single key against snapshot `tv` (shared by slices).
+  proto::ReadItem read_in_snapshot(const std::string& key,
+                                   const VersionVector& tv, bool pessimistic);
+
+  /// Re-evaluate parked requests after VV/GSS/clock advances.
+  void poke();
+
+  /// Add `d` microseconds of CPU work to the current handler.
+  void charge(Duration d) { work_ += d; }
+
+  /// Arm a one-shot wakeup so clock-condition waits make progress even on an
+  /// otherwise idle node.
+  void arm_clock_wakeup(Timestamp clock_target);
+
+  /// Arm the deadline timer for parked requests (HA-POCC only).
+  void arm_expiry();
+
+  [[nodiscard]] DcId local_dc() const { return self_.dc; }
+  [[nodiscard]] std::int32_t skip_local() const {
+    return static_cast<std::int32_t>(self_.dc);
+  }
+  [[nodiscard]] bool is_gc_aggregator() const { return self_.part == 0; }
+
+  // ----- state -----
+  NodeId self_;
+  TopologyConfig topology_;
+  ProtocolConfig protocol_;
+  ServiceConfig service_;
+  Context& ctx_;
+
+  VersionVector vv_;             // version vector VV^m_n (paper §IV-A)
+  store::PartitionStore store_;  // this partition's version chains
+  ParkingLot lot_;
+
+  stats::BlockingStats blocking_;
+  stats::StalenessStats staleness_;
+  std::uint64_t puts_served_ = 0;
+  std::uint64_t gets_served_ = 0;
+  std::uint64_t slices_served_ = 0;
+
+  /// In-flight read-only transactions this node coordinates.
+  struct PendingTx {
+    ClientId client = 0;
+    VersionVector tv;
+    std::uint32_t awaiting = 0;
+    std::vector<proto::ReadItem> items;
+    Duration max_blocked_us = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingTx> pending_tx_;
+  std::uint64_t next_tx_seq_ = 0;
+
+  /// Latest GC reports per partition (aggregator role, partition 0).
+  std::unordered_map<PartitionId, VersionVector> gc_reports_;
+
+  Duration work_ = 0;  // CPU time accumulated by the current handler
+  bool clock_wakeup_armed_ = false;
+  Timestamp armed_clock_target_ = kTimestampMax;
+  VersionObserver version_observer_;
+};
+
+}  // namespace pocc::server

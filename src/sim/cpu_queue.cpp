@@ -1,0 +1,72 @@
+#include "sim/cpu_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pocc::sim {
+
+CpuQueue::CpuQueue(Simulator& simulator, std::uint32_t cores,
+                   std::uint32_t background_share_den)
+    : sim_(simulator),
+      cores_(std::max<std::uint32_t>(cores, 1)),
+      background_share_den_(std::max<std::uint32_t>(background_share_den, 2)) {
+}
+
+void CpuQueue::submit(Job job) {
+  if (busy_cores_ < cores_) {
+    run_job(std::move(job));
+  } else {
+    foreground_.push_back(std::move(job));
+  }
+}
+
+void CpuQueue::submit_background(Job job) {
+  if (busy_cores_ < cores_) {
+    run_job(std::move(job));
+  } else {
+    background_.push_back(std::move(job));
+  }
+}
+
+void CpuQueue::run_job(Job job) {
+  ++busy_cores_;
+  const Duration service = job();
+  POCC_ASSERT(service >= 0);
+  busy_time_ += service;
+  ++jobs_;
+  sim_.schedule(service, [this] { core_finished(); });
+}
+
+void CpuQueue::core_finished() {
+  POCC_ASSERT(busy_cores_ > 0);
+  --busy_cores_;
+  ++dispatches_;
+  const bool background_turn =
+      !background_.empty() &&
+      (foreground_.empty() || dispatches_ % background_share_den_ == 0);
+  if (background_turn) {
+    Job next = std::move(background_.front());
+    background_.pop_front();
+    run_job(std::move(next));
+  } else if (!foreground_.empty()) {
+    Job next = std::move(foreground_.front());
+    foreground_.pop_front();
+    run_job(std::move(next));
+  }
+}
+
+double CpuQueue::utilization(Timestamp since, Timestamp now) const {
+  const auto window =
+      static_cast<double>(now - since) * static_cast<double>(cores_);
+  if (window <= 0) return 0.0;
+  return std::min(1.0, static_cast<double>(busy_time_) / window);
+}
+
+void CpuQueue::reset_stats() {
+  busy_time_ = 0;
+  jobs_ = 0;
+}
+
+}  // namespace pocc::sim

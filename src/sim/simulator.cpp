@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pocc::sim {
+
+void Simulator::schedule(Duration delay, Action fn) {
+  POCC_ASSERT(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Timestamp at, Action fn) {
+  POCC_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Simulator::run_until(Timestamp until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Move the action out before popping: the action may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+  }
+  executed_ += n;
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::uint64_t Simulator::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace pocc::sim

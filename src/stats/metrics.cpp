@@ -1,0 +1,22 @@
+#include "stats/metrics.hpp"
+
+#include <cstdio>
+
+namespace pocc::stats {
+
+double OpStats::avg_latency_us() const {
+  const std::uint64_t n = total_ops();
+  if (n == 0) return 0.0;
+  const double sum = get_latency_us.mean() * static_cast<double>(gets) +
+                     put_latency_us.mean() * static_cast<double>(puts) +
+                     tx_latency_us.mean() * static_cast<double>(ro_txs);
+  return sum / static_cast<double>(n);
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace pocc::stats

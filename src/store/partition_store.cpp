@@ -1,0 +1,30 @@
+#include "store/partition_store.hpp"
+
+#include <utility>
+
+namespace pocc::store {
+
+std::size_t PartitionStore::insert(Version v) {
+  auto [it, created] = chains_.try_emplace(v.key);
+  const std::size_t before = it->second.size();
+  const std::size_t pos = it->second.insert(std::move(v));
+  if (it->second.size() != before) ++versions_;  // not a duplicate
+  if (it->second.size() > 1) multi_version_.insert(it->first);
+  return pos;
+}
+
+const VersionChain* PartitionStore::find(const std::string& key) const {
+  auto it = chains_.find(key);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+StoreStats PartitionStore::stats() const {
+  StoreStats s;
+  s.keys = chains_.size();
+  s.versions = versions_;
+  s.gc_removed = gc_removed_;
+  s.multi_version_keys = multi_version_.size();
+  return s;
+}
+
+}  // namespace pocc::store

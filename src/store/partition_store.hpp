@@ -1,0 +1,91 @@
+// Multi-version key-value storage for one partition (paper §II-C: "We assume
+// a multiversion data store... The system periodically garbage-collects old
+// versions of items.").
+//
+// Keys that were never written are logically present with an implicit initial
+// version (empty value, zero timestamp) so the paper's pre-loaded 1M-key
+// dataset does not need to be materialized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "store/version_chain.hpp"
+
+namespace pocc::store {
+
+/// Aggregate storage statistics (feeds the staleness/occupancy metrics).
+struct StoreStats {
+  std::uint64_t keys = 0;            // keys with at least one explicit version
+  std::uint64_t versions = 0;        // total explicit versions
+  std::uint64_t gc_removed = 0;      // versions removed by GC so far
+  std::uint64_t multi_version_keys = 0;
+};
+
+class PartitionStore {
+ public:
+  /// Insert a version into its key's chain. Returns the insert position
+  /// (0 == the new version is the key's freshest).
+  std::size_t insert(Version v);
+
+  /// Chain for `key`, or nullptr if the key has never been written.
+  [[nodiscard]] const VersionChain* find(const std::string& key) const;
+
+  /// GC pass over keys with more than one version: for each chain, retain the
+  /// newest version whose `reachable_floor` holds plus everything fresher
+  /// (see VersionChain::gc). Returns versions removed.
+  template <typename Pred>
+  std::uint64_t gc(Pred&& reachable_floor) {
+    std::uint64_t total_removed = 0;
+    for (auto it = multi_version_.begin(); it != multi_version_.end();) {
+      auto chain_it = chains_.find(*it);
+      POCC_ASSERT(chain_it != chains_.end());
+      total_removed += chain_it->second.gc(reachable_floor);
+      if (chain_it->second.size() <= 1) {
+        it = multi_version_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    gc_removed_ += total_removed;
+    versions_ -= total_removed;
+    return total_removed;
+  }
+
+  [[nodiscard]] StoreStats stats() const;
+
+  /// Remove every version matching `pred` from every chain (HA-POCC's
+  /// lost-update discard, §III-B). Returns versions removed.
+  template <typename Pred>
+  std::uint64_t purge_if(Pred&& pred) {
+    std::uint64_t removed = 0;
+    for (auto& [key, chain] : chains_) {
+      removed += chain.erase_if(pred);
+      if (chain.size() <= 1) multi_version_.erase(key);
+    }
+    versions_ -= removed;
+    return removed;
+  }
+
+  /// All chains (checker/convergence inspection).
+  [[nodiscard]] const std::unordered_map<std::string, VersionChain>& chains()
+      const {
+    return chains_;
+  }
+
+  /// Sum of chain lengths for keys with >1 version (staleness denominator).
+  [[nodiscard]] const std::unordered_set<std::string>& multi_version_keys()
+      const {
+    return multi_version_;
+  }
+
+ private:
+  std::unordered_map<std::string, VersionChain> chains_;
+  std::unordered_set<std::string> multi_version_;
+  std::uint64_t versions_ = 0;
+  std::uint64_t gc_removed_ = 0;
+};
+
+}  // namespace pocc::store

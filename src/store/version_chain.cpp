@@ -1,0 +1,21 @@
+#include "store/version_chain.hpp"
+
+#include <utility>
+
+namespace pocc::store {
+
+std::size_t VersionChain::insert(Version v) {
+  // Common case: the new version is the freshest (updates replicate in
+  // timestamp order), so scan from the head.
+  std::size_t pos = 0;
+  while (pos < versions_.size() && versions_[pos].fresher_than(v)) ++pos;
+  if (pos < versions_.size() && versions_[pos].ut == v.ut &&
+      versions_[pos].sr == v.sr) {
+    return pos;  // duplicate delivery: idempotent
+  }
+  versions_.insert(versions_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   std::move(v));
+  return pos;
+}
+
+}  // namespace pocc::store

@@ -1,0 +1,65 @@
+#include "vclock/version_vector.hpp"
+
+#include <algorithm>
+
+namespace pocc {
+
+void VersionVector::merge_max(const VersionVector& other) {
+  POCC_ASSERT(size_ == other.size_);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    entries_[i] = std::max(entries_[i], other.entries_[i]);
+  }
+}
+
+void VersionVector::merge_min(const VersionVector& other) {
+  POCC_ASSERT(size_ == other.size_);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    entries_[i] = std::min(entries_[i], other.entries_[i]);
+  }
+}
+
+bool VersionVector::dominates(const VersionVector& other,
+                              std::int32_t skip_index) const {
+  POCC_ASSERT(size_ == other.size_);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    if (static_cast<std::int32_t>(i) == skip_index) continue;
+    if (entries_[i] < other.entries_[i]) return false;
+  }
+  return true;
+}
+
+Timestamp VersionVector::max_entry() const {
+  POCC_ASSERT(size_ >= 1);
+  return *std::max_element(entries_.begin(), entries_.begin() + size_);
+}
+
+Timestamp VersionVector::min_entry() const {
+  POCC_ASSERT(size_ >= 1);
+  return *std::min_element(entries_.begin(), entries_.begin() + size_);
+}
+
+VersionVector VersionVector::max_of(const VersionVector& a,
+                                    const VersionVector& b) {
+  VersionVector r = a;
+  r.merge_max(b);
+  return r;
+}
+
+VersionVector VersionVector::min_of(const VersionVector& a,
+                                    const VersionVector& b) {
+  VersionVector r = a;
+  r.merge_min(b);
+  return r;
+}
+
+std::string VersionVector::to_string() const {
+  std::string s = "[";
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(entries_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace pocc

@@ -1,0 +1,113 @@
+// Physical-time version/dependency vectors — the metadata POCC tracks
+// causality with (paper §IV-A).
+//
+// One entry per data center. When attached to an item version it is the
+// "dependency vector" dv (dv[i] = highest update time of any item from DC i
+// that this version potentially depends on). When kept by a server it is the
+// "version vector" VV (VV[i] = all updates from DC i with timestamp <= VV[i]
+// have been received; VV[m] = highest local update timestamp). Clients keep
+// two of these: DV (write dependencies) and RDV (read dependencies).
+//
+// Dependencies are tracked at DC granularity, so the vector encodes
+// *potential* dependencies: a cheap over-approximation (paper §IV, "they might
+// cause a client's request to be (uselessly) stalled").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace pocc {
+
+/// Maximum number of data centers supported without heap allocation. The
+/// paper's deployments use 3; we allow up to 8 for sensitivity experiments.
+inline constexpr std::uint32_t kMaxDcs = 8;
+
+/// Fixed-capacity vector of physical timestamps, one entry per DC.
+class VersionVector {
+ public:
+  VersionVector() = default;
+
+  /// A vector of `num_dcs` zero entries.
+  explicit VersionVector(std::uint32_t num_dcs) : size_(num_dcs) {
+    POCC_ASSERT(num_dcs >= 1 && num_dcs <= kMaxDcs);
+    entries_.fill(0);
+  }
+
+  VersionVector(std::initializer_list<Timestamp> init) {
+    POCC_ASSERT(init.size() >= 1 && init.size() <= kMaxDcs);
+    size_ = static_cast<std::uint32_t>(init.size());
+    entries_.fill(0);
+    std::uint32_t i = 0;
+    for (Timestamp t : init) entries_[i++] = t;
+  }
+
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+
+  [[nodiscard]] Timestamp at(std::uint32_t i) const {
+    POCC_ASSERT(i < size_);
+    return entries_[i];
+  }
+  Timestamp& operator[](std::uint32_t i) {
+    POCC_ASSERT(i < size_);
+    return entries_[i];
+  }
+  Timestamp operator[](std::uint32_t i) const { return at(i); }
+
+  void set(std::uint32_t i, Timestamp t) {
+    POCC_ASSERT(i < size_);
+    entries_[i] = t;
+  }
+
+  /// entries_[i] = max(entries_[i], t).
+  void raise(std::uint32_t i, Timestamp t) {
+    POCC_ASSERT(i < size_);
+    if (t > entries_[i]) entries_[i] = t;
+  }
+
+  /// Entry-wise maximum with `other` (both vectors must have equal size).
+  void merge_max(const VersionVector& other);
+
+  /// Entry-wise minimum with `other`.
+  void merge_min(const VersionVector& other);
+
+  /// True iff this[i] >= other[i] for every i (optionally skipping one index —
+  /// the paper's dependency checks skip the local DC entry, Alg. 2 line 2).
+  [[nodiscard]] bool dominates(const VersionVector& other,
+                               std::int32_t skip_index = -1) const;
+
+  /// True iff this[i] <= other[i] for every i (the "DV <= TV" visibility test).
+  [[nodiscard]] bool leq(const VersionVector& other) const {
+    return other.dominates(*this);
+  }
+
+  /// Largest entry (used for the PUT clock wait, Alg. 2 line 7).
+  [[nodiscard]] Timestamp max_entry() const;
+
+  /// Smallest entry.
+  [[nodiscard]] Timestamp min_entry() const;
+
+  friend bool operator==(const VersionVector& a, const VersionVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::uint32_t i = 0; i < a.size_; ++i) {
+      if (a.entries_[i] != b.entries_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Entry-wise max of two vectors.
+  static VersionVector max_of(const VersionVector& a, const VersionVector& b);
+  /// Entry-wise min of two vectors.
+  static VersionVector min_of(const VersionVector& a, const VersionVector& b);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<Timestamp, kMaxDcs> entries_{};
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace pocc

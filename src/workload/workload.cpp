@@ -1,0 +1,88 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace pocc::workload {
+
+Generator::Generator(const WorkloadConfig& cfg, std::uint32_t partitions,
+                     std::uint64_t seed)
+    : cfg_(cfg),
+      partitions_(partitions),
+      rng_(seed),
+      zipf_(cfg.keys_per_partition, cfg.zipf_theta),
+      scratch_(partitions) {
+  POCC_ASSERT(partitions > 0);
+  POCC_ASSERT(cfg.keys_per_partition > 0);
+  std::iota(scratch_.begin(), scratch_.end(), 0);
+}
+
+std::string Generator::pick_key(PartitionId part) {
+  return make_partition_key(part, zipf_.next(rng_));
+}
+
+std::string Generator::make_value() {
+  std::string v(cfg_.value_size, '\0');
+  for (char& c : v) {
+    c = static_cast<char>('a' + rng_.uniform(26));
+  }
+  return v;
+}
+
+std::vector<PartitionId> Generator::distinct_partitions(std::uint32_t count) {
+  count = std::min(count, partitions_);
+  // Partial Fisher-Yates over the scratch permutation.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto j =
+        i + static_cast<std::uint32_t>(rng_.uniform(partitions_ - i));
+    std::swap(scratch_[i], scratch_[j]);
+  }
+  return {scratch_.begin(), scratch_.begin() + count};
+}
+
+Op Generator::next() {
+  Op op;
+  switch (cfg_.pattern) {
+    case Pattern::kGetPut: {
+      const std::uint32_t gets =
+          std::min(cfg_.gets_per_put, partitions_);
+      if (phase_ == 0) {
+        cycle_partitions_ = distinct_partitions(gets);
+      }
+      if (phase_ < gets) {
+        op.type = OpType::kGet;
+        op.keys.push_back(pick_key(cycle_partitions_[phase_]));
+        ++phase_;
+      } else {
+        op.type = OpType::kPut;
+        op.keys.push_back(pick_key(
+            static_cast<PartitionId>(rng_.uniform(partitions_))));
+        op.value = make_value();
+        phase_ = 0;
+      }
+      break;
+    }
+    case Pattern::kTxPut: {
+      if (phase_ == 0) {
+        op.type = OpType::kRoTx;
+        for (PartitionId p : distinct_partitions(cfg_.tx_partitions)) {
+          op.keys.push_back(pick_key(p));
+        }
+        phase_ = 1;
+      } else {
+        op.type = OpType::kPut;
+        op.keys.push_back(pick_key(
+            static_cast<PartitionId>(rng_.uniform(partitions_))));
+        op.value = make_value();
+        phase_ = 0;
+      }
+      break;
+    }
+  }
+  return op;
+}
+
+}  // namespace pocc::workload

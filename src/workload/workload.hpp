@@ -1,0 +1,88 @@
+// Workload generators reproducing §V of the paper.
+//
+// Get-Put workload (§V-B): "a GET:PUT ratio of N:M means that each client
+// issues N consecutive GETs followed by one PUT. Each GET operation targets a
+// different partition. The PUT operation is issued against a key in a
+// partition chosen uniformly at random."
+//
+// Transactional workload (§V-C): "each client first issues a RO-TX to read p
+// items corresponding to p distinct partitions, and then performs a random
+// PUT."
+//
+// Keys within a partition are chosen with a zipfian distribution
+// (theta = 0.99, §V-A); clients operate in closed loop with a think time
+// between operations (25 ms in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/zipf.hpp"
+
+namespace pocc::workload {
+
+enum class OpType { kGet, kPut, kRoTx };
+
+/// One operation to issue.
+struct Op {
+  OpType type = OpType::kGet;
+  std::vector<std::string> keys;  // 1 key for GET/PUT, p keys for RO-TX
+  std::string value;              // PUT payload
+};
+
+enum class Pattern {
+  kGetPut,  // N GETs on distinct partitions, then 1 PUT (Fig. 1/2)
+  kTxPut,   // 1 RO-TX over p distinct partitions, then 1 PUT (Fig. 3)
+};
+
+struct WorkloadConfig {
+  Pattern pattern = Pattern::kGetPut;
+  /// N in the N:1 GET:PUT ratio (pattern kGetPut).
+  std::uint32_t gets_per_put = 32;
+  /// p = partitions contacted per RO-TX (pattern kTxPut).
+  std::uint32_t tx_partitions = 16;
+  /// Closed-loop think time between operations (paper: 25 ms).
+  Duration think_time_us = 25'000;
+  /// Zipf skew for key choice within a partition.
+  double zipf_theta = 0.99;
+  /// Key-space size per partition (paper: 1M).
+  std::uint64_t keys_per_partition = 1'000'000;
+  /// PUT payload size in bytes (paper: 8).
+  std::uint32_t value_size = 8;
+};
+
+/// Per-client deterministic operation stream.
+class Generator {
+ public:
+  Generator(const WorkloadConfig& cfg, std::uint32_t partitions,
+            std::uint64_t seed);
+
+  /// Next operation in the client's cycle.
+  Op next();
+
+  /// Think time before issuing the next operation.
+  [[nodiscard]] Duration think_time() const { return cfg_.think_time_us; }
+
+  [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] std::string pick_key(PartitionId part);
+  [[nodiscard]] std::string make_value();
+  /// `count` distinct partitions, uniformly at random.
+  [[nodiscard]] std::vector<PartitionId> distinct_partitions(
+      std::uint32_t count);
+
+  WorkloadConfig cfg_;
+  std::uint32_t partitions_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  std::uint32_t phase_ = 0;  // position within the N-GETs-then-PUT cycle
+  std::vector<PartitionId> cycle_partitions_;  // GET targets for this cycle
+  std::vector<PartitionId> scratch_;           // partition shuffle buffer
+};
+
+}  // namespace pocc::workload

@@ -1,0 +1,166 @@
+#include "client/client_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pocc::client {
+namespace {
+
+proto::GetReply make_get_reply(ClientId c, std::string key, Timestamp ut,
+                               DcId sr, VersionVector dv) {
+  proto::GetReply r;
+  r.client = c;
+  r.item.key = std::move(key);
+  r.item.found = true;
+  r.item.ut = ut;
+  r.item.sr = sr;
+  r.item.dv = std::move(dv);
+  return r;
+}
+
+TEST(ClientEngine, StartsWithZeroVectors) {
+  ClientEngine c(1, 0, 3);
+  EXPECT_EQ(c.dv(), VersionVector(3));
+  EXPECT_EQ(c.rdv(), VersionVector(3));
+  EXPECT_FALSE(c.pessimistic());
+}
+
+TEST(ClientEngine, GetRequestCarriesRdv) {
+  ClientEngine c(1, 0, 3);
+  c.absorb_get(make_get_reply(1, "x", 100, 1, VersionVector{10, 20, 30}));
+  const proto::GetReq req = c.make_get("y");
+  EXPECT_EQ(req.client, 1u);
+  EXPECT_EQ(req.key, "y");
+  // Alg. 1 line 4: RDV absorbs the read item's dependency vector (not its ut).
+  EXPECT_EQ(req.rdv, (VersionVector{10, 20, 30}));
+}
+
+TEST(ClientEngine, AbsorbGetUpdatesDvWithDirectDependency) {
+  ClientEngine c(1, 0, 3);
+  c.absorb_get(make_get_reply(1, "x", 100, 1, VersionVector{10, 20, 30}));
+  // Alg. 1 lines 5-6: DV = max(RDV, DV), then DV[sr] raised to ut.
+  EXPECT_EQ(c.dv(), (VersionVector{10, 100, 30}));
+  EXPECT_EQ(c.rdv(), (VersionVector{10, 20, 30}));
+}
+
+TEST(ClientEngine, RdvExcludesDirectlyReadVersionTimestamp) {
+  // The RDV tracks dependencies *of* read items; the read item itself goes
+  // into DV only. The same-key re-read case is covered by partition
+  // stickiness (§IV-B discussion).
+  ClientEngine c(1, 0, 3);
+  c.absorb_get(make_get_reply(1, "x", 500, 2, VersionVector(3)));
+  EXPECT_EQ(c.rdv(), VersionVector(3));
+  EXPECT_EQ(c.dv(), (VersionVector{0, 0, 500}));
+}
+
+TEST(ClientEngine, AbsorbNotFoundIsNoOp) {
+  ClientEngine c(1, 0, 3);
+  proto::GetReply r;
+  r.client = 1;
+  r.item.found = false;
+  c.absorb_get(r);
+  EXPECT_EQ(c.dv(), VersionVector(3));
+  EXPECT_EQ(c.rdv(), VersionVector(3));
+}
+
+TEST(ClientEngine, PutRequestCarriesDv) {
+  ClientEngine c(1, 0, 3);
+  c.absorb_get(make_get_reply(1, "x", 100, 1, VersionVector{10, 20, 30}));
+  const proto::PutReq req = c.make_put("k", "v");
+  EXPECT_EQ(req.dv, c.dv());
+  EXPECT_EQ(req.value, "v");
+}
+
+TEST(ClientEngine, AbsorbPutRaisesLocalEntry) {
+  ClientEngine c(1, 0, 3);
+  proto::PutReply r;
+  r.client = 1;
+  r.key = "k";
+  r.ut = 777;
+  r.sr = 0;
+  c.absorb_put(r);
+  EXPECT_EQ(c.dv(), (VersionVector{777, 0, 0}));
+  EXPECT_EQ(c.rdv(), VersionVector(3));  // writes do not touch the RDV
+}
+
+TEST(ClientEngine, TxAbsorbsEveryItemLikeAGet) {
+  ClientEngine c(1, 0, 3);
+  proto::RoTxReply r;
+  r.client = 1;
+  proto::ReadItem a;
+  a.key = "a";
+  a.found = true;
+  a.ut = 50;
+  a.sr = 1;
+  a.dv = VersionVector{5, 0, 0};
+  proto::ReadItem b;
+  b.key = "b";
+  b.found = true;
+  b.ut = 70;
+  b.sr = 2;
+  b.dv = VersionVector{0, 60, 0};
+  r.items = {a, b};
+  c.absorb_ro_tx(r);
+  EXPECT_EQ(c.rdv(), (VersionVector{5, 60, 0}));
+  EXPECT_EQ(c.dv(), (VersionVector{5, 60, 70}));
+}
+
+TEST(ClientEngine, RdvMonotonicallyGrows) {
+  ClientEngine c(1, 0, 3);
+  c.absorb_get(make_get_reply(1, "x", 10, 1, VersionVector{5, 5, 5}));
+  c.absorb_get(make_get_reply(1, "y", 20, 2, VersionVector{3, 9, 1}));
+  EXPECT_EQ(c.rdv(), (VersionVector{5, 9, 5}));
+}
+
+TEST(ClientEngine, ReinitializePessimisticResetsState) {
+  ClientEngine c(1, 0, 3);
+  c.absorb_get(make_get_reply(1, "x", 100, 1, VersionVector{10, 20, 30}));
+  const auto gen_before = c.session_generation();
+  c.reinitialize_pessimistic();
+  EXPECT_TRUE(c.pessimistic());
+  EXPECT_EQ(c.dv(), VersionVector(3));
+  EXPECT_EQ(c.rdv(), VersionVector(3));
+  EXPECT_GT(c.session_generation(), gen_before);
+  EXPECT_TRUE(c.make_get("x").pessimistic);
+  EXPECT_TRUE(c.make_put("x", "v").pessimistic);
+}
+
+TEST(ClientEngine, PromotionKeepsVectors) {
+  ClientEngine c(1, 0, 3);
+  c.reinitialize_pessimistic();
+  c.absorb_get(make_get_reply(1, "x", 100, 1, VersionVector{10, 20, 30}));
+  const VersionVector dv_before = c.dv();
+  c.promote_optimistic();
+  EXPECT_FALSE(c.pessimistic());
+  EXPECT_EQ(c.dv(), dv_before);
+  EXPECT_FALSE(c.make_get("x").pessimistic);
+}
+
+TEST(ClientEngine, SnapshotRdvModeAbsorbsReadCommitTimes) {
+  // Cure* sessions gate visibility on commit vectors, so their read vector
+  // must cover the commit time of every read item (like Cure's snapshot
+  // vector). POCC sessions (default) must NOT include it (Alg. 1 verbatim).
+  ClientEngine cure(1, 0, 3, /*snapshot_rdv=*/true);
+  cure.absorb_get(make_get_reply(1, "x", 500, 2, VersionVector{10, 0, 0}));
+  EXPECT_EQ(cure.rdv(), (VersionVector{10, 0, 500}));
+  ClientEngine pocc(2, 0, 3, /*snapshot_rdv=*/false);
+  pocc.absorb_get(make_get_reply(2, "x", 500, 2, VersionVector{10, 0, 0}));
+  EXPECT_EQ(pocc.rdv(), (VersionVector{10, 0, 0}));
+}
+
+TEST(ClientEngine, PessimisticSessionsAbsorbReadCommitTimes) {
+  // HA-POCC fallback sessions read under commit-vector visibility too.
+  ClientEngine c(1, 0, 3);
+  c.reinitialize_pessimistic();
+  c.absorb_get(make_get_reply(1, "x", 500, 2, VersionVector(3)));
+  EXPECT_EQ(c.rdv(), (VersionVector{0, 0, 500}));
+}
+
+TEST(ClientEngine, PromoteWhenOptimisticIsNoOp) {
+  ClientEngine c(1, 0, 3);
+  const auto gen = c.session_generation();
+  c.promote_optimistic();
+  EXPECT_EQ(c.session_generation(), gen);
+}
+
+}  // namespace
+}  // namespace pocc::client

@@ -1,0 +1,143 @@
+#include "sim/cpu_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pocc::sim {
+namespace {
+
+TEST(CpuQueue, SingleCoreRunsJobsSequentially) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  std::vector<Timestamp> starts;
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit([&starts, &sim] {
+      starts.push_back(sim.now());
+      return Duration{100};
+    });
+  }
+  sim.run_all();
+  // Jobs start back-to-back: 0, 100, 200.
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 100);
+  EXPECT_EQ(starts[2], 200);
+}
+
+TEST(CpuQueue, TwoCoresRunInParallel) {
+  Simulator sim;
+  CpuQueue cpu(sim, 2);
+  std::vector<Timestamp> starts;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit([&starts, &sim] {
+      starts.push_back(sim.now());
+      return Duration{100};
+    });
+  }
+  sim.run_all();
+  ASSERT_EQ(starts.size(), 4u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 0);
+  EXPECT_EQ(starts[2], 100);
+  EXPECT_EQ(starts[3], 100);
+}
+
+TEST(CpuQueue, WorkDependentServiceTime) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  Timestamp second_start = -1;
+  cpu.submit([] { return Duration{250}; });
+  cpu.submit([&] {
+    second_start = sim.now();
+    return Duration{1};
+  });
+  sim.run_all();
+  EXPECT_EQ(second_start, 250);
+}
+
+TEST(CpuQueue, JobsSubmittedLaterQueueBehindBusyCore) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  Timestamp b_start = -1;
+  cpu.submit([] { return Duration{100}; });
+  sim.schedule(50, [&] {
+    cpu.submit([&] {
+      b_start = sim.now();
+      return Duration{10};
+    });
+  });
+  sim.run_all();
+  EXPECT_EQ(b_start, 100);
+}
+
+TEST(CpuQueue, IdleCoreStartsJobImmediately) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  sim.schedule(500, [&] {
+    cpu.submit([&]() -> Duration {
+      EXPECT_EQ(sim.now(), 500);
+      return 10;
+    });
+  });
+  sim.run_all();
+  EXPECT_EQ(cpu.jobs_executed(), 1u);
+}
+
+TEST(CpuQueue, TracksBusyTimeAndUtilization) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  cpu.submit([] { return Duration{300}; });
+  cpu.submit([] { return Duration{200}; });
+  sim.run_all();
+  EXPECT_EQ(cpu.busy_time(), 500);
+  EXPECT_DOUBLE_EQ(cpu.utilization(0, 1000), 0.5);
+  EXPECT_DOUBLE_EQ(cpu.utilization(0, 500), 1.0);
+}
+
+TEST(CpuQueue, UtilizationAccountsForCores) {
+  Simulator sim;
+  CpuQueue cpu(sim, 2);
+  cpu.submit([] { return Duration{100}; });
+  cpu.submit([] { return Duration{100}; });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(cpu.utilization(0, 100), 1.0);
+}
+
+TEST(CpuQueue, ResetStatsClearsCounters) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  cpu.submit([] { return Duration{100}; });
+  sim.run_all();
+  cpu.reset_stats();
+  EXPECT_EQ(cpu.busy_time(), 0);
+  EXPECT_EQ(cpu.jobs_executed(), 0u);
+}
+
+TEST(CpuQueue, ZeroServiceTimeJobsComplete) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    cpu.submit([&done] {
+      ++done;
+      return Duration{0};
+    });
+  }
+  sim.run_all();
+  EXPECT_EQ(done, 10);
+}
+
+TEST(CpuQueue, QueueLengthObservable) {
+  Simulator sim;
+  CpuQueue cpu(sim, 1);
+  cpu.submit([] { return Duration{100}; });
+  cpu.submit([] { return Duration{100}; });
+  cpu.submit([] { return Duration{100}; });
+  EXPECT_EQ(cpu.queue_length(), 2u);  // one running, two waiting
+  sim.run_all();
+  EXPECT_EQ(cpu.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace pocc::sim

@@ -1,0 +1,81 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace pocc {
+namespace {
+
+TEST(Fnv1a, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, IsConstexpr) {
+  static_assert(fnv1a("pocc") != 0);
+  SUCCEED();
+}
+
+TEST(PartitionOf, StableAndInRange) {
+  for (std::uint32_t parts : {1u, 2u, 8u, 32u, 97u}) {
+    for (int i = 0; i < 1000; ++i) {
+      const std::string key = "key" + std::to_string(i);
+      const PartitionId p = partition_of(key, parts);
+      EXPECT_LT(p, parts);
+      EXPECT_EQ(p, partition_of(key, parts));  // deterministic
+    }
+  }
+}
+
+TEST(PartitionOf, HashSchemeSpreadsKeys) {
+  constexpr std::uint32_t kParts = 16;
+  std::vector<int> counts(kParts, 0);
+  for (int i = 0; i < 16000; ++i) {
+    ++counts[partition_of("user:" + std::to_string(i), kParts)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(PartitionOf, PrefixSchemeParsesPartition) {
+  EXPECT_EQ(partition_of("5:12345", 8, PartitionScheme::kPrefix), 5u);
+  EXPECT_EQ(partition_of("0:1", 8, PartitionScheme::kPrefix), 0u);
+  EXPECT_EQ(partition_of("7:x", 8, PartitionScheme::kPrefix), 7u);
+  // Out-of-range prefixes wrap.
+  EXPECT_EQ(partition_of("9:1", 8, PartitionScheme::kPrefix), 1u);
+}
+
+TEST(PartitionOf, PrefixSchemeFallsBackToHash) {
+  const PartitionId hashed = partition_of("no-prefix-here", 8);
+  EXPECT_EQ(partition_of("no-prefix-here", 8, PartitionScheme::kPrefix),
+            hashed);
+  EXPECT_EQ(partition_of(":empty", 8, PartitionScheme::kPrefix),
+            partition_of(":empty", 8));
+}
+
+TEST(MakePartitionKey, RoundTripsThroughPrefixScheme) {
+  for (PartitionId p = 0; p < 32; ++p) {
+    for (std::uint64_t rank : {0ULL, 1ULL, 999'999ULL}) {
+      const std::string key = make_partition_key(p, rank);
+      EXPECT_EQ(partition_of(key, 32, PartitionScheme::kPrefix), p) << key;
+    }
+  }
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  // mix64 must not collide on a modest sample (it is a bijection).
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second);
+  }
+}
+
+}  // namespace
+}  // namespace pocc

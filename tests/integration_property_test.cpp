@@ -1,0 +1,161 @@
+// Property-based sweep: every (system, seed, skew, workload) combination must
+// satisfy causal consistency, the RO-TX snapshot property and convergence.
+// The checker tracks exact causal pasts, so any protocol bug that leaks an
+// inconsistent read in *any* of these schedules fails the suite.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/sim_cluster.hpp"
+
+namespace pocc::cluster {
+namespace {
+
+struct PropertyCase {
+  SystemKind system;
+  std::uint64_t seed;
+  double clock_skew_us;
+  workload::Pattern pattern;
+};
+
+class CausalPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(CausalPropertyTest, NoViolationsAndConvergence) {
+  const PropertyCase& param = GetParam();
+
+  SimClusterConfig cfg;
+  cfg.topology.num_dcs = 3;
+  cfg.topology.partitions_per_dc = 3;
+  cfg.topology.partition_scheme = PartitionScheme::kPrefix;
+  cfg.latency = LatencyConfig::uniform(200, 100);
+  cfg.latency.inter_dc_base_us = {
+      {0, 5'000, 11'000}, {5'000, 0, 7'000}, {11'000, 7'000, 0}};
+  cfg.clock.offset_sigma_us = param.clock_skew_us;
+  cfg.clock.drift_ppm_sigma = 50.0;
+  cfg.system = param.system;
+  cfg.seed = param.seed;
+  cfg.enable_checker = true;
+
+  SimCluster cluster(cfg);
+  workload::WorkloadConfig wl;
+  wl.pattern = param.pattern;
+  wl.gets_per_put = 2;
+  wl.tx_partitions = 3;
+  wl.think_time_us = 2'000;
+  wl.keys_per_partition = 15;  // heavy contention stresses the protocols
+  wl.zipf_theta = 0.99;
+  cluster.add_workload_clients(2, wl);
+
+  cluster.run_for(50'000);
+  cluster.begin_measurement();
+  cluster.run_for(300'000);
+  const ClusterMetrics m = cluster.end_measurement();
+  EXPECT_GT(m.completed_ops, 0u);
+
+  cluster.stop_clients();
+  cluster.run_for(5'000'000);
+
+  ASSERT_NE(cluster.checker(), nullptr);
+  for (const auto& v : cluster.checker()->violations()) {
+    ADD_FAILURE() << v;
+  }
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+  EXPECT_EQ(cluster.total_parked_requests(), 0u);
+}
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string n;
+  switch (info.param.system) {
+    case SystemKind::kPocc:
+      n += "Pocc";
+      break;
+    case SystemKind::kCure:
+      n += "Cure";
+      break;
+    case SystemKind::kHaPocc:
+      n += "HaPocc";
+      break;
+    case SystemKind::kScalarPocc:
+      n += "ScalarPocc";
+      break;
+  }
+  n += info.param.pattern == workload::Pattern::kGetPut ? "GetPut" : "TxPut";
+  n += "Skew" + std::to_string(static_cast<int>(info.param.clock_skew_us));
+  n += "Seed" + std::to_string(info.param.seed);
+  return n;
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+  const SystemKind systems[] = {SystemKind::kPocc, SystemKind::kCure,
+                                SystemKind::kHaPocc,
+                                SystemKind::kScalarPocc};
+  const std::uint64_t seeds[] = {101, 202};
+  const double skews[] = {0.0, 2'000.0};
+  const workload::Pattern patterns[] = {workload::Pattern::kGetPut,
+                                        workload::Pattern::kTxPut};
+  for (auto sys : systems) {
+    for (auto seed : seeds) {
+      for (double skew : skews) {
+        for (auto pat : patterns) {
+          cases.push_back({sys, seed, skew, pat});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CausalPropertyTest,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+// Determinism: identical configuration and seed must reproduce the exact
+// same measurement, event for event.
+TEST(Determinism, SameSeedSameResults) {
+  auto run_once = [] {
+    SimClusterConfig cfg;
+    cfg.topology.num_dcs = 3;
+    cfg.topology.partitions_per_dc = 2;
+    cfg.topology.partition_scheme = PartitionScheme::kPrefix;
+    cfg.latency = LatencyConfig::uniform(300, 100);
+    cfg.clock.offset_sigma_us = 1'000.0;
+    cfg.system = SystemKind::kPocc;
+    cfg.seed = 777;
+    SimCluster cluster(cfg);
+    workload::WorkloadConfig wl;
+    wl.think_time_us = 2'000;
+    wl.keys_per_partition = 20;
+    cluster.add_workload_clients(2, wl);
+    cluster.run_for(50'000);
+    cluster.begin_measurement();
+    cluster.run_for(200'000);
+    const ClusterMetrics m = cluster.end_measurement();
+    cluster.stop_clients();
+    return std::make_tuple(m.completed_ops, m.network.messages,
+                           cluster.simulator().executed_events());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  auto run_once = [](std::uint64_t seed) {
+    SimClusterConfig cfg;
+    cfg.topology.num_dcs = 2;
+    cfg.topology.partitions_per_dc = 2;
+    cfg.topology.partition_scheme = PartitionScheme::kPrefix;
+    cfg.latency = LatencyConfig::uniform(300, 100);
+    cfg.system = SystemKind::kPocc;
+    cfg.seed = seed;
+    SimCluster cluster(cfg);
+    workload::WorkloadConfig wl;
+    wl.think_time_us = 2'000;
+    wl.keys_per_partition = 20;
+    cluster.add_workload_clients(2, wl);
+    cluster.run_for(200'000);
+    return cluster.simulator().executed_events();
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+}  // namespace
+}  // namespace pocc::cluster

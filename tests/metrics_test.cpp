@@ -1,0 +1,106 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pocc::stats {
+namespace {
+
+TEST(BlockingStats, ProbabilityAndTime) {
+  BlockingStats b;
+  b.record_op(0);
+  b.record_op(0);
+  b.record_op(100);
+  b.record_op(300);
+  EXPECT_EQ(b.operations, 4u);
+  EXPECT_EQ(b.blocked, 2u);
+  EXPECT_DOUBLE_EQ(b.blocking_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(b.avg_blocking_time_us(), 200.0);
+}
+
+TEST(BlockingStats, EmptyIsZero) {
+  BlockingStats b;
+  EXPECT_DOUBLE_EQ(b.blocking_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(b.avg_blocking_time_us(), 0.0);
+}
+
+TEST(BlockingStats, MergeAccumulates) {
+  BlockingStats a;
+  BlockingStats b;
+  a.record_op(0);
+  b.record_op(50);
+  a.merge(b);
+  EXPECT_EQ(a.operations, 2u);
+  EXPECT_EQ(a.blocked, 1u);
+}
+
+TEST(BlockingStats, ResetClears) {
+  BlockingStats a;
+  a.record_op(10);
+  a.reset();
+  EXPECT_EQ(a.operations, 0u);
+  EXPECT_EQ(a.blocked, 0u);
+}
+
+TEST(StalenessStats, OldAndUnmergedPercentages) {
+  StalenessStats s;
+  s.record_read(0, 0);  // fresh
+  s.record_read(2, 3);  // old and unmerged
+  s.record_read(0, 1);  // fresh but unmerged
+  s.record_read(1, 1);  // old and unmerged
+  EXPECT_EQ(s.reads, 4u);
+  EXPECT_EQ(s.old_reads, 2u);
+  EXPECT_EQ(s.unmerged_reads, 3u);
+  EXPECT_DOUBLE_EQ(s.pct_old(), 50.0);
+  EXPECT_DOUBLE_EQ(s.pct_unmerged(), 75.0);
+  EXPECT_DOUBLE_EQ(s.avg_fresher_versions(), 1.5);   // (2+1)/2
+  EXPECT_DOUBLE_EQ(s.avg_unmerged_versions(), 5.0 / 3.0);
+}
+
+TEST(StalenessStats, EmptyIsZero) {
+  StalenessStats s;
+  EXPECT_DOUBLE_EQ(s.pct_old(), 0.0);
+  EXPECT_DOUBLE_EQ(s.pct_unmerged(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_fresher_versions(), 0.0);
+}
+
+TEST(StalenessStats, MergeAccumulates) {
+  StalenessStats a;
+  StalenessStats b;
+  a.record_read(1, 0);
+  b.record_read(0, 2);
+  a.merge(b);
+  EXPECT_EQ(a.reads, 2u);
+  EXPECT_EQ(a.old_reads, 1u);
+  EXPECT_EQ(a.unmerged_reads, 1u);
+}
+
+TEST(OpStats, TotalsAndAverage) {
+  OpStats o;
+  ++o.gets;
+  o.get_latency_us.record(100);
+  ++o.puts;
+  o.put_latency_us.record(300);
+  EXPECT_EQ(o.total_ops(), 2u);
+  EXPECT_DOUBLE_EQ(o.avg_latency_us(), 200.0);
+}
+
+TEST(OpStats, MergeAndReset) {
+  OpStats a;
+  OpStats b;
+  ++a.gets;
+  a.get_latency_us.record(10);
+  ++b.ro_txs;
+  b.tx_latency_us.record(50);
+  a.merge(b);
+  EXPECT_EQ(a.total_ops(), 2u);
+  a.reset();
+  EXPECT_EQ(a.total_ops(), 0u);
+}
+
+TEST(FormatDouble, Formats) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(123456.0, 4), "1.235e+05");
+}
+
+}  // namespace
+}  // namespace pocc::stats

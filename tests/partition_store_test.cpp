@@ -1,0 +1,94 @@
+#include "store/partition_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pocc::store {
+namespace {
+
+Version make_version(std::string key, Timestamp ut, DcId sr = 0) {
+  Version v;
+  v.key = std::move(key);
+  v.value = "val" + std::to_string(ut);
+  v.sr = sr;
+  v.ut = ut;
+  v.dv = VersionVector(3);
+  return v;
+}
+
+TEST(PartitionStore, FindUnknownKeyReturnsNull) {
+  PartitionStore s;
+  EXPECT_EQ(s.find("nope"), nullptr);
+}
+
+TEST(PartitionStore, InsertAndFind) {
+  PartitionStore s;
+  s.insert(make_version("a", 10));
+  const VersionChain* c = s.find("a");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->freshest()->ut, 10);
+}
+
+TEST(PartitionStore, StatsTrackKeysAndVersions) {
+  PartitionStore s;
+  s.insert(make_version("a", 10));
+  s.insert(make_version("a", 20));
+  s.insert(make_version("b", 5));
+  const StoreStats st = s.stats();
+  EXPECT_EQ(st.keys, 2u);
+  EXPECT_EQ(st.versions, 3u);
+  EXPECT_EQ(st.multi_version_keys, 1u);
+}
+
+TEST(PartitionStore, DuplicateInsertDoesNotDoubleCount) {
+  PartitionStore s;
+  s.insert(make_version("a", 10));
+  s.insert(make_version("a", 10));
+  EXPECT_EQ(s.stats().versions, 1u);
+}
+
+TEST(PartitionStore, GcOnlyTouchesMultiVersionKeys) {
+  PartitionStore s;
+  s.insert(make_version("single", 10));
+  s.insert(make_version("multi", 10));
+  s.insert(make_version("multi", 20));
+  s.insert(make_version("multi", 30));
+  const auto removed = s.gc([](const Version& v) { return v.ut <= 20; });
+  EXPECT_EQ(removed, 1u);  // only ut=10 of "multi"
+  EXPECT_EQ(s.find("single")->size(), 1u);
+  EXPECT_EQ(s.find("multi")->size(), 2u);
+  EXPECT_EQ(s.stats().gc_removed, 1u);
+  EXPECT_EQ(s.stats().versions, 3u);
+}
+
+TEST(PartitionStore, GcDropsKeyFromDirtySetWhenSingleVersionRemains) {
+  PartitionStore s;
+  s.insert(make_version("k", 10));
+  s.insert(make_version("k", 20));
+  (void)s.gc([](const Version& v) { return v.ut <= 20; });
+  EXPECT_EQ(s.multi_version_keys().size(), 0u);
+  // Subsequent GC passes are no-ops.
+  EXPECT_EQ(s.gc([](const Version&) { return true; }), 0u);
+}
+
+TEST(PartitionStore, PurgeIfRemovesMatchingVersions) {
+  PartitionStore s;
+  s.insert(make_version("a", 10));
+  s.insert(make_version("a", 20));
+  s.insert(make_version("b", 30));
+  const auto removed =
+      s.purge_if([](const Version& v) { return v.ut >= 20; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(s.stats().versions, 1u);
+  EXPECT_EQ(s.find("a")->size(), 1u);
+  EXPECT_EQ(s.find("b")->size(), 0u);
+}
+
+TEST(PartitionStore, ChainsAccessorExposesAllKeys) {
+  PartitionStore s;
+  s.insert(make_version("x", 1));
+  s.insert(make_version("y", 2));
+  EXPECT_EQ(s.chains().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pocc::store

@@ -1,0 +1,218 @@
+// Network-partition behaviour (§III-B): POCC blocks on unresolvable
+// dependencies during a partition and resumes on heal; HA-POCC detects the
+// partition, falls back to pessimistic sessions, keeps serving, and promotes
+// back after the heal. Includes the lost-update discard after a permanent DC
+// failure.
+#include <gtest/gtest.h>
+
+#include "cluster/sim_cluster.hpp"
+
+namespace pocc::cluster {
+namespace {
+
+SimClusterConfig partition_config(SystemKind system) {
+  SimClusterConfig cfg;
+  cfg.topology.num_dcs = 3;
+  cfg.topology.partitions_per_dc = 2;
+  cfg.topology.partition_scheme = PartitionScheme::kPrefix;
+  cfg.latency = LatencyConfig::uniform(300, 0);
+  cfg.latency.inter_dc_base_us = {
+      {0, 5'000, 5'000}, {5'000, 0, 5'000}, {5'000, 5'000, 0}};
+  cfg.clock = ClockConfig::perfect();
+  cfg.system = system;
+  cfg.seed = 31;
+  cfg.protocol.block_timeout_us = 100'000;  // HA partition suspicion
+  return cfg;
+}
+
+/// Builds the blocking scenario from §III-B: DC0–DC1 are partitioned; DC2
+/// still talks to both. A fresh item X2 is written in DC0 (reaches DC2 but
+/// not DC1); a client in DC2 reads it and writes Y on another partition; Y
+/// reaches DC1. A DC1 client that reads Y now potentially depends on X2,
+/// which DC1 cannot receive until the partition heals.
+struct BlockingScenario {
+  explicit BlockingScenario(SimCluster& cluster)
+      : writer0(cluster.create_manual_client(0)),
+        relay2(cluster.create_manual_client(2)),
+        reader1(cluster.create_manual_client(1)) {
+    cluster.run_for(10'000);
+    cluster.partition_dcs(0, 1);
+    // X2 on partition 0, created in DC0 during the partition.
+    EXPECT_TRUE(writer0.put("0:x", "x2").ok);
+    cluster.run_for(50'000);  // X2 reaches DC2 (but not DC1)
+    const auto x = relay2.get("0:x");
+    EXPECT_TRUE(x.ok);
+    EXPECT_TRUE(x.found);
+    // Y on partition 1, created in DC2, depends on X2.
+    EXPECT_TRUE(relay2.put("1:y", "y-depends-on-x2").ok);
+    cluster.run_for(50'000);  // Y reaches DC1
+    const auto y = reader1.get("1:y");
+    EXPECT_TRUE(y.ok);
+    EXPECT_TRUE(y.found);
+    // reader1's RDV now covers X2's timestamp at the DC0 entry.
+  }
+
+  SimClient& writer0;
+  SimClient& relay2;
+  SimClient& reader1;
+};
+
+TEST(Partition, PoccGetBlocksDuringPartitionAndResumesOnHeal) {
+  SimCluster cluster(partition_config(SystemKind::kPocc));
+  BlockingScenario scenario(cluster);
+
+  // Reading any key on partition 0 in DC1 must block: VV[0] cannot cover the
+  // dependency on X2 while the partition is up.
+  auto blocked = scenario.reader1.get("0:other", /*max_wait=*/300'000);
+  EXPECT_FALSE(blocked.ok) << "GET must stall during the partition";
+  EXPECT_GE(cluster.total_parked_requests(), 1u);
+
+  cluster.heal_dcs(0, 1);
+  // The manual client is still awaiting that reply; pump for it.
+  const bool served = cluster.pump_until(
+      [&] { return cluster.total_parked_requests() == 0; }, 1'000'000);
+  EXPECT_TRUE(served) << "heal must release the stalled request";
+}
+
+TEST(Partition, PoccWithoutDependencyNotBlocked) {
+  // Operations not depending on partitioned data proceed normally.
+  SimCluster cluster(partition_config(SystemKind::kPocc));
+  cluster.run_for(10'000);
+  cluster.partition_dcs(0, 1);
+  auto& client1 = cluster.create_manual_client(1);
+  const auto put = client1.put("0:independent", "v", 500'000);
+  EXPECT_TRUE(put.ok);
+  const auto get = client1.get("0:independent", 500'000);
+  EXPECT_TRUE(get.ok);
+  EXPECT_TRUE(get.found);
+}
+
+TEST(Partition, HaPoccClosesSessionAndFallsBackPessimistic) {
+  SimCluster cluster(partition_config(SystemKind::kHaPocc));
+  BlockingScenario scenario(cluster);
+
+  // The blocked GET times out server-side (block_timeout 100 ms), the session
+  // is closed and re-initialized pessimistically.
+  auto r = scenario.reader1.get("0:other", /*max_wait=*/400'000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(scenario.reader1.engine().pessimistic());
+
+  // The pessimistic session keeps operating during the partition (§III-B).
+  const auto pess_get = scenario.reader1.get("0:other", 500'000);
+  EXPECT_TRUE(pess_get.ok);
+  const auto pess_put = scenario.reader1.put("1:during", "ok", 500'000);
+  EXPECT_TRUE(pess_put.ok);
+
+  // After the heal the session is promoted back to optimistic.
+  cluster.heal_dcs(0, 1);
+  cluster.run_for(300'000);
+  const auto after = scenario.reader1.get("0:x", 500'000);
+  EXPECT_TRUE(after.ok);
+  EXPECT_FALSE(scenario.reader1.engine().pessimistic())
+      << "session must be promoted once the partition heals";
+}
+
+TEST(Partition, HaPoccWorkloadSurvivesPartitionCycle) {
+  SimClusterConfig cfg = partition_config(SystemKind::kHaPocc);
+  cfg.enable_checker = true;
+  SimCluster cluster(cfg);
+  workload::WorkloadConfig wl;
+  wl.pattern = workload::Pattern::kGetPut;
+  wl.gets_per_put = 2;
+  wl.think_time_us = 2'000;
+  wl.keys_per_partition = 20;
+  cluster.add_workload_clients(2, wl);
+
+  cluster.run_for(100'000);
+  cluster.partition_dcs(0, 1);
+  cluster.run_for(500'000);  // sessions fall back under the partition
+  cluster.heal_dcs(0, 1);
+  cluster.run_for(500'000);  // sessions recover
+
+  cluster.stop_clients();
+  cluster.run_for(5'000'000);
+  for (const auto& v : cluster.checker()->violations()) {
+    ADD_FAILURE() << v;
+  }
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+}
+
+TEST(Partition, CureToleratesPartitionWithoutBlocking) {
+  // The pessimistic baseline stays available during partitions: reads serve
+  // stable versions and never stall on remote dependencies.
+  SimCluster cluster(partition_config(SystemKind::kCure));
+  cluster.run_for(50'000);
+  cluster.partition_dcs(0, 1);
+  auto& client1 = cluster.create_manual_client(1);
+  for (int i = 0; i < 5; ++i) {
+    const auto get = client1.get("0:k" + std::to_string(i), 500'000);
+    EXPECT_TRUE(get.ok);
+    const auto put =
+        client1.put("1:k" + std::to_string(i), "v", 500'000);
+    EXPECT_TRUE(put.ok);
+  }
+  EXPECT_EQ(cluster.total_parked_requests(), 0u);
+}
+
+// Chaos sweep: random partition/heal cycles while an HA-POCC workload runs.
+// Whatever the schedule, no execution may violate causal consistency, and
+// once the network stays healed the cluster must converge.
+class PartitionChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionChaosTest, RandomPartitionCyclesStayConsistent) {
+  SimClusterConfig cfg = partition_config(SystemKind::kHaPocc);
+  cfg.enable_checker = true;
+  cfg.seed = GetParam();
+  SimCluster cluster(cfg);
+  workload::WorkloadConfig wl;
+  wl.pattern = workload::Pattern::kGetPut;
+  wl.gets_per_put = 2;
+  wl.think_time_us = 2'000;
+  wl.keys_per_partition = 15;
+  cluster.add_workload_clients(2, wl);
+  cluster.run_for(50'000);
+
+  Rng rng(GetParam() * 7919);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const DcId a = static_cast<DcId>(rng.uniform(3));
+    DcId b = static_cast<DcId>(rng.uniform(3));
+    if (a == b) b = (b + 1) % 3;
+    cluster.partition_dcs(a, b);
+    cluster.run_for(100'000 + static_cast<Duration>(rng.uniform(200'000)));
+    cluster.heal_dcs(a, b);
+    cluster.run_for(100'000 + static_cast<Duration>(rng.uniform(100'000)));
+  }
+
+  cluster.stop_clients();
+  cluster.run_for(5'000'000);
+  for (const auto& v : cluster.checker()->violations()) {
+    ADD_FAILURE() << v;
+  }
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionChaosTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Partition, LostUpdateDiscardAfterDcFailure) {
+  SimCluster cluster(partition_config(SystemKind::kHaPocc));
+  BlockingScenario scenario(cluster);
+  // DC0 never comes back: declare it lost. DC1 discards Y (it depends on X2,
+  // which DC1 never received) — the "lost update" cost of §III-B.
+  cluster.isolate_dc(0);
+  const auto discarded = cluster.declare_dc_lost(0);
+  EXPECT_GE(discarded, 1u);
+  const auto* y_chain_dc1 =
+      cluster.engine(NodeId{1, 1}).partition_store().find("1:y");
+  ASSERT_NE(y_chain_dc1, nullptr);
+  EXPECT_TRUE(y_chain_dc1->empty())
+      << "DC1 must discard the update that depends on lost DC0 data";
+  // DC2 received X2 directly, so its copy of Y survives.
+  const auto* y_chain_dc2 =
+      cluster.engine(NodeId{2, 1}).partition_store().find("1:y");
+  ASSERT_NE(y_chain_dc2, nullptr);
+  EXPECT_FALSE(y_chain_dc2->empty());
+}
+
+}  // namespace
+}  // namespace pocc::cluster

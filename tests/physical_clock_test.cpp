@@ -1,0 +1,89 @@
+#include "clock/physical_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pocc {
+namespace {
+
+TEST(PhysicalClock, PerfectClockTracksReference) {
+  PhysicalClock c(0, 0.0);
+  EXPECT_EQ(c.read(1000), 1000);
+  EXPECT_EQ(c.read(2000), 2000);
+}
+
+TEST(PhysicalClock, StrictMonotonicityUnderStalledReference) {
+  PhysicalClock c(0, 0.0);
+  const Timestamp t1 = c.read(500);
+  const Timestamp t2 = c.read(500);
+  const Timestamp t3 = c.read(500);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+}
+
+TEST(PhysicalClock, MonotonicEvenIfReferenceRegresses) {
+  PhysicalClock c(0, 0.0);
+  const Timestamp t1 = c.read(1000);
+  const Timestamp t2 = c.read(900);  // reference went backwards
+  EXPECT_GT(t2, t1);
+}
+
+TEST(PhysicalClock, OffsetShiftsReadings) {
+  PhysicalClock ahead(2500, 0.0);
+  PhysicalClock behind(-2500, 0.0);
+  EXPECT_EQ(ahead.read(10'000), 12'500);
+  EXPECT_EQ(behind.read(10'000), 7'500);
+}
+
+TEST(PhysicalClock, DriftAccumulates) {
+  PhysicalClock c(0, 100.0);  // +100 ppm
+  // After 10 seconds of reference time, drift adds ~1ms.
+  const Timestamp t = c.read(10'000'000);
+  EXPECT_NEAR(static_cast<double>(t), 10'001'000.0, 1.0);
+}
+
+TEST(PhysicalClock, PeekDoesNotAdvanceState) {
+  PhysicalClock c(0, 0.0);
+  (void)c.read(1000);
+  const Timestamp p1 = c.peek(1000);
+  const Timestamp p2 = c.peek(1000);
+  EXPECT_EQ(p1, p2);
+  // peek never returns less than the last read() value.
+  EXPECT_GE(p1, 1000);
+}
+
+TEST(PhysicalClock, ResyncPullsOffsetTowardZero) {
+  PhysicalClock c(10'000, 0.0);
+  c.resync(0.5);
+  EXPECT_EQ(c.offset_us(), 5'000);
+  c.resync(1.0);
+  EXPECT_EQ(c.offset_us(), 0);
+}
+
+TEST(PhysicalClock, ConfigDrawsBoundedSkew) {
+  ClockConfig cfg;
+  cfg.offset_sigma_us = 1000.0;
+  cfg.drift_ppm_sigma = 10.0;
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    PhysicalClock c(cfg, rng);
+    // 6-sigma sanity bounds.
+    EXPECT_LT(std::abs(static_cast<double>(c.offset_us())), 6000.0);
+    EXPECT_LT(std::abs(c.drift_ppm()), 60.0);
+  }
+}
+
+TEST(PhysicalClock, ReadJitterStaysMonotonic) {
+  ClockConfig cfg = ClockConfig::perfect();
+  cfg.read_jitter_us = 50;
+  Rng rng(1);
+  PhysicalClock c(cfg, rng);
+  Timestamp prev = c.read(0);
+  for (Timestamp t = 1; t < 2000; ++t) {
+    const Timestamp v = c.read(t);
+    ASSERT_GT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace pocc

@@ -1,0 +1,208 @@
+// Edge cases of the shared replica machinery that the protocol-level suites
+// do not isolate: idempotent replication, tie handling, degenerate
+// transactions, GC corner cases, and parking-lot interactions.
+#include <gtest/gtest.h>
+
+#include "cure/cure_server.hpp"
+#include "pocc/pocc_server.hpp"
+#include "test_util.hpp"
+
+namespace pocc {
+namespace {
+
+using testutil::MockContext;
+using testutil::test_topology;
+
+class ReplicaEdgeTest : public ::testing::Test {
+ protected:
+  ReplicaEdgeTest()
+      : server_(NodeId{0, 1}, test_topology(), protocol_, service_, ctx_) {
+    ctx_.now = 1'000'000;
+  }
+
+  store::Version remote_version(std::string key, Timestamp ut, DcId sr,
+                                VersionVector dv = VersionVector(3)) {
+    store::Version v;
+    v.key = std::move(key);
+    v.value = "v@" + std::to_string(ut);
+    v.sr = sr;
+    v.ut = ut;
+    v.dv = std::move(dv);
+    return v;
+  }
+
+  MockContext ctx_;
+  ProtocolConfig protocol_;
+  ServiceConfig service_;
+  PoccServer server_;
+};
+
+TEST_F(ReplicaEdgeTest, DuplicateReplicationIsIdempotent) {
+  const auto v = remote_version("1:a", 500'000, 1);
+  server_.handle_message(NodeId{1, 1}, proto::Replicate{v});
+  server_.handle_message(NodeId{1, 1}, proto::Replicate{v});  // redelivery
+  EXPECT_EQ(server_.partition_store().find("1:a")->size(), 1u);
+  EXPECT_EQ(server_.version_vector()[1], 500'000);
+}
+
+TEST_F(ReplicaEdgeTest, HeartbeatNeverRegressesVersionVector) {
+  server_.handle_message(NodeId{1, 1}, proto::Heartbeat{1, 500'000});
+  server_.handle_message(NodeId{1, 1}, proto::Heartbeat{1, 500'000});
+  EXPECT_EQ(server_.version_vector()[1], 500'000);
+}
+
+TEST_F(ReplicaEdgeTest, ConcurrentTimestampTieServesLowestSr) {
+  // Three DCs write the same key with the same timestamp: LWW must be total.
+  for (DcId sr : {2u, 1u}) {
+    server_.handle_message(NodeId{sr, 1},
+                           proto::Replicate{remote_version("1:k", 700'000,
+                                                           sr)});
+  }
+  proto::GetReq req;
+  req.client = 1;
+  req.key = "1:k";
+  req.rdv = VersionVector(3);
+  server_.handle_message(NodeId{0, 1}, req);
+  const auto replies = ctx_.replies_of<proto::GetReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].second.item.sr, 1u);
+}
+
+TEST_F(ReplicaEdgeTest, RoTxWithDuplicateKeysReturnsEachOccurrence) {
+  proto::PutReq put;
+  put.client = 1;
+  put.key = "1:dup";
+  put.value = "x";
+  put.dv = VersionVector(3);
+  server_.handle_message(NodeId{0, 1}, put);
+  proto::RoTxReq tx;
+  tx.client = 2;
+  tx.keys = {"1:dup", "1:dup"};
+  tx.rdv = VersionVector(3);
+  server_.handle_message(NodeId{0, 1}, tx);
+  const auto replies = ctx_.replies_of<proto::RoTxReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].second.items.size(), 2u);
+  EXPECT_EQ(replies[0].second.items[0].ut, replies[0].second.items[1].ut);
+}
+
+TEST_F(ReplicaEdgeTest, RoTxEntirelyOnRemotePartition) {
+  proto::RoTxReq tx;
+  tx.client = 3;
+  tx.keys = {"0:a", "0:b"};  // both on partition 0; coordinator is partition 1
+  tx.rdv = VersionVector(3);
+  server_.handle_message(NodeId{0, 1}, tx);
+  const auto slices = ctx_.sent_of<proto::SliceReq>();
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].second.keys.size(), 2u);
+  // The coordinator holds the pending transaction until the slice returns.
+  EXPECT_TRUE(ctx_.replies_of<proto::RoTxReply>().empty());
+}
+
+TEST_F(ReplicaEdgeTest, StaleSliceReplyForUnknownTxIsDropped) {
+  proto::SliceReply stale;
+  stale.tx_id = 0xdeadbeef;
+  server_.handle_message(NodeId{0, 0}, stale);  // must not crash or reply
+  EXPECT_TRUE(ctx_.replies.empty());
+}
+
+TEST_F(ReplicaEdgeTest, GcVectorOnEmptyStoreIsHarmless) {
+  server_.handle_message(NodeId{0, 0},
+                         proto::GcVector{VersionVector{1, 1, 1}});
+  EXPECT_EQ(server_.partition_store().stats().gc_removed, 0u);
+}
+
+TEST_F(ReplicaEdgeTest, GcAggregatorWaitsForAllPartitions) {
+  MockContext agg_ctx;
+  agg_ctx.now = 1'000'000;
+  PoccServer aggregator(NodeId{0, 0}, test_topology(), protocol_, service_,
+                        agg_ctx);
+  // Only its own report: no broadcast yet (2 partitions in the topology).
+  aggregator.on_timer(server::kTimerGc);
+  EXPECT_TRUE(agg_ctx.sent_of<proto::GcVector>().empty());
+  aggregator.handle_message(
+      NodeId{0, 1}, proto::GcReport{NodeId{0, 1}, VersionVector(3)});
+  EXPECT_EQ(agg_ctx.sent_of<proto::GcVector>().size(), 1u);
+}
+
+TEST_F(ReplicaEdgeTest, ParkedGetCountsExactlyOncePerOperation) {
+  server_.handle_message(
+      NodeId{0, 1},
+      [&] {
+        proto::GetReq r;
+        r.client = 1;
+        r.key = "1:x";
+        r.rdv = VersionVector{0, 900'000, 0};
+        return r;
+      }());
+  EXPECT_EQ(server_.blocking_stats().operations, 0u);  // not served yet
+  ctx_.now += 1'000;
+  server_.handle_message(NodeId{1, 1}, proto::Heartbeat{1, 900'000});
+  EXPECT_EQ(server_.blocking_stats().operations, 1u);
+  EXPECT_EQ(server_.blocking_stats().blocked, 1u);
+}
+
+TEST_F(ReplicaEdgeTest, MultipleParkedRequestsResumeFifoOnOneEvent) {
+  for (ClientId c = 1; c <= 3; ++c) {
+    proto::GetReq r;
+    r.client = c;
+    r.key = "1:x";
+    r.rdv = VersionVector{0, 800'000, 0};
+    server_.handle_message(NodeId{0, 1}, r);
+  }
+  EXPECT_EQ(server_.parked_requests(), 3u);
+  server_.handle_message(NodeId{1, 1}, proto::Heartbeat{1, 800'000});
+  const auto replies = ctx_.replies_of<proto::GetReply>();
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].first, 1u);
+  EXPECT_EQ(replies[1].first, 2u);
+  EXPECT_EQ(replies[2].first, 3u);
+}
+
+TEST_F(ReplicaEdgeTest, ResetStatsClearsBlockingAndStaleness) {
+  proto::PutReq put;
+  put.client = 1;
+  put.key = "1:a";
+  put.value = "v";
+  put.dv = VersionVector(3);
+  server_.handle_message(NodeId{0, 1}, put);
+  EXPECT_GT(server_.blocking_stats().operations, 0u);
+  server_.reset_stats();
+  EXPECT_EQ(server_.blocking_stats().operations, 0u);
+  EXPECT_EQ(server_.staleness_stats().reads, 0u);
+}
+
+TEST_F(ReplicaEdgeTest, CureGetOnEmptyChainCountsNoStaleness) {
+  MockContext cure_ctx;
+  cure_ctx.now = 1'000'000;
+  CureServer cure(NodeId{0, 0}, test_topology(), protocol_, service_,
+                  cure_ctx);
+  proto::GetReq req;
+  req.client = 1;
+  req.key = "0:nothing";
+  req.rdv = VersionVector(3);
+  cure.handle_message(NodeId{0, 0}, req);
+  EXPECT_EQ(cure.staleness_stats().reads, 1u);
+  EXPECT_EQ(cure.staleness_stats().old_reads, 0u);
+  EXPECT_EQ(cure.staleness_stats().unmerged_reads, 0u);
+}
+
+TEST_F(ReplicaEdgeTest, PutClockWaitBoundaryIsStrict) {
+  // Alg. 2 line 7 requires max(DV) < Clock strictly: equal is not enough.
+  server_.handle_message(NodeId{1, 1}, proto::Heartbeat{1, 2'000'000});
+  proto::PutReq put;
+  put.client = 1;
+  put.key = "1:a";
+  put.value = "v";
+  put.dv = VersionVector{0, 2'000'000, 0};  // == beyond current clock (1s)
+  server_.handle_message(NodeId{0, 1}, put);
+  EXPECT_TRUE(ctx_.replies_of<proto::PutReply>().empty());
+  ctx_.now = 2'000'001;
+  server_.on_timer(server::kTimerClockWait);
+  const auto replies = ctx_.replies_of<proto::PutReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_GT(replies[0].second.ut, 2'000'000);
+}
+
+}  // namespace
+}  // namespace pocc

@@ -1,0 +1,128 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pocc {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  // The child stream must not replay the parent stream.
+  Rng parent_copy(7);
+  (void)parent_copy.next();  // same position as `a`
+  bool all_equal = true;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next() != parent_copy.next()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(r.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng r(5);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[r.uniform(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.uniform_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(17);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  EXPECT_FALSE(r.chance(-1.0));
+  EXPECT_TRUE(r.chance(2.0));
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(19);
+  const double mean = 25.0;
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += r.exponential(mean);
+  EXPECT_NEAR(sum / kSamples, mean, mean * 0.03);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng r(23);
+  const double mu = 5.0;
+  const double sigma = 2.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = r.normal(mu, sigma);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, mu, 0.05);
+  EXPECT_NEAR(std::sqrt(var), sigma, 0.05);
+}
+
+}  // namespace
+}  // namespace pocc

@@ -1,0 +1,174 @@
+#include "net/sim_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pocc::net {
+namespace {
+
+struct Recorder : Endpoint {
+  struct Event {
+    Timestamp at;
+    NodeId from;
+    proto::Message msg;
+  };
+  explicit Recorder(sim::Simulator& s) : sim(s) {}
+  void deliver(NodeId from, proto::Message m) override {
+    events.push_back({sim.now(), from, std::move(m)});
+  }
+  sim::Simulator& sim;
+  std::vector<Event> events;
+};
+
+proto::Message heartbeat(Timestamp ts) {
+  return proto::Heartbeat{0, ts};
+}
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  SimNetworkTest()
+      : net_(sim_, LatencyConfig::uniform(1000), Rng(1)),
+        a_(sim_),
+        b_(sim_),
+        remote_(sim_) {
+    net_.register_node(NodeId{0, 0}, &a_);
+    net_.register_node(NodeId{0, 1}, &b_);
+    net_.register_node(NodeId{1, 0}, &remote_);
+  }
+
+  sim::Simulator sim_;
+  SimNetwork net_;
+  Recorder a_, b_, remote_;
+};
+
+TEST_F(SimNetworkTest, DeliversWithConfiguredLatency) {
+  net_.send(NodeId{0, 0}, NodeId{0, 1}, heartbeat(1));
+  sim_.run_all();
+  ASSERT_EQ(b_.events.size(), 1u);
+  EXPECT_EQ(b_.events[0].at, 1000);
+  EXPECT_EQ(b_.events[0].from, (NodeId{0, 0}));
+}
+
+TEST_F(SimNetworkTest, FifoOrderPreservedPerChannel) {
+  for (Timestamp i = 0; i < 20; ++i) {
+    net_.send(NodeId{0, 0}, NodeId{0, 1}, heartbeat(i));
+  }
+  sim_.run_all();
+  ASSERT_EQ(b_.events.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(std::get<proto::Heartbeat>(b_.events[i].msg).ts,
+              static_cast<Timestamp>(i));
+  }
+}
+
+TEST_F(SimNetworkTest, FifoHoldsUnderJitter) {
+  SimNetwork jittery(sim_, LatencyConfig::uniform(1000, 5000), Rng(7));
+  Recorder dst(sim_);
+  jittery.register_node(NodeId{0, 0}, &dst);
+  jittery.register_node(NodeId{0, 1}, &dst);
+  for (Timestamp i = 0; i < 50; ++i) {
+    jittery.send(NodeId{0, 1}, NodeId{0, 0}, heartbeat(i));
+  }
+  sim_.run_all();
+  ASSERT_EQ(dst.events.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(std::get<proto::Heartbeat>(dst.events[i].msg).ts,
+              static_cast<Timestamp>(i));
+  }
+}
+
+TEST_F(SimNetworkTest, InterDcUsesMatrixLatency) {
+  SimNetwork geo(sim_, LatencyConfig::aws_three_dc(), Rng(3));
+  Recorder oregon(sim_);
+  Recorder ireland(sim_);
+  geo.register_node(NodeId{0, 0}, &oregon);
+  geo.register_node(NodeId{2, 0}, &ireland);
+  geo.send(NodeId{0, 0}, NodeId{2, 0}, heartbeat(1));
+  sim_.run_all();
+  ASSERT_EQ(ireland.events.size(), 1u);
+  EXPECT_GE(ireland.events[0].at, 62'000);
+  EXPECT_LT(ireland.events[0].at, 70'000);
+}
+
+TEST_F(SimNetworkTest, PartitionBuffersAndHealFlushes) {
+  net_.partition_dcs(0, 1);
+  EXPECT_TRUE(net_.is_partitioned(0, 1));
+  EXPECT_TRUE(net_.any_partitions());
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(2));
+  sim_.run_until(100'000);
+  EXPECT_TRUE(remote_.events.empty());
+
+  net_.heal_dcs(0, 1);
+  EXPECT_FALSE(net_.any_partitions());
+  sim_.run_all();
+  ASSERT_EQ(remote_.events.size(), 2u);
+  EXPECT_EQ(std::get<proto::Heartbeat>(remote_.events[0].msg).ts, 1);
+  EXPECT_EQ(std::get<proto::Heartbeat>(remote_.events[1].msg).ts, 2);
+}
+
+TEST_F(SimNetworkTest, PartitionDoesNotAffectIntraDcTraffic) {
+  net_.partition_dcs(0, 1);
+  net_.send(NodeId{0, 0}, NodeId{0, 1}, heartbeat(5));
+  sim_.run_all();
+  EXPECT_EQ(b_.events.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, IsolateDcCutsAllPairs) {
+  net_.isolate_dc(0, 3);
+  EXPECT_TRUE(net_.is_partitioned(0, 1));
+  EXPECT_TRUE(net_.is_partitioned(0, 2));
+  EXPECT_FALSE(net_.is_partitioned(1, 2));
+  net_.heal_dc(0, 3);
+  EXPECT_FALSE(net_.any_partitions());
+}
+
+TEST_F(SimNetworkTest, ClientRouting) {
+  Recorder client(sim_);
+  net_.register_client(7, 0, NodeId{0, 0}, &client);
+  net_.client_send(7, NodeId{0, 1}, proto::GetReq{});
+  sim_.run_all();
+  ASSERT_EQ(b_.events.size(), 1u);
+  net_.send_to_client(NodeId{0, 1}, 7, proto::GetReply{});
+  sim_.run_all();
+  ASSERT_EQ(client.events.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, CollocatedClientGetsLoopbackLatency) {
+  LatencyConfig lat = LatencyConfig::uniform(1000);
+  lat.loopback_us = 10;
+  SimNetwork n2(sim_, lat, Rng(5));
+  Recorder server(sim_);
+  Recorder client(sim_);
+  n2.register_node(NodeId{0, 0}, &server);
+  n2.register_client(9, 0, NodeId{0, 0}, &client);
+  const Timestamp t0 = sim_.now();
+  n2.client_send(9, NodeId{0, 0}, proto::GetReq{});
+  sim_.run_all();
+  ASSERT_EQ(server.events.size(), 1u);
+  EXPECT_LE(server.events[0].at - t0, 20);
+}
+
+TEST_F(SimNetworkTest, StatsAccounting) {
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, proto::Replicate{});
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));
+  net_.send(NodeId{0, 0}, NodeId{0, 1}, proto::StabReport{});
+  sim_.run_all();
+  const NetworkStats& s = net_.stats();
+  EXPECT_EQ(s.messages, 3u);
+  EXPECT_EQ(s.replication_messages, 1u);
+  EXPECT_EQ(s.heartbeat_messages, 1u);
+  EXPECT_EQ(s.stabilization_messages, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST_F(SimNetworkTest, ResetStatsClears) {
+  net_.send(NodeId{0, 0}, NodeId{0, 1}, heartbeat(1));
+  sim_.run_all();
+  net_.reset_stats();
+  EXPECT_EQ(net_.stats().messages, 0u);
+}
+
+}  // namespace
+}  // namespace pocc::net

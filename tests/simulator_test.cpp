@@ -1,0 +1,118 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pocc::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1, [&] {
+    ++fired;
+    s.schedule(1, [&] {
+      ++fired;
+      s.schedule(1, [&] { ++fired; });
+    });
+  });
+  s.run_all();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now(), 3);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(10, [&] { ++fired; });
+  s.schedule(100, [&] { ++fired; });
+  const auto n = s.run_until(50);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 50);  // clock advances to the boundary
+  s.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(50, [&] { ++fired; });
+  s.run_until(50);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1, [&] { ++fired; });
+  s.schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  Timestamp seen = -1;
+  s.schedule_at(123, [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(Simulator, ClearDropsPendingEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1, [&] { ++fired; });
+  s.clear();
+  s.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, RunAllRespectsEventBudget) {
+  Simulator s;
+  std::function<void()> reschedule = [&] { s.schedule(1, reschedule); };
+  s.schedule(1, reschedule);
+  const auto n = s.run_all(1000);
+  EXPECT_EQ(n, 1000u);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule(i, [] {});
+  s.run_all();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+}  // namespace
+}  // namespace pocc::sim

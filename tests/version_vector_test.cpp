@@ -1,0 +1,136 @@
+#include "vclock/version_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pocc {
+namespace {
+
+TEST(VersionVector, ConstructsZeroed) {
+  VersionVector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(v[i], 0);
+}
+
+TEST(VersionVector, InitializerList) {
+  VersionVector v{10, 20, 30};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v[2], 30);
+}
+
+TEST(VersionVector, SetAndRaise) {
+  VersionVector v(2);
+  v.set(0, 5);
+  EXPECT_EQ(v[0], 5);
+  v.raise(0, 3);  // lower: no-op
+  EXPECT_EQ(v[0], 5);
+  v.raise(0, 9);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(VersionVector, MergeMax) {
+  VersionVector a{1, 5, 3};
+  VersionVector b{2, 4, 3};
+  a.merge_max(b);
+  EXPECT_EQ(a, (VersionVector{2, 5, 3}));
+}
+
+TEST(VersionVector, MergeMin) {
+  VersionVector a{1, 5, 3};
+  VersionVector b{2, 4, 3};
+  a.merge_min(b);
+  EXPECT_EQ(a, (VersionVector{1, 4, 3}));
+}
+
+TEST(VersionVector, DominatesIsEntrywiseGeq) {
+  VersionVector a{2, 5, 3};
+  VersionVector b{1, 5, 3};
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_TRUE(a.dominates(a));
+}
+
+TEST(VersionVector, DominatesWithSkipIndex) {
+  // The paper's GET check skips the local DC entry (Alg. 2 line 2).
+  VersionVector vv{0, 5, 3};
+  VersionVector rdv{100, 5, 3};
+  EXPECT_FALSE(vv.dominates(rdv));
+  EXPECT_TRUE(vv.dominates(rdv, 0));
+  EXPECT_FALSE(vv.dominates(rdv, 1));
+}
+
+TEST(VersionVector, LeqMirrorsDominates) {
+  VersionVector small{1, 2, 3};
+  VersionVector big{2, 2, 4};
+  EXPECT_TRUE(small.leq(big));
+  EXPECT_FALSE(big.leq(small));
+}
+
+TEST(VersionVector, IncomparableVectors) {
+  VersionVector a{5, 1};
+  VersionVector b{1, 5};
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VersionVector, MaxMinEntries) {
+  VersionVector v{7, 2, 9};
+  EXPECT_EQ(v.max_entry(), 9);
+  EXPECT_EQ(v.min_entry(), 2);
+}
+
+TEST(VersionVector, StaticMaxMin) {
+  VersionVector a{1, 9};
+  VersionVector b{3, 4};
+  EXPECT_EQ(VersionVector::max_of(a, b), (VersionVector{3, 9}));
+  EXPECT_EQ(VersionVector::min_of(a, b), (VersionVector{1, 4}));
+}
+
+TEST(VersionVector, EqualityRequiresSameSize) {
+  VersionVector a(2);
+  VersionVector b(3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(VersionVector, ToString) {
+  VersionVector v{1, 2};
+  EXPECT_EQ(v.to_string(), "[1,2]");
+}
+
+// Property sweep: max_of is an upper bound, min_of a lower bound.
+class VvLatticeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VvLatticeTest, MaxOfDominatesBothAndMinOfIsDominated) {
+  const int seed = GetParam();
+  std::uint64_t s = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (int round = 0; round < 200; ++round) {
+    VersionVector a(4);
+    VersionVector b(4);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      a.set(i, static_cast<Timestamp>(next() % 1000));
+      b.set(i, static_cast<Timestamp>(next() % 1000));
+    }
+    const VersionVector hi = VersionVector::max_of(a, b);
+    const VersionVector lo = VersionVector::min_of(a, b);
+    EXPECT_TRUE(hi.dominates(a));
+    EXPECT_TRUE(hi.dominates(b));
+    EXPECT_TRUE(lo.leq(a));
+    EXPECT_TRUE(lo.leq(b));
+    // Lattice absorption: max(a, min(a,b)) == a.
+    EXPECT_EQ(VersionVector::max_of(a, lo), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VvLatticeTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace pocc

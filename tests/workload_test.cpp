@@ -1,0 +1,158 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.hpp"
+
+namespace pocc::workload {
+namespace {
+
+PartitionId part_of(const std::string& key, std::uint32_t parts) {
+  return partition_of(key, parts, PartitionScheme::kPrefix);
+}
+
+TEST(Workload, GetPutCycleShape) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kGetPut;
+  cfg.gets_per_put = 4;
+  Generator gen(cfg, 8, 1);
+  // One full cycle: 4 GETs then 1 PUT.
+  for (int i = 0; i < 4; ++i) {
+    const Op op = gen.next();
+    EXPECT_EQ(op.type, OpType::kGet) << i;
+    EXPECT_EQ(op.keys.size(), 1u);
+  }
+  const Op put = gen.next();
+  EXPECT_EQ(put.type, OpType::kPut);
+  EXPECT_FALSE(put.value.empty());
+  // Next cycle starts with GETs again.
+  EXPECT_EQ(gen.next().type, OpType::kGet);
+}
+
+TEST(Workload, GetsTargetDistinctPartitions) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kGetPut;
+  cfg.gets_per_put = 8;
+  Generator gen(cfg, 8, 2);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    std::set<PartitionId> parts;
+    for (int i = 0; i < 8; ++i) {
+      const Op op = gen.next();
+      ASSERT_EQ(op.type, OpType::kGet);
+      parts.insert(part_of(op.keys[0], 8));
+    }
+    EXPECT_EQ(parts.size(), 8u) << "cycle " << cycle;
+    (void)gen.next();  // the PUT
+  }
+}
+
+TEST(Workload, GetsPerPutClampedToPartitionCount) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kGetPut;
+  cfg.gets_per_put = 32;
+  Generator gen(cfg, 4, 3);
+  int gets = 0;
+  while (gen.next().type == OpType::kGet) ++gets;
+  EXPECT_EQ(gets, 4);
+}
+
+TEST(Workload, PutTargetsAnyPartitionUniformly) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kGetPut;
+  cfg.gets_per_put = 1;
+  Generator gen(cfg, 4, 4);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) {
+    const Op op = gen.next();
+    if (op.type == OpType::kPut) {
+      ++counts[part_of(op.keys[0], 4)];
+    }
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Workload, TxPutAlternates) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kTxPut;
+  cfg.tx_partitions = 4;
+  Generator gen(cfg, 8, 5);
+  for (int i = 0; i < 10; ++i) {
+    const Op tx = gen.next();
+    ASSERT_EQ(tx.type, OpType::kRoTx);
+    EXPECT_EQ(tx.keys.size(), 4u);
+    std::set<PartitionId> parts;
+    for (const auto& k : tx.keys) parts.insert(part_of(k, 8));
+    EXPECT_EQ(parts.size(), 4u);  // p distinct partitions (§V-C)
+    const Op put = gen.next();
+    ASSERT_EQ(put.type, OpType::kPut);
+  }
+}
+
+TEST(Workload, TxPartitionsClamped) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kTxPut;
+  cfg.tx_partitions = 32;
+  Generator gen(cfg, 8, 6);
+  const Op tx = gen.next();
+  EXPECT_EQ(tx.keys.size(), 8u);
+}
+
+TEST(Workload, ZipfKeySkewWithinPartition) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kGetPut;
+  cfg.gets_per_put = 1;
+  cfg.keys_per_partition = 1000;
+  cfg.zipf_theta = 0.99;
+  Generator gen(cfg, 1, 7);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const Op op = gen.next();
+    ++counts[op.keys[0]];
+  }
+  // The hottest key must be the zipf head "0:0".
+  int max_count = 0;
+  std::string max_key;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_EQ(max_key, "0:0");
+}
+
+TEST(Workload, ValuesHaveConfiguredSize) {
+  WorkloadConfig cfg;
+  cfg.pattern = Pattern::kGetPut;
+  cfg.gets_per_put = 1;
+  cfg.value_size = 8;
+  Generator gen(cfg, 2, 8);
+  for (int i = 0; i < 10; ++i) {
+    const Op op = gen.next();
+    if (op.type == OpType::kPut) EXPECT_EQ(op.value.size(), 8u);
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  Generator a(cfg, 8, 42);
+  Generator b(cfg, 8, 42);
+  for (int i = 0; i < 100; ++i) {
+    const Op x = a.next();
+    const Op y = b.next();
+    EXPECT_EQ(x.type, y.type);
+    EXPECT_EQ(x.keys, y.keys);
+  }
+}
+
+TEST(Workload, ThinkTimeExposed) {
+  WorkloadConfig cfg;
+  cfg.think_time_us = 25'000;
+  Generator gen(cfg, 2, 9);
+  EXPECT_EQ(gen.think_time(), 25'000);
+}
+
+}  // namespace
+}  // namespace pocc::workload

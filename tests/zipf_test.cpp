@@ -1,0 +1,98 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace pocc {
+namespace {
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Rng rng(1);
+  ZipfGenerator z(1, 0.99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(rng), 0u);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng rng(2);
+  ZipfGenerator z(1000, 0.99);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_LT(z.next(rng), 1000u);
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(3);
+  constexpr std::uint64_t kN = 10;
+  constexpr int kSamples = 200000;
+  ZipfGenerator z(kN, 0.0);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[z.next(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kN, kSamples / kN * 0.1);
+  }
+}
+
+TEST(Zipf, SkewFavorsSmallRanks) {
+  Rng rng(4);
+  ZipfGenerator z(1'000'000, 0.99);
+  constexpr int kSamples = 200000;
+  int rank0 = 0;
+  int top100 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t v = z.next(rng);
+    if (v == 0) ++rank0;
+    if (v < 100) ++top100;
+  }
+  // With theta=0.99 over 1M keys, the head is heavily favored.
+  EXPECT_GT(rank0, kSamples / 100);
+  EXPECT_GT(top100, kSamples / 5);
+}
+
+TEST(Zipf, MatchesAnalyticalDistribution) {
+  // Compare empirical frequencies against the exact zipf pmf for a small n.
+  constexpr std::uint64_t kN = 50;
+  const double theta = 0.8;
+  Rng rng(5);
+  ZipfGenerator z(kN, theta);
+  constexpr int kSamples = 500000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[z.next(rng)];
+
+  double harmonic = 0.0;
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    harmonic += 1.0 / std::pow(static_cast<double>(k), theta);
+  }
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    const double expected =
+        kSamples / std::pow(static_cast<double>(k + 1), theta) / harmonic;
+    EXPECT_NEAR(counts[k], expected, std::max(60.0, expected * 0.08))
+        << "rank " << k;
+  }
+}
+
+class ZipfParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ZipfParamTest, RankZeroIsModalValue) {
+  const auto [n, theta] = GetParam();
+  Rng rng(6);
+  ZipfGenerator z(n, theta);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[z.next(rng)];
+  // Rank 0 must be (weakly) the most frequent for any skew > 0.
+  int max_count = 0;
+  for (const auto& [rank, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_EQ(counts[0], max_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfParamTest,
+    ::testing::Combine(::testing::Values(10ULL, 1000ULL, 1'000'000ULL),
+                       ::testing::Values(0.5, 0.99, 1.0, 1.2)));
+
+}  // namespace
+}  // namespace pocc
