@@ -1,3 +1,5 @@
+// Shared benchmark harness plumbing: POCC_SCALE env handling, cluster
+// construction helpers and CSV-ish result printing.
 #include "bench_util.hpp"
 
 #include <cstdio>

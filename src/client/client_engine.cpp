@@ -42,7 +42,7 @@ proto::RoTxReq ClientEngine::make_ro_tx(std::vector<std::string> keys) const {
   // or written by c" — the commit times of c's own writes and direct reads
   // live only in DV, and under clock skew the coordinator's VV does not
   // necessarily cover them. Carrying DV closes that window at identical
-  // metadata cost. See DESIGN.md ("Deviations").
+  // metadata cost. See docs/DESIGN.md ("Deviations").
   req.rdv = dv_;
   req.pessimistic = pessimistic_;
   return req;

@@ -6,7 +6,7 @@
 // closed-loop workload clients, the measurement machinery that reproduces the
 // paper's metrics, fault injection (DC partitions) and the online causal-
 // consistency checker. This is the substrate substituting for the paper's
-// 96-node AWS test-bed (see DESIGN.md).
+// 96-node AWS test-bed (see docs/DESIGN.md).
 #pragma once
 
 #include <memory>

@@ -1,3 +1,6 @@
+// Online causal-consistency checker: clean histories pass; violations of
+// read-your-writes, monotonic reads, cross-key causal chains, the RO-TX
+// snapshot rule, Alg. 1 conformance and Prop. 2 are detected.
 #include "checker/history_checker.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Client engine (Alg. 1): DV/RDV start at zero, requests carry the right
+// vectors, and replies are absorbed per the paper's dependency-update rules.
 #include "client/client_engine.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// CPU queueing station: FIFO service, multi-core parallelism,
+// work-dependent service times and utilization accounting.
 #include "sim/cpu_queue.hpp"
 
 #include <gtest/gtest.h>

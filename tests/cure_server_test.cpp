@@ -1,3 +1,5 @@
+// Cure* engine: GSS stabilization (aggregate min, monotone), pessimistic
+// visibility (remote versions hidden until stable), stable-version GETs.
 #include "cure/cure_server.hpp"
 
 #include <gtest/gtest.h>

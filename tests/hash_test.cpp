@@ -1,3 +1,5 @@
+// Key-to-partition mapping: hash scheme spread/stability and the explicit
+// "<partition>:" prefix scheme used by the workload generators.
 #include "common/hash.hpp"
 
 #include <gtest/gtest.h>

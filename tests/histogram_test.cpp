@@ -1,3 +1,5 @@
+// Log-bucketed latency histogram: exactness for small values, bounded
+// relative error for percentiles, clamping and weighted recording.
 #include "stats/histogram.hpp"
 
 #include <gtest/gtest.h>

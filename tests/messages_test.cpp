@@ -1,3 +1,5 @@
+// Wire messages: distinct names, wire-size model (scales with payload and
+// vector width), and POCC/Cure* metadata parity (fair-comparison claim, §V).
 #include "proto/messages.hpp"
 
 #include <gtest/gtest.h>

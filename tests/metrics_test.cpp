@@ -1,3 +1,5 @@
+// Blocking/staleness/op statistics: probabilities, percentages, merge and
+// reset semantics used by the benchmark aggregation.
 #include "stats/metrics.hpp"
 
 #include <gtest/gtest.h>

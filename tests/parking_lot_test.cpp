@@ -1,3 +1,5 @@
+// Parking lot: FIFO resume when predicates turn true, re-parking, deadline
+// expiry (HA-POCC partition suspicion) and drain semantics.
 #include "server/parking_lot.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Multi-version partition store: insert/find, stats upkeep, GC of
+// multi-version chains and targeted purging (lost-update discard).
 #include "store/partition_store.hpp"
 
 #include <gtest/gtest.h>

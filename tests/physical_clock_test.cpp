@@ -1,3 +1,5 @@
+// Skewed physical clock: strict monotonicity under stalled/regressing
+// reference time, offset and drift models, peek vs read.
 #include "clock/physical_clock.hpp"
 
 #include <gtest/gtest.h>

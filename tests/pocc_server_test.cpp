@@ -1,3 +1,6 @@
+// POCC engine (Alg. 2) against a MockContext: PUT path (timestamps, clock
+// waits, replication), optimistic GET visibility, parking on missing
+// dependencies, RO-TX snapshots, heartbeats and GC.
 #include "pocc/pocc_server.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Deterministic RNG: seed reproducibility, stream splitting and uniformity
+// of the primitive samplers.
 #include "common/rng.hpp"
 
 #include <gtest/gtest.h>

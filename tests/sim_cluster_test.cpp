@@ -1,3 +1,6 @@
+// Whole-cluster integration on the simulator: session guarantees, POCC's
+// immediate remote visibility vs Cure*'s stabilization delay, and causal
+// consistency across DCs under the online checker.
 #include "cluster/sim_cluster.hpp"
 
 #include <gtest/gtest.h>
@@ -219,7 +222,9 @@ TEST(SimCluster, RoTxAcrossEveryPartitionIsSnapshotConsistent) {
     if (item.key == "0:cfg") cfg_val = item.value;
     if (item.key == "1:data") data_val = item.value;
   }
-  if (data_val == "data-v2") EXPECT_EQ(cfg_val, "cfg-v2");
+  if (data_val == "data-v2") {
+    EXPECT_EQ(cfg_val, "cfg-v2");
+  }
   EXPECT_TRUE(cluster.checker()->violations().empty());
 }
 

@@ -1,3 +1,5 @@
+// Simulated network: latency-matrix delivery, per-channel FIFO (also under
+// jitter), and DC partition buffering with in-order flush on heal.
 #include "net/sim_network.hpp"
 
 #include <gtest/gtest.h>

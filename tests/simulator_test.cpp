@@ -1,3 +1,5 @@
+// Discrete-event core: time-ordered execution, deterministic tie-breaking,
+// self-scheduling events and run_until boundary semantics.
 #include "sim/simulator.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// Version records and chains: LWW order (timestamp, then source replica),
+// freshest-first insertion and stable-version lookup.
 #include "store/version_chain.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,5 @@
+// VersionVector: construction, lattice operations (merge/max_of/min_of),
+// dominates/leq with the skip-local index, and width/empty edge cases.
 #include "vclock/version_vector.hpp"
 
 #include <gtest/gtest.h>
@@ -98,6 +100,76 @@ TEST(VersionVector, EqualityRequiresSameSize) {
 TEST(VersionVector, ToString) {
   VersionVector v{1, 2};
   EXPECT_EQ(v.to_string(), "[1,2]");
+}
+
+TEST(VersionVector, SkipIndexOutOfRangeBehavesLikePlainDominates) {
+  // skip_index is the local DC id; values outside [0, size) skip nothing.
+  VersionVector a{1, 2};
+  VersionVector b{2, 2};
+  EXPECT_FALSE(a.dominates(b, 5));
+  EXPECT_FALSE(a.dominates(b, -1));
+  EXPECT_TRUE(b.dominates(a, 5));
+}
+
+TEST(VersionVector, SkipOnlyIndexMakesSingleEntryVectorsComparable) {
+  // A 1-DC deployment: the GET check skips the only entry, so every RDV is
+  // trivially satisfied.
+  VersionVector vv{0};
+  VersionVector rdv{1000};
+  EXPECT_FALSE(vv.dominates(rdv));
+  EXPECT_TRUE(vv.dominates(rdv, 0));
+}
+
+TEST(VersionVector, SkipIndexIgnoresArbitrarilyLargeSkippedEntry) {
+  VersionVector vv{5, 5, 5};
+  VersionVector rdv{5, kTimestampMax, 5};
+  EXPECT_FALSE(vv.dominates(rdv));
+  EXPECT_TRUE(vv.dominates(rdv, 1));
+}
+
+TEST(VersionVector, EmptyVectorsAreTriviallyOrdered) {
+  // Default-constructed vectors have size 0 (a "not yet sized" sentinel);
+  // all entry-wise comparisons hold vacuously.
+  VersionVector a;
+  VersionVector b;
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_TRUE(a == b);
+  a.merge_max(b);  // no-op, must not touch storage
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.to_string(), "[]");
+}
+
+TEST(VersionVectorDeathTest, UnequalWidthsAssertInComparisons) {
+  // Mixed-width vectors indicate a topology mix-up; the protocol invariant
+  // assertion stays on in release builds and aborts.
+  VersionVector a(2);
+  VersionVector b(3);
+  EXPECT_DEATH((void)a.dominates(b), "POCC_ASSERT failed");
+  EXPECT_DEATH((void)b.leq(a), "POCC_ASSERT failed");
+  EXPECT_DEATH(a.merge_max(b), "POCC_ASSERT failed");
+  EXPECT_DEATH(a.merge_min(b), "POCC_ASSERT failed");
+  // Equality is the one width-tolerant comparison (it must work on
+  // heterogeneous containers): unequal widths are just unequal.
+  EXPECT_FALSE(a == b);
+}
+
+TEST(VersionVectorDeathTest, EmptyVectorExtremaAssert) {
+  VersionVector v;
+  EXPECT_DEATH((void)v.max_entry(), "POCC_ASSERT failed");
+  EXPECT_DEATH((void)v.min_entry(), "POCC_ASSERT failed");
+}
+
+TEST(VersionVectorDeathTest, OutOfRangeAccessAsserts) {
+  VersionVector v(2);
+  EXPECT_DEATH((void)v.at(2), "POCC_ASSERT failed");
+  EXPECT_DEATH(v.set(2, 1), "POCC_ASSERT failed");
+  EXPECT_DEATH(v.raise(2, 1), "POCC_ASSERT failed");
+}
+
+TEST(VersionVectorDeathTest, OversizedConstructionAsserts) {
+  EXPECT_DEATH(VersionVector v(kMaxDcs + 1), "POCC_ASSERT failed");
 }
 
 // Property sweep: max_of is an upper bound, min_of a lower bound.

@@ -1,3 +1,5 @@
+// Workload generators: the paper's GET/PUT cycle shape (§V-B), distinct
+// partitions per GET, and transaction-mix clamping.
 #include "workload/workload.hpp"
 
 #include <gtest/gtest.h>
@@ -131,7 +133,9 @@ TEST(Workload, ValuesHaveConfiguredSize) {
   Generator gen(cfg, 2, 8);
   for (int i = 0; i < 10; ++i) {
     const Op op = gen.next();
-    if (op.type == OpType::kPut) EXPECT_EQ(op.value.size(), 8u);
+    if (op.type == OpType::kPut) {
+      EXPECT_EQ(op.value.size(), 8u);
+    }
   }
 }
 

@@ -1,3 +1,5 @@
+// Zipfian sampler: range, theta=0 uniformity, skew toward small ranks and
+// agreement with the analytical distribution.
 #include "common/zipf.hpp"
 
 #include <gtest/gtest.h>
