@@ -2,11 +2,16 @@
 // paths of the simulation and the protocol engines.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
 #include "sim/cpu_queue.hpp"
 #include "sim/simulator.hpp"
 #include "stats/histogram.hpp"
+#include "store/key_space.hpp"
 #include "store/partition_store.hpp"
 #include "store/version_chain.hpp"
 #include "vclock/version_vector.hpp"
@@ -57,12 +62,105 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1'000'000);
 
+// ------------------------------------------------------------ key interning
+
+void BM_KeySpaceInternHit(benchmark::State& state) {
+  // Steady-state intern: every key already interned (the workload hot path —
+  // zipf re-touches a small hot set).
+  auto& ks = store::KeySpace::global();
+  Rng rng(11);
+  for (std::uint64_t r = 0; r < 10'000; ++r) {
+    ks.intern_partition_key(3, r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ks.intern_partition_key(3, rng.uniform(10'000)));
+  }
+}
+BENCHMARK(BM_KeySpaceInternHit);
+
+void BM_KeySpaceInternStringHit(benchmark::State& state) {
+  // Intern from a pre-built string (manual-client boundary).
+  auto& ks = store::KeySpace::global();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4096; ++i) {
+    keys.push_back("7:" + std::to_string(i));
+    ks.intern(keys.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ks.intern(keys[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_KeySpaceInternStringHit);
+
+// ----------------------------------------------------------- store lookups
+
+void BM_PartitionStoreInsertLookup(benchmark::State& state) {
+  // Mixed insert + lookup through the full PartitionStore (flat KeyId map).
+  // The probe key is drawn from the inserted distribution, so the lookup
+  // measures the hit path.
+  store::PartitionStore store;
+  Rng rng(7);
+  Timestamp t = 1;
+  const KeyId probe = store::KeySpace::global().intern_partition_key(9, 42);
+  for (auto _ : state) {
+    store::Version v;
+    v.key = store::KeySpace::global().intern_partition_key(
+        9, rng.uniform(10'000));
+    v.value = "12345678";
+    v.ut = t++;
+    v.dv = VersionVector(3);
+    store.insert(std::move(v));
+    benchmark::DoNotOptimize(store.find(probe));
+  }
+}
+BENCHMARK(BM_PartitionStoreInsertLookup);
+
+void BM_FlatStoreLookup(benchmark::State& state) {
+  // Pure lookup against a pre-populated flat store.
+  store::PartitionStore store;
+  std::vector<KeyId> keys;
+  for (std::uint64_t r = 0; r < 10'000; ++r) {
+    store::Version v;
+    v.key = store::KeySpace::global().intern_partition_key(5, r);
+    v.value = "12345678";
+    v.ut = static_cast<Timestamp>(r + 1);
+    v.dv = VersionVector(3);
+    keys.push_back(v.key);
+    store.insert(std::move(v));
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.find(keys[rng.uniform(keys.size())]));
+  }
+}
+BENCHMARK(BM_FlatStoreLookup);
+
+void BM_UnorderedStringMapLookup(benchmark::State& state) {
+  // The pre-interning baseline: the same lookup against
+  // std::unordered_map<std::string, chain>, including the string build the
+  // old data plane performed at each hop.
+  std::unordered_map<std::string, store::VersionChain> map;
+  for (std::uint64_t r = 0; r < 10'000; ++r) {
+    map.try_emplace("5:" + std::to_string(r));
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    const std::string key = "5:" + std::to_string(rng.uniform(10'000));
+    auto it = map.find(key);
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(BM_UnorderedStringMapLookup);
+
+// ------------------------------------------------------------- version chains
+
 void BM_VersionChainInsertFreshest(benchmark::State& state) {
   // The common replication case: versions arrive in timestamp order.
   store::VersionChain chain;
   Timestamp t = 1;
   store::Version v;
-  v.key = "k";
+  v.key = store::intern_key("k");
   v.value = "12345678";
   v.dv = VersionVector(3);
   for (auto _ : state) {
@@ -84,7 +182,7 @@ void BM_ChainStableSearch(benchmark::State& state) {
   const auto unstable = static_cast<Timestamp>(state.range(0));
   for (Timestamp t = 1; t <= unstable + 1; ++t) {
     store::Version v;
-    v.key = "k";
+    v.key = store::intern_key("k");
     v.value = "12345678";
     v.ut = t * 100;
     v.sr = 1;
@@ -100,21 +198,7 @@ void BM_ChainStableSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_ChainStableSearch)->Arg(0)->Arg(4)->Arg(16);
 
-void BM_PartitionStoreInsertLookup(benchmark::State& state) {
-  store::PartitionStore store;
-  Rng rng(7);
-  Timestamp t = 1;
-  for (auto _ : state) {
-    store::Version v;
-    v.key = "key" + std::to_string(rng.uniform(10'000));
-    v.value = "12345678";
-    v.ut = t++;
-    v.dv = VersionVector(3);
-    store.insert(std::move(v));
-    benchmark::DoNotOptimize(store.find("key42"));
-  }
-}
-BENCHMARK(BM_PartitionStoreInsertLookup);
+// ---------------------------------------------------------------- event loop
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -128,6 +212,55 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleRun);
 
+void BM_SimulatorScheduleRunPayload(benchmark::State& state) {
+  // The realistic case: closures carry a message-sized payload. Pre-refactor
+  // this forced one heap allocation per event (std::function's inline buffer
+  // is 16 bytes); the inline-callable event loop stores it in place.
+  struct Payload {
+    char bytes[96] = {};
+  };
+  Payload p;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i, [p, &sink] { sink += static_cast<std::uint64_t>(p.bytes[0]); });
+    }
+    sim.run_all();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRunPayload);
+
+void BM_SimulatorSteadyChurn(benchmark::State& state) {
+  // Steady-state slot reuse: a deep queue with every pop scheduling a new
+  // event (how the simulation actually runs — queue depth ~ in-flight
+  // messages). Exercises the timing wheel (O(1) bucket append + bitmap-scan
+  // pop + cascades) and slot recycling at depth `range`.
+  const int depth = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  // A self-rescheduling action keeps the queue at constant depth.
+  struct Resched {
+    sim::Simulator* s;
+    std::uint64_t* fired;
+    void operator()() const {
+      ++*fired;
+      s->schedule(100, Resched{s, fired});
+    }
+  };
+  for (int i = 0; i < depth; ++i) {
+    sim.schedule(i, Resched{&sim, &fired});
+  }
+  for (auto _ : state) {
+    sim.step();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorSteadyChurn)->Arg(64)->Arg(4096);
+
 void BM_CpuQueueSubmit(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -140,6 +273,8 @@ void BM_CpuQueueSubmit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_CpuQueueSubmit);
+
+// ------------------------------------------------------------------- stats
 
 void BM_HistogramRecord(benchmark::State& state) {
   stats::Histogram h;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "cluster/sim_cluster.hpp"
+#include "store/key_space.hpp"
 
 using namespace pocc;
 
@@ -68,7 +69,8 @@ int main() {
   const auto tx = bob.ro_tx({"photo:42", "comment:42", "ticker"});
   std::printf("bob RO-TX over 3 keys returned %zu items:\n", tx.items.size());
   for (const auto& item : tx.items) {
-    std::printf("  %-12s found=%d value=\"%s\"\n", item.key.c_str(),
+    std::printf("  %-12s found=%d value=\"%s\"\n",
+                store::key_name(item.key).c_str(),
                 item.found, item.value.c_str());
   }
   std::printf("\nDone. See examples/social_network.cpp for the threaded "

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "store/key_space.hpp"
 
 namespace pocc::checker {
 
@@ -16,14 +17,14 @@ void HistoryChecker::register_client(ClientId c, DcId dc, bool snapshot_rdv) {
   sessions_.emplace(c, std::move(s));
 }
 
-void HistoryChecker::on_version_created(ClientId c, const std::string& key,
-                                        Timestamp ut, DcId sr,
-                                        const VersionVector& dv) {
+void HistoryChecker::on_version_created(ClientId c, KeyId key, Timestamp ut,
+                                        DcId sr, const VersionVector& dv) {
   ++versions_registered_;
   // Proposition 2: the update timestamp strictly dominates every dependency.
   ++checks_;
   if (ut <= dv.max_entry()) {
-    fail("Prop2 violated: version of '" + key + "' ut=" + std::to_string(ut) +
+    fail("Prop2 violated: version of '" + store::key_name(key) +
+         "' ut=" + std::to_string(ut) +
          " <= max(dv)=" + std::to_string(dv.max_entry()));
   }
   auto s = sessions_.find(c);
@@ -87,7 +88,7 @@ void HistoryChecker::on_put_reply(ClientId c, const proto::PutReply& reply) {
 }
 
 const HistoryChecker::VersionRecord* HistoryChecker::find_version(
-    const std::string& key, VersionId id) const {
+    KeyId key, VersionId id) const {
   auto it = registry_.find(key);
   if (it == registry_.end()) return nullptr;
   for (const VersionRecord& r : it->second) {
@@ -107,7 +108,7 @@ void HistoryChecker::check_read_item(ClientId c, Session& s,
   auto past_it = s.past.find(item.key);
   if (past_it != s.past.end() && past_it->second.fresher_than(returned)) {
     fail("causal GET rule violated for client " + std::to_string(c) +
-         ": read of '" + item.key + "' returned (ut=" +
+         ": read of '" + store::key_name(item.key) + "' returned (ut=" +
          std::to_string(returned.ut) + ",sr=" + std::to_string(returned.sr) +
          ") but causal past holds (ut=" + std::to_string(past_it->second.ut) +
          ",sr=" + std::to_string(past_it->second.sr) + ")");
@@ -128,7 +129,8 @@ void HistoryChecker::absorb_read(Session& s, const proto::ReadItem& item) {
   const VersionId id{item.ut, item.sr};
   const VersionRecord* rec = find_version(item.key, id);
   if (rec == nullptr) {
-    fail("internal: read returned unregistered version of '" + item.key + "'");
+    fail("internal: read returned unregistered version of '" +
+         store::key_name(item.key) + "'");
   } else if (rec->past != nullptr) {
     for (const auto& [key, vid] : *rec->past) {
       auto& slot = s.past[key];
@@ -172,9 +174,10 @@ void HistoryChecker::on_tx_reply(ClientId c, const proto::RoTxReply& reply) {
       if (in_past != yrec->past->end() &&
           in_past->second.fresher_than(returned_x)) {
         fail("RO-TX snapshot violated for client " + std::to_string(c) +
-             ": returned '" + x.key + "'@(ut=" + std::to_string(returned_x.ut) +
-             ") together with '" + y.key + "'@(ut=" + std::to_string(y.ut) +
-             ") whose past holds '" + x.key + "'@(ut=" +
+             ": returned '" + store::key_name(x.key) +
+             "'@(ut=" + std::to_string(returned_x.ut) + ") together with '" +
+             store::key_name(y.key) + "'@(ut=" + std::to_string(y.ut) +
+             ") whose past holds '" + store::key_name(x.key) + "'@(ut=" +
              std::to_string(in_past->second.ut) + ")");
       }
     }

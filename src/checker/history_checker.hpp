@@ -59,8 +59,8 @@ class HistoryChecker {
 
   /// Observe a version at creation time (wired to the server PUT path, so the
   /// registry is complete the moment a version becomes readable anywhere).
-  void on_version_created(ClientId c, const std::string& key, Timestamp ut,
-                          DcId sr, const VersionVector& dv);
+  void on_version_created(ClientId c, KeyId key, Timestamp ut, DcId sr,
+                          const VersionVector& dv);
 
   // --- client-visible operations (call *_issued before sending and *_reply
   // before absorbing the reply into the client engine) ---
@@ -87,8 +87,8 @@ class HistoryChecker {
   }
 
  private:
-  /// Freshest version of each key in some causal past.
-  using PastMap = std::unordered_map<std::string, VersionId>;
+  /// Freshest version of each key in some causal past (keyed by interned id).
+  using PastMap = std::unordered_map<KeyId, VersionId>;
   using PastMapPtr = std::shared_ptr<const PastMap>;
 
   struct VersionRecord {
@@ -108,14 +108,14 @@ class HistoryChecker {
   };
 
   void fail(std::string msg) { violations_.push_back(std::move(msg)); }
-  [[nodiscard]] const VersionRecord* find_version(const std::string& key,
+  [[nodiscard]] const VersionRecord* find_version(KeyId key,
                                                   VersionId id) const;
   void absorb_read(Session& s, const proto::ReadItem& item);
   void check_read_item(ClientId c, Session& s, const proto::ReadItem& item);
 
   std::uint32_t num_dcs_;
   std::unordered_map<ClientId, Session> sessions_;
-  std::unordered_map<std::string, std::vector<VersionRecord>> registry_;
+  std::unordered_map<KeyId, std::vector<VersionRecord>> registry_;
   std::vector<std::string> violations_;
   std::uint64_t checks_ = 0;
   std::uint64_t versions_registered_ = 0;

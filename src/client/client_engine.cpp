@@ -13,27 +13,26 @@ ClientEngine::ClientEngine(ClientId id, DcId dc, std::uint32_t num_dcs,
   POCC_ASSERT(dc < num_dcs);
 }
 
-proto::GetReq ClientEngine::make_get(std::string key) const {
+proto::GetReq ClientEngine::make_get(KeyId key) const {
   proto::GetReq req;
   req.client = id_;
-  req.key = std::move(key);
+  req.key = key;
   req.rdv = rdv_;
   req.pessimistic = pessimistic_;
   return req;
 }
 
-proto::PutReq ClientEngine::make_put(std::string key,
-                                     std::string value) const {
+proto::PutReq ClientEngine::make_put(KeyId key, std::string value) const {
   proto::PutReq req;
   req.client = id_;
-  req.key = std::move(key);
+  req.key = key;
   req.value = std::move(value);
   req.dv = dv_;
   req.pessimistic = pessimistic_;
   return req;
 }
 
-proto::RoTxReq ClientEngine::make_ro_tx(std::vector<std::string> keys) const {
+proto::RoTxReq ClientEngine::make_ro_tx(std::vector<KeyId> keys) const {
   proto::RoTxReq req;
   req.client = id_;
   req.keys = std::move(keys);

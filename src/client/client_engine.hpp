@@ -38,11 +38,9 @@ class ClientEngine {
                bool snapshot_rdv = false);
 
   // ----- request construction (Alg. 1 sends) -----
-  [[nodiscard]] proto::GetReq make_get(std::string key) const;
-  [[nodiscard]] proto::PutReq make_put(std::string key,
-                                       std::string value) const;
-  [[nodiscard]] proto::RoTxReq make_ro_tx(
-      std::vector<std::string> keys) const;
+  [[nodiscard]] proto::GetReq make_get(KeyId key) const;
+  [[nodiscard]] proto::PutReq make_put(KeyId key, std::string value) const;
+  [[nodiscard]] proto::RoTxReq make_ro_tx(std::vector<KeyId> keys) const;
 
   // ----- reply absorption (Alg. 1 dependency tracking) -----
   /// Alg. 1 lines 4-6: RDV <- max(RDV, DV_item); DV <- max(RDV, DV);

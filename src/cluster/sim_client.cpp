@@ -4,7 +4,7 @@
 
 #include "cluster/sim_cluster.hpp"
 #include "common/assert.hpp"
-#include "common/hash.hpp"
+#include "store/key_space.hpp"
 
 namespace pocc::cluster {
 
@@ -34,10 +34,11 @@ void SimClient::start_workload(const workload::WorkloadConfig& wl) {
   cluster_.simulator().schedule(phase, [this] { issue_next_workload_op(); });
 }
 
-NodeId SimClient::target_for_key(const std::string& key) const {
+NodeId SimClient::target_for_key(KeyId key) const {
   const auto& topo = cluster_.config().topology;
-  return NodeId{engine_.dc(), partition_of(key, topo.partitions_per_dc,
-                                           topo.partition_scheme)};
+  return NodeId{engine_.dc(),
+                store::KeySpace::global().partition(
+                    key, topo.partitions_per_dc, topo.partition_scheme)};
 }
 
 void SimClient::issue_next_workload_op() {
@@ -176,7 +177,7 @@ SimClient::GetResult SimClient::get(const std::string& key,
   manual_session_closed_ = false;
   workload::Op op;
   op.type = workload::OpType::kGet;
-  op.keys.push_back(key);
+  op.keys.push_back(store::intern_key(key));
   issue_op(op);
   cluster_.pump_until(
       [this] { return manual_reply_.has_value() || manual_session_closed_; },
@@ -204,7 +205,7 @@ SimClient::PutResult SimClient::put(const std::string& key,
   manual_session_closed_ = false;
   workload::Op op;
   op.type = workload::OpType::kPut;
-  op.keys.push_back(key);
+  op.keys.push_back(store::intern_key(key));
   op.value = value;
   issue_op(op);
   cluster_.pump_until(
@@ -229,7 +230,8 @@ SimClient::TxResult SimClient::ro_tx(const std::vector<std::string>& keys,
   manual_session_closed_ = false;
   workload::Op op;
   op.type = workload::OpType::kRoTx;
-  op.keys = keys;
+  op.keys.reserve(keys.size());
+  for (const std::string& k : keys) op.keys.push_back(store::intern_key(k));
   issue_op(op);
   cluster_.pump_until(
       [this] { return manual_reply_.has_value() || manual_session_closed_; },

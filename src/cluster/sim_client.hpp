@@ -54,6 +54,8 @@ class SimClient final : public net::Endpoint {
     Duration blocked_us = 0;
   };
 
+  // Manual operations intern their keys at this boundary; everything below
+  // carries KeyIds.
   GetResult get(const std::string& key, Duration max_wait = 600'000'000);
   PutResult put(const std::string& key, const std::string& value,
                 Duration max_wait = 600'000'000);
@@ -81,7 +83,7 @@ class SimClient final : public net::Endpoint {
   void handle_reply(proto::Message m);
   void handle_session_closed(const proto::SessionClosed& msg);
   void record_latency(workload::OpType type, Duration latency);
-  [[nodiscard]] NodeId target_for_key(const std::string& key) const;
+  [[nodiscard]] NodeId target_for_key(KeyId key) const;
 
   client::ClientEngine engine_;
   NodeId home_;

@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
-#include "common/hash.hpp"
+#include "store/key_space.hpp"
 #include "cure/cure_server.hpp"
 #include "ha/ha_pocc_server.hpp"
 #include "pocc/pocc_server.hpp"
@@ -100,9 +100,10 @@ server::ReplicaBase& SimCluster::engine(NodeId id) {
   return node_at(id).engine();
 }
 
-NodeId SimCluster::node_for_key(DcId dc, const std::string& key) const {
-  return NodeId{dc, partition_of(key, cfg_.topology.partitions_per_dc,
-                                 cfg_.topology.partition_scheme)};
+NodeId SimCluster::node_for_key(DcId dc, KeyId key) const {
+  return NodeId{dc, store::KeySpace::global().partition(
+                        key, cfg_.topology.partitions_per_dc,
+                        cfg_.topology.partition_scheme)};
 }
 
 void SimCluster::add_workload_clients(std::uint32_t per_partition,
@@ -225,7 +226,7 @@ std::vector<std::string> SimCluster::divergent_keys() const {
   const auto& topo = cfg_.topology;
   for (PartitionId p = 0; p < topo.partitions_per_dc; ++p) {
     // Union of keys over the partition's replicas.
-    std::unordered_map<std::string, bool> keys;
+    std::unordered_map<KeyId, bool> keys;
     for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
       const auto& store =
           nodes_[NodeId{dc, p}.flat_index(topo.partitions_per_dc)]
@@ -255,7 +256,7 @@ std::vector<std::string> SimCluster::divergent_keys() const {
           diverged = true;
         }
       }
-      if (diverged) divergent.push_back(key);
+      if (diverged) divergent.push_back(store::key_name(key));
     }
   }
   return divergent;

@@ -126,7 +126,7 @@ class SimCluster {
   friend class SimClient;
 
   SimNode& node_at(NodeId id);
-  [[nodiscard]] NodeId node_for_key(DcId dc, const std::string& key) const;
+  [[nodiscard]] NodeId node_for_key(DcId dc, KeyId key) const;
 
   SimClusterConfig cfg_;
   sim::Simulator sim_;

@@ -46,13 +46,36 @@ bool is_foreground(const proto::Message& m) {
 }
 }  // namespace
 
+std::uint32_t SimNode::park_message(proto::Message m) {
+  if (!parked_free_.empty()) {
+    const std::uint32_t idx = parked_free_.back();
+    parked_free_.pop_back();
+    parked_messages_[idx] = std::move(m);
+    return idx;
+  }
+  parked_messages_.push_back(std::move(m));
+  return static_cast<std::uint32_t>(parked_messages_.size() - 1);
+}
+
+proto::Message SimNode::unpark_message(std::uint32_t idx) {
+  proto::Message m = std::move(parked_messages_[idx]);
+  parked_free_.push_back(idx);
+  return m;
+}
+
 void SimNode::deliver(NodeId from, proto::Message m) {
   // Message handling contends for this node's CPU: the handler runs when a
   // core picks the job up, and the job reports the CPU time it consumed.
+  // The message is parked (moved, not copied) in this node's pool; the job
+  // captures only its index, staying within the slim CPU-job inline budget.
   const bool fg = is_foreground(m);
-  auto job = [this, from, msg = std::move(m)]() mutable -> Duration {
-    return engine_->handle_message(from, std::move(msg));
+  const std::uint32_t idx = park_message(std::move(m));
+  auto job = [this, from, idx]() -> Duration {
+    return engine_->handle_message(from, unpark_message(idx));
   };
+  static_assert(sim::CpuQueue::Job::stores_inline<decltype(job)>,
+                "message-handler job no longer fits the CPU queue's inline "
+                "job storage");
   if (fg) {
     cpu_.submit(std::move(job));
   } else {

@@ -2,7 +2,10 @@
 // implementing the engine's Context against the discrete-event simulator.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <vector>
 
 #include "clock/physical_clock.hpp"
 #include "common/config.hpp"
@@ -46,12 +49,23 @@ class SimNode final : public net::Endpoint, public server::Context {
   void set_timer(Duration delay, std::uint64_t timer_id) override;
 
  private:
+  /// Park a delivered message until its CPU job runs; returns its pool slot.
+  std::uint32_t park_message(proto::Message m);
+  /// Take the parked message back out, recycling the slot.
+  proto::Message unpark_message(std::uint32_t idx);
+
   NodeId self_;
   sim::Simulator& sim_;
   net::SimNetwork& net_;
   sim::CpuQueue cpu_;
   PhysicalClock clock_;
   std::unique_ptr<server::ReplicaBase> engine_;
+
+  // Pool for messages awaiting CPU dispatch: the queued job captures a u32
+  // index instead of the ~160-byte message, keeping CpuQueue jobs slim.
+  // (std::deque: stable addresses, chunked growth.)
+  std::deque<proto::Message> parked_messages_;
+  std::vector<std::uint32_t> parked_free_;
 };
 
 }  // namespace pocc::cluster

@@ -7,21 +7,22 @@
 
 namespace pocc {
 
+bool parse_partition_prefix(std::string_view key, std::uint32_t* part) {
+  const std::size_t colon = key.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const auto [ptr, ec] = std::from_chars(key.data(), key.data() + colon, *part);
+  return ec == std::errc{} && ptr == key.data() + colon;
+}
+
 PartitionId partition_of(std::string_view key, std::uint32_t partitions,
                          PartitionScheme scheme) {
   POCC_ASSERT(partitions > 0);
-  if (scheme == PartitionScheme::kPrefix) {
-    const std::size_t colon = key.find(':');
-    if (colon != std::string_view::npos && colon > 0) {
-      std::uint32_t part = 0;
-      const auto [ptr, ec] =
-          std::from_chars(key.data(), key.data() + colon, part);
-      if (ec == std::errc{} && ptr == key.data() + colon) {
-        return part % partitions;
-      }
-    }
-    // Fall through: keys without a valid prefix are hashed.
+  std::uint32_t part = 0;
+  if (scheme == PartitionScheme::kPrefix &&
+      parse_partition_prefix(key, &part)) {
+    return part % partitions;
   }
+  // Keys without a valid prefix are hashed.
   return partition_of(key, partitions);
 }
 

@@ -22,6 +22,16 @@ constexpr std::uint64_t fnv1a(std::string_view data) {
   return h;
 }
 
+/// splitmix64 step function (Steele, Lea, Flood 2014). A full-avalanche
+/// 64-bit mix: every input bit affects every output bit, including the low
+/// ones — safe to truncate into power-of-two hash-table buckets.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Finalizer from MurmurHash3 — used to mix integer keys.
 constexpr std::uint64_t mix64(std::uint64_t k) {
   k ^= k >> 33;
@@ -36,6 +46,11 @@ constexpr std::uint64_t mix64(std::uint64_t k) {
 inline PartitionId partition_of(std::string_view key, std::uint32_t partitions) {
   return static_cast<PartitionId>(fnv1a(key) % partitions);
 }
+
+/// Parses the decimal "<partition>:" prefix of `key` into `part`. Returns
+/// false when the key has no valid prefix. Single source of truth for the
+/// prefix syntax (shared by partition_of and the KeySpace interner).
+bool parse_partition_prefix(std::string_view key, std::uint32_t* part);
 
 /// Scheme-aware placement: kPrefix parses a decimal "<partition>:" prefix
 /// (falling back to hashing when absent), kHash always hashes.

@@ -1,0 +1,172 @@
+// Move-only callable with small-buffer inline storage.
+//
+// std::function heap-allocates any callable whose captures exceed its tiny
+// internal buffer (16 bytes on libstdc++) — on the simulation hot path that
+// meant one malloc/free per scheduled event and per CPU job, since the common
+// closure captures a full proto::Message. InlineFunction stores callables up
+// to `Capacity` bytes inline (no allocation, the common case by construction:
+// the event-loop call sites static_assert their closures fit) and falls back
+// to a heap box only for oversized ones.
+//
+// Trivially copyable captures (plain payloads, pointer pairs — the majority
+// of scheduled actions) relocate by memcpy with no indirect call; everything
+// else relocates through a type-erased manage function.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pocc::common {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+  static_assert(Capacity >= sizeof(void*), "capacity below pointer size");
+  static_assert(Capacity <= 0xffff, "capacity exceeds size field");
+
+  template <typename F>
+  static constexpr bool stored_inline_v =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static constexpr bool trivially_relocatable_v =
+      stored_inline_v<F> && std::is_trivially_copyable_v<F> &&
+      std::is_trivially_destructible_v<F>;
+
+  template <typename F>
+  using enable_callable_t = std::enable_if_t<
+      !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+      std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>;
+
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F, typename = enable_callable_t<F>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  template <typename F, typename = enable_callable_t<F>>
+  InlineFunction& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(storage(), static_cast<Args&&>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (tests).
+  [[nodiscard]] bool is_inline() const noexcept { return inline_; }
+
+  /// Inline capture budget in bytes.
+  static constexpr std::size_t capacity() { return Capacity; }
+
+  /// True when a callable of type F would be stored inline (size, alignment
+  /// AND nothrow-movability) — the predicate no-allocation call sites should
+  /// static_assert, rather than a bare sizeof check.
+  template <typename F>
+  static constexpr bool stores_inline = stored_inline_v<std::decay_t<F>>;
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+  using Invoke = R (*)(void*, Args&&...);
+  // kRelocate: move the stored state from `self` into `dst` and end `self`'s
+  // lifetime (ownership transfers). kDestroy: destroy the state in `self`.
+  // Null manage = trivially relocatable: memcpy `size_` bytes, no destructor.
+  using Manage = void (*)(void* self, void* dst, Op);
+
+  void* storage() noexcept { return static_cast<void*>(buf_); }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (trivially_relocatable_v<Fn>) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      inline_ = true;
+      size_ = sizeof(Fn);
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(static_cast<Args&&>(args)...);
+      };
+      manage_ = nullptr;
+    } else if constexpr (stored_inline_v<Fn>) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      inline_ = true;
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(static_cast<Args&&>(args)...);
+      };
+      manage_ = [](void* self, void* dst, Op op) {
+        auto* fn = static_cast<Fn*>(self);
+        if (op == Op::kRelocate) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
+      inline_ = false;
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (**static_cast<Fn**>(s))(static_cast<Args&&>(args)...);
+      };
+      manage_ = [](void* self, void* dst, Op op) {
+        auto** box = static_cast<Fn**>(self);
+        if (op == Op::kRelocate) {
+          ::new (dst) Fn*(*box);  // pointer transfer, no deep move
+        } else {
+          delete *box;
+        }
+      };
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    size_ = other.size_;
+    inline_ = other.inline_;
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) {
+        manage_(other.storage(), storage(), Op::kRelocate);
+      } else {
+        std::memcpy(storage(), other.storage(), size_);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage(), nullptr, Op::kDestroy);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte buf_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  std::uint16_t size_ = 0;
+  bool inline_ = false;
+};
+
+}  // namespace pocc::common

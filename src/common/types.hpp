@@ -23,6 +23,15 @@ using PartitionId = std::uint32_t;
 /// Identifier of a client session, unique across the whole deployment.
 using ClientId = std::uint64_t;
 
+/// Dense identifier of an interned key (see store/key_space.hpp). Keys are
+/// interned once at the workload/client boundary; every hop below it (wire
+/// messages, stores, engines, checker) carries this 4-byte id instead of a
+/// heap-allocated string. A pure simulation-host optimization: protocol
+/// metadata and wire-size accounting still model full key strings.
+using KeyId = std::uint32_t;
+
+inline constexpr KeyId kInvalidKeyId = 0xffffffffu;
+
 /// Physical-clock timestamp in microseconds. Also used for simulated time.
 using Timestamp = std::int64_t;
 

@@ -101,9 +101,17 @@ void SimNetwork::transmit(std::uint64_t from_addr, DcId from_dc,
   const Timestamp at = std::max(sim_.now() + delay, ch.last_delivery);
   ch.last_delivery = at;
   Endpoint* ep = dst.endpoint;
-  sim_.schedule_at(at, [ep, from_node, msg = std::move(m)]() mutable {
+  auto deliver_fn = [ep, from_node, msg = std::move(m)]() mutable {
     ep->deliver(from_node, std::move(msg));
-  });
+  };
+  // Zero-copy invariant: the message is *moved* into the scheduled action's
+  // inline buffer — if it stops qualifying (someone grew proto::Message or
+  // made it throwing-move), fail the build instead of silently
+  // heap-allocating per delivery.
+  static_assert(sim::Simulator::Action::stores_inline<decltype(deliver_fn)>,
+                "delivery closure no longer fits the simulator's inline "
+                "action storage");
+  sim_.schedule_at(at, std::move(deliver_fn));
 }
 
 void SimNetwork::send(NodeId from, NodeId to, proto::Message m) {
@@ -149,6 +157,7 @@ void SimNetwork::heal_dcs(DcId a, DcId b) {
       const Timestamp at = std::max(sim_.now() + delay, ch.last_delivery);
       ch.last_delivery = at;
       Endpoint* ep = dst->second.endpoint;
+      // Buffered messages are moved, not copied, on flush (zero-copy).
       sim_.schedule_at(at, [ep, fn = from_node, m = std::move(msg)]() mutable {
         ep->deliver(fn, std::move(m));
       });

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "proto/messages.hpp"
@@ -92,9 +93,15 @@ class SimNetwork {
     std::uint64_t to;
     bool operator==(const ChannelKey&) const = default;
   };
+  // splitmix64 both halves, asymmetrically. The previous `from * φ ^ to`
+  // mixing collided structurally: node addresses are (dc << 32) | part, and
+  // multiplying by an odd constant cannot move the dc bits into the low bits
+  // of the product — every channel {(dc, p) -> t} with the same p and t
+  // landed in the same bucket of a power-of-two table (std::hash of a u64 is
+  // the identity on libstdc++), clustering D-fold with D DCs.
   struct ChannelKeyHash {
     std::size_t operator()(const ChannelKey& k) const noexcept {
-      return std::hash<std::uint64_t>{}(k.from * 0x9e3779b97f4a7c15ULL ^ k.to);
+      return static_cast<std::size_t>(splitmix64(splitmix64(k.from) ^ k.to));
     }
   };
   struct Channel {

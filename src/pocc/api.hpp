@@ -28,5 +28,6 @@
 #include "ha/ha_pocc_server.hpp"
 #include "pocc/pocc_server.hpp"
 #include "pocc/scalar_pocc_server.hpp"
+#include "store/key_space.hpp"
 #include "runtime/rt_cluster.hpp"
 #include "workload/workload.hpp"

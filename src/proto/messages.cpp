@@ -1,5 +1,7 @@
 #include "proto/messages.hpp"
 
+#include "store/key_space.hpp"
+
 namespace pocc::proto {
 
 namespace {
@@ -10,27 +12,33 @@ std::size_t vv_bytes(const VersionVector& vv) {
   return static_cast<std::size_t>(vv.size()) * kVectorBytes;
 }
 
+// Interned keys are charged at the original key's byte length: the wire
+// model is unchanged by interning (§V metadata fairness).
+std::size_t key_bytes(KeyId key) {
+  return store::KeySpace::global().name_size(key);
+}
+
 std::size_t item_bytes(const ReadItem& it) {
-  return it.key.size() + it.value.size() + vv_bytes(it.dv) + 16;
+  return key_bytes(it.key) + it.value.size() + vv_bytes(it.dv) + 16;
 }
 
 struct SizeVisitor {
   std::size_t operator()(const GetReq& m) const {
-    return m.key.size() + vv_bytes(m.rdv) + 8;
+    return key_bytes(m.key) + vv_bytes(m.rdv) + 8;
   }
   std::size_t operator()(const PutReq& m) const {
-    return m.key.size() + m.value.size() + vv_bytes(m.dv) + 8;
+    return key_bytes(m.key) + m.value.size() + vv_bytes(m.dv) + 8;
   }
   std::size_t operator()(const RoTxReq& m) const {
     std::size_t n = vv_bytes(m.rdv) + 8;
-    for (const auto& k : m.keys) n += k.size() + 2;
+    for (const KeyId k : m.keys) n += key_bytes(k) + 2;
     return n;
   }
   std::size_t operator()(const GetReply& m) const {
     return item_bytes(m.item) + 8;
   }
   std::size_t operator()(const PutReply& m) const {
-    return m.key.size() + 20;
+    return key_bytes(m.key) + 20;
   }
   std::size_t operator()(const RoTxReply& m) const {
     std::size_t n = vv_bytes(m.tv) + 8;
@@ -41,13 +49,13 @@ struct SizeVisitor {
     return m.reason.size() + 8;
   }
   std::size_t operator()(const Replicate& m) const {
-    return m.version.key.size() + m.version.value.size() +
+    return key_bytes(m.version.key) + m.version.value.size() +
            vv_bytes(m.version.dv) + 16;
   }
   std::size_t operator()(const Heartbeat&) const { return 12; }
   std::size_t operator()(const SliceReq& m) const {
     std::size_t n = vv_bytes(m.tv) + 16;
-    for (const auto& k : m.keys) n += k.size() + 2;
+    for (const KeyId k : m.keys) n += key_bytes(k) + 2;
     return n;
   }
   std::size_t operator()(const SliceReply& m) const {
@@ -65,6 +73,7 @@ struct SizeVisitor {
   std::size_t operator()(const GssBroadcast& m) const {
     return vv_bytes(m.gss);
   }
+  std::size_t operator()(const RouteProbe&) const { return 8; }
 };
 
 struct NameVisitor {
@@ -83,6 +92,7 @@ struct NameVisitor {
   const char* operator()(const GcVector&) const { return "GcVector"; }
   const char* operator()(const StabReport&) const { return "StabReport"; }
   const char* operator()(const GssBroadcast&) const { return "GssBroadcast"; }
+  const char* operator()(const RouteProbe&) const { return "RouteProbe"; }
 };
 
 }  // namespace

@@ -4,9 +4,14 @@
 // server messages cover update replication, heartbeats, RO-TX slices, the
 // garbage-collection exchange and the (Cure* / HA-POCC) stabilization
 // protocol. All channels are point-to-point, lossless and FIFO (§II-C).
+//
+// Keys travel as interned KeyIds (store/key_space.hpp) — a simulation-host
+// optimization. wire_size() still charges the original key bytes via the
+// interner, so the §V byte-accounting model is unchanged.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -19,7 +24,7 @@ namespace pocc::proto {
 
 /// Client-observable metadata for one read item (GET reply or RO-TX item).
 struct ReadItem {
-  std::string key;
+  KeyId key = 0;
   bool found = false;
   std::string value;
   DcId sr = 0;          // source replica of the returned version
@@ -36,7 +41,7 @@ struct ReadItem {
 /// sessions that fell back to the pessimistic protocol (HA-POCC, §IV-C).
 struct GetReq {
   ClientId client = 0;
-  std::string key;
+  KeyId key = 0;
   VersionVector rdv;
   bool pessimistic = false;
 };
@@ -44,7 +49,7 @@ struct GetReq {
 /// <PUTReq k, v, DV_c> (Alg. 1 line 10).
 struct PutReq {
   ClientId client = 0;
-  std::string key;
+  KeyId key = 0;
   std::string value;
   VersionVector dv;
   bool pessimistic = false;
@@ -53,7 +58,7 @@ struct PutReq {
 /// <RO-TX-Req chi, RDV_c> (Alg. 1 line 15).
 struct RoTxReq {
   ClientId client = 0;
-  std::vector<std::string> keys;
+  std::vector<KeyId> keys;
   VersionVector rdv;
   bool pessimistic = false;
 };
@@ -70,7 +75,7 @@ struct GetReply {
 /// <PUTReply ut> (Alg. 2 line 15).
 struct PutReply {
   ClientId client = 0;
-  std::string key;
+  KeyId key = 0;
   Timestamp ut = 0;
   DcId sr = 0;
   Duration blocked_us = 0;
@@ -112,7 +117,7 @@ struct Heartbeat {
 struct SliceReq {
   std::uint64_t tx_id = 0;
   NodeId coordinator;
-  std::vector<std::string> keys;
+  std::vector<KeyId> keys;
   VersionVector tv;
   bool pessimistic = false;  // Cure* / HA fallback visibility rule
 };
@@ -149,10 +154,42 @@ struct GssBroadcast {
   VersionVector gss;
 };
 
+/// Test-only payload: counts copies and moves so tests can enforce the
+/// zero-copy routing invariant (a Message is moved, never copied, from sender
+/// to endpoint). Never sent by a protocol engine.
+struct RouteProbe {
+  struct Counters {
+    std::uint64_t copies = 0;
+    std::uint64_t moves = 0;
+  };
+  std::shared_ptr<Counters> counters;
+
+  RouteProbe() = default;
+  explicit RouteProbe(std::shared_ptr<Counters> c) : counters(std::move(c)) {}
+  RouteProbe(const RouteProbe& o) : counters(o.counters) {
+    if (counters) ++counters->copies;
+  }
+  RouteProbe& operator=(const RouteProbe& o) {
+    counters = o.counters;
+    if (counters) ++counters->copies;
+    return *this;
+  }
+  RouteProbe(RouteProbe&& o) noexcept : counters(std::move(o.counters)) {
+    if (counters) ++counters->moves;
+  }
+  RouteProbe& operator=(RouteProbe&& o) noexcept {
+    counters = std::move(o.counters);
+    if (counters) ++counters->moves;
+    return *this;
+  }
+};
+
+// RouteProbe sits last so the protocol alternatives keep their stable indices
+// (SimNetwork::account and SimNode's priority classing switch on index()).
 using Message =
     std::variant<GetReq, PutReq, RoTxReq, GetReply, PutReply, RoTxReply,
                  SessionClosed, Replicate, Heartbeat, SliceReq, SliceReply,
-                 GcReport, GcVector, StabReport, GssBroadcast>;
+                 GcReport, GcVector, StabReport, GssBroadcast, RouteProbe>;
 
 /// Human-readable message-type name (logging / tests).
 const char* message_name(const Message& m);
@@ -160,6 +197,7 @@ const char* message_name(const Message& m);
 /// Approximate serialized size in bytes (used for network byte accounting —
 /// POCC and Cure* exchange the *same* metadata, §V: "We can compare POCC and
 /// Cure* in a fair manner because the amount of meta-data ... is the same").
+/// Interned keys are charged at their original byte length.
 std::size_t wire_size(const Message& m);
 
 }  // namespace pocc::proto

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
-#include "common/hash.hpp"
+#include "store/key_space.hpp"
 #include "cure/cure_server.hpp"
 #include "ha/ha_pocc_server.hpp"
 #include "pocc/pocc_server.hpp"
@@ -49,11 +49,12 @@ std::optional<proto::Message> Session::await_reply(Duration timeout_us) {
 
 Session::GetResult Session::get(const std::string& key, Duration timeout_us) {
   const auto& topo = cluster_.config().topology;
-  proto::GetReq req = engine_.make_get(key);
+  const KeyId id = store::intern_key(key);
+  proto::GetReq req = engine_.make_get(id);
   cluster_.route(home_,
-                 NodeId{engine_.dc(),
-                        partition_of(key, topo.partitions_per_dc,
-                                     topo.partition_scheme)},
+                 NodeId{engine_.dc(), store::KeySpace::global().partition(
+                                          id, topo.partitions_per_dc,
+                                          topo.partition_scheme)},
                  std::move(req));
   GetResult r;
   auto reply = await_reply(timeout_us);
@@ -76,11 +77,12 @@ Session::PutResult Session::put(const std::string& key,
                                 const std::string& value,
                                 Duration timeout_us) {
   const auto& topo = cluster_.config().topology;
-  proto::PutReq req = engine_.make_put(key, value);
+  const KeyId id = store::intern_key(key);
+  proto::PutReq req = engine_.make_put(id, value);
   cluster_.route(home_,
-                 NodeId{engine_.dc(),
-                        partition_of(key, topo.partitions_per_dc,
-                                     topo.partition_scheme)},
+                 NodeId{engine_.dc(), store::KeySpace::global().partition(
+                                          id, topo.partitions_per_dc,
+                                          topo.partition_scheme)},
                  std::move(req));
   PutResult r;
   auto reply = await_reply(timeout_us);
@@ -97,7 +99,10 @@ Session::PutResult Session::put(const std::string& key,
 
 Session::TxResult Session::ro_tx(const std::vector<std::string>& keys,
                                  Duration timeout_us) {
-  proto::RoTxReq req = engine_.make_ro_tx(keys);
+  std::vector<KeyId> ids;
+  ids.reserve(keys.size());
+  for (const std::string& k : keys) ids.push_back(store::intern_key(k));
+  proto::RoTxReq req = engine_.make_ro_tx(std::move(ids));
   cluster_.route(home_, NodeId{engine_.dc(), home_.part}, std::move(req));
   TxResult r;
   auto reply = await_reply(timeout_us);

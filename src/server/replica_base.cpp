@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
-#include "common/hash.hpp"
+#include "store/key_space.hpp"
 
 namespace pocc::server {
 
@@ -243,10 +243,11 @@ Duration ReplicaBase::on_heartbeat(NodeId from, const proto::Heartbeat& msg) {
 
 Duration ReplicaBase::on_ro_tx(const proto::RoTxReq& req) {
   // Alg. 2 lines 29-38: this node coordinates the transaction.
-  std::unordered_map<PartitionId, std::vector<std::string>> groups;
-  for (const std::string& key : req.keys) {
-    groups[partition_of(key, topology_.partitions_per_dc,
-                        topology_.partition_scheme)]
+  std::unordered_map<PartitionId, std::vector<KeyId>> groups;
+  for (const KeyId key : req.keys) {
+    groups[store::KeySpace::global().partition(key,
+                                               topology_.partitions_per_dc,
+                                               topology_.partition_scheme)]
         .push_back(key);
   }
   charge(service_.tx_coord_us +
@@ -272,7 +273,7 @@ Duration ReplicaBase::on_ro_tx(const proto::RoTxReq& req) {
       proto::SliceReq slice;
       slice.tx_id = tx_id;
       slice.coordinator = self_;
-      slice.keys = keys;
+      slice.keys = std::move(keys);
       slice.tv = tv;
       slice.pessimistic = req.pessimistic;
       ctx_.send(NodeId{local_dc(), part}, std::move(slice));
@@ -282,7 +283,7 @@ Duration ReplicaBase::on_ro_tx(const proto::RoTxReq& req) {
 }
 
 void ReplicaBase::dispatch_slice(std::uint64_t tx_id, NodeId coordinator,
-                                 const std::vector<std::string>& keys,
+                                 const std::vector<KeyId>& keys,
                                  const VersionVector& tv, bool pessimistic) {
   if (slice_ready(tv)) {
     serve_slice(tx_id, coordinator, keys, tv, pessimistic, 0);
@@ -310,13 +311,13 @@ Duration ReplicaBase::on_slice_req(NodeId from, const proto::SliceReq& req) {
 }
 
 void ReplicaBase::serve_slice(std::uint64_t tx_id, NodeId coordinator,
-                              const std::vector<std::string>& keys,
+                              const std::vector<KeyId>& keys,
                               const VersionVector& tv, bool pessimistic,
                               Duration blocked_us) {
   charge(service_.slice_us);
   std::vector<proto::ReadItem> items;
   items.reserve(keys.size());
-  for (const std::string& key : keys) {
+  for (const KeyId key : keys) {
     charge(service_.slice_per_key_us);
     items.push_back(read_in_snapshot(key, tv, pessimistic));
   }
@@ -334,7 +335,7 @@ void ReplicaBase::serve_slice(std::uint64_t tx_id, NodeId coordinator,
   }
 }
 
-proto::ReadItem ReplicaBase::read_in_snapshot(const std::string& key,
+proto::ReadItem ReplicaBase::read_in_snapshot(KeyId key,
                                               const VersionVector& tv,
                                               bool pessimistic) {
   proto::ReadItem item;

@@ -166,20 +166,19 @@ class ReplicaBase {
   [[nodiscard]] bool put_ready(const proto::PutReq& req) const;
   void serve_put(const proto::PutReq& req, Duration blocked_us);
   void dispatch_slice(std::uint64_t tx_id, NodeId coordinator,
-                      const std::vector<std::string>& keys,
-                      const VersionVector& tv, bool pessimistic);
+                      const std::vector<KeyId>& keys, const VersionVector& tv,
+                      bool pessimistic);
   void serve_slice(std::uint64_t tx_id, NodeId coordinator,
-                   const std::vector<std::string>& keys,
-                   const VersionVector& tv, bool pessimistic,
-                   Duration blocked_us);
+                   const std::vector<KeyId>& keys, const VersionVector& tv,
+                   bool pessimistic, Duration blocked_us);
   void accumulate_slice(std::uint64_t tx_id,
                         std::vector<proto::ReadItem> items,
                         Duration blocked_us);
   void finish_tx_if_complete(std::uint64_t tx_id);
 
   /// Read a single key against snapshot `tv` (shared by slices).
-  proto::ReadItem read_in_snapshot(const std::string& key,
-                                   const VersionVector& tv, bool pessimistic);
+  proto::ReadItem read_in_snapshot(KeyId key, const VersionVector& tv,
+                                   bool pessimistic);
 
   /// Re-evaluate parked requests after VV/GSS/clock advances.
   void poke();

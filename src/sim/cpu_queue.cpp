@@ -7,27 +7,26 @@
 
 namespace pocc::sim {
 
+void CpuQueue::JobRing::grow() {
+  const std::size_t cap = cap_ == 0 ? 16 : cap_ * 2;
+  // Default-init (new Job[cap]), not value-init: the latter would zero every
+  // job's ~200-byte inline buffer.
+  std::unique_ptr<Job[]> bigger(new Job[cap]);
+  const std::size_t n = tail_ - head_;
+  for (std::size_t i = 0; i < n; ++i) {
+    bigger[i] = std::move(ring_[(head_ + i) & (cap_ - 1)]);
+  }
+  ring_ = std::move(bigger);
+  cap_ = cap;
+  head_ = 0;
+  tail_ = n;
+}
+
 CpuQueue::CpuQueue(Simulator& simulator, std::uint32_t cores,
                    std::uint32_t background_share_den)
     : sim_(simulator),
       cores_(std::max<std::uint32_t>(cores, 1)),
       background_share_den_(std::max<std::uint32_t>(background_share_den, 2)) {
-}
-
-void CpuQueue::submit(Job job) {
-  if (busy_cores_ < cores_) {
-    run_job(std::move(job));
-  } else {
-    foreground_.push_back(std::move(job));
-  }
-}
-
-void CpuQueue::submit_background(Job job) {
-  if (busy_cores_ < cores_) {
-    run_job(std::move(job));
-  } else {
-    background_.push_back(std::move(job));
-  }
 }
 
 void CpuQueue::run_job(Job job) {
@@ -47,13 +46,9 @@ void CpuQueue::core_finished() {
       !background_.empty() &&
       (foreground_.empty() || dispatches_ % background_share_den_ == 0);
   if (background_turn) {
-    Job next = std::move(background_.front());
-    background_.pop_front();
-    run_job(std::move(next));
+    run_job(background_.pop_front());
   } else if (!foreground_.empty()) {
-    Job next = std::move(foreground_.front());
-    foreground_.pop_front();
-    run_job(std::move(next));
+    run_job(foreground_.pop_front());
   }
 }
 

@@ -24,10 +24,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 
@@ -42,18 +42,65 @@ namespace pocc::sim {
 class CpuQueue {
  public:
   /// Runs when a core picks the job up; returns CPU time consumed (>= 0).
-  using Job = std::function<Duration()>;
+  /// Jobs are deliberately small (hosts capture a pooled message *index*,
+  /// not the message itself — see cluster/sim_node.cpp): queued jobs live in
+  /// a contiguous ring, and slim cells keep the busy-server queue traffic to
+  /// about one cache line per job.
+  static constexpr std::size_t kJobInline = 48;
+  using Job = common::InlineFunction<Duration(), kJobInline>;
+
+  /// FIFO of waiting jobs. A power-of-two ring over contiguous storage:
+  /// std::deque would allocate a 512-byte node per two Jobs (a Job is
+  /// ~200 bytes), putting one malloc/free back on the busy-server path.
+  /// Callables emplace directly into their ring cell (no temporary Job).
+  class JobRing {
+   public:
+    [[nodiscard]] bool empty() const { return head_ == tail_; }
+    [[nodiscard]] std::size_t size() const { return tail_ - head_; }
+    template <typename F>
+    void push_back(F&& job) {
+      if (tail_ - head_ == cap_) grow();
+      ring_[tail_++ & (cap_ - 1)] = std::forward<F>(job);
+    }
+    Job pop_front() {
+      Job j = std::move(ring_[head_ & (cap_ - 1)]);
+      ++head_;
+      return j;
+    }
+
+   private:
+    void grow();
+
+    std::unique_ptr<Job[]> ring_;  // default-init storage, power-of-two cap
+    std::size_t cap_ = 0;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+  };
 
   CpuQueue(Simulator& simulator, std::uint32_t cores,
            std::uint32_t background_share_den = 16);
 
   /// Enqueue a foreground (client-path) job. If a core is idle the job starts
   /// immediately; otherwise it waits, ahead of all background work.
-  void submit(Job job);
+  template <typename F>
+  void submit(F&& job) {
+    if (busy_cores_ < cores_) {
+      run_job(std::forward<F>(job));
+    } else {
+      foreground_.push_back(std::forward<F>(job));
+    }
+  }
 
   /// Enqueue a background (replication/maintenance) job. Served only when no
   /// foreground work is waiting (work-conserving, non-preemptive).
-  void submit_background(Job job);
+  template <typename F>
+  void submit_background(F&& job) {
+    if (busy_cores_ < cores_) {
+      run_job(std::forward<F>(job));
+    } else {
+      background_.push_back(std::forward<F>(job));
+    }
+  }
 
   [[nodiscard]] Duration busy_time() const { return busy_time_; }
   [[nodiscard]] std::uint64_t jobs_executed() const { return jobs_; }
@@ -80,8 +127,8 @@ class CpuQueue {
   std::uint32_t background_share_den_;
   std::uint32_t busy_cores_ = 0;
   std::uint32_t dispatches_ = 0;
-  std::deque<Job> foreground_;
-  std::deque<Job> background_;
+  JobRing foreground_;
+  JobRing background_;
   Duration busy_time_ = 0;
   std::uint64_t jobs_ = 0;
 };

@@ -1,29 +1,168 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace pocc::sim {
 
-void Simulator::schedule(Duration delay, Action fn) {
-  POCC_ASSERT(delay >= 0);
-  schedule_at(now_ + delay, std::move(fn));
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  const std::uint32_t s = slots_in_use_++;
+  if ((s >> kChunkShift) == chunks_.size()) {
+    // Default-init, NOT make_unique: value-initialization would zero every
+    // action's whole inline buffer (~50KB of memset per chunk).
+    chunks_.emplace_back(new Slot[kChunkSize]);
+  }
+  return s;
 }
 
-void Simulator::schedule_at(Timestamp at, Action fn) {
-  POCC_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+void Simulator::bucket_append(int level, std::uint32_t idx, std::uint32_t s) {
+  Bucket& b = buckets_[level][idx];
+  slot(s).meta.next = kNil;
+  if (b.head == kNil) {
+    b.head = s;
+    occupied_[level] |= 1ULL << idx;
+  } else {
+    slot(b.tail).meta.next = s;
+  }
+  b.tail = s;
+}
+
+void Simulator::place(std::uint32_t s) {
+  const EventRec& m = slot(s).meta;
+  const auto at = static_cast<std::uint64_t>(m.at);
+  const std::uint64_t d = at ^ static_cast<std::uint64_t>(now_);
+  if (d >> (kLevelShift * kLevels) != 0) {
+    // Beyond the wheel horizon: overflow heap (cold path).
+    overflow_.push_back(Overflow{m.at, m.seq, s});
+    std::push_heap(overflow_.begin(), overflow_.end(),
+                   [](const Overflow& a, const Overflow& b) {
+                     if (a.at != b.at) return a.at > b.at;
+                     return a.seq > b.seq;
+                   });
+    return;
+  }
+  const int level = d == 0 ? 0 : (std::bit_width(d) - 1) / kLevelShift;
+  bucket_append(level,
+                static_cast<std::uint32_t>(at >> (kLevelShift * level)) &
+                    kBucketMask,
+                s);
+}
+
+std::uint32_t Simulator::scan_level(int level, std::uint32_t from) const {
+  const std::uint64_t bits = occupied_[level] >> from;
+  if (bits == 0) return kNil;
+  return from + static_cast<std::uint32_t>(std::countr_zero(bits));
+}
+
+void Simulator::cascade(int level, std::uint32_t idx) {
+  Bucket& b = buckets_[level][idx];
+  std::uint32_t s = b.head;
+  b.head = kNil;
+  b.tail = kNil;
+  occupied_[level] &= ~(1ULL << idx);
+  // Walking in FIFO (seq) order and re-placing keeps every target bucket's
+  // FIFO-by-seq invariant.
+  while (s != kNil) {
+    const std::uint32_t next = slot(s).meta.next;
+    place(s);
+    s = next;
+  }
+}
+
+std::uint32_t Simulator::pop_next(Timestamp bound) {
+  if (pending_ == 0) return kNil;
+  for (;;) {
+    // Level 0: exact-timestamp buckets of the current 64 us block.
+    const auto unow = static_cast<std::uint64_t>(now_);
+    const std::uint32_t i =
+        scan_level(0, static_cast<std::uint32_t>(unow & kBucketMask));
+    if (i != kNil) {
+      const Timestamp at =
+          static_cast<Timestamp>((unow & ~static_cast<std::uint64_t>(
+                                             kBucketMask)) |
+                                 i);
+      Bucket& b = buckets_[0][i];
+      const std::uint32_t s = b.head;
+      // Ultra-long runs only: an overflow event can become due before the
+      // wheel's earliest once now_ has advanced ~the full horizon past its
+      // insertion point. Checked before the bound cut so an in-bound
+      // overflow event is never masked by an out-of-bound wheel event.
+      if (!overflow_.empty() &&
+          (overflow_.front().at < at ||
+           (overflow_.front().at == at &&
+            overflow_.front().seq < slot(s).meta.seq))) {
+        break;  // take from the overflow heap instead
+      }
+      if (at > bound) return kNil;
+      b.head = slot(s).meta.next;
+      if (b.head == kNil) {
+        b.tail = kNil;
+        occupied_[0] &= ~(1ULL << i);
+      }
+      now_ = at;
+      --pending_;
+      return s;
+    }
+    // Current block exhausted: cascade the next occupied bucket of the
+    // lowest level that has one. Scans are inclusive of now_'s own digit to
+    // pick up buckets left behind by idle time-jumps (run_until past
+    // pending events); cascading re-files those correctly, upward if needed.
+    int level = 1;
+    for (; level < kLevels; ++level) {
+      const auto digit = static_cast<std::uint32_t>(
+          (unow >> (kLevelShift * level)) & kBucketMask);
+      const std::uint32_t j = scan_level(level, digit);
+      if (j == kNil) continue;
+      const std::uint64_t span = 1ULL << (kLevelShift * level);
+      const std::uint64_t base =
+          (unow & ~(span * kBucketsPerLevel - 1)) + j * span;
+      // The earliest possible wheel event sits at/after `base`.
+      if (!overflow_.empty() &&
+          overflow_.front().at < static_cast<Timestamp>(base)) {
+        level = kLevels;  // prefer the earlier overflow event
+        break;
+      }
+      if (static_cast<Timestamp>(base) > bound) return kNil;
+      if (base > unow) now_ = static_cast<Timestamp>(base);
+      cascade(level, j);
+      break;
+    }
+    if (level < kLevels) continue;  // cascaded (or deferred): rescan
+    // Wheels empty (or overflow is due first).
+    if (overflow_.empty()) return kNil;
+    break;
+  }
+  // Overflow pop (cold).
+  if (overflow_.front().at > bound) return kNil;
+  std::pop_heap(overflow_.begin(), overflow_.end(),
+                [](const Overflow& a, const Overflow& b) {
+                  if (a.at != b.at) return a.at > b.at;
+                  return a.seq > b.seq;
+                });
+  const Overflow top = overflow_.back();
+  overflow_.pop_back();
+  POCC_ASSERT(top.at >= now_);
+  now_ = top.at;
+  --pending_;
+  return top.slot;
 }
 
 std::uint64_t Simulator::run_until(Timestamp until) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // Move the action out before popping: the action may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    ev.fn();
+  for (;;) {
+    const std::uint32_t s = pop_next(until);
+    if (s == kNil) break;
+    Action fn = std::move(slot(s).fn);
+    free_.push_back(s);
+    fn();
     ++n;
   }
   executed_ += n;
@@ -33,11 +172,12 @@ std::uint64_t Simulator::run_until(Timestamp until) {
 
 std::uint64_t Simulator::run_all(std::uint64_t max_events) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && n < max_events) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    ev.fn();
+  while (n < max_events) {
+    const std::uint32_t s = pop_next(kTimestampMax);
+    if (s == kNil) break;
+    Action fn = std::move(slot(s).fn);
+    free_.push_back(s);
+    fn();
     ++n;
   }
   executed_ += n;
@@ -45,17 +185,32 @@ std::uint64_t Simulator::run_all(std::uint64_t max_events) {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
-  ev.fn();
+  const std::uint32_t s = pop_next(kTimestampMax);
+  if (s == kNil) return false;
+  Action fn = std::move(slot(s).fn);
+  free_.push_back(s);
+  fn();
   ++executed_;
   return true;
 }
 
 void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
+  for (int level = 0; level < kLevels; ++level) {
+    for (std::uint32_t idx = 0; idx < kBucketsPerLevel; ++idx) {
+      std::uint32_t s = buckets_[level][idx].head;
+      while (s != kNil) {
+        slot(s).fn = Action{};
+        s = slot(s).meta.next;
+      }
+      buckets_[level][idx] = Bucket{};
+    }
+    occupied_[level] = 0;
+  }
+  for (const Overflow& o : overflow_) slot(o.slot).fn = Action{};
+  overflow_.clear();
+  free_.clear();
+  slots_in_use_ = 0;
+  pending_ = 0;
 }
 
 }  // namespace pocc::sim

@@ -3,13 +3,29 @@
 // A single-threaded event loop with virtual time. Events scheduled for the
 // same instant fire in scheduling order (monotonic sequence numbers break
 // ties), which makes every run bit-for-bit deterministic for a given seed.
+//
+// The loop is allocation-free in steady state and avoids comparison-heap
+// costs entirely on the hot path:
+//   * actions are small-buffer inline callables (no heap for captures up to
+//     kActionInline bytes — sized so a network-delivery closure carrying a
+//     full proto::Message fits), stored in chunked pooled slots that are
+//     recycled (growth allocates a new chunk, never moves existing actions);
+//   * events are ordered by a hierarchical timing wheel (6 levels x 64
+//     buckets, 1 us granularity, ~19 virtual hours of horizon): scheduling
+//     is an O(1) bucket append, popping is a one-word bitmap scan plus
+//     occasional bucket cascades — no O(log n) sift, no per-event
+//     comparisons;
+//   * events beyond the wheel horizon go to a small overflow heap (cold
+//     path, unused by any current workload).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 
 namespace pocc::sim {
@@ -17,7 +33,12 @@ namespace pocc::sim {
 /// Discrete-event scheduler. Virtual time is `Timestamp` microseconds.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Inline capture budget for scheduled actions. 192 bytes covers the
+  /// largest hot-path closure — SimNetwork's delivery lambda capturing an
+  /// Endpoint*, the sender NodeId and a moved-in proto::Message (176 bytes
+  /// today) — with headroom for message growth (call sites static_assert).
+  static constexpr std::size_t kActionInline = 192;
+  using Action = common::InlineFunction<void(), kActionInline>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -27,10 +48,25 @@ class Simulator {
   [[nodiscard]] Timestamp now() const { return now_; }
 
   /// Schedule `fn` to run `delay` microseconds from now (delay >= 0).
-  void schedule(Duration delay, Action fn);
+  /// The callable is emplaced directly into its pooled slot — no temporary
+  /// Action, no second move.
+  template <typename F>
+  void schedule(Duration delay, F&& fn) {
+    POCC_ASSERT(delay >= 0);
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` at absolute virtual time `at` (>= now()).
-  void schedule_at(Timestamp at, Action fn);
+  template <typename F>
+  void schedule_at(Timestamp at, F&& fn) {
+    POCC_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
+    const std::uint32_t s = acquire_slot();
+    Slot& sl = slot(s);
+    sl.fn = std::forward<F>(fn);
+    sl.meta = EventRec{at, next_seq_++, kNil};
+    place(s);
+    ++pending_;
+  }
 
   /// Run events until the queue is empty or virtual time would exceed `until`.
   /// Returns the number of events executed.
@@ -45,26 +81,80 @@ class Simulator {
   /// Drop all pending events (used between benchmark phases).
   void clear();
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return pending_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  // Wheel geometry: 64 buckets per level, 1 us granularity at level 0.
+  // Six levels give a 64^6 us ~ 19-virtual-hour horizon with a single-word
+  // occupancy bitmap per level; the whole wheel is ~3KB.
+  static constexpr int kLevels = 6;  // horizon 64^6 us ~ 19 virtual hours
+  static constexpr int kLevelShift = 6;
+  static constexpr std::uint32_t kBucketsPerLevel = 1u << kLevelShift;
+  static constexpr std::uint32_t kBucketMask = kBucketsPerLevel - 1;
+
+  // Per-pending-event bookkeeping. The intrusive `next` link forms each
+  // bucket's FIFO list; FIFO order within a bucket is scheduling (seq) order
+  // by construction, which preserves the same-instant tie-break.
+  struct EventRec {
     Timestamp at;
     std::uint64_t seq;
+    std::uint32_t next;
+  };
+  // One pooled event: the callable plus its bookkeeping. The record sits
+  // directly after the action's control words, so the scheduler's hot fields
+  // share a cache line instead of living in a parallel array.
+  struct Slot {
     Action fn;
+    EventRec meta;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
   };
+  // Far-future overflow (beyond the wheel horizon): binary min-heap entries.
+  struct Overflow {
+    Timestamp at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  // Slot storage: fixed-size chunks so growth never moves existing actions.
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 actions per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Slot& slot(std::uint32_t s) {
+    return chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot();
+  /// Files `s` (with meta_[s] filled in) into its wheel bucket or the
+  /// overflow heap, based on the distance from now_.
+  void place(std::uint32_t s);
+  void bucket_append(int level, std::uint32_t idx, std::uint32_t s);
+  /// Pops the earliest event at or before `bound`; kNil if none. Advances
+  /// now_ to the popped event's timestamp (never beyond `bound`).
+  std::uint32_t pop_next(Timestamp bound);
+  /// Re-files every event of bucket (level, idx) after now_ advanced into
+  /// the bucket's time range.
+  void cascade(int level, std::uint32_t idx);
+  /// First occupied bucket index >= from at `level`, or kNil.
+  [[nodiscard]] std::uint32_t scan_level(int level, std::uint32_t from) const;
 
   Timestamp now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::size_t pending_ = 0;
+
+  Bucket buckets_[kLevels][kBucketsPerLevel];
+  std::uint64_t occupied_[kLevels] = {};
+  std::vector<Overflow> overflow_;  // heap by (at, seq), cold path
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  // pooled event storage
+  std::uint32_t slots_in_use_ = 0;                 // high-water mark
+  std::vector<std::uint32_t> free_;                // recycled slot indices
 };
 
 }  // namespace pocc::sim

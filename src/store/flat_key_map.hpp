@@ -1,0 +1,96 @@
+// Open-addressing hash map keyed by KeyId.
+//
+// Replaces std::unordered_map<std::string, T> on the PartitionStore hot path:
+// no per-node allocation, no string hashing/compare — a Fibonacci-mixed u32
+// probe into a flat index table pointing at densely packed entries. Entries
+// are never erased (version chains outlive their contents), which keeps the
+// table tombstone-free; dense packing makes full scans (GC, convergence
+// checks) cache-friendly.
+//
+// Growth invalidates pointers into the map (like unordered_map iterators);
+// callers hold lookup results only within one handler, never across inserts.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pocc::store {
+
+template <typename T>
+class FlatKeyMap {
+ public:
+  using Entry = std::pair<KeyId, T>;
+
+  /// Value for `key`, default-constructing it if absent. Second: `true` when
+  /// the entry was created by this call. The hit path (steady-state inserts
+  /// to existing keys) never grows or rehashes.
+  std::pair<T*, bool> try_emplace(KeyId key) {
+    std::size_t i = 0;
+    if (!index_.empty()) {
+      i = bucket_of(key);
+      while (index_[i] != kEmpty) {
+        Entry& e = dense_[index_[i]];
+        if (e.first == key) return {&e.second, false};
+        i = (i + 1) & mask_;
+      }
+    }
+    if (index_.empty() || (dense_.size() + 1) * 10 >= index_.size() * 7) {
+      grow();
+      i = bucket_of(key);
+      while (index_[i] != kEmpty) i = (i + 1) & mask_;
+    }
+    index_[i] = static_cast<std::uint32_t>(dense_.size());
+    dense_.emplace_back(key, T{});
+    return {&dense_.back().second, true};
+  }
+
+  [[nodiscard]] T* find(KeyId key) {
+    return const_cast<T*>(std::as_const(*this).find(key));
+  }
+  [[nodiscard]] const T* find(KeyId key) const {
+    if (index_.empty()) return nullptr;
+    std::size_t i = bucket_of(key);
+    while (index_[i] != kEmpty) {
+      const Entry& e = dense_[index_[i]];
+      if (e.first == key) return &e.second;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Densely packed entries in insertion order (iteration, GC sweeps).
+  [[nodiscard]] const std::vector<Entry>& entries() const { return dense_; }
+  [[nodiscard]] std::vector<Entry>& entries() { return dense_; }
+
+  [[nodiscard]] std::size_t size() const { return dense_.size(); }
+  [[nodiscard]] bool empty() const { return dense_.empty(); }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  [[nodiscard]] std::size_t bucket_of(KeyId key) const {
+    // Fibonacci mix: dense ids spread over the table's high-entropy bits.
+    return (static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL >> 32) &
+           mask_;
+  }
+
+  void grow() {
+    const std::size_t buckets = index_.empty() ? 64 : index_.size() * 2;
+    index_.assign(buckets, kEmpty);
+    mask_ = buckets - 1;
+    for (std::size_t d = 0; d < dense_.size(); ++d) {
+      std::size_t i = bucket_of(dense_[d].first);
+      while (index_[i] != kEmpty) i = (i + 1) & mask_;
+      index_[i] = static_cast<std::uint32_t>(d);
+    }
+  }
+
+  std::vector<Entry> dense_;
+  std::vector<std::uint32_t> index_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace pocc::store

@@ -5,17 +5,27 @@
 namespace pocc::store {
 
 std::size_t PartitionStore::insert(Version v) {
-  auto [it, created] = chains_.try_emplace(v.key);
-  const std::size_t before = it->second.size();
-  const std::size_t pos = it->second.insert(std::move(v));
-  if (it->second.size() != before) ++versions_;  // not a duplicate
-  if (it->second.size() > 1) multi_version_.insert(it->first);
+  auto [chain, created] = chains_.try_emplace(v.key);
+  const KeyId key = v.key;
+  const std::size_t before = chain->size();
+  const std::size_t pos = chain->insert(std::move(v));
+  if (chain->size() != before) {  // not a duplicate
+    ++versions_;
+    // Exact 1 -> 2 transition: the key enters the multi-version set once.
+    if (chain->size() == 2) multi_version_.push_back(key);
+  }
   return pos;
 }
 
-const VersionChain* PartitionStore::find(const std::string& key) const {
-  auto it = chains_.find(key);
-  return it == chains_.end() ? nullptr : &it->second;
+const VersionChain* PartitionStore::find(KeyId key) const {
+  return chains_.find(key);
+}
+
+void PartitionStore::rebuild_multi_version() {
+  multi_version_.clear();
+  for (const auto& [key, chain] : chains_.entries()) {
+    if (chain.size() > 1) multi_version_.push_back(key);
+  }
 }
 
 StoreStats PartitionStore::stats() const {

@@ -5,13 +5,17 @@
 // Keys that were never written are logically present with an implicit initial
 // version (empty value, zero timestamp) so the paper's pre-loaded 1M-key
 // dataset does not need to be materialized.
+//
+// Chains are keyed by interned KeyId in an open-addressing flat map (see
+// flat_key_map.hpp): a lookup costs one u32 mix and a short linear probe,
+// instead of hashing and comparing a heap-allocated string.
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "common/assert.hpp"
+#include "store/flat_key_map.hpp"
 #include "store/version_chain.hpp"
 
 namespace pocc::store {
@@ -31,7 +35,7 @@ class PartitionStore {
   std::size_t insert(Version v);
 
   /// Chain for `key`, or nullptr if the key has never been written.
-  [[nodiscard]] const VersionChain* find(const std::string& key) const;
+  [[nodiscard]] const VersionChain* find(KeyId key) const;
 
   /// GC pass over keys with more than one version: for each chain, retain the
   /// newest version whose `reachable_floor` holds plus everything fresher
@@ -39,14 +43,15 @@ class PartitionStore {
   template <typename Pred>
   std::uint64_t gc(Pred&& reachable_floor) {
     std::uint64_t total_removed = 0;
-    for (auto it = multi_version_.begin(); it != multi_version_.end();) {
-      auto chain_it = chains_.find(*it);
-      POCC_ASSERT(chain_it != chains_.end());
-      total_removed += chain_it->second.gc(reachable_floor);
-      if (chain_it->second.size() <= 1) {
-        it = multi_version_.erase(it);
+    for (std::size_t i = 0; i < multi_version_.size();) {
+      VersionChain* chain = chains_.find(multi_version_[i]);
+      POCC_ASSERT(chain != nullptr);
+      total_removed += chain->gc(reachable_floor);
+      if (chain->size() <= 1) {
+        multi_version_[i] = multi_version_.back();
+        multi_version_.pop_back();
       } else {
-        ++it;
+        ++i;
       }
     }
     gc_removed_ += total_removed;
@@ -61,29 +66,30 @@ class PartitionStore {
   template <typename Pred>
   std::uint64_t purge_if(Pred&& pred) {
     std::uint64_t removed = 0;
-    for (auto& [key, chain] : chains_) {
+    for (auto& [key, chain] : chains_.entries()) {
       removed += chain.erase_if(pred);
-      if (chain.size() <= 1) multi_version_.erase(key);
     }
+    rebuild_multi_version();
     versions_ -= removed;
     return removed;
   }
 
-  /// All chains (checker/convergence inspection).
-  [[nodiscard]] const std::unordered_map<std::string, VersionChain>& chains()
+  /// All chains, densely packed (checker/convergence inspection).
+  [[nodiscard]] const std::vector<std::pair<KeyId, VersionChain>>& chains()
       const {
-    return chains_;
+    return chains_.entries();
   }
 
-  /// Sum of chain lengths for keys with >1 version (staleness denominator).
-  [[nodiscard]] const std::unordered_set<std::string>& multi_version_keys()
-      const {
+  /// Keys with >1 version (staleness denominator; unordered).
+  [[nodiscard]] const std::vector<KeyId>& multi_version_keys() const {
     return multi_version_;
   }
 
  private:
-  std::unordered_map<std::string, VersionChain> chains_;
-  std::unordered_set<std::string> multi_version_;
+  void rebuild_multi_version();
+
+  FlatKeyMap<VersionChain> chains_;
+  std::vector<KeyId> multi_version_;
   std::uint64_t versions_ = 0;
   std::uint64_t gc_removed_ = 0;
 };

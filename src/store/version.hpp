@@ -8,9 +8,11 @@
 
 namespace pocc::store {
 
-/// One version of a data item.
+/// One version of a data item. The key travels as an interned KeyId (see
+/// key_space.hpp) — wire-size accounting still charges the original key
+/// bytes, so the protocol's metadata model is unchanged.
 struct Version {
-  std::string key;    // k: item key
+  KeyId key = 0;      // k: item key (interned)
   std::string value;  // v: item value
   DcId sr = 0;        // source replica: DC where the PUT was executed
   Timestamp ut = 0;   // update time: physical timestamp at creation
@@ -40,9 +42,9 @@ struct Version {
 /// timestamp, no dependencies. Keys are logically pre-loaded with this (the
 /// paper pre-populates 1M keys per partition; representing them implicitly
 /// keeps memory bounded at simulation scale).
-inline Version initial_version(std::string key, std::uint32_t num_dcs) {
+inline Version initial_version(KeyId key, std::uint32_t num_dcs) {
   Version v;
-  v.key = std::move(key);
+  v.key = key;
   v.sr = 0;
   v.ut = 0;
   v.dv = VersionVector(num_dcs);

@@ -20,8 +20,10 @@ Generator::Generator(const WorkloadConfig& cfg, std::uint32_t partitions,
   std::iota(scratch_.begin(), scratch_.end(), 0);
 }
 
-std::string Generator::pick_key(PartitionId part) {
-  return make_partition_key(part, zipf_.next(rng_));
+KeyId Generator::pick_key(PartitionId part) {
+  // Interned without building a std::string (hot path: one call per GET/PUT).
+  return store::KeySpace::global().intern_partition_key(part,
+                                                        zipf_.next(rng_));
 }
 
 std::string Generator::make_value() {

@@ -22,16 +22,18 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "common/zipf.hpp"
+#include "store/key_space.hpp"
 
 namespace pocc::workload {
 
 enum class OpType { kGet, kPut, kRoTx };
 
-/// One operation to issue.
+/// One operation to issue. Keys are interned against the global KeySpace at
+/// generation time — the only place the simulation ever builds key strings.
 struct Op {
   OpType type = OpType::kGet;
-  std::vector<std::string> keys;  // 1 key for GET/PUT, p keys for RO-TX
-  std::string value;              // PUT payload
+  std::vector<KeyId> keys;  // 1 key for GET/PUT, p keys for RO-TX
+  std::string value;        // PUT payload
 };
 
 enum class Pattern {
@@ -70,7 +72,7 @@ class Generator {
   [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
 
  private:
-  [[nodiscard]] std::string pick_key(PartitionId part);
+  [[nodiscard]] KeyId pick_key(PartitionId part);
   [[nodiscard]] std::string make_value();
   /// `count` distinct partitions, uniformly at random.
   [[nodiscard]] std::vector<PartitionId> distinct_partitions(

@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
+
 namespace pocc::checker {
 namespace {
+
+/// Tests name keys as strings; the checker runs on interned ids.
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 class CheckerTest : public ::testing::Test {
  protected:
@@ -20,14 +25,14 @@ class CheckerTest : public ::testing::Test {
                          DcId sr, const VersionVector& dv) {
     proto::PutReq req;
     req.client = c;
-    req.key = key;
+    req.key = K(key);
     req.value = "v";
     req.dv = dv;
     chk_.on_put_issued(c, req);
-    chk_.on_version_created(c, key, ut, sr, dv);
+    chk_.on_version_created(c, K(key), ut, sr, dv);
     proto::PutReply reply;
     reply.client = c;
-    reply.key = key;
+    reply.key = K(key);
     reply.ut = ut;
     reply.sr = sr;
     chk_.on_put_reply(c, reply);
@@ -39,7 +44,7 @@ class CheckerTest : public ::testing::Test {
                                  const VersionVector& dv) {
     proto::GetReply r;
     r.client = c;
-    r.item.key = key;
+    r.item.key = K(key);
     r.item.found = true;
     r.item.ut = ut;
     r.item.sr = sr;
@@ -51,7 +56,7 @@ class CheckerTest : public ::testing::Test {
               const proto::GetReply& reply) {
     proto::GetReq req;
     req.client = c;
-    req.key = key;
+    req.key = K(key);
     req.rdv = rdv;
     chk_.on_get_issued(c, req);
     chk_.on_get_reply(c, reply);
@@ -126,7 +131,7 @@ TEST_F(CheckerTest, Alg1ConformanceMismatchDetected) {
   // A GET carrying an RDV that diverges from the mirrored Algorithm 1 state.
   proto::GetReq req;
   req.client = 1;
-  req.key = "k";
+  req.key = K("k");
   req.rdv = VersionVector{9, 9, 9};  // client never read anything
   chk_.on_get_issued(1, req);
   ASSERT_FALSE(chk_.violations().empty());
@@ -135,7 +140,7 @@ TEST_F(CheckerTest, Alg1ConformanceMismatchDetected) {
 
 TEST_F(CheckerTest, Prop2ViolationDetected) {
   // ut must strictly exceed every dv entry.
-  chk_.on_version_created(1, "k", 100, 0, VersionVector{0, 150, 0});
+  chk_.on_version_created(1, K("k"), 100, 0, VersionVector{0, 150, 0});
   ASSERT_FALSE(chk_.violations().empty());
   EXPECT_NE(chk_.violations()[0].find("Prop2"), std::string::npos);
 }
@@ -150,19 +155,19 @@ TEST_F(CheckerTest, TxSnapshotViolationDetected) {
   // snapshot property.
   proto::RoTxReq req;
   req.client = 1;
-  req.keys = {"x", "y"};
+  req.keys = {K("x"), K("y")};
   req.rdv = VersionVector(3);
   chk_.on_tx_issued(1, req);
   proto::RoTxReply reply;
   reply.client = 1;
   proto::ReadItem x;
-  x.key = "x";
+  x.key = K("x");
   x.found = true;
   x.ut = 100;
   x.sr = 1;
   x.dv = VersionVector(3);
   proto::ReadItem y;
-  y.key = "y";
+  y.key = K("y");
   y.found = true;
   y.ut = 300;
   y.sr = 1;
@@ -179,19 +184,19 @@ TEST_F(CheckerTest, ConsistentTxSnapshotIsClean) {
   do_put(2, "y", 300, 1, VersionVector{0, 200, 0});
   proto::RoTxReq req;
   req.client = 1;
-  req.keys = {"x", "y"};
+  req.keys = {K("x"), K("y")};
   req.rdv = VersionVector(3);
   chk_.on_tx_issued(1, req);
   proto::RoTxReply reply;
   reply.client = 1;
   proto::ReadItem x;
-  x.key = "x";
+  x.key = K("x");
   x.found = true;
   x.ut = 200;
   x.sr = 1;
   x.dv = VersionVector{0, 100, 0};
   proto::ReadItem y;
-  y.key = "y";
+  y.key = K("y");
   y.found = true;
   y.ut = 300;
   y.sr = 1;

@@ -4,14 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
+
 namespace pocc::client {
 namespace {
 
-proto::GetReply make_get_reply(ClientId c, std::string key, Timestamp ut,
-                               DcId sr, VersionVector dv) {
+KeyId K(const std::string& key) { return store::intern_key(key); }
+
+proto::GetReply make_get_reply(ClientId c, const std::string& key,
+                               Timestamp ut, DcId sr, VersionVector dv) {
   proto::GetReply r;
   r.client = c;
-  r.item.key = std::move(key);
+  r.item.key = K(key);
   r.item.found = true;
   r.item.ut = ut;
   r.item.sr = sr;
@@ -29,9 +33,9 @@ TEST(ClientEngine, StartsWithZeroVectors) {
 TEST(ClientEngine, GetRequestCarriesRdv) {
   ClientEngine c(1, 0, 3);
   c.absorb_get(make_get_reply(1, "x", 100, 1, VersionVector{10, 20, 30}));
-  const proto::GetReq req = c.make_get("y");
+  const proto::GetReq req = c.make_get(K("y"));
   EXPECT_EQ(req.client, 1u);
-  EXPECT_EQ(req.key, "y");
+  EXPECT_EQ(req.key, K("y"));
   // Alg. 1 line 4: RDV absorbs the read item's dependency vector (not its ut).
   EXPECT_EQ(req.rdv, (VersionVector{10, 20, 30}));
 }
@@ -67,7 +71,7 @@ TEST(ClientEngine, AbsorbNotFoundIsNoOp) {
 TEST(ClientEngine, PutRequestCarriesDv) {
   ClientEngine c(1, 0, 3);
   c.absorb_get(make_get_reply(1, "x", 100, 1, VersionVector{10, 20, 30}));
-  const proto::PutReq req = c.make_put("k", "v");
+  const proto::PutReq req = c.make_put(K("k"), "v");
   EXPECT_EQ(req.dv, c.dv());
   EXPECT_EQ(req.value, "v");
 }
@@ -76,7 +80,7 @@ TEST(ClientEngine, AbsorbPutRaisesLocalEntry) {
   ClientEngine c(1, 0, 3);
   proto::PutReply r;
   r.client = 1;
-  r.key = "k";
+  r.key = K("k");
   r.ut = 777;
   r.sr = 0;
   c.absorb_put(r);
@@ -89,13 +93,13 @@ TEST(ClientEngine, TxAbsorbsEveryItemLikeAGet) {
   proto::RoTxReply r;
   r.client = 1;
   proto::ReadItem a;
-  a.key = "a";
+  a.key = K("a");
   a.found = true;
   a.ut = 50;
   a.sr = 1;
   a.dv = VersionVector{5, 0, 0};
   proto::ReadItem b;
-  b.key = "b";
+  b.key = K("b");
   b.found = true;
   b.ut = 70;
   b.sr = 2;
@@ -122,8 +126,8 @@ TEST(ClientEngine, ReinitializePessimisticResetsState) {
   EXPECT_EQ(c.dv(), VersionVector(3));
   EXPECT_EQ(c.rdv(), VersionVector(3));
   EXPECT_GT(c.session_generation(), gen_before);
-  EXPECT_TRUE(c.make_get("x").pessimistic);
-  EXPECT_TRUE(c.make_put("x", "v").pessimistic);
+  EXPECT_TRUE(c.make_get(K("x")).pessimistic);
+  EXPECT_TRUE(c.make_put(K("x"), "v").pessimistic);
 }
 
 TEST(ClientEngine, PromotionKeepsVectors) {
@@ -134,7 +138,7 @@ TEST(ClientEngine, PromotionKeepsVectors) {
   c.promote_optimistic();
   EXPECT_FALSE(c.pessimistic());
   EXPECT_EQ(c.dv(), dv_before);
-  EXPECT_FALSE(c.make_get("x").pessimistic);
+  EXPECT_FALSE(c.make_get(K("x")).pessimistic);
 }
 
 TEST(ClientEngine, SnapshotRdvModeAbsorbsReadCommitTimes) {

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
 #include "test_util.hpp"
 
 namespace pocc {
 namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 using testutil::MockContext;
 using testutil::test_topology;
@@ -19,10 +22,10 @@ class CureServerTest : public ::testing::Test {
     ctx_.now = 1'000'000;
   }
 
-  store::Version remote_version(std::string key, Timestamp ut, DcId sr,
+  store::Version remote_version(const std::string& key, Timestamp ut, DcId sr,
                                 VersionVector dv = VersionVector(3)) {
     store::Version v;
-    v.key = std::move(key);
+    v.key = K(key);
     v.value = "v@" + std::to_string(ut);
     v.sr = sr;
     v.ut = ut;
@@ -30,11 +33,11 @@ class CureServerTest : public ::testing::Test {
     return v;
   }
 
-  proto::GetReq get_req(ClientId c, std::string key,
+  proto::GetReq get_req(ClientId c, const std::string& key,
                         VersionVector rdv = VersionVector(3)) {
     proto::GetReq r;
     r.client = c;
-    r.key = std::move(key);
+    r.key = K(key);
     r.rdv = std::move(rdv);
     return r;
   }
@@ -122,7 +125,7 @@ TEST_F(CureServerTest, StabilityRequiresDependenciesBelowGss) {
 TEST_F(CureServerTest, LocalVersionsAlwaysVisible) {
   proto::PutReq put;
   put.client = 1;
-  put.key = "0:local";
+  put.key = K("0:local");
   put.value = "mine";
   put.dv = VersionVector(3);
   server_.handle_message(NodeId{0, 0}, put);
@@ -169,7 +172,7 @@ TEST_F(CureServerTest, TxSnapshotBoundedByGss) {
   stabilize_with_sibling(VersionVector{0, 300'000, 0});
   proto::RoTxReq tx;
   tx.client = 5;
-  tx.keys = {"0:k"};
+  tx.keys = {K("0:k")};
   tx.rdv = VersionVector(3);
   ctx_.clear_traffic();
   server_.handle_message(NodeId{0, 0}, tx);
@@ -184,13 +187,13 @@ TEST_F(CureServerTest, TxSnapshotBoundedByGss) {
 TEST_F(CureServerTest, TxSnapshotLocalEntryFollowsVv) {
   proto::PutReq put;
   put.client = 1;
-  put.key = "0:mine";
+  put.key = K("0:mine");
   put.value = "fresh-local";
   put.dv = VersionVector(3);
   server_.handle_message(NodeId{0, 0}, put);
   proto::RoTxReq tx;
   tx.client = 5;
-  tx.keys = {"0:mine"};
+  tx.keys = {K("0:mine")};
   tx.rdv = VersionVector(3);
   ctx_.clear_traffic();
   server_.handle_message(NodeId{0, 0}, tx);

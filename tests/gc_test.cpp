@@ -5,10 +5,13 @@
 
 #include "cure/cure_server.hpp"
 #include "pocc/pocc_server.hpp"
+#include "store/key_space.hpp"
 #include "test_util.hpp"
 
 namespace pocc {
 namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 using testutil::MockContext;
 using testutil::test_topology;
@@ -20,10 +23,10 @@ class GcTest : public ::testing::Test {
     ctx_.now = 1'000'000;
   }
 
-  void replicate(std::string key, Timestamp ut, DcId sr,
+  void replicate(const std::string& key, Timestamp ut, DcId sr,
                  VersionVector dv = VersionVector(3)) {
     store::Version v;
-    v.key = std::move(key);
+    v.key = K(key);
     v.value = "v";
     v.sr = sr;
     v.ut = ut;
@@ -69,7 +72,7 @@ TEST_F(GcTest, GcRemovesVersionsBelowFloor) {
   // older versions are unreachable by any future transaction.
   server_.handle_message(NodeId{0, 1},
                          proto::GcVector{VersionVector{0, 250'000, 0}});
-  const auto* chain = server_.partition_store().find("0:k");
+  const auto* chain = server_.partition_store().find(K("0:k"));
   ASSERT_NE(chain, nullptr);
   // All three versions have dv = 0 <= GV, so only the newest is kept (it is
   // the floor version itself).
@@ -83,7 +86,7 @@ TEST_F(GcTest, GcKeepsVersionsWithDepsAboveFloor) {
   replicate("0:k", 300'000, 1, VersionVector{0, 0, 500'000});  // dv above GV
   server_.handle_message(NodeId{0, 1},
                          proto::GcVector{VersionVector{0, 350'000, 0}});
-  const auto* chain = server_.partition_store().find("0:k");
+  const auto* chain = server_.partition_store().find(K("0:k"));
   ASSERT_NE(chain, nullptr);
   // 200k/300k have dependencies outside GV; the first version with dv <= GV
   // (walking freshest-to-oldest) is 100k — everything is retained.
@@ -94,7 +97,7 @@ TEST_F(GcTest, ActiveTransactionLowersWatermark) {
   // Open a transaction with a remote slice so it stays pending.
   proto::RoTxReq tx;
   tx.client = 9;
-  tx.keys = {"1:far"};
+  tx.keys = {K("1:far")};
   tx.rdv = VersionVector(3);
   server_.handle_message(NodeId{0, 0}, tx);
   // Raise the VV well above the snapshot.
@@ -119,7 +122,7 @@ TEST_F(GcTest, CureGcUsesCommitVectorFloor) {
   CureServer cure(NodeId{0, 0}, test_topology(), protocol_, service_, ctx2);
   auto replicate_cure = [&](Timestamp ut) {
     store::Version v;
-    v.key = "0:k";
+    v.key = K("0:k");
     v.value = "v";
     v.sr = 1;
     v.ut = ut;
@@ -133,7 +136,7 @@ TEST_F(GcTest, CureGcUsesCommitVectorFloor) {
   // or below the floor; 200k is the newest such, so 100k is dropped.
   cure.handle_message(NodeId{0, 1},
                       proto::GcVector{VersionVector{0, 250'000, 0}});
-  const auto* chain = cure.partition_store().find("0:k");
+  const auto* chain = cure.partition_store().find(K("0:k"));
   ASSERT_NE(chain, nullptr);
   EXPECT_EQ(chain->size(), 2u);
   EXPECT_EQ(chain->versions()[1].ut, 200'000);

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
 #include "test_util.hpp"
 
 namespace pocc {
 namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 using testutil::MockContext;
 using testutil::test_topology;
@@ -27,20 +30,20 @@ class HaPoccTest : public ::testing::Test {
     return p;
   }
 
-  proto::GetReq get_req(ClientId c, std::string key, VersionVector rdv,
+  proto::GetReq get_req(ClientId c, const std::string& key, VersionVector rdv,
                         bool pessimistic) {
     proto::GetReq r;
     r.client = c;
-    r.key = std::move(key);
+    r.key = K(key);
     r.rdv = std::move(rdv);
     r.pessimistic = pessimistic;
     return r;
   }
 
-  void replicate(std::string key, Timestamp ut, DcId sr,
+  void replicate(const std::string& key, Timestamp ut, DcId sr,
                  VersionVector dv = VersionVector(3)) {
     store::Version v;
-    v.key = std::move(key);
+    v.key = K(key);
     v.value = "v@" + std::to_string(ut);
     v.sr = sr;
     v.ut = ut;
@@ -48,11 +51,11 @@ class HaPoccTest : public ::testing::Test {
     server_.handle_message(NodeId{sr, 0}, proto::Replicate{v});
   }
 
-  void put_local(ClientId c, std::string key, std::string value,
+  void put_local(ClientId c, const std::string& key, std::string value,
                  bool pessimistic) {
     proto::PutReq r;
     r.client = c;
-    r.key = std::move(key);
+    r.key = K(key);
     r.value = std::move(value);
     r.dv = VersionVector(3);
     r.pessimistic = pessimistic;
@@ -110,9 +113,9 @@ TEST_F(HaPoccTest, OptimisticPutsAreTagged) {
   put_local(1, "0:opt", "v", /*pessimistic=*/false);
   put_local(2, "0:pess", "v", /*pessimistic=*/true);
   EXPECT_TRUE(
-      server_.partition_store().find("0:opt")->freshest()->opt_origin);
+      server_.partition_store().find(K("0:opt"))->freshest()->opt_origin);
   EXPECT_FALSE(
-      server_.partition_store().find("0:pess")->freshest()->opt_origin);
+      server_.partition_store().find(K("0:pess"))->freshest()->opt_origin);
 }
 
 TEST_F(HaPoccTest, OptOriginLocalItemHiddenFromPessimisticUntilStable) {
@@ -121,7 +124,7 @@ TEST_F(HaPoccTest, OptOriginLocalItemHiddenFromPessimisticUntilStable) {
   replicate("0:dep", 500'000, 1);  // received, GSS still at 0 => unstable
   proto::PutReq put;
   put.client = 1;
-  put.key = "0:opt";
+  put.key = K("0:opt");
   put.value = "optimistic-write";
   put.dv = VersionVector{0, 500'000, 0};
   put.pessimistic = false;
@@ -143,7 +146,7 @@ TEST_F(HaPoccTest, OptOriginLocalItemHiddenFromPessimisticUntilStable) {
 
   // Once the GSS covers the dependency and the item, pessimistic reads see it.
   const Timestamp item_ut =
-      server_.partition_store().find("0:opt")->freshest()->ut;
+      server_.partition_store().find(K("0:opt"))->freshest()->ut;
   server_.handle_message(
       NodeId{0, 1},
       proto::GssBroadcast{VersionVector{item_ut, 600'000, 0}});
@@ -168,7 +171,7 @@ TEST_F(HaPoccTest, RemoteSliceTimeoutSendsAbortToCoordinator) {
   proto::SliceReq slice;
   slice.tx_id = 7;
   slice.coordinator = NodeId{0, 1};
-  slice.keys = {"0:k"};
+  slice.keys = {K("0:k")};
   slice.tv = VersionVector{0, 999'000, 0};  // unreachable during partition
   server_.handle_message(NodeId{0, 1}, slice);
   EXPECT_EQ(server_.parked_requests(), 1u);
@@ -183,7 +186,7 @@ TEST_F(HaPoccTest, RemoteSliceTimeoutSendsAbortToCoordinator) {
 TEST_F(HaPoccTest, CoordinatorAbortsTxOnAbortedSlice) {
   proto::RoTxReq tx;
   tx.client = 9;
-  tx.keys = {"1:far"};  // remote partition -> pending coordinator state
+  tx.keys = {K("1:far")};  // remote partition -> pending coordinator state
   tx.rdv = VersionVector(3);
   server_.handle_message(NodeId{0, 0}, tx);
   const auto slices = ctx_.sent_of<proto::SliceReq>();
@@ -222,8 +225,8 @@ TEST_F(HaPoccTest, DiscardLostUpdatesPurgesDependentVersions) {
   // DC1 is lost; this node received DC1 updates only up to 300k.
   const auto discarded = server_.discard_lost_updates(1);
   EXPECT_EQ(discarded, 1u);
-  EXPECT_EQ(server_.partition_store().find("0:direct")->size(), 1u);
-  EXPECT_EQ(server_.partition_store().find("0:dependent")->size(), 0u);
+  EXPECT_EQ(server_.partition_store().find(K("0:direct"))->size(), 1u);
+  EXPECT_EQ(server_.partition_store().find(K("0:dependent"))->size(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -77,6 +79,74 @@ TEST(Mix64, BijectiveOnSamples) {
   for (std::uint64_t i = 0; i < 10000; ++i) {
     EXPECT_TRUE(seen.insert(mix64(i)).second);
   }
+}
+
+TEST(Splitmix64, KnownVectorsAndInjectivityOnSamples) {
+  // Reference value from the splitmix64 reference implementation (state 0,
+  // first output).
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+  static_assert(splitmix64(1) != splitmix64(2));
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(splitmix64(i)).second);  // bijection, no collisions
+  }
+}
+
+// The channel-key hash feeds power-of-two bucket tables, so its *low* bits
+// must carry entropy from both halves of the (from, to) address pair.
+// Regression for the old `from * φ ^ to` mix: node addresses are
+// (dc << 32) | part, and (dc << 32) * φ contributes nothing to the low 16
+// bits — all channels with the same (part, destination) collided D-fold.
+TEST(Splitmix64, ChannelStyleKeysSpreadAcrossLowBits) {
+  constexpr std::uint32_t kDcs = 4;
+  constexpr std::uint32_t kParts = 64;
+  constexpr std::uint32_t kMask = 1024 - 1;  // power-of-two bucket table
+  auto addr = [](std::uint32_t dc, std::uint32_t part) {
+    return (static_cast<std::uint64_t>(dc) << 32) | part;
+  };
+  auto channel_hash = [&](std::uint64_t from, std::uint64_t to) {
+    return splitmix64(splitmix64(from) ^ to);
+  };
+
+  // (a) Structural case: same source partition, same destination, varying
+  // only the source DC. The old mix put all of these in ONE bucket.
+  for (std::uint32_t part = 0; part < 8; ++part) {
+    std::unordered_set<std::uint64_t> buckets;
+    for (std::uint32_t dc = 0; dc < kDcs; ++dc) {
+      buckets.insert(channel_hash(addr(dc, part), addr(0, 0)) & kMask);
+    }
+    EXPECT_GT(buckets.size(), 1u) << "source-DC bits lost for part " << part;
+  }
+
+  // (b) Distribution: all replication channels of a kDcs x kParts topology.
+  // With 1024 buckets and 16k keys, a uniform hash gives ~16 per bucket;
+  // bound the maximum load far below the old hash's structural pileups.
+  std::vector<std::uint32_t> load(kMask + 1, 0);
+  std::uint32_t keys = 0;
+  for (std::uint32_t fdc = 0; fdc < kDcs; ++fdc) {
+    for (std::uint32_t tdc = 0; tdc < kDcs; ++tdc) {
+      for (std::uint32_t part = 0; part < kParts; ++part) {
+        if (fdc == tdc) continue;
+        for (std::uint32_t tpart = 0; tpart < 4; ++tpart) {
+          ++load[channel_hash(addr(fdc, part), addr(tdc, tpart)) & kMask];
+          ++keys;
+        }
+      }
+    }
+  }
+  std::uint32_t max_load = 0;
+  for (std::uint32_t l : load) max_load = std::max(max_load, l);
+  const double expected = static_cast<double>(keys) / (kMask + 1);
+  EXPECT_LT(max_load, expected * 5.0)
+      << keys << " keys, worst bucket " << max_load;
+  // Symmetric channel pairs (a->b vs b->a) must hash differently in general.
+  std::uint32_t symmetric_equal = 0;
+  for (std::uint32_t part = 0; part < kParts; ++part) {
+    const auto ab = channel_hash(addr(0, part), addr(1, part));
+    const auto ba = channel_hash(addr(1, part), addr(0, part));
+    if (ab == ba) ++symmetric_equal;
+  }
+  EXPECT_EQ(symmetric_equal, 0u);
 }
 
 }  // namespace

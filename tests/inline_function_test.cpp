@@ -1,0 +1,106 @@
+// InlineFunction: inline storage for small captures (the allocation-free
+// event-loop guarantee), heap fallback for oversized ones, move-only
+// ownership semantics and capture destruction.
+#include "common/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace pocc::common {
+namespace {
+
+using Fn = InlineFunction<int(), 48>;
+
+TEST(InlineFunction, EmptyIsFalsy) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, SmallCaptureStoredInline) {
+  int x = 41;
+  Fn f = [x] { return x + 1; };
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunction, CapacityBoundaryStaysInline) {
+  struct Cap {
+    char bytes[48];
+  };
+  Cap c{};
+  c.bytes[0] = 7;
+  Fn f = [c] { return static_cast<int>(c.bytes[0]); };
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[64];
+  };
+  Big b{};
+  b.bytes[63] = 9;
+  Fn f = [b] { return static_cast<int>(b.bytes[63]); };
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 9);  // still callable
+}
+
+TEST(InlineFunction, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  Fn a = [counter] { return ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  Fn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(counter.use_count(), 2);  // no duplicate capture
+  EXPECT_EQ(b(), 1);
+}
+
+TEST(InlineFunction, MoveAssignReleasesPreviousCapture) {
+  auto old_capture = std::make_shared<int>(1);
+  auto new_capture = std::make_shared<int>(2);
+  Fn f = [old_capture] { return *old_capture; };
+  f = Fn([new_capture] { return *new_capture; });
+  EXPECT_EQ(old_capture.use_count(), 1);  // old capture destroyed
+  EXPECT_EQ(f(), 2);
+}
+
+TEST(InlineFunction, DestructionReleasesCapture) {
+  auto capture = std::make_shared<int>(5);
+  {
+    Fn f = [capture] { return *capture; };
+    EXPECT_EQ(capture.use_count(), 2);
+  }
+  EXPECT_EQ(capture.use_count(), 1);
+}
+
+TEST(InlineFunction, HeapFallbackMoveTransfersPointer) {
+  struct Big {
+    char pad[64];
+    std::shared_ptr<int> p;
+  };
+  auto capture = std::make_shared<int>(3);
+  Fn a = [b = Big{{}, capture}] { return *b.p; };
+  EXPECT_FALSE(a.is_inline());
+  Fn b = std::move(a);
+  EXPECT_EQ(capture.use_count(), 2);  // moved, not copied
+  EXPECT_EQ(b(), 3);
+}
+
+TEST(InlineFunction, ArgumentsAndReturnForwarded) {
+  InlineFunction<int(int, int), 16> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(20, 22), 42);
+}
+
+TEST(InlineFunction, MutableStateAccumulates) {
+  InlineFunction<int(), 16> f = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(f(), 1);
+  EXPECT_EQ(f(), 2);
+  EXPECT_EQ(f(), 3);
+}
+
+}  // namespace
+}  // namespace pocc::common

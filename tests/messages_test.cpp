@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
+
 namespace pocc::proto {
 namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 TEST(Messages, NamesAreDistinctive) {
   EXPECT_STREQ(message_name(Message{GetReq{}}), "GetReq");
@@ -23,14 +27,37 @@ TEST(Messages, NamesAreDistinctive) {
   EXPECT_STREQ(message_name(Message{GcVector{}}), "GcVector");
   EXPECT_STREQ(message_name(Message{StabReport{}}), "StabReport");
   EXPECT_STREQ(message_name(Message{GssBroadcast{}}), "GssBroadcast");
+  EXPECT_STREQ(message_name(Message{RouteProbe{}}), "RouteProbe");
+}
+
+TEST(Messages, WireSizeChargesInternedKeyBytes) {
+  // Interning must not change the byte accounting: the charged size tracks
+  // the original key's length exactly.
+  GetReq a;
+  a.key = K("ab");
+  a.rdv = VersionVector(3);
+  GetReq b;
+  b.key = K("abcd");
+  b.rdv = VersionVector(3);
+  EXPECT_EQ(wire_size(Message{b}) - wire_size(Message{a}), 2u);
+}
+
+TEST(Messages, RouteProbeCountsCopiesAndMoves) {
+  auto counters = std::make_shared<RouteProbe::Counters>();
+  RouteProbe probe(counters);
+  RouteProbe copy = probe;            // copy
+  RouteProbe moved = std::move(copy); // move
+  EXPECT_EQ(counters->copies, 1u);
+  EXPECT_EQ(counters->moves, 1u);
+  (void)moved;
 }
 
 TEST(Messages, WireSizeScalesWithPayload) {
   GetReq small;
-  small.key = "k";
+  small.key = K("k");
   small.rdv = VersionVector(3);
   GetReq big = small;
-  big.key = "a-much-longer-key-name";
+  big.key = K("a-much-longer-key-name");
   EXPECT_GT(wire_size(Message{big}), wire_size(Message{small}));
 }
 
@@ -47,7 +74,7 @@ TEST(Messages, WireSizeCountsVectorEntries) {
 
 TEST(Messages, ReplicateCarriesFullVersion) {
   Replicate r;
-  r.version.key = "key";
+  r.version.key = K("key");
   r.version.value = "value";
   r.version.dv = VersionVector(3);
   EXPECT_GE(wire_size(Message{r}), 3u + 5u + 3u * sizeof(Timestamp));
@@ -61,9 +88,15 @@ TEST(Messages, HeartbeatIsSmall) {
 TEST(Messages, RoTxSizeScalesWithKeyCount) {
   RoTxReq one;
   one.rdv = VersionVector(3);
-  one.keys = {"a"};
+  one.keys = {K("a")};
   RoTxReq many = one;
-  for (int i = 0; i < 31; ++i) many.keys.push_back("k" + std::to_string(i));
+  for (int i = 0; i < 31; ++i) {
+    // Built with append, not operator+: the rvalue-concat pattern trips
+    // GCC 12's -Wrestrict false positive (PR 105329) under -O2.
+    std::string k = "k";
+    k += std::to_string(i);
+    many.keys.push_back(K(k));
+  }
   EXPECT_GT(wire_size(Message{many}), wire_size(Message{one}));
 }
 
@@ -72,10 +105,10 @@ TEST(Messages, PoccAndCureMetadataIdentical) {
   // implement the operations is the same" — both systems use the same message
   // types, so equal-shaped requests have equal sizes by construction.
   GetReq pocc_req;
-  pocc_req.key = "key";
+  pocc_req.key = K("key");
   pocc_req.rdv = VersionVector{1, 2, 3};
   GetReq cure_req;
-  cure_req.key = "key";
+  cure_req.key = K("key");
   cure_req.rdv = VersionVector{4, 5, 6};
   EXPECT_EQ(wire_size(Message{pocc_req}), wire_size(Message{cure_req}));
 }

@@ -1,15 +1,27 @@
 // Multi-version partition store: insert/find, stats upkeep, GC of
-// multi-version chains and targeted purging (lost-update discard).
+// multi-version chains and targeted purging (lost-update discard) — plus a
+// randomized parity check of the flat KeyId-keyed map against a
+// std::unordered_map reference model.
 #include "store/partition_store.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "store/key_space.hpp"
+
 namespace pocc::store {
 namespace {
 
-Version make_version(std::string key, Timestamp ut, DcId sr = 0) {
+KeyId K(const std::string& key) { return intern_key(key); }
+
+Version make_version(const std::string& key, Timestamp ut, DcId sr = 0) {
   Version v;
-  v.key = std::move(key);
+  v.key = K(key);
   v.value = "val" + std::to_string(ut);
   v.sr = sr;
   v.ut = ut;
@@ -19,13 +31,13 @@ Version make_version(std::string key, Timestamp ut, DcId sr = 0) {
 
 TEST(PartitionStore, FindUnknownKeyReturnsNull) {
   PartitionStore s;
-  EXPECT_EQ(s.find("nope"), nullptr);
+  EXPECT_EQ(s.find(K("nope")), nullptr);
 }
 
 TEST(PartitionStore, InsertAndFind) {
   PartitionStore s;
   s.insert(make_version("a", 10));
-  const VersionChain* c = s.find("a");
+  const VersionChain* c = s.find(K("a"));
   ASSERT_NE(c, nullptr);
   EXPECT_EQ(c->freshest()->ut, 10);
 }
@@ -56,8 +68,8 @@ TEST(PartitionStore, GcOnlyTouchesMultiVersionKeys) {
   s.insert(make_version("multi", 30));
   const auto removed = s.gc([](const Version& v) { return v.ut <= 20; });
   EXPECT_EQ(removed, 1u);  // only ut=10 of "multi"
-  EXPECT_EQ(s.find("single")->size(), 1u);
-  EXPECT_EQ(s.find("multi")->size(), 2u);
+  EXPECT_EQ(s.find(K("single"))->size(), 1u);
+  EXPECT_EQ(s.find(K("multi"))->size(), 2u);
   EXPECT_EQ(s.stats().gc_removed, 1u);
   EXPECT_EQ(s.stats().versions, 3u);
 }
@@ -72,6 +84,21 @@ TEST(PartitionStore, GcDropsKeyFromDirtySetWhenSingleVersionRemains) {
   EXPECT_EQ(s.gc([](const Version&) { return true; }), 0u);
 }
 
+TEST(PartitionStore, MultiVersionSetHasNoDuplicatesAcrossGcCycles) {
+  PartitionStore s;
+  // The key enters the multi-version set, leaves it via GC, and re-enters:
+  // the set must hold it exactly once each time.
+  s.insert(make_version("k", 10));
+  s.insert(make_version("k", 20));
+  EXPECT_EQ(s.multi_version_keys().size(), 1u);
+  (void)s.gc([](const Version&) { return true; });
+  EXPECT_EQ(s.multi_version_keys().size(), 0u);
+  s.insert(make_version("k", 30));
+  EXPECT_EQ(s.multi_version_keys().size(), 1u);
+  s.insert(make_version("k", 40));
+  EXPECT_EQ(s.multi_version_keys().size(), 1u);
+}
+
 TEST(PartitionStore, PurgeIfRemovesMatchingVersions) {
   PartitionStore s;
   s.insert(make_version("a", 10));
@@ -81,8 +108,8 @@ TEST(PartitionStore, PurgeIfRemovesMatchingVersions) {
       s.purge_if([](const Version& v) { return v.ut >= 20; });
   EXPECT_EQ(removed, 2u);
   EXPECT_EQ(s.stats().versions, 1u);
-  EXPECT_EQ(s.find("a")->size(), 1u);
-  EXPECT_EQ(s.find("b")->size(), 0u);
+  EXPECT_EQ(s.find(K("a"))->size(), 1u);
+  EXPECT_EQ(s.find(K("b"))->size(), 0u);
 }
 
 TEST(PartitionStore, ChainsAccessorExposesAllKeys) {
@@ -91,6 +118,94 @@ TEST(PartitionStore, ChainsAccessorExposesAllKeys) {
   s.insert(make_version("y", 2));
   EXPECT_EQ(s.chains().size(), 2u);
 }
+
+// ---------------------------------------------------------------------------
+// Randomized parity: the flat-map store must behave exactly like a reference
+// model (std::unordered_map of version lists) under interleaved insert / GC /
+// purge traffic.
+
+class PartitionStoreFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionStoreFuzzTest, FlatStoreMatchesReferenceModel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  PartitionStore store;
+  // Reference: key -> versions, freshest first, duplicate (ut, sr) ignored.
+  std::unordered_map<KeyId, std::vector<Version>> model;
+  std::uint64_t model_versions = 0;
+
+  auto model_insert = [&](const Version& v) {
+    auto& chain = model[v.key];
+    auto it = std::find_if(chain.begin(), chain.end(), [&](const Version& o) {
+      return o.ut == v.ut && o.sr == v.sr;
+    });
+    if (it != chain.end()) return;
+    chain.push_back(v);
+    std::sort(chain.begin(), chain.end(),
+              [](const Version& a, const Version& b) {
+                return a.fresher_than(b);
+              });
+    ++model_versions;
+  };
+
+  const std::uint32_t kKeys = 64;
+  for (int round = 0; round < 2000; ++round) {
+    const std::uint64_t dice = rng.uniform(100);
+    if (dice < 80) {  // insert (possibly duplicate)
+      Version v = make_version("fuzz" + std::to_string(rng.uniform(kKeys)),
+                               static_cast<Timestamp>(rng.uniform(50)) + 1,
+                               static_cast<DcId>(rng.uniform(3)));
+      model_insert(v);
+      store.insert(v);
+    } else if (dice < 90) {  // GC below a random floor
+      const auto floor = static_cast<Timestamp>(rng.uniform(50));
+      store.gc([&](const Version& v) { return v.ut <= floor; });
+      for (auto& [key, chain] : model) {
+        if (chain.size() <= 1) continue;  // GC only walks multi-version keys
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+          if (chain[i].ut <= floor) {
+            model_versions -= chain.size() - (i + 1);
+            chain.resize(i + 1);
+            break;
+          }
+        }
+      }
+    } else {  // purge a random timestamp (erase_if path)
+      const auto target = static_cast<Timestamp>(rng.uniform(50)) + 1;
+      store.purge_if([&](const Version& v) { return v.ut == target; });
+      for (auto& [key, chain] : model) {
+        const auto before = chain.size();
+        std::erase_if(chain, [&](const Version& v) { return v.ut == target; });
+        model_versions -= before - chain.size();
+      }
+    }
+  }
+
+  // Full-state comparison.
+  EXPECT_EQ(store.stats().versions, model_versions);
+  std::uint64_t model_multi = 0;
+  for (const auto& [key, chain] : model) {
+    if (chain.size() > 1) ++model_multi;
+    const VersionChain* actual = store.find(key);
+    if (chain.empty()) {
+      // Key may exist with an empty chain (purged) or never inserted at all.
+      if (actual != nullptr) {
+        EXPECT_EQ(actual->size(), 0u);
+      }
+      continue;
+    }
+    ASSERT_NE(actual, nullptr) << "missing key " << key_name(key);
+    ASSERT_EQ(actual->size(), chain.size()) << "key " << key_name(key);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_EQ(actual->versions()[i].ut, chain[i].ut);
+      EXPECT_EQ(actual->versions()[i].sr, chain[i].sr);
+      EXPECT_EQ(actual->versions()[i].value, chain[i].value);
+    }
+  }
+  EXPECT_EQ(store.stats().multi_version_keys, model_multi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionStoreFuzzTest,
+                         ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace pocc::store

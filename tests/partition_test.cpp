@@ -5,6 +5,8 @@
 // failure.
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
+
 #include "cluster/sim_cluster.hpp"
 
 namespace pocc::cluster {
@@ -203,13 +205,13 @@ TEST(Partition, LostUpdateDiscardAfterDcFailure) {
   const auto discarded = cluster.declare_dc_lost(0);
   EXPECT_GE(discarded, 1u);
   const auto* y_chain_dc1 =
-      cluster.engine(NodeId{1, 1}).partition_store().find("1:y");
+      cluster.engine(NodeId{1, 1}).partition_store().find(store::intern_key("1:y"));
   ASSERT_NE(y_chain_dc1, nullptr);
   EXPECT_TRUE(y_chain_dc1->empty())
       << "DC1 must discard the update that depends on lost DC0 data";
   // DC2 received X2 directly, so its copy of Y survives.
   const auto* y_chain_dc2 =
-      cluster.engine(NodeId{2, 1}).partition_store().find("1:y");
+      cluster.engine(NodeId{2, 1}).partition_store().find(store::intern_key("1:y"));
   ASSERT_NE(y_chain_dc2, nullptr);
   EXPECT_FALSE(y_chain_dc2->empty());
 }

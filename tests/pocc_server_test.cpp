@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
 #include "test_util.hpp"
 
 namespace pocc {
 namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 using testutil::MockContext;
 using testutil::test_topology;
@@ -20,29 +23,29 @@ class PoccServerTest : public ::testing::Test {
     ctx_.now = 1'000'000;  // physical clocks well past zero
   }
 
-  proto::PutReq put_req(ClientId c, std::string key, std::string value,
+  proto::PutReq put_req(ClientId c, const std::string& key, std::string value,
                         VersionVector dv = VersionVector(3)) {
     proto::PutReq r;
     r.client = c;
-    r.key = std::move(key);
+    r.key = K(key);
     r.value = std::move(value);
     r.dv = std::move(dv);
     return r;
   }
 
-  proto::GetReq get_req(ClientId c, std::string key,
+  proto::GetReq get_req(ClientId c, const std::string& key,
                         VersionVector rdv = VersionVector(3)) {
     proto::GetReq r;
     r.client = c;
-    r.key = std::move(key);
+    r.key = K(key);
     r.rdv = std::move(rdv);
     return r;
   }
 
-  store::Version remote_version(std::string key, Timestamp ut, DcId sr,
+  store::Version remote_version(const std::string& key, Timestamp ut, DcId sr,
                                 VersionVector dv = VersionVector(3)) {
     store::Version v;
-    v.key = std::move(key);
+    v.key = K(key);
     v.value = "remote";
     v.sr = sr;
     v.ut = ut;
@@ -74,7 +77,7 @@ TEST_F(PoccServerTest, PutReplicatesToSiblingReplicasOnly) {
   ASSERT_EQ(reps.size(), 2u);  // DCs 1 and 2, same partition index
   EXPECT_EQ(reps[0].first, (NodeId{1, 1}));
   EXPECT_EQ(reps[1].first, (NodeId{2, 1}));
-  EXPECT_EQ(reps[0].second.version.key, "1:a");
+  EXPECT_EQ(reps[0].second.version.key, K("1:a"));
   EXPECT_EQ(reps[0].second.version.sr, 0u);
 }
 
@@ -227,7 +230,7 @@ TEST_F(PoccServerTest, RoTxSinglePartitionLocal) {
   ctx_.clear_traffic();
   proto::RoTxReq tx;
   tx.client = 9;
-  tx.keys = {"1:a", "1:b"};
+  tx.keys = {K("1:a"), K("1:b")};
   tx.rdv = VersionVector(3);
   server_.handle_message(NodeId{0, 1}, tx);
   const auto replies = ctx_.replies_of<proto::RoTxReply>();
@@ -240,13 +243,13 @@ TEST_F(PoccServerTest, RoTxSinglePartitionLocal) {
 TEST_F(PoccServerTest, RoTxFansOutSliceRequests) {
   proto::RoTxReq tx;
   tx.client = 9;
-  tx.keys = {"0:x", "1:y"};  // partition 0 remote, partition 1 local
+  tx.keys = {K("0:x"), K("1:y")};  // partition 0 remote, partition 1 local
   tx.rdv = VersionVector(3);
   server_.handle_message(NodeId{0, 1}, tx);
   const auto slices = ctx_.sent_of<proto::SliceReq>();
   ASSERT_EQ(slices.size(), 1u);
   EXPECT_EQ(slices[0].first, (NodeId{0, 0}));  // same DC, partition 0
-  EXPECT_EQ(slices[0].second.keys, std::vector<std::string>{"0:x"});
+  EXPECT_EQ(slices[0].second.keys, std::vector<KeyId>{K("0:x")});
   EXPECT_EQ(slices[0].second.coordinator, (NodeId{0, 1}));
   // No reply yet: awaiting the remote slice.
   EXPECT_TRUE(ctx_.replies_of<proto::RoTxReply>().empty());
@@ -254,7 +257,7 @@ TEST_F(PoccServerTest, RoTxFansOutSliceRequests) {
   proto::SliceReply sr;
   sr.tx_id = slices[0].second.tx_id;
   proto::ReadItem item;
-  item.key = "0:x";
+  item.key = K("0:x");
   item.found = false;
   item.dv = VersionVector(3);
   sr.items = {item};
@@ -268,7 +271,7 @@ TEST_F(PoccServerTest, SliceWaitsUntilVvCoversSnapshot) {
   proto::SliceReq slice;
   slice.tx_id = 42;
   slice.coordinator = NodeId{0, 0};
-  slice.keys = {"1:a"};
+  slice.keys = {K("1:a")};
   slice.tv = VersionVector{0, 800'000, 0};  // ahead of VV[1]
   server_.handle_message(NodeId{0, 0}, slice);
   EXPECT_TRUE(ctx_.sent_of<proto::SliceReply>().empty());
@@ -294,7 +297,7 @@ TEST_F(PoccServerTest, SliceVisibilityFiltersBySnapshot) {
   proto::SliceReq slice;
   slice.tx_id = 43;
   slice.coordinator = NodeId{0, 0};
-  slice.keys = {"1:k"};
+  slice.keys = {K("1:k")};
   slice.tv = server_.version_vector();
   server_.handle_message(NodeId{0, 0}, slice);
   const auto replies = ctx_.sent_of<proto::SliceReply>();
@@ -314,7 +317,7 @@ TEST_F(PoccServerTest, BlockingStatsCountAllOperations) {
 
 TEST_F(PoccServerTest, VersionObserverFiresOnPut) {
   ClientId observed_client = 0;
-  std::string observed_key;
+  KeyId observed_key = kInvalidKeyId;
   server_.set_version_observer(
       [&](ClientId c, const store::Version& v) {
         observed_client = c;
@@ -322,7 +325,7 @@ TEST_F(PoccServerTest, VersionObserverFiresOnPut) {
       });
   server_.handle_message(NodeId{0, 1}, put_req(77, "1:obs", "v"));
   EXPECT_EQ(observed_client, 77u);
-  EXPECT_EQ(observed_key, "1:obs");
+  EXPECT_EQ(observed_key, K("1:obs"));
 }
 
 }  // namespace

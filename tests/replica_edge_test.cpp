@@ -5,10 +5,13 @@
 
 #include "cure/cure_server.hpp"
 #include "pocc/pocc_server.hpp"
+#include "store/key_space.hpp"
 #include "test_util.hpp"
 
 namespace pocc {
 namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 using testutil::MockContext;
 using testutil::test_topology;
@@ -20,10 +23,10 @@ class ReplicaEdgeTest : public ::testing::Test {
     ctx_.now = 1'000'000;
   }
 
-  store::Version remote_version(std::string key, Timestamp ut, DcId sr,
+  store::Version remote_version(const std::string& key, Timestamp ut, DcId sr,
                                 VersionVector dv = VersionVector(3)) {
     store::Version v;
-    v.key = std::move(key);
+    v.key = K(key);
     v.value = "v@" + std::to_string(ut);
     v.sr = sr;
     v.ut = ut;
@@ -41,7 +44,7 @@ TEST_F(ReplicaEdgeTest, DuplicateReplicationIsIdempotent) {
   const auto v = remote_version("1:a", 500'000, 1);
   server_.handle_message(NodeId{1, 1}, proto::Replicate{v});
   server_.handle_message(NodeId{1, 1}, proto::Replicate{v});  // redelivery
-  EXPECT_EQ(server_.partition_store().find("1:a")->size(), 1u);
+  EXPECT_EQ(server_.partition_store().find(K("1:a"))->size(), 1u);
   EXPECT_EQ(server_.version_vector()[1], 500'000);
 }
 
@@ -60,7 +63,7 @@ TEST_F(ReplicaEdgeTest, ConcurrentTimestampTieServesLowestSr) {
   }
   proto::GetReq req;
   req.client = 1;
-  req.key = "1:k";
+  req.key = K("1:k");
   req.rdv = VersionVector(3);
   server_.handle_message(NodeId{0, 1}, req);
   const auto replies = ctx_.replies_of<proto::GetReply>();
@@ -71,13 +74,13 @@ TEST_F(ReplicaEdgeTest, ConcurrentTimestampTieServesLowestSr) {
 TEST_F(ReplicaEdgeTest, RoTxWithDuplicateKeysReturnsEachOccurrence) {
   proto::PutReq put;
   put.client = 1;
-  put.key = "1:dup";
+  put.key = K("1:dup");
   put.value = "x";
   put.dv = VersionVector(3);
   server_.handle_message(NodeId{0, 1}, put);
   proto::RoTxReq tx;
   tx.client = 2;
-  tx.keys = {"1:dup", "1:dup"};
+  tx.keys = {K("1:dup"), K("1:dup")};
   tx.rdv = VersionVector(3);
   server_.handle_message(NodeId{0, 1}, tx);
   const auto replies = ctx_.replies_of<proto::RoTxReply>();
@@ -89,7 +92,7 @@ TEST_F(ReplicaEdgeTest, RoTxWithDuplicateKeysReturnsEachOccurrence) {
 TEST_F(ReplicaEdgeTest, RoTxEntirelyOnRemotePartition) {
   proto::RoTxReq tx;
   tx.client = 3;
-  tx.keys = {"0:a", "0:b"};  // both on partition 0; coordinator is partition 1
+  tx.keys = {K("0:a"), K("0:b")};  // both on partition 0; coordinator is partition 1
   tx.rdv = VersionVector(3);
   server_.handle_message(NodeId{0, 1}, tx);
   const auto slices = ctx_.sent_of<proto::SliceReq>();
@@ -131,7 +134,7 @@ TEST_F(ReplicaEdgeTest, ParkedGetCountsExactlyOncePerOperation) {
       [&] {
         proto::GetReq r;
         r.client = 1;
-        r.key = "1:x";
+        r.key = K("1:x");
         r.rdv = VersionVector{0, 900'000, 0};
         return r;
       }());
@@ -146,7 +149,7 @@ TEST_F(ReplicaEdgeTest, MultipleParkedRequestsResumeFifoOnOneEvent) {
   for (ClientId c = 1; c <= 3; ++c) {
     proto::GetReq r;
     r.client = c;
-    r.key = "1:x";
+    r.key = K("1:x");
     r.rdv = VersionVector{0, 800'000, 0};
     server_.handle_message(NodeId{0, 1}, r);
   }
@@ -162,7 +165,7 @@ TEST_F(ReplicaEdgeTest, MultipleParkedRequestsResumeFifoOnOneEvent) {
 TEST_F(ReplicaEdgeTest, ResetStatsClearsBlockingAndStaleness) {
   proto::PutReq put;
   put.client = 1;
-  put.key = "1:a";
+  put.key = K("1:a");
   put.value = "v";
   put.dv = VersionVector(3);
   server_.handle_message(NodeId{0, 1}, put);
@@ -179,7 +182,7 @@ TEST_F(ReplicaEdgeTest, CureGetOnEmptyChainCountsNoStaleness) {
                   cure_ctx);
   proto::GetReq req;
   req.client = 1;
-  req.key = "0:nothing";
+  req.key = K("0:nothing");
   req.rdv = VersionVector(3);
   cure.handle_message(NodeId{0, 0}, req);
   EXPECT_EQ(cure.staleness_stats().reads, 1u);
@@ -192,7 +195,7 @@ TEST_F(ReplicaEdgeTest, PutClockWaitBoundaryIsStrict) {
   server_.handle_message(NodeId{1, 1}, proto::Heartbeat{1, 2'000'000});
   proto::PutReq put;
   put.client = 1;
-  put.key = "1:a";
+  put.key = K("1:a");
   put.value = "v";
   put.dv = VersionVector{0, 2'000'000, 0};  // == beyond current clock (1s)
   server_.handle_message(NodeId{0, 1}, put);

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
 #include "test_util.hpp"
 
 namespace pocc {
 namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
 
 using testutil::MockContext;
 using testutil::test_topology;
@@ -23,10 +26,11 @@ class ScalarPoccTest : public ::testing::Test {
     vector_ctx_.now = 1'000'000;
   }
 
-  proto::GetReq get_req(ClientId c, std::string key, VersionVector rdv) {
+  proto::GetReq get_req(ClientId c, const std::string& key,
+                        VersionVector rdv) {
     proto::GetReq r;
     r.client = c;
-    r.key = std::move(key);
+    r.key = K(key);
     r.rdv = std::move(rdv);
     return r;
   }
@@ -83,7 +87,7 @@ TEST_F(ScalarPoccTest, TxSnapshotIsScalarCut) {
   // VV = [local, 450k, 300k] -> scalar cut = 300k on remote entries.
   feed_heartbeats(scalar_, 400'000, 300'000);
   store::Version fresh;
-  fresh.key = "1:k";
+  fresh.key = K("1:k");
   fresh.value = "fresh";
   fresh.sr = 1;
   fresh.ut = 450'000;
@@ -92,7 +96,7 @@ TEST_F(ScalarPoccTest, TxSnapshotIsScalarCut) {
 
   proto::RoTxReq tx;
   tx.client = 9;
-  tx.keys = {"1:k"};
+  tx.keys = {K("1:k")};
   tx.rdv = VersionVector(3);
   scalar_.handle_message(NodeId{0, 1}, tx);
   const auto replies = ctx_.replies_of<proto::RoTxReply>();
@@ -111,7 +115,7 @@ TEST_F(ScalarPoccTest, TxSnapshotStillCoversClientDependencies) {
   feed_heartbeats(scalar_, 500'000, 300'000);
   proto::RoTxReq tx;
   tx.client = 9;
-  tx.keys = {"1:k"};
+  tx.keys = {K("1:k")};
   tx.rdv = VersionVector{0, 480'000, 0};  // client dependency above the cut
   scalar_.handle_message(NodeId{0, 1}, tx);
   // Snapshot raised to the dependency: the slice must wait for DC2 to pass
@@ -127,7 +131,7 @@ TEST_F(ScalarPoccTest, GetStillReturnsFreshestVersion) {
   // the freshest received version (OCC's defining property).
   feed_heartbeats(scalar_, 500'000, 500'000);
   store::Version v;
-  v.key = "1:a";
+  v.key = K("1:a");
   v.value = "freshest";
   v.sr = 1;
   v.ut = 550'000;  // after the heartbeat (FIFO timestamp order)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "store/key_space.hpp"
+
 #include "pocc/api.hpp"  // umbrella header must stay self-contained
 
 namespace pocc::cluster {
@@ -219,8 +221,8 @@ TEST(SimCluster, RoTxAcrossEveryPartitionIsSnapshotConsistent) {
   std::string cfg_val;
   std::string data_val;
   for (const auto& item : tx.items) {
-    if (item.key == "0:cfg") cfg_val = item.value;
-    if (item.key == "1:data") data_val = item.value;
+    if (item.key == store::intern_key("0:cfg")) cfg_val = item.value;
+    if (item.key == store::intern_key("1:data")) data_val = item.value;
   }
   if (data_val == "data-v2") {
     EXPECT_EQ(cfg_val, "cfg-v2");
@@ -265,10 +267,10 @@ TEST(SimCluster, HotKeyContentionConvergesToLwwWinner) {
   EXPECT_TRUE(cluster.divergent_keys().empty());
   // The winner is identical at every DC and carries the highest (ut, sr).
   const auto* head0 =
-      cluster.engine(NodeId{0, 0}).partition_store().find("0:hot")->freshest();
+      cluster.engine(NodeId{0, 0}).partition_store().find(store::intern_key("0:hot"))->freshest();
   for (DcId dc = 1; dc < 3; ++dc) {
     const auto* head =
-        cluster.engine(NodeId{dc, 0}).partition_store().find("0:hot")
+        cluster.engine(NodeId{dc, 0}).partition_store().find(store::intern_key("0:hot"))
             ->freshest();
     ASSERT_NE(head, nullptr);
     EXPECT_EQ(head->ut, head0->ut);

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace pocc::sim {
@@ -115,6 +118,138 @@ TEST(Simulator, CountsExecutedEvents) {
   s.run_all();
   EXPECT_EQ(s.executed_events(), 5u);
 }
+
+// ----- timing-wheel specifics -----
+
+TEST(Simulator, DelaysAcrossAllWheelLevels) {
+  // One event per wheel level (64^k boundaries) plus one far beyond the
+  // horizon (overflow heap). All must fire in time order at exact times.
+  Simulator s;
+  const std::vector<Timestamp> ats = {
+      3,          64,           65,          4096,        4100,
+      262'144,    16'777'216,   1'073'741'824,
+      68'719'476'736,  // 64^6 = horizon: overflow
+      100'000'000'000};
+  std::vector<Timestamp> fired;
+  for (const Timestamp at : ats) {
+    s.schedule_at(at, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  s.run_all();
+  EXPECT_EQ(fired, ats);
+}
+
+TEST(Simulator, IdleJumpThenLateEventsStillFire) {
+  // run_until jumps now() past pending-free stretches; events left in
+  // higher wheel levels (and re-stranded buckets) must still fire correctly.
+  Simulator s;
+  std::vector<Timestamp> fired;
+  s.schedule_at(500'000, [&] { fired.push_back(s.now()); });
+  s.schedule_at(500'001, [&] { fired.push_back(s.now()); });
+  s.run_until(499'990);  // long idle jump, no events
+  EXPECT_EQ(s.now(), 499'990);
+  s.schedule_at(499'995, [&] { fired.push_back(s.now()); });
+  s.run_all();
+  EXPECT_EQ(fired, (std::vector<Timestamp>{499'995, 500'000, 500'001}));
+}
+
+TEST(Simulator, SameInstantFifoAcrossLevels) {
+  // Two events for the same timestamp, one scheduled while the target is in
+  // a high wheel level and one after time advanced close to it: scheduling
+  // order must still win the tie.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10'000, [&] { order.push_back(1); });  // far: level >= 2
+  s.schedule_at(9'000, [&] {
+    // Close to the target now: same timestamp, later seq.
+    s.schedule_at(10'000, [&] { order.push_back(2); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, PendingEventsTracksWheelAndOverflow) {
+  Simulator s;
+  s.schedule(10, [] {});
+  s.schedule_at(100'000'000'000, [] {});  // overflow
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.step();
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.clear();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ClearReleasesOverflowAndWheelCaptures) {
+  Simulator s;
+  auto token = std::make_shared<int>(7);
+  s.schedule(5, [token] {});
+  s.schedule_at(100'000'000'000, [token] {});
+  EXPECT_EQ(token.use_count(), 3);
+  s.clear();
+  EXPECT_EQ(token.use_count(), 1);  // captures destroyed, not leaked
+}
+
+// Fuzz: random schedules (clustered and far timestamps, same-instant ties,
+// events scheduling events, interleaved run_until jumps) must fire in exact
+// (timestamp, scheduling-order) sequence — the determinism contract.
+class SimulatorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorFuzzTest, MatchesReferenceOrder) {
+  std::uint64_t state = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1;
+  auto rnd = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  Simulator s;
+  // Reference: every scheduled event gets an increasing id; expected firing
+  // order is stable-sort by timestamp (stable == scheduling order on ties).
+  struct Ref {
+    Timestamp at;
+    int id;
+  };
+  std::vector<Ref> expected;
+  std::vector<int> fired;
+  int next_id = 0;
+  std::function<void()> schedule_random = [&] {
+    const Timestamp base = s.now();
+    Duration delay;
+    switch (rnd() % 6) {
+      case 0: delay = 0; break;                                  // same instant
+      case 1: delay = static_cast<Duration>(rnd() % 8); break;   // level 0
+      case 2: delay = static_cast<Duration>(rnd() % 4096); break;
+      case 3: delay = static_cast<Duration>(rnd() % 300'000); break;
+      case 4: delay = static_cast<Duration>(rnd() % 40'000'000); break;
+      default:  // occasionally beyond the wheel horizon (overflow heap)
+        delay = static_cast<Duration>(68'719'476'736ULL + rnd() % 1000);
+        break;
+    }
+    const int id = next_id++;
+    expected.push_back(Ref{base + delay, id});
+    const bool chain = rnd() % 8 == 0;
+    s.schedule(delay, [&, id, chain] {
+      fired.push_back(id);
+      if (chain && fired.size() < 3000) schedule_random();
+    });
+  };
+  for (int i = 0; i < 500; ++i) schedule_random();
+  // Interleave bounded runs (forcing idle jumps) with full drains.
+  s.run_until(1000);
+  s.run_until(500'000);
+  for (int i = 0; i < 200; ++i) schedule_random();
+  s.run_all();
+
+  // All events fired, in stable (at, seq) order.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Ref& a, const Ref& b) { return a.at < b.at; });
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fired[i], expected[i].id) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzzTest, ::testing::Range(1, 13));
 
 }  // namespace
 }  // namespace pocc::sim

@@ -7,13 +7,15 @@
 #include <set>
 #include <utility>
 
+#include "store/key_space.hpp"
+
 namespace pocc::store {
 namespace {
 
 Version make_version(Timestamp ut, DcId sr, std::string value = "v",
                      VersionVector dv = VersionVector(3)) {
   Version v;
-  v.key = "k";
+  v.key = intern_key("k");
   v.value = std::move(value);
   v.sr = sr;
   v.ut = ut;
@@ -39,7 +41,7 @@ TEST(Version, CommitVectorRaisesOwnEntry) {
 }
 
 TEST(Version, InitialVersionHasNoDeps) {
-  const Version v = initial_version("x", 3);
+  const Version v = initial_version(intern_key("x"), 3);
   EXPECT_EQ(v.ut, 0);
   EXPECT_EQ(v.sr, 0u);
   EXPECT_EQ(v.dv, VersionVector(3));

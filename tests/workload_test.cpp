@@ -4,15 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "common/hash.hpp"
+#include "store/key_space.hpp"
 
 namespace pocc::workload {
 namespace {
 
-PartitionId part_of(const std::string& key, std::uint32_t parts) {
-  return partition_of(key, parts, PartitionScheme::kPrefix);
+PartitionId part_of(KeyId key, std::uint32_t parts) {
+  return store::KeySpace::global().partition(key, parts,
+                                             PartitionScheme::kPrefix);
 }
 
 TEST(Workload, GetPutCycleShape) {
@@ -108,21 +111,21 @@ TEST(Workload, ZipfKeySkewWithinPartition) {
   cfg.keys_per_partition = 1000;
   cfg.zipf_theta = 0.99;
   Generator gen(cfg, 1, 7);
-  std::map<std::string, int> counts;
+  std::map<KeyId, int> counts;
   for (int i = 0; i < 20000; ++i) {
     const Op op = gen.next();
     ++counts[op.keys[0]];
   }
   // The hottest key must be the zipf head "0:0".
   int max_count = 0;
-  std::string max_key;
+  KeyId max_key = kInvalidKeyId;
   for (const auto& [k, c] : counts) {
     if (c > max_count) {
       max_count = c;
       max_key = k;
     }
   }
-  EXPECT_EQ(max_key, "0:0");
+  EXPECT_EQ(store::key_name(max_key), "0:0");
 }
 
 TEST(Workload, ValuesHaveConfiguredSize) {

@@ -1,0 +1,86 @@
+// Zero-copy message routing: a proto::Message handed to SimNetwork::send is
+// moved — never copied — on its way to the destination endpoint, including
+// the client paths and the partition buffer + heal flush. Enforced with the
+// copy-counting RouteProbe payload.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/sim_network.hpp"
+
+namespace pocc::net {
+namespace {
+
+struct Sink : Endpoint {
+  std::vector<proto::Message> received;
+  void deliver(NodeId from, proto::Message m) override {
+    (void)from;
+    received.push_back(std::move(m));
+  }
+};
+
+class ZeroCopyRoutingTest : public ::testing::Test {
+ protected:
+  ZeroCopyRoutingTest() : net_(sim_, LatencyConfig::uniform(1000), Rng(1)) {
+    net_.register_node(NodeId{0, 0}, &a_);
+    net_.register_node(NodeId{1, 0}, &b_);
+    net_.register_client(7, 0, NodeId{0, 0}, &client_);
+  }
+
+  std::shared_ptr<proto::RouteProbe::Counters> counters_ =
+      std::make_shared<proto::RouteProbe::Counters>();
+  proto::Message probe() { return proto::RouteProbe{counters_}; }
+
+  sim::Simulator sim_;
+  SimNetwork net_;
+  Sink a_, b_, client_;
+};
+
+TEST_F(ZeroCopyRoutingTest, ServerToServerNeverCopies) {
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, probe());
+  sim_.run_all();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(counters_->copies, 0u);
+  EXPECT_GT(counters_->moves, 0u);  // it did travel by move
+}
+
+TEST_F(ZeroCopyRoutingTest, ServerToClientNeverCopies) {
+  net_.send_to_client(NodeId{0, 0}, 7, probe());
+  sim_.run_all();
+  ASSERT_EQ(client_.received.size(), 1u);
+  EXPECT_EQ(counters_->copies, 0u);
+}
+
+TEST_F(ZeroCopyRoutingTest, ClientToServerNeverCopies) {
+  net_.client_send(7, NodeId{0, 0}, probe());
+  sim_.run_all();
+  ASSERT_EQ(a_.received.size(), 1u);
+  EXPECT_EQ(counters_->copies, 0u);
+}
+
+TEST_F(ZeroCopyRoutingTest, PartitionBufferAndHealFlushNeverCopy) {
+  net_.partition_dcs(0, 1);
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, probe());
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, probe());
+  sim_.run_until(50'000);
+  EXPECT_TRUE(b_.received.empty());  // buffered while partitioned
+  net_.heal_dcs(0, 1);
+  sim_.run_all();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(counters_->copies, 0u);
+}
+
+TEST_F(ZeroCopyRoutingTest, BurstOfMessagesNeverCopies) {
+  for (int i = 0; i < 100; ++i) {
+    net_.send(NodeId{0, 0}, NodeId{1, 0}, probe());
+    net_.send_to_client(NodeId{0, 0}, 7, probe());
+  }
+  sim_.run_all();
+  EXPECT_EQ(b_.received.size(), 100u);
+  EXPECT_EQ(client_.received.size(), 100u);
+  EXPECT_EQ(counters_->copies, 0u);
+}
+
+}  // namespace
+}  // namespace pocc::net
