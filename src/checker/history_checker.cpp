@@ -17,8 +17,9 @@ void HistoryChecker::register_client(ClientId c, DcId dc, bool snapshot_rdv) {
   sessions_.emplace(c, std::move(s));
 }
 
-void HistoryChecker::on_version_created(ClientId c, KeyId key, Timestamp ut,
-                                        DcId sr, const VersionVector& dv) {
+void HistoryChecker::on_version_created(ClientId c, std::uint64_t op_id,
+                                        KeyId key, Timestamp ut, DcId sr,
+                                        const VersionVector& dv) {
   ++versions_registered_;
   // Proposition 2: the update timestamp strictly dominates every dependency.
   ++checks_;
@@ -30,7 +31,14 @@ void HistoryChecker::on_version_created(ClientId c, KeyId key, Timestamp ut,
   auto s = sessions_.find(c);
   PastMapPtr past;
   if (s != sessions_.end()) {
-    past = s->second.pending_put_past;
+    auto pending = s->second.pending_put_pasts.find(op_id);
+    if (pending != s->second.pending_put_pasts.end()) {
+      past = pending->second;
+      s->second.pending_put_pasts.erase(pending);
+    }
+    // No snapshot (request issued before a session reset, or a test driving
+    // the registry directly): register with an empty past — sound, merely
+    // weaker (fewer causal edges to enforce on readers).
   }
   registry_[key].push_back(VersionRecord{VersionId{ut, sr}, dv, past});
 }
@@ -71,7 +79,7 @@ void HistoryChecker::on_put_issued(ClientId c, const proto::PutReq& req) {
          ", expected " + s.dv.to_string());
   }
   // Snapshot the writer's causal past: it becomes the new version's past.
-  s.pending_put_past = std::make_shared<PastMap>(s.past);
+  s.pending_put_pasts[req.op_id] = std::make_shared<PastMap>(s.past);
 }
 
 void HistoryChecker::on_put_reply(ClientId c, const proto::PutReply& reply) {
@@ -84,7 +92,7 @@ void HistoryChecker::on_put_reply(ClientId c, const proto::PutReply& reply) {
   const VersionId id{reply.ut, reply.sr};
   auto& slot = s.past[reply.key];
   if (id.fresher_than(slot)) slot = id;
-  s.pending_put_past.reset();
+  s.pending_put_pasts.erase(reply.op_id);
 }
 
 const HistoryChecker::VersionRecord* HistoryChecker::find_version(
@@ -98,7 +106,8 @@ const HistoryChecker::VersionRecord* HistoryChecker::find_version(
 }
 
 void HistoryChecker::check_read_item(ClientId c, Session& s,
-                                     const proto::ReadItem& item) {
+                                     const proto::ReadItem& item,
+                                     const char* op) {
   const VersionId returned =
       item.found ? VersionId{item.ut, item.sr} : VersionId{0, 0};
   // Exact causal-past rule: the freshest version of this key in the client's
@@ -107,11 +116,16 @@ void HistoryChecker::check_read_item(ClientId c, Session& s,
   ++checks_;
   auto past_it = s.past.find(item.key);
   if (past_it != s.past.end() && past_it->second.fresher_than(returned)) {
-    fail("causal GET rule violated for client " + std::to_string(c) +
-         ": read of '" + store::key_name(item.key) + "' returned (ut=" +
-         std::to_string(returned.ut) + ",sr=" + std::to_string(returned.sr) +
-         ") but causal past holds (ut=" + std::to_string(past_it->second.ut) +
-         ",sr=" + std::to_string(past_it->second.sr) + ")");
+    fail(std::string("causal GET rule violated for client ") +
+         std::to_string(c) + " (" + op +
+         (s.pessimistic ? ", pessimistic" : ", optimistic") + " session, dc " +
+         std::to_string(s.dc) + "): read of '" + store::key_name(item.key) +
+         "' returned (ut=" + std::to_string(returned.ut) +
+         ",sr=" + std::to_string(returned.sr) +
+         ") dv=" + item.dv.to_string() + " but causal past holds (ut=" +
+         std::to_string(past_it->second.ut) +
+         ",sr=" + std::to_string(past_it->second.sr) +
+         "); session rdv=" + s.rdv.to_string());
   }
 }
 
@@ -145,7 +159,7 @@ void HistoryChecker::on_get_reply(ClientId c, const proto::GetReply& reply) {
   auto it = sessions_.find(c);
   POCC_ASSERT(it != sessions_.end());
   Session& s = it->second;
-  check_read_item(c, s, reply.item);
+  check_read_item(c, s, reply.item, "GET");
   absorb_read(s, reply.item);
 }
 
@@ -155,7 +169,7 @@ void HistoryChecker::on_tx_reply(ClientId c, const proto::RoTxReply& reply) {
   Session& s = it->second;
   // Per-item session rule, against the past as of transaction issue.
   for (const proto::ReadItem& item : reply.items) {
-    check_read_item(c, s, item);
+    check_read_item(c, s, item, "RO-TX");
   }
   // Causal-snapshot rule (§II-A RO-TX semantics): for returned items X of x
   // and Y of y, Y's causal past must not contain a version of x fresher than
@@ -197,7 +211,7 @@ void HistoryChecker::on_session_reset(ClientId c) {
   s.rdv = VersionVector(num_dcs_);
   s.rdv_at_issue = VersionVector(num_dcs_);
   s.past.clear();
-  s.pending_put_past.reset();
+  s.pending_put_pasts.clear();
   s.pessimistic = true;
 }
 

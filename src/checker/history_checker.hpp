@@ -59,8 +59,13 @@ class HistoryChecker {
 
   /// Observe a version at creation time (wired to the server PUT path, so the
   /// registry is complete the moment a version becomes readable anywhere).
-  void on_version_created(ClientId c, KeyId key, Timestamp ut, DcId sr,
-                          const VersionVector& dv);
+  /// `op_id` is the creating PutReq's RPC sequence number; it selects the
+  /// writer's causal-past snapshot taken when that exact request was issued
+  /// (under fault injection a PUT can execute long after its client timed
+  /// out and moved on — attributing the *current* session past to it would
+  /// claim causal edges the writer never had).
+  void on_version_created(ClientId c, std::uint64_t op_id, KeyId key,
+                          Timestamp ut, DcId sr, const VersionVector& dv);
 
   // --- client-visible operations (call *_issued before sending and *_reply
   // before absorbing the reply into the client engine) ---
@@ -104,14 +109,17 @@ class HistoryChecker {
     VersionVector rdv;           // mirror of Alg. 1 RDV_c
     VersionVector rdv_at_issue;  // snapshot when the in-flight read left
     PastMap past;                // exact causal past, freshest per key
-    std::shared_ptr<PastMap> pending_put_past;  // snapshot for in-flight PUT
+    /// Past snapshots of in-flight PUTs, keyed by the request's op_id (a
+    /// request abandoned by its client can still execute much later).
+    std::unordered_map<std::uint64_t, PastMapPtr> pending_put_pasts;
   };
 
   void fail(std::string msg) { violations_.push_back(std::move(msg)); }
   [[nodiscard]] const VersionRecord* find_version(KeyId key,
                                                   VersionId id) const;
   void absorb_read(Session& s, const proto::ReadItem& item);
-  void check_read_item(ClientId c, Session& s, const proto::ReadItem& item);
+  void check_read_item(ClientId c, Session& s, const proto::ReadItem& item,
+                       const char* op);
 
   std::uint32_t num_dcs_;
   std::unordered_map<ClientId, Session> sessions_;

@@ -43,6 +43,15 @@ class PhysicalClock {
   /// NTP-style resynchronization: slews the offset toward zero by `fraction`.
   void resync(double fraction = 1.0);
 
+  // --- fault injection (src/fault/): bounded skew/drift ramps ---
+  /// Shift the constant offset by `delta_us` (positive or negative). Reads
+  /// stay strictly monotonic: a backwards slew makes the clock crawl
+  /// (+1 us per read) until true time catches up, like a slewing NTP daemon.
+  void slew(Timestamp delta_us) { offset_us_ += delta_us; }
+  /// Adjust the drift rate by `delta_ppm` (ramps are applied and later
+  /// removed by the fault injector, so drift stays bounded).
+  void adjust_drift(double delta_ppm) { drift_ppm_ += delta_ppm; }
+
   [[nodiscard]] Timestamp offset_us() const { return offset_us_; }
   [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
 

@@ -50,11 +50,20 @@ void SimClient::issue_next_workload_op() {
 void SimClient::issue_op(const workload::Op& op) {
   POCC_ASSERT(!awaiting_reply_);
   awaiting_reply_ = true;
+  ++op_seq_;
   issued_at_ = cluster_.simulator().now();
+  if (mode_ == Mode::kWorkload && generator_ != nullptr) {
+    const Duration timeout = generator_->config().op_timeout_us;
+    if (timeout > 0) {
+      cluster_.simulator().schedule(
+          timeout, [this, seq = op_seq_] { on_op_timeout(seq); });
+    }
+  }
   auto* checker = cluster_.checker();
   switch (op.type) {
     case workload::OpType::kGet: {
       proto::GetReq req = engine_.make_get(op.keys.front());
+      req.op_id = op_seq_;
       if (checker != nullptr) checker->on_get_issued(id(), req);
       cluster_.network().client_send(id(), target_for_key(op.keys.front()),
                                      std::move(req));
@@ -62,6 +71,7 @@ void SimClient::issue_op(const workload::Op& op) {
     }
     case workload::OpType::kPut: {
       proto::PutReq req = engine_.make_put(op.keys.front(), op.value);
+      req.op_id = op_seq_;
       if (checker != nullptr) checker->on_put_issued(id(), req);
       cluster_.network().client_send(id(), target_for_key(op.keys.front()),
                                      std::move(req));
@@ -69,6 +79,7 @@ void SimClient::issue_op(const workload::Op& op) {
     }
     case workload::OpType::kRoTx: {
       proto::RoTxReq req = engine_.make_ro_tx(op.keys);
+      req.op_id = op_seq_;
       if (checker != nullptr) checker->on_tx_issued(id(), req);
       // The collocated server coordinates the transaction (§II-C).
       cluster_.network().client_send(id(), home_, std::move(req));
@@ -109,6 +120,7 @@ void SimClient::deliver(NodeId from, proto::Message m) {
 void SimClient::handle_session_closed(const proto::SessionClosed& msg) {
   POCC_ASSERT(msg.client == id());
   ++fallbacks_;
+  const bool was_awaiting = awaiting_reply_;
   awaiting_reply_ = false;
   // §III-B: re-initialize the session; the new session runs the pessimistic
   // protocol and may not observe items read/written by the old session.
@@ -118,9 +130,31 @@ void SimClient::handle_session_closed(const proto::SessionClosed& msg) {
     manual_session_closed_ = true;
     return;
   }
-  if (stopped_) return;
+  // A SessionClosed can arrive for an operation this client already
+  // abandoned (fault injection: a stale transaction replayed from a crashed
+  // node's backlog aborts long after the op timed out). The session reset
+  // above still applies, but there is no in-flight op to retry — scheduling
+  // one would race the closed loop's own next-op event.
+  if (stopped_ || !was_awaiting) return;
   cluster_.simulator().schedule(kReconnectDelayUs, [this] {
     if (!awaiting_reply_) issue_op(current_op_);  // retry under the new session
+  });
+}
+
+void SimClient::on_op_timeout(std::uint64_t seq) {
+  if (stopped_ || !awaiting_reply_ || seq != op_seq_) return;
+  // No reply after the give-up deadline: the request (or its answer) died
+  // with a crashed server. The client library behaves as after a
+  // SessionClosed — re-initialize the session and retry the operation under
+  // it. A late reply from the old attempt is absorbed like any other reply
+  // (the session reset already forgot the old causal past, so it stays
+  // consistent); the superseded attempt's answer is then dropped as stale.
+  ++fallbacks_;
+  awaiting_reply_ = false;
+  engine_.reinitialize_pessimistic();
+  if (auto* checker = cluster_.checker()) checker->on_session_reset(id());
+  cluster_.simulator().schedule(kReconnectDelayUs, [this] {
+    if (!awaiting_reply_ && !stopped_) issue_op(current_op_);
   });
 }
 
@@ -128,21 +162,24 @@ void SimClient::handle_reply(proto::Message m) {
   const Duration latency = cluster_.simulator().now() - issued_at_;
   auto* checker = cluster_.checker();
   workload::OpType type;
+  // Replies echo the request's op_id; anything else answers an operation
+  // this session already abandoned (timed out during a fault window and
+  // retried under a fresh session) — the RPC layer discards it.
   if (std::holds_alternative<proto::GetReply>(m)) {
     const auto& reply = std::get<proto::GetReply>(m);
-    if (reply.client != id()) return;
+    if (reply.client != id() || reply.op_id != op_seq_) return;
     if (checker != nullptr) checker->on_get_reply(id(), reply);
     engine_.absorb_get(reply);
     type = workload::OpType::kGet;
   } else if (std::holds_alternative<proto::PutReply>(m)) {
     const auto& reply = std::get<proto::PutReply>(m);
-    if (reply.client != id()) return;
+    if (reply.client != id() || reply.op_id != op_seq_) return;
     if (checker != nullptr) checker->on_put_reply(id(), reply);
     engine_.absorb_put(reply);
     type = workload::OpType::kPut;
   } else if (std::holds_alternative<proto::RoTxReply>(m)) {
     const auto& reply = std::get<proto::RoTxReply>(m);
-    if (reply.client != id()) return;
+    if (reply.client != id() || reply.op_id != op_seq_) return;
     if (checker != nullptr) checker->on_tx_reply(id(), reply);
     engine_.absorb_ro_tx(reply);
     type = workload::OpType::kRoTx;

@@ -82,6 +82,11 @@ class SimClient final : public net::Endpoint {
   void issue_op(const workload::Op& op);
   void handle_reply(proto::Message m);
   void handle_session_closed(const proto::SessionClosed& msg);
+  /// Watchdog for workload ops under fault injection: fires
+  /// WorkloadConfig::op_timeout_us after issue; a still-unanswered operation
+  /// is presumed lost (crashed server), the session re-initializes and the
+  /// operation is retried.
+  void on_op_timeout(std::uint64_t seq);
   void record_latency(workload::OpType type, Duration latency);
   [[nodiscard]] NodeId target_for_key(KeyId key) const;
 
@@ -96,6 +101,7 @@ class SimClient final : public net::Endpoint {
   bool awaiting_reply_ = false;
   workload::Op current_op_;
   Timestamp issued_at_ = 0;
+  std::uint64_t op_seq_ = 0;  // distinguishes watchdog targets across retries
 
   // Manual-mode reply capture.
   std::optional<proto::Message> manual_reply_;

@@ -1,8 +1,10 @@
 #include "cluster/sim_cluster.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/hash.hpp"
 #include "store/key_space.hpp"
 #include "cure/cure_server.hpp"
 #include "ha/ha_pocc_server.hpp"
@@ -71,8 +73,9 @@ SimCluster::SimCluster(SimClusterConfig cfg)
       }
       if (checker_ != nullptr) {
         engine->set_version_observer(
-            [chk = checker_.get()](ClientId c, const store::Version& v) {
-              chk->on_version_created(c, v.key, v.ut, v.sr, v.dv);
+            [chk = checker_.get()](ClientId c, std::uint64_t op_id,
+                                   const store::Version& v) {
+              chk->on_version_created(c, op_id, v.key, v.ut, v.sr, v.dv);
             });
       }
       node->install_engine(std::move(engine));
@@ -206,6 +209,59 @@ void SimCluster::heal_dc(DcId dc) {
 }
 bool SimCluster::has_active_partitions() const {
   return net_->any_partitions();
+}
+
+void SimCluster::crash_node(NodeId id) { node_at(id).crash(); }
+
+std::uint64_t SimCluster::restart_node(NodeId id) {
+  return node_at(id).restart();
+}
+
+bool SimCluster::node_down(NodeId id) { return node_at(id).down(); }
+
+PhysicalClock& SimCluster::clock_at(NodeId id) { return node_at(id).clock(); }
+
+std::uint64_t SimCluster::state_digest() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t x) { h = splitmix64(h ^ x); };
+  auto mix_str = [&](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mix(static_cast<std::uint8_t>(c));
+  };
+  mix(sim_.executed_events());
+  for (const auto& node : nodes_) {
+    const server::ReplicaBase& e = node->engine();
+    const VersionVector& vv = e.version_vector();
+    for (std::uint32_t i = 0; i < vv.size(); ++i) {
+      mix(static_cast<std::uint64_t>(vv[i]));
+    }
+    mix(e.puts_served());
+    mix(e.gets_served());
+    // chains() is densely packed in insertion order — deterministic for a
+    // given seed (the only ordering this digest is used under).
+    for (const auto& [key, chain] : e.partition_store().chains()) {
+      mix_str(store::key_name(key));
+      for (const store::Version& v : chain.versions()) {
+        mix(static_cast<std::uint64_t>(v.ut));
+        mix(v.sr);
+        mix_str(v.value);
+        for (std::uint32_t i = 0; i < v.dv.size(); ++i) {
+          mix(static_cast<std::uint64_t>(v.dv[i]));
+        }
+      }
+    }
+  }
+  for (const auto& c : clients_) mix(c->completed_ops());
+  const net::NetworkStats& ns = net_->stats();
+  mix(ns.messages);
+  mix(ns.bytes);
+  mix(ns.dropped_messages);
+  if (checker_ != nullptr) {
+    mix(checker_->checks_performed());
+    mix(checker_->versions_registered());
+    mix(checker_->violations().size());
+  }
+  return h;
 }
 
 std::uint64_t SimCluster::declare_dc_lost(DcId dc) {

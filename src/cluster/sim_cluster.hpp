@@ -98,6 +98,25 @@ class SimCluster {
   void isolate_dc(DcId dc);
   void heal_dc(DcId dc);
   [[nodiscard]] bool has_active_partitions() const;
+
+  /// Fail-stop crash of one node (fault layer, src/fault/). The process
+  /// dies: its RAM state (parked requests, pending transactions) is lost and
+  /// client requests bounce; the multiversion store and checkpointed
+  /// metadata survive (durable storage), and peer replication streams are
+  /// held by the peers' durable logs (see SimNode::crash).
+  void crash_node(NodeId id);
+  /// Reboot a crashed node: volatile state cleared, timers re-armed, replica
+  /// state rebuilt from the peers' backlogged streams in FIFO order.
+  /// Returns the number of replicated versions recovered.
+  std::uint64_t restart_node(NodeId id);
+  [[nodiscard]] bool node_down(NodeId id);
+  /// Physical clock of one node (fault layer: bounded skew/drift ramps).
+  PhysicalClock& clock_at(NodeId id);
+
+  /// Deterministic digest of the end state: every store, version vector, the
+  /// event/op counters and network totals. Two runs of the same seed and the
+  /// same fault plan must produce bit-identical digests (fuzz replay check).
+  [[nodiscard]] std::uint64_t state_digest() const;
   /// HA-POCC: declare `dc` permanently lost; every node discards versions
   /// depending on updates that will never arrive (§III-B). Returns the total
   /// number of versions discarded.

@@ -27,6 +27,26 @@ class SimNode final : public net::Endpoint, public server::Context {
   void install_engine(std::unique_ptr<server::ReplicaBase> engine);
   void start();
 
+  // --- fault injection: fail-stop crash with durable storage ---
+  /// Kill the process: pending CPU jobs and timers become no-ops (epoch
+  /// guard) and RAM state is lost on restart. The engine object (modelling
+  /// the durable store + checkpointed metadata) survives. While down,
+  /// incoming client requests are dropped (connection refused — the client
+  /// library reconnects), while server-to-server traffic is backlogged in
+  /// arrival order: those streams ride the peers' durable replication logs
+  /// (paper §II-C lossless FIFO channels), so a process crash delays them
+  /// but never tears a hole into them. Rebuilding replica state from a
+  /// peer's *store* instead would be unsound: each DC garbage-collects with
+  /// its own stability floor, so a peer's store may lack exactly the
+  /// versions this DC's snapshots still need.
+  void crash();
+  /// Reboot: clears the engine's volatile state (ReplicaBase::recover),
+  /// re-arms timers, then rebuilds — replays the backlogged peer streams in
+  /// FIFO order through the normal delivery path. Returns the number of
+  /// replicated versions recovered from peers this way.
+  std::uint64_t restart();
+  [[nodiscard]] bool down() const { return down_; }
+
   [[nodiscard]] NodeId id() const { return self_; }
   server::ReplicaBase& engine() { return *engine_; }
   [[nodiscard]] const server::ReplicaBase& engine() const { return *engine_; }
@@ -49,8 +69,19 @@ class SimNode final : public net::Endpoint, public server::Context {
   void set_timer(Duration delay, std::uint64_t timer_id) override;
 
  private:
+  /// A delivered message awaiting its CPU job. `from` and the arrival
+  /// sequence are kept so a crash can sweep unprocessed messages into the
+  /// crash backlog in arrival order (a dead job must not lose server
+  /// traffic: the peer's durable log still holds it).
+  struct ParkedMsg {
+    proto::Message msg;
+    NodeId from;
+    std::uint64_t seq = 0;
+    bool live = false;
+  };
+
   /// Park a delivered message until its CPU job runs; returns its pool slot.
-  std::uint32_t park_message(proto::Message m);
+  std::uint32_t park_message(NodeId from, proto::Message m);
   /// Take the parked message back out, recycling the slot.
   proto::Message unpark_message(std::uint32_t idx);
 
@@ -60,12 +91,20 @@ class SimNode final : public net::Endpoint, public server::Context {
   sim::CpuQueue cpu_;
   PhysicalClock clock_;
   std::unique_ptr<server::ReplicaBase> engine_;
+  bool down_ = false;
+  /// Bumped on crash: CPU jobs and timer events capture the epoch they were
+  /// created under and turn into no-ops when it no longer matches.
+  std::uint32_t epoch_ = 0;
+  /// Server-to-server traffic that arrived while down (peer replication
+  /// logs), replayed in arrival order on restart.
+  std::deque<std::pair<NodeId, proto::Message>> crash_backlog_;
 
   // Pool for messages awaiting CPU dispatch: the queued job captures a u32
   // index instead of the ~160-byte message, keeping CpuQueue jobs slim.
   // (std::deque: stable addresses, chunked growth.)
-  std::deque<proto::Message> parked_messages_;
+  std::deque<ParkedMsg> parked_messages_;
   std::vector<std::uint32_t> parked_free_;
+  std::uint64_t next_arrival_seq_ = 0;
 };
 
 }  // namespace pocc::cluster

@@ -26,16 +26,28 @@ class CureServer : public server::ReplicaBase {
              server::Context& ctx);
 
   void start() override;
+  void recover() override {
+    ReplicaBase::recover();
+    stab_reports_.clear();  // per-round aggregation is RAM; GSS survives
+  }
   Duration on_timer(std::uint64_t timer_id) override;
 
   [[nodiscard]] const VersionVector& gss() const { return gss_; }
 
  protected:
   /// A version is stable in this DC iff its commit vector (dv with the source
-  /// entry raised to ut) is below the GSS. Local items are always visible.
+  /// entry raised to ut) is below the GSS on every *remote* coordinate.
+  /// Local items are always visible, and — for the same reason — the local
+  /// coordinate of a remote version's commit vector is skipped: it names
+  /// dependencies on this DC's own items, which are visible here regardless
+  /// of stabilization progress. Testing it against the (lagging) GSS made
+  /// GET visibility stricter than the RO-TX rule (whose TV raises the local
+  /// entry to the coordinator's VV): a transaction could return a version
+  /// that a later GET hides — a monotonic-reads violation the cluster-fuzz
+  /// harness caught when a crashed partition froze the DC's GSS minimum.
   [[nodiscard]] bool stable(const store::Version& v) const {
     if (v.sr == local_dc()) return true;
-    return v.commit_vector().leq(gss_);
+    return gss_.dominates(v.commit_vector(), skip_local());
   }
 
   /// Reads wait until the GSS covers the client's read dependencies
@@ -55,7 +67,15 @@ class CureServer : public server::ReplicaBase {
       const proto::RoTxReq& req) const override;
 
   /// Pessimistic slice visibility: the version and all its dependencies must
-  /// lie inside the (stable) snapshot.
+  /// lie inside the (stable) snapshot — the FULL commit vector, local
+  /// coordinate included. The local bound is what keeps sibling slices
+  /// mutually consistent (a local item written after the transaction started
+  /// must not leak into a late slice — cluster fuzz caught exactly that when
+  /// this test briefly skipped the local coordinate). Unlike the GET path,
+  /// no monotonic-reads hazard arises from the full test: TV includes the
+  /// client's read vector, and RDV dominance is transitive along read/write
+  /// chains, so every version in the client's causal past is coordinate-wise
+  /// covered by TV.
   [[nodiscard]] bool slice_visible(const store::Version& v,
                                    const VersionVector& tv,
                                    bool pessimistic) const override {

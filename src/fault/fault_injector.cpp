@@ -1,0 +1,94 @@
+#include "fault/fault_injector.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pocc::fault {
+
+FaultInjector::FaultInjector(cluster::SimCluster& cluster, FaultPlan plan)
+    : cluster_(cluster), plan_(std::move(plan)) {
+  plan_.validate(cluster_.config().topology);
+}
+
+void FaultInjector::arm() {
+  POCC_ASSERT_MSG(!armed_, "injector armed twice");
+  armed_ = true;
+  sim::Simulator& sim = cluster_.simulator();
+  const Timestamp base = sim.now();
+  for (const FaultEvent& e : plan_.events) {
+    sim.schedule_at(base + e.at, [this, &e] { inject(e); });
+    if (e.kind == FaultKind::kClockSkewRamp) {
+      // Spread the slew across the window in discrete steps (NTP-daemon
+      // style); the start event applies the drift delta, the clear event
+      // removes it so drift stays bounded across a campaign.
+      const Timestamp step_delta = e.skew_delta_us / kRampSteps;
+      for (int s = 1; s < kRampSteps; ++s) {
+        sim.schedule_at(
+            base + e.at + (e.duration * s) / kRampSteps, [this, &e,
+                                                          step_delta] {
+              cluster_.clock_at(e.node).slew(step_delta);
+            });
+      }
+    }
+    sim.schedule_at(base + e.clears_at(), [this, &e] { clear(e); });
+  }
+}
+
+void FaultInjector::inject(const FaultEvent& e) {
+  ++injected_;
+  net::SimNetwork& net = cluster_.network();
+  switch (e.kind) {
+    case FaultKind::kPartition:
+      net.partition_dcs(e.dc_a, e.dc_b);
+      break;
+    case FaultKind::kAsymPartition:
+      net.block_link(e.dc_a, e.dc_b);
+      break;
+    case FaultKind::kLinkDegrade:
+      net.degrade_link(e.dc_a, e.dc_b, e.extra_delay_us, e.delay_multiplier);
+      break;
+    case FaultKind::kCrash:
+      cluster_.crash_node(e.node);
+      break;
+    case FaultKind::kHeartbeatLoss:
+      net.suppress_heartbeats(e.node);
+      break;
+    case FaultKind::kClockSkewRamp:
+      // First slew step; the remaining steps are scheduled by arm().
+      cluster_.clock_at(e.node).slew(e.skew_delta_us -
+                                     (e.skew_delta_us / kRampSteps) *
+                                         (kRampSteps - 1));
+      cluster_.clock_at(e.node).adjust_drift(e.drift_delta_ppm);
+      break;
+  }
+}
+
+void FaultInjector::clear(const FaultEvent& e) {
+  ++cleared_;
+  net::SimNetwork& net = cluster_.network();
+  switch (e.kind) {
+    case FaultKind::kPartition:
+      net.heal_dcs(e.dc_a, e.dc_b);
+      break;
+    case FaultKind::kAsymPartition:
+      net.unblock_link(e.dc_a, e.dc_b);
+      break;
+    case FaultKind::kLinkDegrade:
+      net.clear_link_degrade(e.dc_a, e.dc_b);
+      break;
+    case FaultKind::kCrash:
+      versions_recovered_ += cluster_.restart_node(e.node);
+      break;
+    case FaultKind::kHeartbeatLoss:
+      net.resume_heartbeats(e.node);
+      break;
+    case FaultKind::kClockSkewRamp:
+      // The accumulated skew stays (clocks do not rewind); only the extra
+      // drift is removed so it cannot compound across windows.
+      cluster_.clock_at(e.node).adjust_drift(-e.drift_delta_ppm);
+      break;
+  }
+}
+
+}  // namespace pocc::fault

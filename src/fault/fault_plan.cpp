@@ -1,0 +1,286 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace pocc::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kAsymPartition:
+      return "asym-partition";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kHeartbeatLoss:
+      return "heartbeat-loss";
+    case FaultKind::kClockSkewRamp:
+      return "clock-skew-ramp";
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::string s = std::string(fault_kind_name(kind)) + " at=" +
+                  std::to_string(at) + "us dur=" + std::to_string(duration) +
+                  "us";
+  switch (kind) {
+    case FaultKind::kPartition:
+    case FaultKind::kAsymPartition:
+      s += " dc" + std::to_string(dc_a) +
+           (kind == FaultKind::kPartition ? "<->" : "->") + "dc" +
+           std::to_string(dc_b);
+      break;
+    case FaultKind::kLinkDegrade:
+      s += " dc" + std::to_string(dc_a) + "->dc" + std::to_string(dc_b) +
+           " extra=" + std::to_string(extra_delay_us) +
+           "us mult=" + std::to_string(delay_multiplier);
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kHeartbeatLoss:
+      s += " node=" + node.to_string();
+      break;
+    case FaultKind::kClockSkewRamp:
+      s += " node=" + node.to_string() +
+           " skew=" + std::to_string(skew_delta_us) +
+           "us drift=" + std::to_string(drift_delta_ppm) + "ppm";
+      break;
+  }
+  return s;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const TopologyConfig& topology,
+                            Duration horizon_us,
+                            const FaultPlanLimits& limits) {
+  POCC_ASSERT(topology.num_dcs >= 2);
+  POCC_ASSERT(horizon_us > 0);
+  Rng rng(splitmix64(seed ^ 0xfa0171a9ULL));  // domain-separate from workload
+  FaultPlan plan;
+  plan.horizon_us = horizon_us;
+
+  // Windows live inside [5%, 90%] of the horizon so the run's tail is
+  // fault-free (the convergence phase the fuzz harness asserts on).
+  const Timestamp earliest = horizon_us / 20;
+  const Timestamp latest_clear = horizon_us - horizon_us / 10;
+  POCC_ASSERT(earliest + limits.min_window_us < latest_clear);
+
+  const std::uint32_t n_events =
+      limits.min_events +
+      static_cast<std::uint32_t>(
+          rng.uniform(limits.max_events - limits.min_events + 1));
+
+  // Per-node crash windows must not overlap (a node cannot die twice at
+  // once); track claimed [at, clears) intervals per node. Degrade windows on
+  // one directed link must not overlap either: the link holds a single
+  // degrade state, so a stacked window's clear would silently cancel the
+  // other — the injected schedule would no longer match the plan.
+  std::map<std::pair<DcId, PartitionId>,
+           std::vector<std::pair<Timestamp, Timestamp>>>
+      crash_windows;
+  std::map<std::pair<DcId, DcId>,
+           std::vector<std::pair<Timestamp, Timestamp>>>
+      degrade_windows;
+
+  auto pick_window = [&](Duration min_w, Duration max_w) {
+    const Duration w =
+        min_w + static_cast<Duration>(rng.uniform(
+                    static_cast<std::uint64_t>(max_w - min_w + 1)));
+    const Timestamp span = latest_clear - earliest - w;
+    const Timestamp at =
+        earliest + (span > 0 ? static_cast<Timestamp>(rng.uniform(
+                                   static_cast<std::uint64_t>(span) + 1))
+                             : 0);
+    return std::make_pair(at, w);
+  };
+  auto pick_dc_pair = [&] {
+    const DcId a = static_cast<DcId>(rng.uniform(topology.num_dcs));
+    DcId b = static_cast<DcId>(rng.uniform(topology.num_dcs - 1));
+    if (b >= a) ++b;
+    return std::make_pair(a, b);
+  };
+  auto pick_node = [&] {
+    return NodeId{static_cast<DcId>(rng.uniform(topology.num_dcs)),
+                  static_cast<PartitionId>(
+                      rng.uniform(topology.partitions_per_dc))};
+  };
+
+  // Overlap rejections re-roll instead of shrinking the plan (a plan below
+  // min_events would quietly weaken fault coverage); the attempt cap bounds
+  // pathological topologies where every draw collides.
+  std::uint32_t attempts = 0;
+  while (plan.events.size() < n_events && attempts++ < n_events * 16) {
+    FaultEvent e;
+    // Kind weights: partitions and slowdowns dominate (they are the faults
+    // POCC's optimism bets on); crashes, heartbeat loss and clock trouble
+    // ride along.
+    const std::uint64_t roll = rng.uniform(100);
+    if (roll < 25) {
+      e.kind = FaultKind::kPartition;
+    } else if (roll < 40) {
+      e.kind = FaultKind::kAsymPartition;
+    } else if (roll < 60) {
+      e.kind = FaultKind::kLinkDegrade;
+    } else if (roll < 75) {
+      e.kind = FaultKind::kCrash;
+    } else if (roll < 85) {
+      e.kind = FaultKind::kHeartbeatLoss;
+    } else {
+      e.kind = FaultKind::kClockSkewRamp;
+    }
+    std::tie(e.at, e.duration) =
+        pick_window(limits.min_window_us, limits.max_window_us);
+    switch (e.kind) {
+      case FaultKind::kPartition:
+      case FaultKind::kAsymPartition:
+        std::tie(e.dc_a, e.dc_b) = pick_dc_pair();
+        break;
+      case FaultKind::kLinkDegrade: {
+        std::tie(e.dc_a, e.dc_b) = pick_dc_pair();
+        auto& claimed = degrade_windows[{e.dc_a, e.dc_b}];
+        const bool overlaps =
+            std::any_of(claimed.begin(), claimed.end(), [&](const auto& w) {
+              return e.at < w.second && w.first < e.clears_at();
+            });
+        if (overlaps) continue;  // one degrade state per directed link
+        claimed.emplace_back(e.at, e.clears_at());
+        e.extra_delay_us = 1'000 + static_cast<Duration>(rng.uniform(
+                                       static_cast<std::uint64_t>(
+                                           limits.max_extra_delay_us - 999)));
+        // Quantized multiplier so the plan hash has no float noise.
+        e.delay_multiplier =
+            1.0 + 0.25 * static_cast<double>(rng.uniform(
+                             static_cast<std::uint64_t>(std::llround(
+                                 (limits.max_delay_multiplier - 1.0) / 0.25)) +
+                             1));
+        break;
+      }
+      case FaultKind::kCrash: {
+        e.node = pick_node();
+        auto& claimed = crash_windows[{e.node.dc, e.node.part}];
+        const bool overlaps =
+            std::any_of(claimed.begin(), claimed.end(), [&](const auto& w) {
+              return e.at < w.second && w.first < e.clears_at();
+            });
+        if (overlaps) continue;  // skip instead of stacking crashes
+        claimed.emplace_back(e.at, e.clears_at());
+        break;
+      }
+      case FaultKind::kHeartbeatLoss:
+        e.node = pick_node();
+        break;
+      case FaultKind::kClockSkewRamp: {
+        e.node = pick_node();
+        e.skew_delta_us =
+            static_cast<Timestamp>(rng.uniform_range(-limits.max_abs_skew_us,
+                                                     limits.max_abs_skew_us));
+        // Quantized ppm, same reason as the multiplier.
+        e.drift_delta_ppm = static_cast<double>(rng.uniform_range(
+            -static_cast<std::int64_t>(limits.max_abs_drift_ppm),
+            static_cast<std::int64_t>(limits.max_abs_drift_ppm)));
+        break;
+      }
+    }
+    plan.events.push_back(e);
+  }
+
+  POCC_ASSERT_MSG(plan.events.size() >= limits.min_events,
+                  "random plan fell below min_events despite re-rolls");
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  plan.validate(topology);
+  return plan;
+}
+
+std::uint64_t FaultPlan::hash() const {
+  std::uint64_t h = 0x6b756c747a616861ULL;
+  auto mix = [&h](std::uint64_t x) { h = splitmix64(h ^ x); };
+  mix(static_cast<std::uint64_t>(horizon_us));
+  mix(events.size());
+  for (const FaultEvent& e : events) {
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(e.at));
+    mix(static_cast<std::uint64_t>(e.duration));
+    mix(e.dc_a);
+    mix(e.dc_b);
+    mix(e.node.dc);
+    mix(e.node.part);
+    mix(static_cast<std::uint64_t>(e.extra_delay_us));
+    // Generated values are quantized (0.25x / 1 ppm steps), so scaling gives
+    // an exact integer — the hash is float-representation independent.
+    mix(static_cast<std::uint64_t>(std::llround(e.delay_multiplier * 4.0)));
+    mix(static_cast<std::uint64_t>(e.skew_delta_us));
+    mix(static_cast<std::uint64_t>(std::llround(e.drift_delta_ppm)));
+  }
+  return h;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string s = "FaultPlan horizon=" + std::to_string(horizon_us) +
+                  "us events=" + std::to_string(events.size()) + "\n";
+  for (const FaultEvent& e : events) {
+    s += "  " + e.to_string() + "\n";
+  }
+  return s;
+}
+
+void FaultPlan::validate(const TopologyConfig& topology) const {
+  std::map<std::pair<DcId, PartitionId>,
+           std::vector<std::pair<Timestamp, Timestamp>>>
+      crash_windows;
+  std::map<std::pair<DcId, DcId>,
+           std::vector<std::pair<Timestamp, Timestamp>>>
+      degrade_windows;
+  Timestamp prev_at = 0;
+  for (const FaultEvent& e : events) {
+    POCC_ASSERT_MSG(e.at >= prev_at, "fault events must be time-sorted");
+    prev_at = e.at;
+    POCC_ASSERT_MSG(e.duration > 0, "fault window must have positive length");
+    POCC_ASSERT_MSG(e.clears_at() <= horizon_us,
+                    "fault must clear within the plan horizon");
+    switch (e.kind) {
+      case FaultKind::kPartition:
+      case FaultKind::kAsymPartition:
+      case FaultKind::kLinkDegrade:
+        POCC_ASSERT(e.dc_a != e.dc_b);
+        POCC_ASSERT(e.dc_a < topology.num_dcs && e.dc_b < topology.num_dcs);
+        if (e.kind == FaultKind::kLinkDegrade) {
+          auto& claimed = degrade_windows[{e.dc_a, e.dc_b}];
+          for (const auto& w : claimed) {
+            POCC_ASSERT_MSG(!(e.at < w.second && w.first < e.clears_at()),
+                            "overlapping degrade windows on one link");
+          }
+          claimed.emplace_back(e.at, e.clears_at());
+        }
+        break;
+      case FaultKind::kCrash: {
+        POCC_ASSERT(e.node.dc < topology.num_dcs &&
+                    e.node.part < topology.partitions_per_dc);
+        auto& claimed = crash_windows[{e.node.dc, e.node.part}];
+        for (const auto& w : claimed) {
+          POCC_ASSERT_MSG(!(e.at < w.second && w.first < e.clears_at()),
+                          "overlapping crash windows on one node");
+        }
+        claimed.emplace_back(e.at, e.clears_at());
+        break;
+      }
+      case FaultKind::kHeartbeatLoss:
+      case FaultKind::kClockSkewRamp:
+        POCC_ASSERT(e.node.dc < topology.num_dcs &&
+                    e.node.part < topology.partitions_per_dc);
+        break;
+    }
+  }
+}
+
+}  // namespace pocc::fault

@@ -1,0 +1,93 @@
+// Declarative, seed-deterministic fault schedules.
+//
+// A FaultPlan is a list of timed fault windows — network partitions
+// (symmetric and one-directional), gray link slowdowns, fail-stop node
+// crashes with restart, heartbeat suppression and bounded physical-clock
+// skew/drift ramps — that the FaultInjector replays against a SimCluster.
+// Plans are pure data: the same plan applied to the same seeded cluster
+// reproduces the same run bit for bit, which is what makes the cluster-fuzz
+// harness replayable from a one-line repro (`--engine X --seed N`).
+//
+// FaultPlan::random(seed, ...) generates a valid plan: every injected fault
+// clears by `horizon_us` (partitions heal, crashed nodes restart, suppressed
+// heartbeats resume, drift ramps unwind), crash windows on one node never
+// overlap, and skew/drift magnitudes stay within the bounds of
+// FaultPlanLimits — the invariants validate() enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace pocc::fault {
+
+enum class FaultKind : std::uint8_t {
+  kPartition,      // symmetric DC-pair partition (both directions blocked)
+  kAsymPartition,  // one-directional partition: dc_a -> dc_b blocked only
+  kLinkDegrade,    // gray slowdown on dc_a -> dc_b (extra delay + multiplier)
+  kCrash,          // fail-stop crash of `node`; restart at window end
+  kHeartbeatLoss,  // heartbeats sent by `node` are destroyed for the window
+  kClockSkewRamp,  // slew `node`'s clock by skew_delta over the window; a
+                   // drift_delta_ppm is applied at start and removed at end
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPartition;
+  Timestamp at = 0;       // injection time (virtual us from cluster start)
+  Duration duration = 0;  // window length; the fault clears at `at + duration`
+  DcId dc_a = 0;          // link faults: source DC
+  DcId dc_b = 0;          // link faults: destination DC
+  NodeId node{0, 0};      // node faults (crash / heartbeat / clock)
+  Duration extra_delay_us = 0;    // kLinkDegrade
+  double delay_multiplier = 1.0;  // kLinkDegrade
+  Timestamp skew_delta_us = 0;    // kClockSkewRamp: total offset change
+  double drift_delta_ppm = 0.0;   // kClockSkewRamp: drift during the window
+
+  [[nodiscard]] Timestamp clears_at() const { return at + duration; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Generation bounds for random plans. Defaults keep every fault window
+/// injectable into a sub-second fuzz run while still exercising the
+/// partition-suspicion timeout of HA-POCC (see FuzzCase).
+struct FaultPlanLimits {
+  std::uint32_t min_events = 3;
+  std::uint32_t max_events = 8;
+  Duration min_window_us = 10'000;
+  Duration max_window_us = 120'000;
+  Duration max_extra_delay_us = 40'000;
+  double max_delay_multiplier = 4.0;
+  Timestamp max_abs_skew_us = 20'000;
+  double max_abs_drift_ppm = 100.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by injection time
+  Duration horizon_us = 0;         // every fault has cleared by this time
+
+  /// Seed-deterministic random plan. All windows fall inside
+  /// [~5% , ~90%] * horizon so a run of `horizon_us` ends fault-free.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        const TopologyConfig& topology,
+                                        Duration horizon_us,
+                                        const FaultPlanLimits& limits = {});
+
+  /// Canonical content digest — printed in the fuzz repro line, so a replay
+  /// can prove it regenerated the identical plan.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// One event per line (failure artifacts / --list).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Abort (POCC_ASSERT) unless the plan invariants hold: events sorted,
+  /// windows clear within the horizon, link endpoints distinct and within
+  /// the topology, crash windows per node non-overlapping.
+  void validate(const TopologyConfig& topology) const;
+};
+
+}  // namespace pocc::fault

@@ -58,15 +58,25 @@ Duration HaPoccServer::on_gss_broadcast(const proto::GssBroadcast& msg) {
 
 bool HaPoccServer::stable(const store::Version& v) const {
   if (v.sr == local_dc() && !v.opt_origin) return true;
-  return v.commit_vector().leq(gss_);
+  // Skip the local coordinate (see CureServer::stable): it names dependencies
+  // on this DC's own items, visible here regardless of stabilization lag.
+  // For opt-origin local items this is exactly the §IV-C condition — every
+  // *remote* dependency replicated and stable in this DC.
+  return gss_.dominates(v.commit_vector(), skip_local());
 }
 
-bool HaPoccServer::visible_to_pessimistic(const store::Version& v) const {
+bool HaPoccServer::visible_to_pessimistic(const store::Version& v,
+                                          const VersionVector& tv) const {
   // §IV-C: "servers can recognize a local item d created by an optimistic
   // client and make d visible to pessimistic clients only if d is stable
-  // according to the pessimistic protocol."
+  // according to the pessimistic protocol." Stability is judged against the
+  // transaction snapshot, not this node's GSS: TV's remote entries are
+  // bounded by max(GSS at the coordinator, the client's own observed RDV),
+  // so the §IV-C hazard (depending on unreplicated remote items) stays
+  // excluded while every slice node of one transaction applies the same
+  // predicate — required for the snapshot property.
   if (v.sr == local_dc() && v.opt_origin) {
-    return v.commit_vector().leq(gss_);
+    return v.commit_vector().leq(tv);
   }
   return true;
 }
@@ -130,6 +140,9 @@ bool HaPoccServer::slice_visible(const store::Version& v,
                                  const VersionVector& tv,
                                  bool pessimistic) const {
   if (pessimistic) {
+    // Full commit-vector rule — see CureServer::slice_visible for why the
+    // local coordinate must be part of the cut (sibling-slice consistency)
+    // and why that cannot hide the client's causal past (TV covers RDV).
     return v.commit_vector().leq(tv);
   }
   return PoccServer::slice_visible(v, tv, pessimistic);

@@ -29,6 +29,10 @@ class HaPoccServer : public PoccServer {
                server::Context& ctx);
 
   void start() override;
+  void recover() override {
+    PoccServer::recover();
+    stab_reports_.clear();  // per-round aggregation is RAM; GSS survives
+  }
   Duration on_timer(std::uint64_t timer_id) override;
 
   [[nodiscard]] const VersionVector& gss() const { return gss_; }
@@ -55,9 +59,13 @@ class HaPoccServer : public PoccServer {
       const store::VersionChain& chain) const override;
 
   /// §IV-C: a local item created by an optimistic client is shown to
-  /// pessimistic sessions only once it is stable.
+  /// pessimistic sessions only once it is stable. Slices test stability
+  /// against the transaction snapshot TV (whose remote entries are
+  /// max(GSS at coordination time, client-observed RDV)) rather than this
+  /// node's current GSS — a node-local test breaks snapshot consistency
+  /// when sibling slice nodes hold skewed GSS views (see ReplicaBase).
   [[nodiscard]] bool visible_to_pessimistic(
-      const store::Version& v) const override;
+      const store::Version& v, const VersionVector& tv) const override;
   [[nodiscard]] bool mark_opt_origin(const proto::PutReq& req) const override {
     return !req.pessimistic;
   }

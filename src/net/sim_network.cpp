@@ -1,6 +1,7 @@
 #include "net/sim_network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -19,8 +20,7 @@ void SimNetwork::register_node(NodeId id, Endpoint* ep) {
 void SimNetwork::register_client(ClientId id, DcId dc, NodeId collocated_with,
                                  Endpoint* ep) {
   POCC_ASSERT(ep != nullptr);
-  Destination d{ep, dc};
-  endpoints_[client_addr(id)] = d;
+  endpoints_[client_addr(id)] = Destination{ep, dc};
   collocation_[id] = collocated_with;
 }
 
@@ -32,7 +32,21 @@ Duration SimNetwork::sample_delay(DcId from, DcId to, bool loopback) {
     jitter = static_cast<Duration>(
         rng_.exponential(static_cast<double>(latency_.jitter_mean_us)));
   }
-  return base + jitter;
+  Duration delay = base + jitter;
+  if (const LinkState* ls = link_state(from, to); ls != nullptr) {
+    const LinkDegrade& d = ls->degrade;
+    if (d.delay_multiplier != 1.0) {
+      delay = static_cast<Duration>(
+          std::llround(static_cast<double>(delay) * d.delay_multiplier));
+    }
+    delay += d.extra_delay_us;
+  }
+  return delay;
+}
+
+const SimNetwork::LinkState* SimNetwork::link_state(DcId from, DcId to) const {
+  auto it = links_.find(link_key(from, to));
+  return it == links_.end() ? nullptr : &it->second;
 }
 
 void SimNetwork::account(const proto::Message& m) {
@@ -71,6 +85,23 @@ void SimNetwork::account(const proto::Message& m) {
   }
 }
 
+void SimNetwork::schedule_delivery(Destination& dst, Channel& ch, Timestamp at,
+                                   NodeId from_node, proto::Message m) {
+  ch.last_delivery = at;
+  Endpoint* ep = dst.endpoint;
+  auto deliver_fn = [ep, from_node, msg = std::move(m)]() mutable {
+    ep->deliver(from_node, std::move(msg));
+  };
+  // Zero-copy invariant: the message is *moved* into the scheduled action's
+  // inline buffer — if it stops qualifying (someone grew proto::Message or
+  // made it throwing-move), fail the build instead of silently
+  // heap-allocating per delivery.
+  static_assert(sim::Simulator::Action::stores_inline<decltype(deliver_fn)>,
+                "delivery closure no longer fits the simulator's inline "
+                "action storage");
+  sim_.schedule_at(at, std::move(deliver_fn));
+}
+
 void SimNetwork::transmit(std::uint64_t from_addr, DcId from_dc,
                           std::uint64_t to_addr, NodeId from_node,
                           proto::Message m) {
@@ -78,9 +109,18 @@ void SimNetwork::transmit(std::uint64_t from_addr, DcId from_dc,
   POCC_ASSERT_MSG(dst_it != endpoints_.end(), "unknown destination endpoint");
   Destination& dst = dst_it->second;
 
+  // Suppressed heartbeats vanish at the NIC: no buffering, no accounting —
+  // heartbeats are safe to lose (the next one carries a fresher clock).
+  if (std::holds_alternative<proto::Heartbeat>(m) &&
+      (to_addr & kClientTag) == 0 &&
+      heartbeats_suppressed(from_node)) {
+    ++stats_.dropped_messages;
+    return;
+  }
+
   Channel& ch = channels_[ChannelKey{from_addr, to_addr}];
-  if (is_partitioned(from_dc, dst.dc)) {
-    // Lossless link: buffer until the partition heals.
+  if (link_blocked(from_dc, dst.dc)) {
+    // Lossless link: buffer until the block lifts.
     ch.blocked.emplace_back(from_node, std::move(m));
     return;
   }
@@ -99,19 +139,7 @@ void SimNetwork::transmit(std::uint64_t from_addr, DcId from_dc,
 
   const Duration delay = sample_delay(from_dc, dst.dc, loopback);
   const Timestamp at = std::max(sim_.now() + delay, ch.last_delivery);
-  ch.last_delivery = at;
-  Endpoint* ep = dst.endpoint;
-  auto deliver_fn = [ep, from_node, msg = std::move(m)]() mutable {
-    ep->deliver(from_node, std::move(msg));
-  };
-  // Zero-copy invariant: the message is *moved* into the scheduled action's
-  // inline buffer — if it stops qualifying (someone grew proto::Message or
-  // made it throwing-move), fail the build instead of silently
-  // heap-allocating per delivery.
-  static_assert(sim::Simulator::Action::stores_inline<decltype(deliver_fn)>,
-                "delivery closure no longer fits the simulator's inline "
-                "action storage");
-  sim_.schedule_at(at, std::move(deliver_fn));
+  schedule_delivery(dst, ch, at, from_node, std::move(m));
 }
 
 void SimNetwork::send(NodeId from, NodeId to, proto::Message m) {
@@ -132,37 +160,62 @@ void SimNetwork::client_send(ClientId from, NodeId to, proto::Message m) {
            std::move(m));
 }
 
-void SimNetwork::partition_dcs(DcId a, DcId b) {
-  if (a == b) return;
-  partitions_.insert({std::min(a, b), std::max(a, b)});
+// ------------------------------------------------- directed link faults ----
+
+void SimNetwork::block_link(DcId from, DcId to) {
+  if (from == to) return;
+  LinkState& ls = links_[link_key(from, to)];
+  if (ls.block_count++ == 0) ++blocked_links_;
 }
 
-void SimNetwork::heal_dcs(DcId a, DcId b) {
-  partitions_.erase({std::min(a, b), std::max(a, b)});
-  // Flush buffered traffic on every channel crossing the healed pair, in the
-  // original send order (FIFO is preserved by the per-channel last_delivery).
+void SimNetwork::unblock_link(DcId from, DcId to) {
+  if (from == to) return;
+  auto it = links_.find(link_key(from, to));
+  if (it == links_.end() || it->second.block_count == 0) return;
+  if (--it->second.block_count == 0) {
+    POCC_ASSERT(blocked_links_ > 0);
+    --blocked_links_;
+    flush_channels(from, to);
+  }
+}
+
+bool SimNetwork::link_blocked(DcId from, DcId to) const {
+  if (blocked_links_ == 0 || from == to) return false;
+  const LinkState* ls = link_state(from, to);
+  return ls != nullptr && ls->block_count > 0;
+}
+
+void SimNetwork::flush_channels(DcId from, DcId to) {
+  // Flush buffered traffic on every channel crossing the healed direction, in
+  // the original send order (FIFO is preserved by the per-channel
+  // last_delivery clamp; anything sent after the heal lands behind the
+  // backlog on its channel for the same reason).
   for (auto& [key, ch] : channels_) {
     if (ch.blocked.empty()) continue;
     auto src = endpoints_.find(key.from);
     auto dst = endpoints_.find(key.to);
     if (src == endpoints_.end() || dst == endpoints_.end()) continue;
-    const DcId sd = src->second.dc;
-    const DcId dd = dst->second.dc;
-    if (!((sd == a && dd == b) || (sd == b && dd == a))) continue;
+    if (src->second.dc != from || dst->second.dc != to) continue;
     std::deque<std::pair<NodeId, proto::Message>> pending;
     pending.swap(ch.blocked);
     for (auto& [from_node, msg] : pending) {
       account(msg);
-      const Duration delay = sample_delay(sd, dd, false);
+      const Duration delay = sample_delay(from, to, false);
       const Timestamp at = std::max(sim_.now() + delay, ch.last_delivery);
-      ch.last_delivery = at;
-      Endpoint* ep = dst->second.endpoint;
       // Buffered messages are moved, not copied, on flush (zero-copy).
-      sim_.schedule_at(at, [ep, fn = from_node, m = std::move(msg)]() mutable {
-        ep->deliver(fn, std::move(m));
-      });
+      schedule_delivery(dst->second, ch, at, from_node, std::move(msg));
     }
   }
+}
+
+void SimNetwork::partition_dcs(DcId a, DcId b) {
+  block_link(a, b);
+  block_link(b, a);
+}
+
+void SimNetwork::heal_dcs(DcId a, DcId b) {
+  unblock_link(a, b);
+  unblock_link(b, a);
 }
 
 void SimNetwork::isolate_dc(DcId dc, std::uint32_t num_dcs) {
@@ -178,8 +231,40 @@ void SimNetwork::heal_dc(DcId dc, std::uint32_t num_dcs) {
 }
 
 bool SimNetwork::is_partitioned(DcId a, DcId b) const {
-  if (a == b) return false;
-  return partitions_.contains({std::min(a, b), std::max(a, b)});
+  return link_blocked(a, b) || link_blocked(b, a);
+}
+
+// ------------------------------------------------------ gray degradation ----
+
+void SimNetwork::degrade_link(DcId from, DcId to, Duration extra_delay_us,
+                              double delay_multiplier) {
+  POCC_ASSERT(extra_delay_us >= 0);
+  POCC_ASSERT(delay_multiplier >= 1.0);
+  LinkState& ls = links_[link_key(from, to)];
+  ls.degrade.extra_delay_us = extra_delay_us;
+  ls.degrade.delay_multiplier = delay_multiplier;
+}
+
+void SimNetwork::clear_link_degrade(DcId from, DcId to) {
+  auto it = links_.find(link_key(from, to));
+  if (it == links_.end()) return;
+  it->second.degrade = LinkDegrade{};
+}
+
+// -------------------------------------------------- heartbeat suppression ----
+
+void SimNetwork::suppress_heartbeats(NodeId node) {
+  ++hb_suppressed_[node_addr(node)];
+}
+
+void SimNetwork::resume_heartbeats(NodeId node) {
+  auto it = hb_suppressed_.find(node_addr(node));
+  if (it == hb_suppressed_.end()) return;
+  if (--it->second == 0) hb_suppressed_.erase(it);
+}
+
+bool SimNetwork::heartbeats_suppressed(NodeId node) const {
+  return hb_suppressed_.contains(node_addr(node));
 }
 
 }  // namespace pocc::net

@@ -1,19 +1,36 @@
-// Simulated point-to-point network.
+// Simulated point-to-point network with a fault-injection fabric.
 //
 // Implements the paper's network assumptions (§II-C): lossless FIFO channels
 // between any two processes. Each (source, destination) pair is an independent
 // channel; a message's delivery time is `max(now + sampled_delay,
 // last_delivery_on_channel)`, which preserves per-channel FIFO order under
-// jitter. Inter-DC delays come from the latency matrix; network partitions
-// between DC pairs can be injected and healed at runtime — while a partition
-// is up, affected messages are buffered (lossless links: think TCP
-// retransmission) and flushed in order on heal.
+// jitter. Inter-DC delays come from the latency matrix.
+//
+// Every message — client traffic, replication, heartbeats, maintenance — is
+// routed through the fault fabric at send time: directed link blocks buffer
+// it, gray degradations stretch its delay, heartbeat suppression drops it.
+// Process crashes are handled at the endpoint (SimNode): server-to-server
+// streams ride durable sender-side replication logs, so traffic arriving at
+// a down node is backlogged in arrival order — which the per-channel
+// last_delivery clamp makes identical to per-channel send (FIFO) order — and
+// replayed at restart; client requests are dropped (the client library
+// reconnects with a fresh session). The fabric is driven by
+// fault::FaultInjector (src/fault/) but is independently scriptable from
+// tests.
+//
+// Link faults are *directed* and reference-counted: partition_dcs(a, b) blocks
+// both directions, block_link(a, b) only a->b (asymmetric partitions), and
+// overlapping fault windows compose — a link is open again only when every
+// injected block on it has been lifted. While a link is blocked, affected
+// messages are buffered (lossless links: think TCP retransmission) and flushed
+// in original send order on heal; messages sent during the heal slot in
+// behind the flushed backlog on the same channel, keeping FIFO intact.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
@@ -45,6 +62,16 @@ struct NetworkStats {
   std::uint64_t gc_messages = 0;
   std::uint64_t client_messages = 0;
   std::uint64_t slice_messages = 0;
+  /// Messages destroyed by injected faults (crashed endpoints, suppressed
+  /// heartbeats, buffered traffic purged when its destination died).
+  std::uint64_t dropped_messages = 0;
+};
+
+/// Per-directed-DC-pair degradation (a "gray" link: slow, not dead). The
+/// sampled delay becomes `(base + jitter) * delay_multiplier + extra_delay_us`.
+struct LinkDegrade {
+  Duration extra_delay_us = 0;
+  double delay_multiplier = 1.0;
 };
 
 class SimNetwork {
@@ -64,17 +91,42 @@ class SimNetwork {
   void send_to_client(NodeId from, ClientId to, proto::Message m);
   void client_send(ClientId from, NodeId to, proto::Message m);
 
-  // --- fault injection ---
-  /// Cut connectivity between DC a and DC b (both directions). In-flight
-  /// messages already scheduled still arrive (they were on the wire); new
-  /// messages are buffered until heal_dcs().
+  // --- fault fabric: directed link blocks (ref-counted) ---
+  /// Block the directed link from DC `from` to DC `to`. In-flight messages
+  /// already scheduled still arrive (they were on the wire); new messages are
+  /// buffered until the block count returns to zero.
+  void block_link(DcId from, DcId to);
+  /// Lift one block from the directed link; flushes buffered traffic (in
+  /// original FIFO order per channel) when the last block is lifted.
+  void unblock_link(DcId from, DcId to);
+  [[nodiscard]] bool link_blocked(DcId from, DcId to) const;
+
+  /// Symmetric convenience wrappers (both directions).
   void partition_dcs(DcId a, DcId b);
   void heal_dcs(DcId a, DcId b);
   /// Cut `dc` off from every other DC.
   void isolate_dc(DcId dc, std::uint32_t num_dcs);
   void heal_dc(DcId dc, std::uint32_t num_dcs);
   [[nodiscard]] bool is_partitioned(DcId a, DcId b) const;
-  [[nodiscard]] bool any_partitions() const { return !partitions_.empty(); }
+  [[nodiscard]] bool any_partitions() const { return blocked_links_ != 0; }
+
+  // --- fault fabric: gray link degradation ---
+  /// Stretch the directed link: delay = (base + jitter) * mult + extra.
+  void degrade_link(DcId from, DcId to, Duration extra_delay_us,
+                    double delay_multiplier);
+  void clear_link_degrade(DcId from, DcId to);
+
+  // --- fault fabric: heartbeat suppression ---
+  /// While suppressed, Heartbeat messages sent by `node` are silently
+  /// destroyed (exercises the HA partition-suspicion path without cutting
+  /// data traffic). Ref-counted so overlapping fault windows compose.
+  void suppress_heartbeats(NodeId node);
+  void resume_heartbeats(NodeId node);
+  [[nodiscard]] bool heartbeats_suppressed(NodeId node) const;
+
+  /// Account one message destroyed outside the network layer (SimNode drops
+  /// client requests addressed to a crashed process).
+  void count_dropped() { ++stats_.dropped_messages; }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
@@ -87,6 +139,9 @@ class SimNetwork {
     return (static_cast<std::uint64_t>(n.dc) << 32) | n.part;
   }
   static std::uint64_t client_addr(ClientId c) { return kClientTag | c; }
+  static std::uint64_t link_key(DcId from, DcId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   struct ChannelKey {
     std::uint64_t from;
@@ -112,12 +167,21 @@ class SimNetwork {
     Endpoint* endpoint = nullptr;
     DcId dc = 0;
   };
+  /// Directed DC->DC link fault state (absent entry = healthy link).
+  struct LinkState {
+    std::uint32_t block_count = 0;
+    LinkDegrade degrade;
+  };
 
   void transmit(std::uint64_t from_addr, DcId from_dc, std::uint64_t to_addr,
                 NodeId from_node, proto::Message m);
+  /// Schedule the final hop at `at`, updating the channel's FIFO clamp.
+  void schedule_delivery(Destination& dst, Channel& ch, Timestamp at,
+                         NodeId from_node, proto::Message m);
+  void flush_channels(DcId from, DcId to);
   void account(const proto::Message& m);
-  [[nodiscard]] Duration sample_delay(DcId from, DcId to,
-                                      bool loopback);
+  [[nodiscard]] Duration sample_delay(DcId from, DcId to, bool loopback);
+  [[nodiscard]] const LinkState* link_state(DcId from, DcId to) const;
 
   sim::Simulator& sim_;
   LatencyConfig latency_;
@@ -125,7 +189,9 @@ class SimNetwork {
   std::unordered_map<std::uint64_t, Destination> endpoints_;
   std::unordered_map<ClientId, NodeId> collocation_;
   std::unordered_map<ChannelKey, Channel, ChannelKeyHash> channels_;
-  std::set<std::pair<DcId, DcId>> partitions_;  // normalized (min,max) pairs
+  std::unordered_map<std::uint64_t, LinkState> links_;  // directed faults
+  std::unordered_map<std::uint64_t, std::uint32_t> hb_suppressed_;
+  std::uint32_t blocked_links_ = 0;  // number of directed links blocked
   NetworkStats stats_;
 };
 

@@ -65,6 +65,22 @@ class ScalarPoccServer : public PoccServer {
     tv.raise(local_dc(), vv_[local_dc()]);
     return tv;
   }
+
+  /// GC floor matching the *scalar* snapshot geometry. The base (POCC)
+  /// watermark is the per-entry VV, but scalar transaction snapshots are
+  /// uniform cuts that can sit as low as the minimum remote VV entry: with
+  /// the vector floor, GC could reclaim a version a future scalar snapshot
+  /// still needs while the retained cover's dependencies exceed the uniform
+  /// cut (invisible), leaving the snapshot read empty. Found by the
+  /// cluster-fuzz harness when a crashed node froze one VV entry and widened
+  /// the cut-vs-vector gap.
+  [[nodiscard]] VersionVector gc_watermark() const override {
+    VersionVector wm(topology_.num_dcs);
+    const Timestamp cut = scalar_cut();
+    for (std::uint32_t i = 0; i < wm.size(); ++i) wm.set(i, cut);
+    wm.raise(local_dc(), vv_[local_dc()]);
+    return wm;
+  }
 };
 
 }  // namespace pocc

@@ -37,6 +37,13 @@ struct ReadItem {
 
 // ---------- client -> server ----------
 
+// `op_id` on requests/replies is the client's per-session operation sequence
+// number, echoed verbatim by the server — RPC framing that lets a client
+// discard answers to operations it has abandoned (fault injection: a request
+// can outlive its client-side timeout inside a crashed server's backlog and
+// be answered much later). Not charged by wire_size(): like interned KeyIds,
+// it is transport framing, not protocol metadata (§V fairness accounting).
+
 /// <GETReq k, RDV_c> (Alg. 1 line 2). `pessimistic` marks requests from
 /// sessions that fell back to the pessimistic protocol (HA-POCC, §IV-C).
 struct GetReq {
@@ -44,6 +51,7 @@ struct GetReq {
   KeyId key = 0;
   VersionVector rdv;
   bool pessimistic = false;
+  std::uint64_t op_id = 0;
 };
 
 /// <PUTReq k, v, DV_c> (Alg. 1 line 10).
@@ -53,6 +61,7 @@ struct PutReq {
   std::string value;
   VersionVector dv;
   bool pessimistic = false;
+  std::uint64_t op_id = 0;
 };
 
 /// <RO-TX-Req chi, RDV_c> (Alg. 1 line 15).
@@ -61,6 +70,7 @@ struct RoTxReq {
   std::vector<KeyId> keys;
   VersionVector rdv;
   bool pessimistic = false;
+  std::uint64_t op_id = 0;
 };
 
 // ---------- server -> client ----------
@@ -70,6 +80,7 @@ struct GetReply {
   ClientId client = 0;
   ReadItem item;
   Duration blocked_us = 0;  // time the request spent parked (0 = no stall)
+  std::uint64_t op_id = 0;  // echo of GetReq::op_id
 };
 
 /// <PUTReply ut> (Alg. 2 line 15).
@@ -79,6 +90,7 @@ struct PutReply {
   Timestamp ut = 0;
   DcId sr = 0;
   Duration blocked_us = 0;
+  std::uint64_t op_id = 0;  // echo of PutReq::op_id
 };
 
 /// <RO-TX-Resp D> (Alg. 2 line 38).
@@ -87,6 +99,7 @@ struct RoTxReply {
   std::vector<ReadItem> items;
   VersionVector tv;         // transaction snapshot vector (for the checker)
   Duration blocked_us = 0;  // max slice stall observed by the coordinator
+  std::uint64_t op_id = 0;  // echo of RoTxReq::op_id
 };
 
 /// HA-POCC (§III-B): the server detected a (suspected) network partition while

@@ -1,6 +1,8 @@
 #include "server/replica_base.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -24,6 +26,14 @@ ReplicaBase::ReplicaBase(NodeId self, const TopologyConfig& topology,
 void ReplicaBase::start() {
   ctx_.set_timer(protocol_.heartbeat_interval_us, kTimerHeartbeat);
   ctx_.set_timer(protocol_.gc_interval_us, kTimerGc);
+}
+
+void ReplicaBase::recover() {
+  lot_.clear();
+  pending_tx_.clear();
+  gc_reports_.clear();
+  clock_wakeup_armed_ = false;
+  armed_clock_target_ = kTimestampMax;
 }
 
 Duration ReplicaBase::handle_message(NodeId from, proto::Message m) {
@@ -147,6 +157,7 @@ void ReplicaBase::serve_get(const proto::GetReq& req, Duration blocked_us) {
   reply.client = req.client;
   reply.item = std::move(item);
   reply.blocked_us = blocked_us;
+  reply.op_id = req.op_id;
   ctx_.reply(req.client, std::move(reply));
 }
 
@@ -195,7 +206,7 @@ void ReplicaBase::serve_put(const proto::PutReq& req, Duration blocked_us) {
   v.dv = req.dv;
   v.opt_origin = mark_opt_origin(req);
   store_.insert(v);
-  if (version_observer_) version_observer_(req.client, v);
+  if (version_observer_) version_observer_(req.client, req.op_id, v);
 
   // Alg. 2 lines 12-14: replicate to the partition's siblings. FIFO channels
   // + monotonic timestamps give replication in update-timestamp order.
@@ -213,6 +224,7 @@ void ReplicaBase::serve_put(const proto::PutReq& req, Duration blocked_us) {
   reply.ut = ut;
   reply.sr = local_dc();
   reply.blocked_us = blocked_us;
+  reply.op_id = req.op_id;
   ctx_.reply(req.client, std::move(reply));
   poke();  // VV[m] and the clock advanced; parked slices/puts may be ready
 }
@@ -261,6 +273,7 @@ Duration ReplicaBase::on_ro_tx(const proto::RoTxReq& req) {
 
   PendingTx tx;
   tx.client = req.client;
+  tx.op_id = req.op_id;
   tx.tv = tv;
   tx.awaiting = static_cast<std::uint32_t>(groups.size());
   pending_tx_.emplace(tx_id, std::move(tx));
@@ -350,9 +363,26 @@ proto::ReadItem ReplicaBase::read_in_snapshot(KeyId key,
     return item;
   }
   const auto lookup = chain->freshest_where([&](const store::Version& v) {
-    if (pessimistic && !visible_to_pessimistic(v)) return false;
+    if (pessimistic && !visible_to_pessimistic(v, tv)) return false;
     return slice_visible(v, tv, pessimistic);
   });
+  // Fuzz triage hook (docs/TESTING.md): POCC_DEBUG_KEY=<key> dumps every
+  // snapshot read of that key that found no visible version — replaying a
+  // failing seed with this set shows the chain/TV/VV the decision saw.
+  static const char* debug_key = std::getenv("POCC_DEBUG_KEY");
+  if (debug_key != nullptr && lookup.version == nullptr &&
+      store::key_name(key) == debug_key) {
+    std::fprintf(stderr,
+                 "[dbg] slice miss key=%s node=%s t=%lld tv=%s vv=%s chain:\n",
+                 store::key_name(key).c_str(), self_.to_string().c_str(),
+                 static_cast<long long>(ctx_.time()), tv.to_string().c_str(),
+                 vv_.to_string().c_str());
+    for (const store::Version& v : chain->versions()) {
+      std::fprintf(stderr, "[dbg]   ut=%lld sr=%u dv=%s\n",
+                   static_cast<long long>(v.ut), v.sr,
+                   v.dv.to_string().c_str());
+    }
+  }
   charge(service_.version_hop_us * static_cast<Duration>(lookup.hops));
   const std::uint32_t unmerged = count_unmerged(*chain);
   if (lookup.version == nullptr) {
@@ -416,6 +446,7 @@ void ReplicaBase::finish_tx_if_complete(std::uint64_t tx_id) {
   reply.items = std::move(tx.items);
   reply.tv = tx.tv;
   reply.blocked_us = tx.max_blocked_us;
+  reply.op_id = tx.op_id;
   ctx_.reply(tx.client, std::move(reply));
   pending_tx_.erase(it);
 }
@@ -493,8 +524,10 @@ void ReplicaBase::on_park_timeout(ClientId client, Duration blocked_us) {
   POCC_ASSERT_MSG(false, "parked request expired outside HA mode");
 }
 
-bool ReplicaBase::visible_to_pessimistic(const store::Version& v) const {
+bool ReplicaBase::visible_to_pessimistic(const store::Version& v,
+                                         const VersionVector& tv) const {
   (void)v;
+  (void)tv;
   return true;
 }
 

@@ -55,6 +55,14 @@ class ReplicaBase {
   /// Arm periodic timers. Call once before the first event.
   virtual void start();
 
+  /// Crash recovery (fault injection): drop every piece of volatile (RAM)
+  /// state — parked requests, pending transaction coordination, aggregation
+  /// buffers, armed-wakeup bookkeeping. Durable state (the multiversion
+  /// store, VV, GSS — metadata a real deployment checkpoints with the store)
+  /// survives. The host re-arms timers via start() afterwards; missed remote
+  /// updates are recovered from peer replicas by the cluster host.
+  virtual void recover();
+
   /// Dispatch any message (client request, replica traffic). Returns CPU time
   /// consumed by the handler, including any parked work it resumed.
   Duration handle_message(NodeId from, proto::Message m);
@@ -84,9 +92,11 @@ class ReplicaBase {
   }
 
   /// Observer invoked whenever a PUT creates a version (used by the history
-  /// checker to register versions the instant they become readable).
+  /// checker to register versions the instant they become readable). The
+  /// second argument is the creating PutReq's op_id (RPC framing), so the
+  /// observer can attribute the version to the exact request that made it.
   using VersionObserver =
-      std::function<void(ClientId, const store::Version&)>;
+      std::function<void(ClientId, std::uint64_t, const store::Version&)>;
   void set_version_observer(VersionObserver obs) {
     version_observer_ = std::move(obs);
   }
@@ -132,9 +142,15 @@ class ReplicaBase {
   virtual void on_park_timeout(ClientId client, Duration blocked_us);
 
   /// Extra visibility restriction applied when a *pessimistic* session reads
-  /// under HA-POCC (optimistically-created local items must be stable).
+  /// a slice under HA-POCC (optimistically-created local items must be
+  /// stable). The test MUST be a function of `v` and the transaction
+  /// snapshot `tv` only — never of node-local state like the GSS: two slice
+  /// nodes of one transaction can hold different GSS views, and a
+  /// node-dependent predicate lets one slice return an item whose causal
+  /// past a sibling slice hides, breaking the snapshot property (found by
+  /// the cluster-fuzz harness).
   [[nodiscard]] virtual bool visible_to_pessimistic(
-      const store::Version& v) const;
+      const store::Version& v, const VersionVector& tv) const;
 
   /// Whether versions created by this PUT carry the optimistic-origin tag
   /// (HA-POCC §IV-C). Base protocols never tag.
@@ -219,6 +235,7 @@ class ReplicaBase {
   /// In-flight read-only transactions this node coordinates.
   struct PendingTx {
     ClientId client = 0;
+    std::uint64_t op_id = 0;  // echoed into the RoTxReply (RPC framing)
     VersionVector tv;
     std::uint32_t awaiting = 0;
     std::vector<proto::ReadItem> items;

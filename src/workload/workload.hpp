@@ -55,6 +55,12 @@ struct WorkloadConfig {
   std::uint64_t keys_per_partition = 1'000'000;
   /// PUT payload size in bytes (paper: 8).
   std::uint32_t value_size = 8;
+  /// Give-up timeout for an in-flight operation (0 = wait forever, the
+  /// paper's failure-free closed loop). Under fault injection a server crash
+  /// destroys requests outright; after this long without a reply the client
+  /// library re-initializes its session (as after a SessionClosed) and
+  /// retries, so the closed loop survives fail-stop faults.
+  Duration op_timeout_us = 0;
 };
 
 /// Per-client deterministic operation stream.

@@ -1,0 +1,300 @@
+// Negative-path histories for the causal-consistency checker: every class of
+// violation the fuzz harness relies on must be *detected* — a silently
+// broken checker would make every fuzz campaign vacuously green. Each test
+// hand-crafts a history that genuinely violates causal consistency (or a
+// protocol invariant) and asserts the checker flags it with the right
+// violation class; paired positive variants prove the detection is the
+// boundary, not noise. Complements tests/checker_test.cpp (which focuses on
+// clean histories plus one example per rule).
+#include <gtest/gtest.h>
+
+#include "checker/history_checker.hpp"
+#include "store/key_space.hpp"
+
+namespace pocc::checker {
+namespace {
+
+KeyId K(const std::string& key) { return store::intern_key(key); }
+
+class CheckerNegativeTest : public ::testing::Test {
+ protected:
+  CheckerNegativeTest() : chk_(3) {
+    chk_.register_client(1, 0);              // optimistic POCC session, dc0
+    chk_.register_client(2, 1);              // optimistic POCC session, dc1
+    chk_.register_client(3, 2, /*snapshot_rdv=*/true);  // Cure-style, dc2
+  }
+
+  void put(ClientId c, const std::string& key, Timestamp ut, DcId sr,
+           VersionVector dv, std::uint64_t op_id = 0) {
+    proto::PutReq req;
+    req.client = c;
+    req.key = K(key);
+    req.value = "v";
+    req.dv = dv;
+    req.op_id = op_id;
+    chk_.on_put_issued(c, req);
+    chk_.on_version_created(c, op_id, K(key), ut, sr, dv);
+    proto::PutReply reply;
+    reply.client = c;
+    reply.key = K(key);
+    reply.ut = ut;
+    reply.sr = sr;
+    reply.op_id = op_id;
+    chk_.on_put_reply(c, reply);
+  }
+
+  void get(ClientId c, const std::string& key, Timestamp ut, DcId sr,
+           VersionVector dv, bool found = true) {
+    proto::GetReq req;
+    req.client = c;
+    req.key = K(key);
+    req.rdv = rdv_of(c);
+    chk_.on_get_issued(c, req);
+    proto::GetReply r;
+    r.client = c;
+    r.item.key = K(key);
+    r.item.found = found;
+    r.item.ut = ut;
+    r.item.sr = sr;
+    r.item.dv = std::move(dv);
+    chk_.on_get_reply(c, r);
+  }
+
+  void get_initial(ClientId c, const std::string& key) {
+    get(c, key, 0, 0, VersionVector(3), /*found=*/false);
+  }
+
+  /// The session RDV mirror the checker expects on the wire (kept in lockstep
+  /// manually: these tests replay Algorithm 1 faithfully except where a
+  /// violation is the point).
+  VersionVector rdv_of(ClientId c) {
+    auto it = rdvs_.find(c);
+    return it == rdvs_.end() ? VersionVector(3) : it->second;
+  }
+  void absorb_rdv(ClientId c, const VersionVector& item_dv, DcId sr,
+                  Timestamp ut, bool snapshot) {
+    auto [it, unused] = rdvs_.try_emplace(c, VersionVector(3));
+    it->second.merge_max(item_dv);
+    if (snapshot) it->second.raise(sr, ut);
+  }
+
+  [[nodiscard]] bool has_violation(const std::string& needle) const {
+    for (const std::string& v : chk_.violations()) {
+      if (v.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  HistoryChecker chk_;
+  std::unordered_map<ClientId, VersionVector> rdvs_;
+};
+
+// --- read-your-writes -----------------------------------------------------
+
+TEST_F(CheckerNegativeTest, ReadYourWritesLostWriteDetected) {
+  put(1, "k", 100, 0, VersionVector(3));
+  // The same session then reads the key as if the write never happened.
+  get_initial(1, "k");
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+TEST_F(CheckerNegativeTest, ReadYourWritesOlderConcurrentVersionDetected) {
+  put(2, "k", 90, 1, VersionVector(3));  // a concurrent remote write
+  put(1, "k", 100, 0, VersionVector(3));
+  // Client 1 is served the remote version that LWW-loses to its own write.
+  get(1, "k", 90, 1, VersionVector(3));
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+// --- monotonic reads ------------------------------------------------------
+
+TEST_F(CheckerNegativeTest, MonotonicReadsRegressionDetected) {
+  put(2, "k", 200, 1, VersionVector(3));
+  put(2, "k", 300, 1, VersionVector{0, 200, 0});
+  get(1, "k", 300, 1, VersionVector{0, 200, 0});  // fresh read
+  absorb_rdv(1, VersionVector{0, 200, 0}, 1, 300, false);
+  get(1, "k", 200, 1, VersionVector(3));  // regressed read
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+TEST_F(CheckerNegativeTest, RereadingSameVersionIsNotARegression) {
+  put(2, "k", 200, 1, VersionVector(3));
+  get(1, "k", 200, 1, VersionVector(3));
+  get(1, "k", 200, 1, VersionVector(3));  // same version again: fine
+  EXPECT_TRUE(chk_.violations().empty());
+}
+
+// --- causal order across DCs (writes-follow-reads chains) ----------------
+
+TEST_F(CheckerNegativeTest, CrossDcCausalChainViolationDetected) {
+  // dc1: client 2 writes x, reads it, then writes y (y causally follows x).
+  put(2, "x", 100, 1, VersionVector(3));
+  get(2, "x", 100, 1, VersionVector(3));
+  put(2, "y", 150, 1, VersionVector{0, 100, 0});
+  // dc2: the Cure-style client reads y (absorbing the chain), so a
+  // subsequent read of x must return x@100 or fresher — serving the initial
+  // version means dc2 applied y before its dependency x: causal-order
+  // violation across DCs.
+  get(3, "y", 150, 1, VersionVector{0, 100, 0});
+  absorb_rdv(3, VersionVector{0, 100, 0}, 1, 150, true);
+  EXPECT_TRUE(chk_.violations().empty());  // so far, a clean history
+  get_initial(3, "x");
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+TEST_F(CheckerNegativeTest, ThreeHopCrossDcChainDetected) {
+  // x@dc0 -> read by dc1 writer -> y@dc1 -> read by dc2 writer -> z@dc2.
+  put(1, "x", 100, 0, VersionVector(3));
+  get(2, "x", 100, 0, VersionVector(3));
+  absorb_rdv(2, VersionVector(3), 0, 100, false);
+  put(2, "y", 150, 1, VersionVector{100, 0, 0});
+  get(3, "y", 150, 1, VersionVector{100, 0, 0});
+  absorb_rdv(3, VersionVector{100, 0, 0}, 1, 150, true);
+  put(3, "z", 200, 2, VersionVector{100, 150, 0});
+
+  // A fourth client reads z, then the *middle* of the chain regresses.
+  chk_.register_client(4, 0);
+  get(4, "z", 200, 2, VersionVector{100, 150, 0});
+  absorb_rdv(4, VersionVector{100, 150, 0}, 2, 200, false);
+  get_initial(4, "y");
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+// --- RO-TX snapshot -------------------------------------------------------
+
+TEST_F(CheckerNegativeTest, TxReturningStaleItemAgainstOwnPastDetected) {
+  put(1, "a", 100, 0, VersionVector(3));
+  proto::RoTxReq req;
+  req.client = 1;
+  req.keys = {K("a")};
+  req.rdv = VersionVector{100, 0, 0};  // client DV after its own write
+  chk_.on_tx_issued(1, req);
+  proto::RoTxReply reply;
+  reply.client = 1;
+  proto::ReadItem a;
+  a.key = K("a");
+  a.found = false;  // the client's own write is missing from the snapshot
+  a.dv = VersionVector(3);
+  reply.items = {a};
+  chk_.on_tx_reply(1, reply);
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+TEST_F(CheckerNegativeTest, TxFractturedSnapshotAcrossPartitionsDetected) {
+  // Writer chain on dc1: x@100, then y@200 whose past holds x@100.
+  put(2, "0:x", 100, 1, VersionVector(3));
+  get(2, "0:x", 100, 1, VersionVector(3));
+  absorb_rdv(2, VersionVector(3), 1, 100, false);
+  put(2, "1:y", 200, 1, VersionVector{0, 100, 0});
+  // A transaction returns fresh y but the initial version of x: the two
+  // slices disagree about the cut — fractured snapshot.
+  proto::RoTxReq req;
+  req.client = 1;
+  req.keys = {K("0:x"), K("1:y")};
+  req.rdv = VersionVector(3);
+  chk_.on_tx_issued(1, req);
+  proto::RoTxReply reply;
+  reply.client = 1;
+  proto::ReadItem x;
+  x.key = K("0:x");
+  x.found = false;
+  x.dv = VersionVector(3);
+  proto::ReadItem y;
+  y.key = K("1:y");
+  y.found = true;
+  y.ut = 200;
+  y.sr = 1;
+  y.dv = VersionVector{0, 100, 0};
+  reply.items = {x, y};
+  chk_.on_tx_reply(1, reply);
+  EXPECT_TRUE(has_violation("RO-TX snapshot"));
+}
+
+// --- Algorithm 1 conformance ---------------------------------------------
+
+TEST_F(CheckerNegativeTest, PutCarryingForeignDvDetected) {
+  proto::PutReq req;
+  req.client = 1;
+  req.key = K("k");
+  req.value = "v";
+  req.dv = VersionVector{7, 7, 7};  // the session never read anything
+  chk_.on_put_issued(1, req);
+  EXPECT_TRUE(has_violation("Alg1"));
+}
+
+TEST_F(CheckerNegativeTest, TxCarryingStaleDvDetected) {
+  put(1, "k", 100, 0, VersionVector(3));  // DV is now [100,0,0]
+  proto::RoTxReq req;
+  req.client = 1;
+  req.keys = {K("k")};
+  req.rdv = VersionVector(3);  // must carry the DV, not zeros
+  chk_.on_tx_issued(1, req);
+  EXPECT_TRUE(has_violation("Alg1"));
+}
+
+// --- Proposition 2 --------------------------------------------------------
+
+TEST_F(CheckerNegativeTest, Prop2EqualityIsAViolation) {
+  // ut must *strictly* exceed every dependency entry; equality is the bug
+  // boundary (a server using >= instead of > would produce exactly this).
+  chk_.on_version_created(1, 0, K("k"), 150, 0, VersionVector{0, 150, 0});
+  EXPECT_TRUE(has_violation("Prop2"));
+}
+
+TEST_F(CheckerNegativeTest, Prop2StrictDominationIsClean) {
+  chk_.on_version_created(1, 0, K("k2"), 151, 0, VersionVector{0, 150, 0});
+  EXPECT_TRUE(chk_.violations().empty());
+}
+
+// --- unregistered versions (torn observer wiring) -------------------------
+
+TEST_F(CheckerNegativeTest, ReadOfUnregisteredVersionDetected) {
+  // A reply naming a version no server ever reported: either the observer
+  // wiring is torn or the server fabricated data. Both must surface.
+  get(1, "ghost", 500, 1, VersionVector(3));
+  EXPECT_TRUE(has_violation("unregistered version"));
+}
+
+// --- session reset / promotion edges --------------------------------------
+
+TEST_F(CheckerNegativeTest, ViolationAfterPromotionStillDetected) {
+  // After an HA reset the old past is forgiven — but a *new* past built by
+  // the pessimistic session must be enforced again after promotion.
+  put(1, "k", 100, 0, VersionVector(3));
+  chk_.on_session_reset(1);
+  rdvs_.erase(1);
+  get(1, "k", 100, 0, VersionVector(3));  // re-read under the new session
+  absorb_rdv(1, VersionVector(3), 0, 100, true);  // pessimistic: snapshot rdv
+  chk_.on_session_promoted(1);
+  get_initial(1, "k");  // regression after promotion
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+TEST_F(CheckerNegativeTest, ResetForgivesButOnlyOnce) {
+  put(1, "k", 100, 0, VersionVector(3));
+  chk_.on_session_reset(1);
+  rdvs_.erase(1);
+  get_initial(1, "k");  // forgiven: pre-reset write forgotten
+  EXPECT_TRUE(chk_.violations().empty());
+  get(1, "k", 100, 0, VersionVector(3));  // new session reads k@100
+  absorb_rdv(1, VersionVector(3), 0, 100, true);
+  get_initial(1, "k");  // but a regression within the new session is real
+  EXPECT_TRUE(has_violation("causal GET rule"));
+}
+
+// --- no vacuous passes ----------------------------------------------------
+
+TEST_F(CheckerNegativeTest, EveryCheckClassCounts) {
+  // checks_performed must move for each rule family, so a no-op checker
+  // cannot slip through a green fuzz campaign.
+  const std::uint64_t c0 = chk_.checks_performed();
+  put(1, "k", 100, 0, VersionVector(3));  // Prop2 + Alg1(put)
+  EXPECT_GT(chk_.checks_performed(), c0);
+  const std::uint64_t c1 = chk_.checks_performed();
+  get(1, "k", 100, 0, VersionVector(3));  // Alg1(get) + causal rule
+  EXPECT_GT(chk_.checks_performed(), c1);
+  EXPECT_EQ(chk_.versions_registered(), 1u);
+}
+
+}  // namespace
+}  // namespace pocc::checker

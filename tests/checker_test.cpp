@@ -29,7 +29,7 @@ class CheckerTest : public ::testing::Test {
     req.value = "v";
     req.dv = dv;
     chk_.on_put_issued(c, req);
-    chk_.on_version_created(c, K(key), ut, sr, dv);
+    chk_.on_version_created(c, req.op_id, K(key), ut, sr, dv);
     proto::PutReply reply;
     reply.client = c;
     reply.key = K(key);
@@ -140,7 +140,7 @@ TEST_F(CheckerTest, Alg1ConformanceMismatchDetected) {
 
 TEST_F(CheckerTest, Prop2ViolationDetected) {
   // ut must strictly exceed every dv entry.
-  chk_.on_version_created(1, K("k"), 100, 0, VersionVector{0, 150, 0});
+  chk_.on_version_created(1, 0, K("k"), 100, 0, VersionVector{0, 150, 0});
   ASSERT_FALSE(chk_.violations().empty());
   EXPECT_NE(chk_.violations()[0].find("Prop2"), std::string::npos);
 }

@@ -1,0 +1,138 @@
+// FaultPlan generation: seed determinism, content hashing, and the validity
+// invariants that make random plans safe to assert convergence on (every
+// fault clears within the horizon, crash windows never overlap per node,
+// bounded skew/drift magnitudes).
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+namespace pocc::fault {
+namespace {
+
+TopologyConfig topo(std::uint32_t dcs = 3, std::uint32_t parts = 2) {
+  TopologyConfig t;
+  t.num_dcs = dcs;
+  t.partitions_per_dc = parts;
+  return t;
+}
+
+bool plans_equal(const FaultPlan& a, const FaultPlan& b) {
+  if (a.horizon_us != b.horizon_us || a.events.size() != b.events.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const FaultEvent& x = a.events[i];
+    const FaultEvent& y = b.events[i];
+    if (x.kind != y.kind || x.at != y.at || x.duration != y.duration ||
+        x.dc_a != y.dc_a || x.dc_b != y.dc_b || !(x.node == y.node) ||
+        x.extra_delay_us != y.extra_delay_us ||
+        x.delay_multiplier != y.delay_multiplier ||
+        x.skew_delta_us != y.skew_delta_us ||
+        x.drift_delta_ppm != y.drift_delta_ppm) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultPlanTest, SameSeedSamePlanAndHash) {
+  const FaultPlan a = FaultPlan::random(42, topo(), 600'000);
+  const FaultPlan b = FaultPlan::random(42, topo(), 600'000);
+  EXPECT_TRUE(plans_equal(a, b));
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(FaultPlanTest, DifferentSeedsProduceDifferentPlans) {
+  const FaultPlan a = FaultPlan::random(1, topo(), 600'000);
+  const FaultPlan b = FaultPlan::random(2, topo(), 600'000);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(FaultPlanTest, HashCoversEveryEventField) {
+  const FaultPlan base = FaultPlan::random(7, topo(), 600'000);
+  ASSERT_FALSE(base.events.empty());
+  // Mutating any scheduling-relevant field must change the digest — a repro
+  // whose plan silently drifted must not masquerade as the original.
+  FaultPlan m = base;
+  m.events[0].at += 1;
+  EXPECT_NE(m.hash(), base.hash());
+  m = base;
+  m.events[0].duration += 1;
+  EXPECT_NE(m.hash(), base.hash());
+  m = base;
+  m.events[0].kind = m.events[0].kind == FaultKind::kPartition
+                         ? FaultKind::kCrash
+                         : FaultKind::kPartition;
+  EXPECT_NE(m.hash(), base.hash());
+  m = base;
+  m.horizon_us += 1;
+  EXPECT_NE(m.hash(), base.hash());
+}
+
+TEST(FaultPlanTest, GeneratedPlansSatisfyInvariantsAcrossManySeeds) {
+  const TopologyConfig t = topo();
+  const FaultPlanLimits limits;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, t, 500'000, limits);
+    plan.validate(t);  // aborts on violation
+    EXPECT_GE(plan.events.size(), limits.min_events);
+    EXPECT_LE(plan.events.size(), limits.max_events);
+    for (const FaultEvent& e : plan.events) {
+      // Clears inside the horizon with a fault-free tail.
+      EXPECT_LE(e.clears_at(), plan.horizon_us - plan.horizon_us / 10);
+      EXPECT_GE(e.at, plan.horizon_us / 20);
+      if (e.kind == FaultKind::kClockSkewRamp) {
+        EXPECT_LE(std::llabs(e.skew_delta_us), limits.max_abs_skew_us);
+        EXPECT_LE(std::abs(e.drift_delta_ppm), limits.max_abs_drift_ppm);
+      }
+      if (e.kind == FaultKind::kLinkDegrade) {
+        EXPECT_GT(e.extra_delay_us, 0);
+        EXPECT_LE(e.extra_delay_us, limits.max_extra_delay_us);
+        EXPECT_GE(e.delay_multiplier, 1.0);
+        EXPECT_LE(e.delay_multiplier, limits.max_delay_multiplier);
+      }
+    }
+  }
+}
+
+TEST(FaultPlanTest, CrashWindowsNeverOverlapPerNode) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, topo(2, 1), 500'000);
+    std::map<std::pair<DcId, PartitionId>,
+             std::vector<std::pair<Timestamp, Timestamp>>>
+        windows;
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind != FaultKind::kCrash) continue;
+      auto& claimed = windows[{e.node.dc, e.node.part}];
+      for (const auto& w : claimed) {
+        EXPECT_FALSE(e.at < w.second && w.first < e.clears_at())
+            << "seed " << seed << ": overlapping crash windows";
+      }
+      claimed.emplace_back(e.at, e.clears_at());
+    }
+  }
+}
+
+TEST(FaultPlanTest, ToStringNamesEveryEvent) {
+  FaultPlan plan = FaultPlan::random(3, topo(), 600'000);
+  const std::string s = plan.to_string();
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(s.find(fault_kind_name(e.kind)), std::string::npos);
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsUnsortedEvents) {
+  FaultPlan plan = FaultPlan::random(5, topo(), 600'000);
+  ASSERT_GE(plan.events.size(), 2u);
+  std::swap(plan.events.front(), plan.events.back());
+  if (plan.events.front().at == plan.events.back().at) {
+    GTEST_SKIP() << "degenerate draw: equal timestamps";
+  }
+  EXPECT_DEATH(plan.validate(topo()), "time-sorted");
+}
+
+}  // namespace
+}  // namespace pocc::fault

@@ -1,10 +1,13 @@
 // HA-POCC engine tests (§III-B, §IV-C): partition detection via parked-request
 // timeouts, pessimistic-session visibility, opt-origin tagging, infrequent
-// stabilization and lost-update discard.
+// stabilization, lost-update discard — plus injector-driven failover
+// scenarios on a live cluster (fault layer, src/fault/).
 #include "ha/ha_pocc_server.hpp"
 
 #include <gtest/gtest.h>
 
+#include "cluster/sim_cluster.hpp"
+#include "fault/fault_injector.hpp"
 #include "store/key_space.hpp"
 #include "test_util.hpp"
 
@@ -215,6 +218,101 @@ TEST_F(HaPoccTest, InfrequentStabilizationMaintainsGss) {
       NodeId{0, 1},
       proto::StabReport{NodeId{0, 1}, VersionVector{0, 300'000, 0}});
   EXPECT_EQ(server_.gss()[1], 300'000);
+}
+
+// ------------------------------------------------------------------------
+// Injector-driven failover on a live cluster.
+
+cluster::SimClusterConfig ha_cluster_config() {
+  cluster::SimClusterConfig cfg;
+  cfg.topology.num_dcs = 3;
+  cfg.topology.partitions_per_dc = 2;
+  cfg.topology.partition_scheme = PartitionScheme::kPrefix;
+  cfg.latency = LatencyConfig::uniform(200, 0);
+  cfg.latency.inter_dc_base_us = {
+      {0, 5'000, 8'000}, {5'000, 0, 6'000}, {8'000, 6'000, 0}};
+  cfg.clock = ClockConfig::perfect();
+  cfg.protocol.block_timeout_us = 30'000;
+  cfg.protocol.ha_stabilization_interval_us = 20'000;
+  cfg.system = cluster::SystemKind::kHaPocc;
+  cfg.seed = 5;
+  cfg.enable_checker = true;
+  return cfg;
+}
+
+TEST(HaPoccClusterTest, HeartbeatLossDrivesFailoverAndPromotion) {
+  // §III-B end to end, triggered by *heartbeat* loss rather than a data
+  // partition: an idle replica's suppressed heartbeats freeze remote VV
+  // entries, a dependent GET blocks past the timeout, the session is closed,
+  // the client falls back to the pessimistic protocol, and — once the fault
+  // clears — is promoted back on its next reply.
+  cluster::SimCluster cluster(ha_cluster_config());
+  cluster.run_for(5'000);
+  // Freeze the (idle) dc1/p0 -> dc0/p0 heartbeat stream first, so
+  // everything written next stays ahead of dc0/p0's frozen VV[1].
+  cluster.network().suppress_heartbeats(NodeId{1, 0});
+
+  // dc1 writer builds a cross-partition dependency chain on partition 1.
+  auto& writer = cluster.create_manual_client(1, 1);
+  ASSERT_TRUE(writer.put("1:a", "a").ok);
+  ASSERT_TRUE(writer.get("1:a").found);          // DV[1] = ut(a)
+  ASSERT_TRUE(writer.put("1:c", "c").ok);        // carries that DV
+  cluster.run_for(20'000);                        // replicate into dc0
+
+  auto& reader = cluster.create_manual_client(0, 1);
+  ASSERT_TRUE(reader.get("1:c").found);  // RDV[1] = ut(a) now
+  // Partition-0 key: served by dc0/p0 whose VV[1] is frozen below ut(a).
+  const auto blocked = reader.get("0:q", /*max_wait=*/200'000);
+  EXPECT_FALSE(blocked.ok);  // session closed by the block timeout
+  EXPECT_TRUE(reader.engine().pessimistic());
+  auto* ha = dynamic_cast<HaPoccServer*>(&cluster.engine(NodeId{0, 0}));
+  ASSERT_NE(ha, nullptr);
+  EXPECT_GT(ha->sessions_closed(), 0u);
+
+  cluster.network().resume_heartbeats(NodeId{1, 0});
+  cluster.run_for(100'000);  // VV + GSS catch up
+  const auto after = reader.get("0:q");
+  EXPECT_TRUE(after.ok);  // pessimistic path serves
+  // No partitions active: the reply promotes the session back (§III-B).
+  EXPECT_FALSE(reader.engine().pessimistic());
+  EXPECT_TRUE(cluster.checker()->violations().empty());
+  EXPECT_EQ(cluster.total_parked_requests(), 0u);
+}
+
+TEST(HaPoccClusterTest, InjectedCrashClosesBlockedSessionsAndRecovers) {
+  // A crash window long enough to trip the block timeout: requests parked on
+  // live nodes waiting for the dead replica's stream get their sessions
+  // closed; after restart the cluster drains clean.
+  cluster::SimCluster cluster(ha_cluster_config());
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kCrash;
+  e.at = 50'000;
+  e.duration = 100'000;
+  e.node = NodeId{1, 0};
+  fault::FaultPlan plan;
+  plan.events = {e};
+  plan.horizon_us = 300'000;
+  fault::FaultInjector inj(cluster, std::move(plan));
+  inj.arm();
+
+  workload::WorkloadConfig wl;
+  wl.pattern = workload::Pattern::kGetPut;
+  wl.gets_per_put = 2;
+  wl.think_time_us = 2'000;
+  wl.keys_per_partition = 10;
+  wl.op_timeout_us = 120'000;
+  cluster.add_workload_clients(2, wl);
+  cluster.begin_measurement();
+  cluster.run_for(300'000);
+  const cluster::ClusterMetrics m = cluster.end_measurement();
+  EXPECT_GT(m.completed_ops, 0u);
+  EXPECT_TRUE(inj.all_cleared());
+
+  cluster.stop_clients();
+  cluster.run_for(3'000'000);
+  EXPECT_TRUE(cluster.checker()->violations().empty());
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+  EXPECT_EQ(cluster.total_parked_requests(), 0u);
 }
 
 TEST_F(HaPoccTest, DiscardLostUpdatesPurgesDependentVersions) {

@@ -319,7 +319,8 @@ TEST_F(PoccServerTest, VersionObserverFiresOnPut) {
   ClientId observed_client = 0;
   KeyId observed_key = kInvalidKeyId;
   server_.set_version_observer(
-      [&](ClientId c, const store::Version& v) {
+      [&](ClientId c, std::uint64_t op_id, const store::Version& v) {
+        (void)op_id;
         observed_client = c;
         observed_key = v.key;
       });

@@ -1,9 +1,13 @@
 // Edge cases of the shared replica machinery that the protocol-level suites
 // do not isolate: idempotent replication, tie handling, degenerate
-// transactions, GC corner cases, and parking-lot interactions.
+// transactions, GC corner cases, parking-lot interactions — plus
+// injector-driven asymmetric-partition and crash/restart interleavings at
+// the engine boundary (fault layer, src/fault/).
 #include <gtest/gtest.h>
 
+#include "cluster/sim_cluster.hpp"
 #include "cure/cure_server.hpp"
+#include "fault/fault_injector.hpp"
 #include "pocc/pocc_server.hpp"
 #include "store/key_space.hpp"
 #include "test_util.hpp"
@@ -188,6 +192,131 @@ TEST_F(ReplicaEdgeTest, CureGetOnEmptyChainCountsNoStaleness) {
   EXPECT_EQ(cure.staleness_stats().reads, 1u);
   EXPECT_EQ(cure.staleness_stats().old_reads, 0u);
   EXPECT_EQ(cure.staleness_stats().unmerged_reads, 0u);
+}
+
+// ------------------------------------------------------------------------
+// Injector-driven interleavings at the engine boundary: the cluster host
+// drives real engines through crash/restart and one-directional partitions,
+// asserting the engine-visible consequences (parked requests, VV catch-up,
+// replication continuity) rather than end metrics only.
+
+cluster::SimClusterConfig edge_cluster(cluster::SystemKind system) {
+  cluster::SimClusterConfig cfg;
+  cfg.topology.num_dcs = 3;
+  cfg.topology.partitions_per_dc = 2;
+  cfg.topology.partition_scheme = PartitionScheme::kPrefix;
+  cfg.latency = LatencyConfig::uniform(200, 0);
+  cfg.latency.inter_dc_base_us = {
+      {0, 5'000, 8'000}, {5'000, 0, 6'000}, {8'000, 6'000, 0}};
+  cfg.clock = ClockConfig::perfect();
+  cfg.system = system;
+  cfg.seed = 9;
+  cfg.enable_checker = true;
+  return cfg;
+}
+
+TEST(ReplicaFaultEdgeTest, AsymmetricPartitionStallsExactlyOneDirection) {
+  // One-way cut dc1->dc0: dc1 keeps serving (its own writes and dc0's
+  // inbound replication), dc0 serves stale reads of dc1 data until the heal
+  // flush delivers the buffered stream — in order, with a clean history.
+  cluster::SimCluster cluster(edge_cluster(cluster::SystemKind::kPocc));
+  auto& writer = cluster.create_manual_client(1, 0);
+  auto& reader = cluster.create_manual_client(0, 0);
+  ASSERT_TRUE(writer.put("0:dep", "v").ok);
+  cluster.network().block_link(1, 0);          // dc1 -> dc0 cut
+  ASSERT_TRUE(writer.put("0:dep", "v2").ok);   // buffered toward dc0
+  ASSERT_TRUE(reader.put("0:rev", "r").ok);    // dc0 -> dc1 still open
+  cluster.run_for(30'000);
+  EXPECT_EQ(writer.get("0:dep").value, "v2");  // dc1 sees its own write
+  EXPECT_TRUE(writer.get("0:rev").found);      // reverse direction flowed
+  const auto stale = reader.get("0:dep");
+  ASSERT_TRUE(stale.ok);
+  EXPECT_EQ(stale.value, "v");  // dc0 still on the pre-cut version
+
+  cluster.network().unblock_link(1, 0);
+  cluster.run_for(50'000);
+  EXPECT_EQ(reader.get("0:dep").value, "v2");
+  EXPECT_TRUE(cluster.checker()->violations().empty());
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+}
+
+TEST(ReplicaFaultEdgeTest, CrashDuringReplicationThenRestartConverges) {
+  // Writes land at two DCs while the third's replica is dead; the restart
+  // backlog replay must bring its store and VV level with the others.
+  cluster::SimCluster cluster(edge_cluster(cluster::SystemKind::kPocc));
+  const NodeId victim{2, 0};
+  auto& c0 = cluster.create_manual_client(0, 0);
+  auto& c1 = cluster.create_manual_client(1, 0);
+  ASSERT_TRUE(c0.put("0:a", "a1").ok);
+  cluster.run_for(20'000);
+
+  cluster.crash_node(victim);
+  ASSERT_TRUE(c0.put("0:a", "a2").ok);
+  ASSERT_TRUE(c1.put("0:b", "b1").ok);
+  cluster.run_for(40'000);
+  // The dead replica held its pre-crash state only.
+  EXPECT_EQ(cluster.engine(victim).partition_store().find(
+                store::intern_key("0:b")),
+            nullptr);
+
+  const std::uint64_t recovered = cluster.restart_node(victim);
+  EXPECT_GE(recovered, 2u);  // both missed writes replayed from the backlog
+  cluster.run_for(50'000);
+  const auto* chain =
+      cluster.engine(victim).partition_store().find(store::intern_key("0:a"));
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->freshest()->value, "a2");
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+  EXPECT_TRUE(cluster.checker()->violations().empty());
+}
+
+TEST(ReplicaFaultEdgeTest, CrashClearsParkedRequestsWithoutReplies) {
+  // Requests parked on the victim die with its RAM: no stray replies after
+  // restart, and the parking lot is empty.
+  cluster::SimCluster cluster(edge_cluster(cluster::SystemKind::kPocc));
+  const NodeId victim{0, 0};
+  cluster.run_for(5'000);
+  // Park a GET whose RDV names a future remote timestamp.
+  proto::GetReq req;
+  req.client = 4242;  // never registered: any reply would trip the harness
+  req.key = store::intern_key("0:x");
+  req.rdv = VersionVector{0, 10'000'000, 0};
+  cluster.engine(victim).handle_message(victim, req);
+  EXPECT_EQ(cluster.engine(victim).parked_requests(), 1u);
+
+  cluster.crash_node(victim);
+  cluster.restart_node(victim);
+  EXPECT_EQ(cluster.engine(victim).parked_requests(), 0u);
+  cluster.run_for(20'000);
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+}
+
+TEST(ReplicaFaultEdgeTest, CrashInsideAsymmetricPartitionInterleaving) {
+  // Crash overlapping a one-way partition: buffered traffic toward the
+  // victim flushes into its backlog (link heals first), then the restart
+  // replays it — the ordering the fault injector produces routinely.
+  cluster::SimCluster cluster(edge_cluster(cluster::SystemKind::kCure));
+  const NodeId victim{0, 0};
+  auto& writer = cluster.create_manual_client(1, 0);
+  cluster.run_for(5'000);
+
+  cluster.network().block_link(1, 0);
+  cluster.crash_node(victim);
+  ASSERT_TRUE(writer.put("0:k", "v").ok);  // buffered on the blocked link
+  cluster.run_for(30'000);
+  cluster.network().unblock_link(1, 0);  // flush lands in the crash backlog
+  cluster.run_for(30'000);
+  EXPECT_EQ(cluster.engine(victim).partition_store().find(
+                store::intern_key("0:k")),
+            nullptr);
+
+  EXPECT_GE(cluster.restart_node(victim), 1u);
+  cluster.run_for(60'000);
+  ASSERT_NE(cluster.engine(victim).partition_store().find(
+                store::intern_key("0:k")),
+            nullptr);
+  EXPECT_TRUE(cluster.divergent_keys().empty());
+  EXPECT_TRUE(cluster.checker()->violations().empty());
 }
 
 TEST_F(ReplicaEdgeTest, PutClockWaitBoundaryIsStrict) {

@@ -126,6 +126,106 @@ TEST_F(SimNetworkTest, IsolateDcCutsAllPairs) {
   EXPECT_FALSE(net_.any_partitions());
 }
 
+// Regression (fault-injection PR): the heal flush must preserve per-channel
+// FIFO order end to end — including messages sent at the heal instant, after
+// the flush scheduled the backlog but before any of it was delivered. The
+// per-channel last_delivery clamp is what slots them behind the backlog.
+TEST_F(SimNetworkTest, HealFlushKeepsFifoWithMessagesSentDuringHeal) {
+  net_.partition_dcs(0, 1);
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(2));
+  sim_.run_until(30'000);
+  net_.heal_dcs(0, 1);
+  // Enqueued while the heal's flushed backlog is still in flight:
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(3));
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(4));
+  sim_.run_all();
+  ASSERT_EQ(remote_.events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(std::get<proto::Heartbeat>(remote_.events[i].msg).ts,
+              static_cast<Timestamp>(i + 1));
+  }
+}
+
+// Re-partitioning while the flushed backlog is in flight must not lose or
+// reorder anything: in-flight messages arrive (they were on the wire), newly
+// sent ones buffer until the second heal.
+TEST_F(SimNetworkTest, RepartitionDuringHealPreservesOrder) {
+  net_.partition_dcs(0, 1);
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));
+  net_.heal_dcs(0, 1);
+  net_.partition_dcs(0, 1);  // immediately cut again
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(2));
+  sim_.run_until(100'000);
+  ASSERT_EQ(remote_.events.size(), 1u);  // flushed msg was on the wire
+  net_.heal_dcs(0, 1);
+  sim_.run_all();
+  ASSERT_EQ(remote_.events.size(), 2u);
+  EXPECT_EQ(std::get<proto::Heartbeat>(remote_.events[1].msg).ts, 2);
+}
+
+TEST_F(SimNetworkTest, AsymmetricBlockAffectsOneDirection) {
+  net_.block_link(0, 1);
+  EXPECT_TRUE(net_.link_blocked(0, 1));
+  EXPECT_FALSE(net_.link_blocked(1, 0));
+  EXPECT_TRUE(net_.is_partitioned(0, 1));  // either direction counts
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));   // blocked
+  net_.send(NodeId{1, 0}, NodeId{0, 0}, heartbeat(2));   // flows
+  sim_.run_all();
+  EXPECT_TRUE(remote_.events.empty());
+  ASSERT_EQ(a_.events.size(), 1u);
+  net_.unblock_link(0, 1);
+  sim_.run_all();
+  ASSERT_EQ(remote_.events.size(), 1u);
+  EXPECT_FALSE(net_.any_partitions());
+}
+
+// Overlapping fault windows compose: the link opens only when every injected
+// block has been lifted.
+TEST_F(SimNetworkTest, LinkBlocksAreRefCounted) {
+  net_.block_link(0, 1);
+  net_.block_link(0, 1);  // second overlapping window
+  net_.unblock_link(0, 1);
+  EXPECT_TRUE(net_.link_blocked(0, 1));
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));
+  sim_.run_all();
+  EXPECT_TRUE(remote_.events.empty());
+  net_.unblock_link(0, 1);
+  EXPECT_FALSE(net_.link_blocked(0, 1));
+  sim_.run_all();
+  EXPECT_EQ(remote_.events.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, DegradedLinkStretchesDelayOneWay) {
+  net_.degrade_link(0, 1, 7'000, 3.0);
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));  // degraded direction
+  net_.send(NodeId{1, 0}, NodeId{0, 0}, heartbeat(2));  // healthy direction
+  sim_.run_all();
+  ASSERT_EQ(remote_.events.size(), 1u);
+  EXPECT_EQ(remote_.events[0].at, 1000 * 3 + 7'000);
+  ASSERT_EQ(a_.events.size(), 1u);
+  EXPECT_EQ(a_.events[0].at, 1000);
+  net_.clear_link_degrade(0, 1);
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(3));
+  sim_.run_all();
+  ASSERT_EQ(remote_.events.size(), 2u);
+  EXPECT_EQ(remote_.events[1].at - remote_.events[0].at, 1000);
+}
+
+TEST_F(SimNetworkTest, SuppressedHeartbeatsAreDestroyedNotBuffered) {
+  net_.suppress_heartbeats(NodeId{0, 0});
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(1));    // destroyed
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, proto::Replicate{});  // unaffected
+  net_.send(NodeId{0, 1}, NodeId{1, 0}, heartbeat(2));    // other node: flows
+  sim_.run_all();
+  ASSERT_EQ(remote_.events.size(), 2u);
+  EXPECT_EQ(net_.stats().dropped_messages, 1u);
+  net_.resume_heartbeats(NodeId{0, 0});
+  net_.send(NodeId{0, 0}, NodeId{1, 0}, heartbeat(3));
+  sim_.run_all();
+  EXPECT_EQ(remote_.events.size(), 3u);
+}
+
 TEST_F(SimNetworkTest, ClientRouting) {
   Recorder client(sim_);
   net_.register_client(7, 0, NodeId{0, 0}, &client);
