@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end deployment check: launch a real 3-DC x 2-partition poccd cluster
+# on localhost (one process per node), run the causal-consistency smoke and a
+# checked load through pocc_loadgen, then tear everything down. Non-zero exit
+# on any failure; server logs and the BENCH_tcp_loadgen.json artifact are
+# left in OUT_DIR (CI uploads them).
+#
+# usage: scripts/e2e_local_cluster.sh [BUILD_DIR] [OUT_DIR]
+# env:   E2E_BASE_PORT (7450)  E2E_SYSTEM (pocc)  E2E_DURATION_S (5)
+#        E2E_CLIENTS (4)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-e2e-out}"
+BASE_PORT="${E2E_BASE_PORT:-7450}"
+SYSTEM="${E2E_SYSTEM:-pocc}"
+DURATION_S="${E2E_DURATION_S:-5}"
+CLIENTS="${E2E_CLIENTS:-4}"
+DCS=3
+PARTS=2
+
+for bin in poccd pocc_loadgen; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "e2e: $BUILD_DIR/$bin not built" >&2
+    exit 3
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+CFG="$OUT_DIR/cluster.cfg"
+{
+  echo "dcs $DCS"
+  echo "partitions $PARTS"
+  echo "system $SYSTEM"
+  echo "heartbeat_us 2000"
+  echo "stabilization_us 10000"
+  port="$BASE_PORT"
+  for dc in $(seq 0 $((DCS - 1))); do
+    for part in $(seq 0 $((PARTS - 1))); do
+      echo "node $dc $part 127.0.0.1:$port"
+      port=$((port + 1))
+    done
+  done
+} > "$CFG"
+echo "e2e: cluster config:" && cat "$CFG"
+
+PIDS=()
+cleanup() {
+  local status=$?
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  if [[ $status -ne 0 ]]; then
+    echo "e2e: FAILED (exit $status) — server logs:" >&2
+    tail -n 20 "$OUT_DIR"/poccd_*.log >&2 || true
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "e2e: launching $((DCS * PARTS)) poccd processes"
+for dc in $(seq 0 $((DCS - 1))); do
+  for part in $(seq 0 $((PARTS - 1))); do
+    "$BUILD_DIR/poccd" --config "$CFG" --dc "$dc" --part "$part" \
+      > "$OUT_DIR/poccd_${dc}_${part}.log" 2>&1 &
+    PIDS+=($!)
+  done
+done
+
+echo "e2e: waiting for all node ports to listen"
+for attempt in $(seq 1 100); do
+  up=1
+  for offset in $(seq 0 $((DCS * PARTS - 1))); do
+    port=$((BASE_PORT + offset))
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+      up=0
+      break
+    fi
+    exec 3>&- || true
+  done
+  [[ $up -eq 1 ]] && break
+  if [[ $attempt -eq 100 ]]; then
+    echo "e2e: cluster never came up" >&2
+    exit 4
+  fi
+  sleep 0.1
+done
+
+echo "e2e: causal smoke (read-your-writes + WC-DEP chain across DCs)"
+"$BUILD_DIR/pocc_loadgen" --config "$CFG" --mode smoke --client-base 100000
+
+echo "e2e: checked load ($CLIENTS clients/DC for ${DURATION_S}s)"
+"$BUILD_DIR/pocc_loadgen" --config "$CFG" --mode load \
+  --clients "$CLIENTS" --duration-s "$DURATION_S" \
+  --out "$OUT_DIR/BENCH_tcp_loadgen.json" --client-base 1
+cat "$OUT_DIR/BENCH_tcp_loadgen.json"
+
+echo "e2e: verifying every poccd survived the run"
+for pid in "${PIDS[@]}"; do
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "e2e: a poccd process died during the run" >&2
+    exit 5
+  fi
+done
+
+echo "e2e: graceful shutdown"
+for pid in "${PIDS[@]}"; do
+  kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || true
+done
+PIDS=()
+echo "e2e: PASS"

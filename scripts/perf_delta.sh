@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Print the delta between a fresh perf_smoke JSON line and the committed
+# baseline (bench/baselines/BENCH_perf_smoke.json). Informational only — CI
+# runs it non-gating so the perf trajectory is visible on every push without
+# flaking on runner noise.
+#
+# usage: scripts/perf_delta.sh CURRENT.json [BASELINE.json]
+set -euo pipefail
+
+CURRENT="${1:?usage: perf_delta.sh CURRENT.json [BASELINE.json]}"
+BASELINE="${2:-bench/baselines/BENCH_perf_smoke.json}"
+
+if [[ ! -f "$CURRENT" || ! -f "$BASELINE" ]]; then
+  echo "perf_delta: missing $CURRENT or $BASELINE" >&2
+  exit 1
+fi
+
+extract() { # file key -> numeric value (empty if absent)
+  sed -n 's/.*"'"$2"'":\([0-9][0-9.]*\).*/\1/p' "$1"
+}
+
+echo "perf_smoke delta vs committed baseline ($BASELINE)"
+echo "(positive % = larger than baseline; wall_ms/peak_rss_kb lower is better)"
+for key in sim_ops_per_sec events_per_sec wall_ms peak_rss_kb; do
+  cur="$(extract "$CURRENT" "$key")"
+  base="$(extract "$BASELINE" "$key")"
+  if [[ -z "$cur" || -z "$base" ]]; then
+    echo "  $key: missing from one of the files"
+    continue
+  fi
+  awk -v c="$cur" -v b="$base" -v k="$key" 'BEGIN {
+    d = (b > 0) ? (c - b) / b * 100 : 0
+    printf "  %-18s current %14.1f   baseline %14.1f   %+7.1f%%\n", k, c, b, d
+  }'
+done

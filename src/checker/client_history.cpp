@@ -1,0 +1,149 @@
+#include "checker/client_history.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace pocc::checker {
+
+namespace {
+
+/// Identity of a concrete version: key + LWW coordinates.
+struct VersionKey {
+  KeyId key = 0;
+  Timestamp ut = 0;
+  DcId sr = 0;
+
+  friend bool operator==(const VersionKey&, const VersionKey&) = default;
+};
+
+struct VersionKeyHash {
+  std::size_t operator()(const VersionKey& v) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(v.ut);
+    h ^= (static_cast<std::uint64_t>(v.key) << 32) | v.sr;
+    h *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+using RegisteredSet = std::unordered_set<VersionKey, VersionKeyHash>;
+
+bool item_registered(const proto::ReadItem& item, const RegisteredSet& reg) {
+  if (!item.found) return true;  // implicit initial version
+  return reg.contains(VersionKey{item.key, item.ut, item.sr});
+}
+
+/// Per-session replay cursor.
+struct Cursor {
+  const SessionHistory* history = nullptr;
+  std::size_t pos = 0;
+  /// DV and key of in-flight PUTs by op_id — the version record a later
+  /// PutReply registers (dv crosses the wire in the request, not the reply).
+  std::unordered_map<std::uint64_t, proto::PutReq> pending_puts;
+};
+
+/// True when the cursor's next event may be processed now.
+struct ReadyVisitor {
+  const RegisteredSet& reg;
+
+  bool operator()(const proto::GetReq&) const { return true; }
+  bool operator()(const proto::PutReq&) const { return true; }
+  bool operator()(const proto::RoTxReq&) const { return true; }
+  bool operator()(const proto::PutReply&) const { return true; }
+  bool operator()(const SessionReset&) const { return true; }
+  bool operator()(const SessionPromoted&) const { return true; }
+  bool operator()(const proto::GetReply& r) const {
+    return item_registered(r.item, reg);
+  }
+  bool operator()(const proto::RoTxReply& r) const {
+    for (const proto::ReadItem& item : r.items) {
+      if (!item_registered(item, reg)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+ReplayResult replay_history(const std::vector<SessionHistory>& sessions,
+                            HistoryChecker& checker) {
+  ReplayResult result;
+  std::vector<Cursor> cursors;
+  cursors.reserve(sessions.size());
+  std::size_t total_events = 0;
+  for (const SessionHistory& s : sessions) {
+    checker.register_client(s.client, s.dc, s.snapshot_rdv);
+    cursors.push_back(Cursor{&s, 0, {}});
+    total_events += s.events.size();
+  }
+
+  RegisteredSet registered;
+  const ReadyVisitor ready{registered};
+
+  auto process = [&](Cursor& cur, const HistoryEvent& ev) {
+    const ClientId c = cur.history->client;
+    if (const auto* get_req = std::get_if<proto::GetReq>(&ev)) {
+      checker.on_get_issued(c, *get_req);
+    } else if (const auto* put_req = std::get_if<proto::PutReq>(&ev)) {
+      checker.on_put_issued(c, *put_req);
+      cur.pending_puts[put_req->op_id] = *put_req;
+    } else if (const auto* tx_req = std::get_if<proto::RoTxReq>(&ev)) {
+      checker.on_tx_issued(c, *tx_req);
+    } else if (const auto* get_rep = std::get_if<proto::GetReply>(&ev)) {
+      checker.on_get_reply(c, *get_rep);
+    } else if (const auto* rep = std::get_if<proto::PutReply>(&ev)) {
+      // The reply proves the server created <key, ut, sr> with the DV the
+      // request carried: register it before the reply is absorbed, exactly
+      // like the simulator's server-side version observer.
+      auto pending = cur.pending_puts.find(rep->op_id);
+      if (pending != cur.pending_puts.end()) {
+        checker.on_version_created(c, rep->op_id, rep->key, rep->ut, rep->sr,
+                                   pending->second.dv);
+        cur.pending_puts.erase(pending);
+      } else {
+        checker.on_version_created(c, rep->op_id, rep->key, rep->ut, rep->sr,
+                                   VersionVector(checker.num_dcs()));
+      }
+      registered.insert(VersionKey{rep->key, rep->ut, rep->sr});
+      checker.on_put_reply(c, *rep);
+    } else if (const auto* tx_rep = std::get_if<proto::RoTxReply>(&ev)) {
+      checker.on_tx_reply(c, *tx_rep);
+    } else if (std::holds_alternative<SessionReset>(ev)) {
+      checker.on_session_reset(c);
+      cur.pending_puts.clear();
+    } else {
+      checker.on_session_promoted(c);
+    }
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (Cursor& cur : cursors) {
+      while (cur.pos < cur.history->events.size()) {
+        const HistoryEvent& ev = cur.history->events[cur.pos];
+        if (!std::visit(ready, ev)) break;
+        process(cur, ev);
+        ++cur.pos;
+        ++result.events_replayed;
+        progress = true;
+      }
+    }
+  }
+
+  result.complete = result.events_replayed == total_events;
+  if (!result.complete) {
+    for (const Cursor& cur : cursors) {
+      if (cur.pos < cur.history->events.size()) {
+        result.error +=
+            (result.error.empty() ? "" : "; ") + std::string("client ") +
+            std::to_string(cur.history->client) + " stuck at event " +
+            std::to_string(cur.pos) +
+            " (a read returned a version no replayed session wrote)";
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pocc::checker

@@ -1,0 +1,67 @@
+// Client-side operation histories and their replay into the HistoryChecker.
+//
+// The simulator wires the checker directly into the servers (versions are
+// registered the instant a PUT executes). Across process boundaries that hook
+// does not exist — but it is not needed: the server stores a PUT's version
+// with dv equal to the request's DV verbatim (ReplicaBase::serve_put), so a
+// client can reconstruct the full version record <k, ut, sr, dv> from its own
+// PutReq + PutReply. Each session therefore records its operations in session
+// order, and replay_history() feeds the merged logs through the checker
+// offline.
+//
+// Replay ordering: the checker requires a version to be registered before any
+// read returning it is absorbed. Client logs alone do not give one global
+// order (client A's PutReply can reach A *after* client B already read the
+// version on another connection), so the replayer runs a dependency-aware
+// scheduler — a session's next event is processed only when every version it
+// read has been registered; PUT replies are always processable. For any
+// physically generated history this order exists (server-side apply order is
+// acyclic in real time), so a stuck replay means the history itself is
+// incomplete (e.g. a writer's log is missing) and is reported as such.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "checker/history_checker.hpp"
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+
+namespace pocc::checker {
+
+/// HA-POCC session control points (§III-B), recorded like operations.
+struct SessionReset {};
+struct SessionPromoted {};
+
+/// One entry of a session log: a request at issue time (captured before
+/// sending, carrying the DV/RDV that went on the wire), a reply at receive
+/// time (captured before the engine absorbed it), or a session-mode switch.
+using HistoryEvent =
+    std::variant<proto::GetReq, proto::PutReq, proto::RoTxReq,
+                 proto::GetReply, proto::PutReply, proto::RoTxReply,
+                 SessionReset, SessionPromoted>;
+
+/// Everything one client session observed, in session order.
+struct SessionHistory {
+  ClientId client = 0;
+  DcId dc = 0;
+  bool snapshot_rdv = false;  // must match the ClientEngine mode
+  std::vector<HistoryEvent> events;
+};
+
+struct ReplayResult {
+  /// False when the scheduler wedged: some read returned a version no
+  /// processed log wrote. Always a reportable problem — either a writer's
+  /// log is missing from `sessions` or the store invented a version.
+  bool complete = false;
+  std::size_t events_replayed = 0;
+  std::string error;  // set when !complete
+};
+
+/// Feed every session's log through `checker` in a dependency-respecting
+/// order. `checker` must be freshly constructed (no sessions registered).
+ReplayResult replay_history(const std::vector<SessionHistory>& sessions,
+                            HistoryChecker& checker);
+
+}  // namespace pocc::checker

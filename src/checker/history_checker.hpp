@@ -83,6 +83,7 @@ class HistoryChecker {
   /// HA-POCC: the session was promoted back to the optimistic protocol.
   void on_session_promoted(ClientId c);
 
+  [[nodiscard]] std::uint32_t num_dcs() const { return num_dcs_; }
   [[nodiscard]] const std::vector<std::string>& violations() const {
     return violations_;
   }

@@ -1,0 +1,248 @@
+#include "net/cluster_config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace pocc::net {
+
+const NodeAddress* ClusterLayout::find(NodeId node) const {
+  for (const NodeAddress& a : nodes) {
+    if (a.node == node) return &a;
+  }
+  return nullptr;
+}
+
+bool ClusterLayout::complete() const {
+  if (nodes.size() != topology.total_nodes()) return false;
+  for (DcId dc = 0; dc < topology.num_dcs; ++dc) {
+    for (PartitionId p = 0; p < topology.partitions_per_dc; ++p) {
+      if (find(NodeId{dc, p}) == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+const char* system_name(rt::System system) {
+  switch (system) {
+    case rt::System::kPocc:
+      return "pocc";
+    case rt::System::kCure:
+      return "cure";
+    case rt::System::kHaPocc:
+      return "ha";
+  }
+  return "?";
+}
+
+std::optional<rt::System> parse_system(const std::string& name) {
+  if (name == "pocc") return rt::System::kPocc;
+  if (name == "cure") return rt::System::kCure;
+  if (name == "ha" || name == "ha-pocc" || name == "hapocc") {
+    return rt::System::kHaPocc;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool fail(std::string* error, int line_no, const std::string& msg) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + msg;
+  }
+  return false;
+}
+
+bool parse_host_port(const std::string& spec, std::string* host,
+                     std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  unsigned long value = 0;  // NOLINT(google-runtime-int)
+  try {
+    value = std::stoul(port_str);
+  } catch (...) {
+    return false;
+  }
+  if (value == 0 || value > 65'535) return false;
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::optional<ClusterLayout> parse_cluster_config(std::istream& in,
+                                                  std::string* error) {
+  ClusterLayout layout;
+  std::string line;
+  int line_no = 0;
+  bool saw_dcs = false;
+  bool saw_partitions = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank / comment-only line
+
+    auto want_u64 = [&](std::uint64_t* out) {
+      std::uint64_t v = 0;
+      if (!(ls >> v)) return false;
+      *out = v;
+      return true;
+    };
+
+    std::uint64_t v = 0;
+    if (keyword == "dcs") {
+      if (!want_u64(&v) || v < 1 || v > kMaxDcs) {
+        fail(error, line_no, "dcs must be 1.." + std::to_string(kMaxDcs));
+        return std::nullopt;
+      }
+      layout.topology.num_dcs = static_cast<std::uint32_t>(v);
+      saw_dcs = true;
+    } else if (keyword == "partitions") {
+      if (!want_u64(&v) || v < 1 || v > 4096) {
+        fail(error, line_no, "partitions must be 1..4096");
+        return std::nullopt;
+      }
+      layout.topology.partitions_per_dc = static_cast<std::uint32_t>(v);
+      saw_partitions = true;
+    } else if (keyword == "system") {
+      std::string name;
+      ls >> name;
+      const auto system = parse_system(name);
+      if (!system.has_value()) {
+        fail(error, line_no, "unknown system '" + name + "'");
+        return std::nullopt;
+      }
+      layout.system = *system;
+    } else if (keyword == "scheme") {
+      std::string name;
+      ls >> name;
+      if (name == "hash") {
+        layout.topology.partition_scheme = PartitionScheme::kHash;
+      } else if (name == "prefix") {
+        layout.topology.partition_scheme = PartitionScheme::kPrefix;
+      } else {
+        fail(error, line_no, "scheme must be hash or prefix");
+        return std::nullopt;
+      }
+    } else if (keyword == "heartbeat_us") {
+      if (!want_u64(&v)) {
+        fail(error, line_no, "bad value");
+        return std::nullopt;
+      }
+      layout.protocol.heartbeat_interval_us = static_cast<Duration>(v);
+    } else if (keyword == "stabilization_us") {
+      if (!want_u64(&v)) {
+        fail(error, line_no, "bad value");
+        return std::nullopt;
+      }
+      layout.protocol.stabilization_interval_us = static_cast<Duration>(v);
+    } else if (keyword == "gc_us") {
+      if (!want_u64(&v)) {
+        fail(error, line_no, "bad value");
+        return std::nullopt;
+      }
+      layout.protocol.gc_interval_us = static_cast<Duration>(v);
+    } else if (keyword == "block_timeout_us") {
+      if (!want_u64(&v)) {
+        fail(error, line_no, "bad value");
+        return std::nullopt;
+      }
+      layout.protocol.block_timeout_us = static_cast<Duration>(v);
+    } else if (keyword == "ha_stabilization_us") {
+      if (!want_u64(&v)) {
+        fail(error, line_no, "bad value");
+        return std::nullopt;
+      }
+      layout.protocol.ha_stabilization_interval_us = static_cast<Duration>(v);
+    } else if (keyword == "put_dependency_wait") {
+      if (!want_u64(&v) || v > 1) {
+        fail(error, line_no, "put_dependency_wait must be 0 or 1");
+        return std::nullopt;
+      }
+      layout.protocol.put_dependency_wait = v == 1;
+    } else if (keyword == "node") {
+      std::uint64_t dc = 0;
+      std::uint64_t part = 0;
+      std::string addr;
+      if (!(ls >> dc >> part >> addr)) {
+        fail(error, line_no, "expected: node DC PART HOST:PORT");
+        return std::nullopt;
+      }
+      NodeAddress na;
+      na.node = NodeId{static_cast<DcId>(dc), static_cast<PartitionId>(part)};
+      if (!parse_host_port(addr, &na.host, &na.port)) {
+        fail(error, line_no, "bad address '" + addr + "'");
+        return std::nullopt;
+      }
+      layout.nodes.push_back(std::move(na));
+    } else {
+      fail(error, line_no, "unknown keyword '" + keyword + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_dcs || !saw_partitions) {
+    if (error != nullptr) *error = "missing dcs/partitions declaration";
+    return std::nullopt;
+  }
+  for (const NodeAddress& a : layout.nodes) {
+    if (a.node.dc >= layout.topology.num_dcs ||
+        a.node.part >= layout.topology.partitions_per_dc) {
+      if (error != nullptr) {
+        *error = "node " + a.node.to_string() + " outside the topology";
+      }
+      return std::nullopt;
+    }
+  }
+  if (!layout.complete()) {
+    if (error != nullptr) {
+      *error = "need exactly one node line per (dc, partition) pair";
+    }
+    return std::nullopt;
+  }
+  return layout;
+}
+
+std::optional<ClusterLayout> load_cluster_config(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return parse_cluster_config(in, error);
+}
+
+std::string format_cluster_config(const ClusterLayout& layout) {
+  std::ostringstream out;
+  out << "dcs " << layout.topology.num_dcs << "\n";
+  out << "partitions " << layout.topology.partitions_per_dc << "\n";
+  out << "system " << system_name(layout.system) << "\n";
+  out << "scheme "
+      << (layout.topology.partition_scheme == PartitionScheme::kHash
+              ? "hash"
+              : "prefix")
+      << "\n";
+  out << "heartbeat_us " << layout.protocol.heartbeat_interval_us << "\n";
+  out << "stabilization_us " << layout.protocol.stabilization_interval_us
+      << "\n";
+  out << "gc_us " << layout.protocol.gc_interval_us << "\n";
+  out << "block_timeout_us " << layout.protocol.block_timeout_us << "\n";
+  out << "ha_stabilization_us "
+      << layout.protocol.ha_stabilization_interval_us << "\n";
+  out << "put_dependency_wait "
+      << (layout.protocol.put_dependency_wait ? 1 : 0) << "\n";
+  for (const NodeAddress& a : layout.nodes) {
+    out << "node " << a.node.dc << " " << a.node.part << " " << a.host << ":"
+        << a.port << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pocc::net

@@ -1,0 +1,65 @@
+// Cluster layout for the TCP deployment: which engine runs, the M x N
+// topology, and the host:port every node listens on. Parsed from the poccd
+// config file format (one file shared by every process of a deployment):
+//
+//   # comment / blank lines ignored
+//   dcs 3
+//   partitions 2
+//   system pocc            # pocc | cure | ha
+//   scheme hash            # hash | prefix (optional, default hash)
+//   heartbeat_us 1000      # optional ProtocolConfig overrides
+//   stabilization_us 5000
+//   gc_us 50000
+//   block_timeout_us 500000
+//   ha_stabilization_us 100000
+//   put_dependency_wait 1
+//   node 0 0 127.0.0.1:7450
+//   node 0 1 127.0.0.1:7451
+//   ...                    # exactly dcs x partitions node lines
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "runtime/rt_cluster.hpp"
+
+namespace pocc::net {
+
+struct NodeAddress {
+  NodeId node;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct ClusterLayout {
+  TopologyConfig topology;
+  rt::System system = rt::System::kPocc;
+  ProtocolConfig protocol;
+  std::vector<NodeAddress> nodes;
+
+  [[nodiscard]] const NodeAddress* find(NodeId node) const;
+  /// True when every (dc, partition) pair has exactly one address.
+  [[nodiscard]] bool complete() const;
+};
+
+/// Parse a layout. On failure returns nullopt and sets `*error`.
+std::optional<ClusterLayout> parse_cluster_config(std::istream& in,
+                                                  std::string* error);
+
+/// Load + parse a layout file.
+std::optional<ClusterLayout> load_cluster_config(const std::string& path,
+                                                 std::string* error);
+
+/// Render `layout` in the config file format (used by tests and the e2e
+/// harness to generate deployments programmatically).
+std::string format_cluster_config(const ClusterLayout& layout);
+
+[[nodiscard]] const char* system_name(rt::System system);
+std::optional<rt::System> parse_system(const std::string& name);
+
+}  // namespace pocc::net

@@ -1,0 +1,292 @@
+#include "net/tcp_client.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "store/key_space.hpp"
+
+namespace pocc::net {
+
+// ---------------------------------------------------------- TcpSession ----
+
+TcpSession::TcpSession(ClientId id, DcId dc, TcpClientPool& pool)
+    : engine_(id, dc, pool.layout().topology.num_dcs,
+              /*snapshot_rdv=*/pool.layout().system == rt::System::kCure),
+      pool_(pool) {
+  history_.client = id;
+  history_.dc = dc;
+  history_.snapshot_rdv = pool.layout().system == rt::System::kCure;
+}
+
+void TcpSession::deliver(proto::Message m) {
+  {
+    std::lock_guard lk(mu_);
+    if (std::holds_alternative<proto::SessionClosed>(m)) {
+      closed_signal_ = true;
+    } else {
+      reply_ = std::move(m);
+    }
+  }
+  cv_.notify_all();
+}
+
+template <typename M>
+std::optional<M> TcpSession::await(std::uint64_t op_id, Duration timeout_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  std::unique_lock lk(mu_);
+  while (true) {
+    if (closed_signal_) return std::nullopt;
+    if (reply_.has_value()) {
+      if (const M* m = std::get_if<M>(&*reply_); m != nullptr &&
+                                                 m->op_id == op_id &&
+                                                 m->client == id()) {
+        M out = std::move(*std::get_if<M>(&*reply_));
+        reply_.reset();
+        return out;
+      }
+      reply_.reset();  // stale answer to an abandoned operation
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        !reply_.has_value() && !closed_signal_) {
+      return std::nullopt;
+    }
+  }
+}
+
+void TcpSession::record_session_closed() {
+  // §III-B client library behaviour, mirroring rt::Session / SimClient.
+  {
+    std::lock_guard lk(mu_);
+    closed_signal_ = false;
+    reply_.reset();
+  }
+  engine_.reinitialize_pessimistic();
+  history_.events.push_back(checker::SessionReset{});
+}
+
+TcpSession::GetResult TcpSession::get(const std::string& key,
+                                      Duration timeout_us) {
+  return get_id(store::intern_key(key), timeout_us);
+}
+
+TcpSession::GetResult TcpSession::get_id(KeyId key, Duration timeout_us) {
+  proto::GetReq req = engine_.make_get(key);
+  req.op_id = ++op_seq_;
+  history_.events.push_back(req);
+  pool_.send_to_partition(pool_.partition_of(key), proto::Message{req});
+  GetResult r;
+  auto reply = await<proto::GetReply>(req.op_id, timeout_us);
+  if (!reply.has_value()) {
+    std::unique_lock lk(mu_);
+    if (closed_signal_) {
+      lk.unlock();
+      record_session_closed();
+      r.session_closed = true;
+    }
+    return r;
+  }
+  history_.events.push_back(*reply);
+  engine_.absorb_get(*reply);
+  r.ok = true;
+  r.found = reply->item.found;
+  r.value = reply->item.value;
+  r.ut = reply->item.ut;
+  r.sr = reply->item.sr;
+  r.blocked_us = reply->blocked_us;
+  return r;
+}
+
+TcpSession::PutResult TcpSession::put(const std::string& key,
+                                      const std::string& value,
+                                      Duration timeout_us) {
+  return put_id(store::intern_key(key), value, timeout_us);
+}
+
+TcpSession::PutResult TcpSession::put_id(KeyId key, std::string value,
+                                         Duration timeout_us) {
+  proto::PutReq req = engine_.make_put(key, std::move(value));
+  req.op_id = ++op_seq_;
+  history_.events.push_back(req);
+  pool_.send_to_partition(pool_.partition_of(key), proto::Message{req});
+  PutResult r;
+  auto reply = await<proto::PutReply>(req.op_id, timeout_us);
+  if (!reply.has_value()) {
+    std::unique_lock lk(mu_);
+    if (closed_signal_) {
+      lk.unlock();
+      record_session_closed();
+      r.session_closed = true;
+    }
+    return r;
+  }
+  history_.events.push_back(*reply);
+  engine_.absorb_put(*reply);
+  r.ok = true;
+  r.ut = reply->ut;
+  r.blocked_us = reply->blocked_us;
+  return r;
+}
+
+TcpSession::TxResult TcpSession::ro_tx(const std::vector<std::string>& keys,
+                                       Duration timeout_us) {
+  std::vector<KeyId> ids;
+  ids.reserve(keys.size());
+  for (const std::string& k : keys) ids.push_back(store::intern_key(k));
+  return ro_tx_ids(std::move(ids), timeout_us);
+}
+
+TcpSession::TxResult TcpSession::ro_tx_ids(std::vector<KeyId> keys,
+                                           Duration timeout_us) {
+  proto::RoTxReq req = engine_.make_ro_tx(std::move(keys));
+  req.op_id = ++op_seq_;
+  history_.events.push_back(req);
+  // The collocated server coordinates the transaction (§II-C): partition 0
+  // plays the role of the session's home node, as in rt::Session.
+  pool_.send_to_partition(0, proto::Message{req});
+  TxResult r;
+  auto reply = await<proto::RoTxReply>(req.op_id, timeout_us);
+  if (!reply.has_value()) {
+    std::unique_lock lk(mu_);
+    if (closed_signal_) {
+      lk.unlock();
+      record_session_closed();
+      r.session_closed = true;
+    }
+    return r;
+  }
+  history_.events.push_back(*reply);
+  engine_.absorb_ro_tx(*reply);
+  r.ok = true;
+  r.items = std::move(reply->items);
+  return r;
+}
+
+// ------------------------------------------------------- TcpClientPool ----
+
+TcpClientPool::TcpClientPool(ClusterLayout layout, DcId dc)
+    : TcpClientPool(std::move(layout), dc, {}) {}
+
+TcpClientPool::TcpClientPool(ClusterLayout layout, DcId dc,
+                             std::vector<NodeAddress> addresses)
+    : layout_(std::move(layout)),
+      dc_(dc),
+      addresses_(std::move(addresses)),
+      transport_(
+          TcpTransport::Callbacks{
+              [this](ConnId c, proto::Frame f) { on_frame(c, std::move(f)); },
+              nullptr,
+              nullptr,
+          },
+          TcpTransport::Options{}) {
+  POCC_ASSERT(dc_ < layout_.topology.num_dcs);
+  if (addresses_.empty()) addresses_ = layout_.nodes;
+}
+
+TcpClientPool::~TcpClientPool() { stop(); }
+
+void TcpClientPool::start() {
+  {
+    std::lock_guard lk(mu_);
+    POCC_ASSERT_MSG(!started_, "start() called twice");
+    started_ = true;
+  }
+  conn_by_part_.resize(layout_.topology.partitions_per_dc, kInvalidConn);
+  for (PartitionId p = 0; p < layout_.topology.partitions_per_dc; ++p) {
+    const NodeAddress* addr = nullptr;
+    for (const NodeAddress& a : addresses_) {
+      if (a.node == NodeId{dc_, p}) {
+        addr = &a;
+        break;
+      }
+    }
+    POCC_ASSERT_MSG(addr != nullptr, "no address for a partition of this DC");
+    conn_by_part_[p] = transport_.connect_peer(addr->host, addr->port);
+  }
+  transport_.start();
+}
+
+void TcpClientPool::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  transport_.stop();
+}
+
+bool TcpClientPool::wait_connected(Duration timeout_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  while (true) {
+    bool all_up = true;
+    for (const ConnId c : conn_by_part_) {
+      if (!transport_.connected(c)) {
+        all_up = false;
+        break;
+      }
+    }
+    if (all_up) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TcpSession& TcpClientPool::connect(ClientId id) {
+  std::lock_guard lk(mu_);
+  POCC_ASSERT_MSG(!session_index_.contains(id), "client id already in use");
+  auto session = std::unique_ptr<TcpSession>(new TcpSession(id, dc_, *this));
+  session_index_[id] = session.get();
+  sessions_.push_back(std::move(session));
+  return *sessions_.back();
+}
+
+std::vector<checker::SessionHistory> TcpClientPool::histories() const {
+  std::lock_guard lk(mu_);
+  std::vector<checker::SessionHistory> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s->history());
+  return out;
+}
+
+PartitionId TcpClientPool::partition_of(KeyId key) const {
+  return store::KeySpace::global().partition(
+      key, layout_.topology.partitions_per_dc,
+      layout_.topology.partition_scheme);
+}
+
+void TcpClientPool::send_to_partition(PartitionId part,
+                                      const proto::Message& m) {
+  POCC_ASSERT(part < conn_by_part_.size());
+  std::vector<std::uint8_t> frame;
+  proto::encode(m, frame);
+  transport_.send(conn_by_part_[part], std::move(frame));
+}
+
+void TcpClientPool::on_frame(ConnId /*conn*/, proto::Frame frame) {
+  auto* m = std::get_if<proto::Message>(&frame);
+  if (m == nullptr) return;  // servers do not greet clients
+  ClientId client = 0;
+  if (const auto* get_rep = std::get_if<proto::GetReply>(m)) {
+    client = get_rep->client;
+  } else if (const auto* put_rep = std::get_if<proto::PutReply>(m)) {
+    client = put_rep->client;
+  } else if (const auto* tx_rep = std::get_if<proto::RoTxReply>(m)) {
+    client = tx_rep->client;
+  } else if (const auto* closed = std::get_if<proto::SessionClosed>(m)) {
+    client = closed->client;
+  } else {
+    return;  // not client traffic
+  }
+  TcpSession* session = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    auto it = session_index_.find(client);
+    if (it != session_index_.end()) session = it->second;
+  }
+  if (session != nullptr) session->deliver(std::move(*m));
+}
+
+}  // namespace pocc::net

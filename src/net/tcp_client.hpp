@@ -1,0 +1,149 @@
+// Client-side endpoint of the TCP deployment: one pool per (process, data
+// center) holding a connection to every partition node of that DC, demuxing
+// replies to blocking sessions by client id. Used by pocc_loadgen and the
+// e2e tests.
+//
+// A Session mirrors rt::Session (client/client_engine.hpp drives the
+// protocol; requests go to the partition owning the key, RO-TXs to the
+// collocated partition-0 coordinator) and additionally records every
+// operation into a checker::SessionHistory, so a finished run can be
+// replayed through the HistoryChecker (checker/client_history.hpp) to verify
+// the deployment end to end.
+//
+// Client ids must be unique across the WHOLE deployment (all loadgen
+// processes), and each session must be driven by a single thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "checker/client_history.hpp"
+#include "client/client_engine.hpp"
+#include "net/cluster_config.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace pocc::net {
+
+class TcpClientPool;
+
+/// Blocking client session over TCP (sticky to the pool's DC).
+class TcpSession {
+ public:
+  struct GetResult {
+    bool ok = false;
+    bool session_closed = false;
+    bool found = false;
+    std::string value;
+    Timestamp ut = 0;
+    DcId sr = 0;
+    Duration blocked_us = 0;
+  };
+  struct PutResult {
+    bool ok = false;
+    bool session_closed = false;
+    Timestamp ut = 0;
+    Duration blocked_us = 0;
+  };
+  struct TxResult {
+    bool ok = false;
+    bool session_closed = false;
+    std::vector<proto::ReadItem> items;
+  };
+
+  GetResult get(const std::string& key, Duration timeout_us = 10'000'000);
+  GetResult get_id(KeyId key, Duration timeout_us = 10'000'000);
+  PutResult put(const std::string& key, const std::string& value,
+                Duration timeout_us = 10'000'000);
+  PutResult put_id(KeyId key, std::string value,
+                   Duration timeout_us = 10'000'000);
+  TxResult ro_tx(const std::vector<std::string>& keys,
+                 Duration timeout_us = 10'000'000);
+  TxResult ro_tx_ids(std::vector<KeyId> keys,
+                     Duration timeout_us = 10'000'000);
+
+  [[nodiscard]] ClientId id() const { return engine_.id(); }
+  [[nodiscard]] bool pessimistic() const { return engine_.pessimistic(); }
+
+  /// The recorded history (valid while the session is not mid-operation).
+  [[nodiscard]] const checker::SessionHistory& history() const {
+    return history_;
+  }
+
+ private:
+  friend class TcpClientPool;
+  TcpSession(ClientId id, DcId dc, TcpClientPool& pool);
+
+  void deliver(proto::Message m);
+  /// Wait for a reply matching `op_id` of message type M, discarding stale
+  /// replies. nullopt = timeout or session closed (closed_ set).
+  template <typename M>
+  std::optional<M> await(std::uint64_t op_id, Duration timeout_us);
+  void record_session_closed();
+
+  client::ClientEngine engine_;
+  TcpClientPool& pool_;
+  checker::SessionHistory history_;
+  std::uint64_t op_seq_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<proto::Message> reply_;
+  bool closed_signal_ = false;
+};
+
+class TcpClientPool {
+ public:
+  /// `layout` gives the topology; `addresses` the (possibly ephemeral-port)
+  /// node addresses to dial — defaults to layout.nodes.
+  TcpClientPool(ClusterLayout layout, DcId dc);
+  TcpClientPool(ClusterLayout layout, DcId dc,
+                std::vector<NodeAddress> addresses);
+  ~TcpClientPool();
+
+  TcpClientPool(const TcpClientPool&) = delete;
+  TcpClientPool& operator=(const TcpClientPool&) = delete;
+
+  void start();
+  void stop();
+
+  /// Block until every partition link is up (false = timed out).
+  bool wait_connected(Duration timeout_us);
+
+  /// Open a session. `id` must be unique across the whole deployment.
+  TcpSession& connect(ClientId id);
+
+  /// Histories of every session opened on this pool (call after the driving
+  /// threads finished).
+  [[nodiscard]] std::vector<checker::SessionHistory> histories() const;
+
+  [[nodiscard]] DcId dc() const { return dc_; }
+  [[nodiscard]] const ClusterLayout& layout() const { return layout_; }
+  [[nodiscard]] TransportStats transport_stats() const {
+    return transport_.stats();
+  }
+
+ private:
+  friend class TcpSession;
+  void on_frame(ConnId conn, proto::Frame frame);
+  void send_to_partition(PartitionId part, const proto::Message& m);
+  [[nodiscard]] PartitionId partition_of(KeyId key) const;
+
+  ClusterLayout layout_;
+  DcId dc_;
+  std::vector<NodeAddress> addresses_;
+  TcpTransport transport_;
+  std::vector<ConnId> conn_by_part_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TcpSession>> sessions_;
+  std::unordered_map<ClientId, TcpSession*> session_index_;
+  bool started_ = false;
+};
+
+}  // namespace pocc::net

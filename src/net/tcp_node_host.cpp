@@ -1,0 +1,203 @@
+#include "net/tcp_node_host.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "cure/cure_server.hpp"
+#include "ha/ha_pocc_server.hpp"
+#include "pocc/pocc_server.hpp"
+
+namespace pocc::net {
+
+TcpNodeHost::TcpNodeHost(NodeId self, const ClusterLayout& layout,
+                         Options options)
+    : self_(self),
+      layout_(layout),
+      opt_(options),
+      rng_(options.seed ^ (flat(self) * 0x9e3779b97f4a7c15ULL)),
+      transport_(
+          TcpTransport::Callbacks{
+              [this](ConnId c, proto::Frame f) { on_frame(c, std::move(f)); },
+              nullptr,
+              [this](ConnId c) { on_disconnected(c); },
+          },
+          TcpTransport::Options{}) {
+  POCC_ASSERT_MSG(self.dc < layout_.topology.num_dcs &&
+                      self.part < layout_.topology.partitions_per_dc,
+                  "node id outside the layout topology");
+  transport_.listen(opt_.listen_port);
+
+  node_ = std::make_unique<rt::RtNode>(self_, *this, opt_.clock, rng_);
+  std::unique_ptr<server::ReplicaBase> engine;
+  switch (layout_.system) {
+    case rt::System::kPocc:
+      engine = std::make_unique<PoccServer>(self_, layout_.topology,
+                                            layout_.protocol, ServiceConfig{},
+                                            *node_);
+      break;
+    case rt::System::kCure:
+      engine = std::make_unique<CureServer>(self_, layout_.topology,
+                                            layout_.protocol, ServiceConfig{},
+                                            *node_);
+      break;
+    case rt::System::kHaPocc:
+      engine = std::make_unique<HaPoccServer>(self_, layout_.topology,
+                                              layout_.protocol,
+                                              ServiceConfig{}, *node_);
+      break;
+  }
+  node_->install_engine(std::move(engine));
+}
+
+TcpNodeHost::~TcpNodeHost() { stop(); }
+
+void TcpNodeHost::start() { start(layout_.nodes); }
+
+void TcpNodeHost::start(const std::vector<NodeAddress>& peers) {
+  {
+    std::lock_guard lk(mu_);
+    POCC_ASSERT_MSG(!started_, "start() called twice");
+    started_ = true;
+    for (const NodeAddress& peer : peers) {
+      if (peer.node == self_) continue;
+      const ConnId conn = transport_.connect_peer(peer.host, peer.port);
+      std::vector<std::uint8_t> hello;
+      proto::encode(proto::NodeHello{self_}, hello);
+      transport_.set_greeting(conn, std::move(hello));
+      peer_conn_[flat(peer.node)] = conn;
+    }
+    POCC_ASSERT_MSG(
+        peer_conn_.size() + 1 == layout_.topology.total_nodes(),
+        "peer list must cover every other node of the topology");
+  }
+  transport_.start();
+  node_->start();
+  log("serving on port " + std::to_string(port()));
+}
+
+void TcpNodeHost::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  node_->stop();
+  transport_.stop();
+}
+
+std::uint64_t TcpNodeHost::dropped_frames() const {
+  std::lock_guard lk(mu_);
+  return dropped_;
+}
+
+void TcpNodeHost::log(const std::string& what) const {
+  if (!opt_.verbose) return;
+  std::fprintf(stderr, "[poccd %s] %s\n", self_.to_string().c_str(),
+               what.c_str());
+}
+
+void TcpNodeHost::route(NodeId from, NodeId to, proto::Message m) {
+  if (to == self_) {
+    // Loopback (e.g. a partition reporting to itself as DC aggregator).
+    node_->enqueue(from, std::move(m));
+    return;
+  }
+  std::vector<std::uint8_t> frame;
+  proto::encode(m, frame);
+  ConnId conn = kInvalidConn;
+  {
+    std::lock_guard lk(mu_);
+    auto it = peer_conn_.find(flat(to));
+    if (it != peer_conn_.end()) conn = it->second;
+  }
+  POCC_ASSERT_MSG(conn != kInvalidConn, "send to a node outside the layout");
+  if (!transport_.send(conn, std::move(frame))) {
+    // Outbox overflow: the peer stopped draining long past the backpressure
+    // cap. Dropping here breaks FIFO for that link, so surface it loudly.
+    std::lock_guard lk(mu_);
+    ++dropped_;
+    log("OVERFLOW: dropped " + std::string(proto::message_name(m)) + " to " +
+        to.to_string());
+  }
+}
+
+void TcpNodeHost::route_to_client(NodeId /*from*/, ClientId client,
+                                  proto::Message m) {
+  ConnId conn = kInvalidConn;
+  {
+    std::lock_guard lk(mu_);
+    auto it = client_conn_.find(client);
+    if (it != client_conn_.end()) conn = it->second;
+  }
+  if (conn == kInvalidConn) {
+    // The client disconnected (or never sent a request here): a reply to a
+    // departed session is dropped, exactly like a real server would.
+    std::lock_guard lk(mu_);
+    ++dropped_;
+    return;
+  }
+  std::vector<std::uint8_t> frame;
+  proto::encode(m, frame);
+  if (!transport_.send(conn, std::move(frame))) {
+    std::lock_guard lk(mu_);
+    ++dropped_;
+  }
+}
+
+void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
+  if (const auto* hello = std::get_if<proto::NodeHello>(&frame)) {
+    std::lock_guard lk(mu_);
+    conn_peer_[conn] = hello->node;
+    return;
+  }
+  if (const auto* hello = std::get_if<proto::ClientHello>(&frame)) {
+    std::lock_guard lk(mu_);
+    client_conn_[hello->client] = conn;
+    return;
+  }
+  auto& m = std::get<proto::Message>(frame);
+
+  // Client requests bind their session to the connection they arrived on
+  // (replies and SessionCloseds route back over it); everything else must
+  // come from a peer that already greeted.
+  ClientId request_client = 0;
+  if (const auto* get = std::get_if<proto::GetReq>(&m)) {
+    request_client = get->client;
+  } else if (const auto* put = std::get_if<proto::PutReq>(&m)) {
+    request_client = put->client;
+  } else if (const auto* tx = std::get_if<proto::RoTxReq>(&m)) {
+    request_client = tx->client;
+  }
+
+  NodeId from = self_;
+  if (request_client != 0) {
+    std::lock_guard lk(mu_);
+    client_conn_[request_client] = conn;
+  } else {
+    std::lock_guard lk(mu_);
+    auto it = conn_peer_.find(conn);
+    if (it == conn_peer_.end()) {
+      ++dropped_;
+      log("dropped " + std::string(proto::message_name(m)) +
+          " from un-greeted connection");
+      return;
+    }
+    from = it->second;
+  }
+  node_->enqueue(from, std::move(m));
+}
+
+void TcpNodeHost::on_disconnected(ConnId conn) {
+  std::lock_guard lk(mu_);
+  conn_peer_.erase(conn);
+  for (auto it = client_conn_.begin(); it != client_conn_.end();) {
+    if (it->second == conn) {
+      it = client_conn_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace pocc::net

@@ -1,0 +1,104 @@
+// One protocol node served over real TCP: the building block of `poccd` (one
+// process per node) and of the in-process e2e tests (many hosts, one
+// process — same code path, real sockets either way).
+//
+// Composition: a TcpTransport (sockets + framing + reconnect) feeding an
+// rt::RtNode (the threaded engine host from runtime/), with this class as
+// the rt::Router in between — where rt::Cluster moves a message onto its
+// in-memory delay line, this host encodes it onto the peer's socket. The
+// engine cannot tell the difference (server::Context is identical), which is
+// the point: the TCP deployment runs the very same protocol code the
+// simulator validates.
+//
+// Identity on the wire:
+//   * to each peer node this host keeps one persistent outbound connection,
+//     greeting with NodeHello{self} so the peer can attribute inbound frames
+//     (the transport re-sends the greeting on every reconnect, before any
+//     buffered frames);
+//   * client connections are identified lazily — every client request frame
+//     binds its client id to the connection it arrived on; replies (and
+//     HA-POCC SessionCloseds) go back over that connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/cluster_config.hpp"
+#include "net/tcp_transport.hpp"
+#include "runtime/rt_node.hpp"
+#include "server/replica_base.hpp"
+
+namespace pocc::net {
+
+class TcpNodeHost final : public rt::Router {
+ public:
+  struct Options {
+    /// 0 = ephemeral (tests); poccd passes the configured port.
+    std::uint16_t listen_port = 0;
+    std::uint64_t seed = 1;
+    ClockConfig clock = ClockConfig::perfect();
+    /// Log connection events and dropped frames to stderr.
+    bool verbose = false;
+  };
+
+  /// Binds the listening socket immediately (port() is valid afterwards);
+  /// serving starts with start().
+  TcpNodeHost(NodeId self, const ClusterLayout& layout, Options options);
+  ~TcpNodeHost() override;
+
+  TcpNodeHost(const TcpNodeHost&) = delete;
+  TcpNodeHost& operator=(const TcpNodeHost&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return transport_.listen_port(); }
+  [[nodiscard]] NodeId self() const { return self_; }
+
+  /// Dial every peer in `peers` (ignoring the entry for self, if present) and
+  /// start the engine. `peers` defaults to the layout's addresses; tests pass
+  /// the post-bind ephemeral ports instead.
+  void start();
+  void start(const std::vector<NodeAddress>& peers);
+  void stop();
+
+  /// Engine access for post-shutdown inspection (not thread-safe while
+  /// running).
+  server::ReplicaBase& engine() { return node_->engine(); }
+  [[nodiscard]] TransportStats transport_stats() const {
+    return transport_.stats();
+  }
+  /// Frames that arrived for an unknown peer / departed client (diagnostic).
+  [[nodiscard]] std::uint64_t dropped_frames() const;
+
+  // --- rt::Router (called from the node thread) ---
+  void route(NodeId from, NodeId to, proto::Message m) override;
+  void route_to_client(NodeId from, ClientId client,
+                       proto::Message m) override;
+
+ private:
+  void on_frame(ConnId conn, proto::Frame frame);
+  void on_disconnected(ConnId conn);
+  void log(const std::string& what) const;
+  [[nodiscard]] static std::uint64_t flat(NodeId n) {
+    return (static_cast<std::uint64_t>(n.dc) << 32) | n.part;
+  }
+
+  NodeId self_;
+  ClusterLayout layout_;
+  Options opt_;
+  Rng rng_;
+  TcpTransport transport_;
+  std::unique_ptr<rt::RtNode> node_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, ConnId> peer_conn_;  // flat(node) -> conn
+  std::unordered_map<ConnId, NodeId> conn_peer_;  // inbound, via NodeHello
+  std::unordered_map<ClientId, ConnId> client_conn_;
+  std::uint64_t dropped_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pocc::net

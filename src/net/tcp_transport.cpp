@@ -1,0 +1,444 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "runtime/rt_node.hpp"
+
+namespace pocc::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  POCC_ASSERT(flags >= 0);
+  POCC_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+}  // namespace
+
+// The deployment's single monotonic time base (also what poccd aligns to
+// CLOCK_REALTIME via offset_bias_us); only used here for backoff timing.
+Timestamp TcpTransport::now_us() { return rt::steady_now_us(); }
+
+TcpTransport::TcpTransport(Callbacks callbacks, Options options)
+    : cb_(std::move(callbacks)), opt_(options) {
+  POCC_ASSERT(::pipe(wake_pipe_) == 0);
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+}
+
+TcpTransport::~TcpTransport() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+std::uint16_t TcpTransport::listen(std::uint16_t port) {
+  POCC_ASSERT_MSG(listen_fd_ < 0, "listen() called twice");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  POCC_ASSERT(listen_fd_ >= 0);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  POCC_ASSERT_MSG(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0,
+      "cannot bind listen socket (port in use?)");
+  POCC_ASSERT(::listen(listen_fd_, 128) == 0);
+  socklen_t len = sizeof(addr);
+  POCC_ASSERT(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0);
+  set_nonblocking(listen_fd_);
+  listen_port_ = ntohs(addr.sin_port);
+  return listen_port_;
+}
+
+ConnId TcpTransport::connect_peer(std::string host, std::uint16_t port) {
+  std::lock_guard lk(mu_);
+  auto conn = std::make_unique<Conn>();
+  conn->id = next_conn_id_++;
+  conn->outbound = true;
+  conn->host = std::move(host);
+  conn->port = port;
+  conn->retry_at = 0;  // dial on the next loop iteration
+  const ConnId id = conn->id;
+  conns_.emplace(id, std::move(conn));
+  if (started_.load(std::memory_order_relaxed)) wake();
+  return id;
+}
+
+void TcpTransport::start() {
+  POCC_ASSERT(!started_.exchange(true));
+  thread_ = std::thread([this] { run(); });
+}
+
+void TcpTransport::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;  // idempotent: a second stop only re-joins
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpTransport::wake() {
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+bool TcpTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
+  std::lock_guard lk(mu_);
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return false;
+  Conn& c = *it->second;
+  if (!c.outbound && !c.up) return false;
+  const std::size_t pending = c.outbox.size() - c.outbox_head;
+  if (pending + frame.size() > opt_.max_outbox_bytes) {
+    ++stats_.send_overflows;
+    return false;
+  }
+  // Compact the consumed prefix before appending when it dominates — but
+  // only up to the current frame's start: a disconnect rewinds into those
+  // bytes (see close_socket), so they must stay resident.
+  const std::size_t compactable = c.outbox_head - c.frame_written;
+  if (compactable > 0 && compactable >= c.outbox.size() / 2) {
+    c.outbox.erase(c.outbox.begin(),
+                   c.outbox.begin() + static_cast<std::ptrdiff_t>(compactable));
+    c.outbox_head = c.frame_written;
+  }
+  c.outbox_frames.push_back(frame.size());
+  c.outbox.insert(c.outbox.end(), frame.begin(), frame.end());
+  ++stats_.frames_out;
+  wake();
+  return true;
+}
+
+void TcpTransport::set_greeting(ConnId conn, std::vector<std::uint8_t> frame) {
+  std::lock_guard lk(mu_);
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  it->second->greeting = std::move(frame);
+}
+
+void TcpTransport::mark_established(Conn& c) {
+  c.connecting = false;
+  c.up = true;
+  c.backoff_us = 0;
+  if (!c.greeting.empty()) {
+    // close_socket rewound to a frame boundary, so the head is one here.
+    c.outbox.insert(
+        c.outbox.begin() + static_cast<std::ptrdiff_t>(c.outbox_head),
+        c.greeting.begin(), c.greeting.end());
+    c.outbox_frames.push_front(c.greeting.size());
+  }
+}
+
+bool TcpTransport::connected(ConnId conn) const {
+  std::lock_guard lk(mu_);
+  auto it = conns_.find(conn);
+  return it != conns_.end() && it->second->up;
+}
+
+TransportStats TcpTransport::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void TcpTransport::dial(Conn& c, Timestamp now) {
+  c.retry_at = 0;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(c.port);
+  if (::getaddrinfo(c.host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    c.backoff_us = std::clamp<Duration>(c.backoff_us * 2,
+                                        opt_.reconnect_backoff_min_us,
+                                        opt_.reconnect_backoff_max_us);
+    c.retry_at = now + c.backoff_us;
+    return;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  POCC_ASSERT(fd >= 0);
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc == 0) {
+    c.fd = fd;
+    mark_established(c);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    c.fd = fd;
+    c.connecting = true;
+    return;
+  }
+  ::close(fd);
+  c.backoff_us = std::clamp<Duration>(c.backoff_us * 2,
+                                      opt_.reconnect_backoff_min_us,
+                                      opt_.reconnect_backoff_max_us);
+  c.retry_at = now + c.backoff_us;
+}
+
+void TcpTransport::close_socket(Conn& c, bool /*notify*/) {
+  if (c.fd >= 0) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  c.connecting = false;
+  c.up = false;
+  c.announced = false;
+  c.inbox.clear();
+  // Rewind a partially-written frame to its boundary: the reconnected
+  // socket must restart the frame from byte 0, never resume its tail.
+  c.outbox_head -= c.frame_written;
+  c.frame_written = 0;
+  if (c.outbound) {
+    c.backoff_us = std::clamp<Duration>(
+        c.backoff_us == 0 ? opt_.reconnect_backoff_min_us : c.backoff_us * 2,
+        opt_.reconnect_backoff_min_us, opt_.reconnect_backoff_max_us);
+    c.retry_at = now_us() + c.backoff_us;
+    ++stats_.reconnects;
+  }
+}
+
+void TcpTransport::drain_outbox(Conn& c) {
+  while (c.outbox_head < c.outbox.size()) {
+    const std::size_t n = c.outbox.size() - c.outbox_head;
+    const ssize_t w = ::send(c.fd, c.outbox.data() + c.outbox_head, n,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      c.outbox_head += static_cast<std::size_t>(w);
+      stats_.bytes_out += static_cast<std::uint64_t>(w);
+      // Advance the frame cursor past fully-written frames.
+      c.frame_written += static_cast<std::size_t>(w);
+      while (!c.outbox_frames.empty() &&
+             c.frame_written >= c.outbox_frames.front()) {
+        c.frame_written -= c.outbox_frames.front();
+        c.outbox_frames.pop_front();
+      }
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_socket(c, true);
+    return;
+  }
+  c.outbox.clear();
+  c.outbox_head = 0;
+}
+
+void TcpTransport::read_ready(Conn& c) {
+  std::uint8_t buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.inbox.insert(c.inbox.end(), buf, buf + n);
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_socket(c, true);  // orderly EOF or error
+    return;
+  }
+}
+
+void TcpTransport::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->up = true;
+    ++stats_.accepts;
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void TcpTransport::run() {
+  std::vector<pollfd> pfds;
+  std::vector<ConnId> pfd_conn;  // parallel to pfds; 0 for listener/pipe
+
+  // Deferred callback work collected under the lock, invoked outside it so
+  // handlers may call back into send()/connect_peer().
+  struct Delivery {
+    ConnId conn;
+    proto::Frame frame;
+  };
+  std::vector<ConnId> went_up;
+  std::vector<ConnId> went_down;
+  std::vector<Delivery> deliveries;
+  std::vector<ConnId> to_erase;
+
+  while (true) {
+    pfds.clear();
+    pfd_conn.clear();
+    int timeout_ms = -1;
+    {
+      std::lock_guard lk(mu_);
+      if (stopping_) break;
+      pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+      pfd_conn.push_back(0);
+      if (listen_fd_ >= 0) {
+        pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+        pfd_conn.push_back(0);
+      }
+      const Timestamp now = now_us();
+      Timestamp next_timer = 0;
+      for (auto& [id, cp] : conns_) {
+        Conn& c = *cp;
+        if (c.fd < 0) {
+          if (!c.outbound) continue;
+          if (c.retry_at <= now) dial(c, now);
+        }
+        if (c.fd >= 0) {
+          short events = POLLIN;
+          if (c.connecting || c.outbox_head < c.outbox.size()) {
+            events |= POLLOUT;
+          }
+          pfds.push_back(pollfd{c.fd, events, 0});
+          pfd_conn.push_back(c.id);
+        } else if (c.retry_at > 0 &&
+                   (next_timer == 0 || c.retry_at < next_timer)) {
+          next_timer = c.retry_at;
+        }
+      }
+      if (next_timer > 0) {
+        const Timestamp now2 = now_us();
+        timeout_ms = next_timer <= now2
+                         ? 0
+                         : static_cast<int>((next_timer - now2) / 1000 + 1);
+      }
+      // A dial that completed synchronously still needs its on_connected
+      // announcement (made in the post-poll section): don't block for it.
+      for (auto& [id, cp] : conns_) {
+        if (cp->up && !cp->announced) {
+          timeout_ms = 0;
+          break;
+        }
+      }
+    }
+
+    ::poll(pfds.data(), pfds.size(), timeout_ms);
+
+    went_up.clear();
+    went_down.clear();
+    deliveries.clear();
+    to_erase.clear();
+    {
+      std::lock_guard lk(mu_);
+      if (stopping_) break;
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        const pollfd& p = pfds[i];
+        if (p.revents == 0) continue;
+        if (p.fd == wake_pipe_[0]) {
+          char buf[256];
+          while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+          }
+          continue;
+        }
+        if (p.fd == listen_fd_) {
+          accept_ready();
+          continue;
+        }
+        auto it = conns_.find(pfd_conn[i]);
+        if (it == conns_.end()) continue;
+        Conn& c = *it->second;
+        if (c.fd != p.fd) continue;  // socket was replaced this iteration
+        if (c.connecting && (p.revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err == 0 && (p.revents & (POLLERR | POLLHUP)) == 0) {
+            mark_established(c);
+          } else {
+            close_socket(c, false);
+          }
+          continue;
+        }
+        const bool was_up = c.up;
+        if ((p.revents & (POLLERR | POLLHUP)) != 0 &&
+            (p.revents & POLLIN) == 0) {
+          close_socket(c, true);
+        } else {
+          if ((p.revents & POLLIN) != 0) read_ready(c);
+          if (c.up && (p.revents & POLLOUT) != 0) drain_outbox(c);
+        }
+
+        // Cut the inbox into decoded frames.
+        std::size_t off = 0;
+        while (c.up && off < c.inbox.size()) {
+          proto::DecodeResult res =
+              proto::decode_frame(c.inbox.data() + off, c.inbox.size() - off);
+          if (res.status == proto::DecodeResult::Status::kOk) {
+            ++stats_.frames_in;
+            deliveries.push_back(Delivery{c.id, std::move(res.frame)});
+            off += res.consumed;
+            continue;
+          }
+          if (res.status == proto::DecodeResult::Status::kNeedMore) break;
+          ++stats_.decode_errors;
+          close_socket(c, true);
+          break;
+        }
+        if (off > 0 && c.fd >= 0) {
+          c.inbox.erase(c.inbox.begin(),
+                        c.inbox.begin() + static_cast<std::ptrdiff_t>(off));
+        }
+        if (was_up && !c.up) went_down.push_back(c.id);
+      }
+      // Announce newly established sockets (accepted, connected or
+      // reconnected — close_socket resets `announced`) and reap dead
+      // inbound connections (the remote owns their recovery).
+      for (auto& [id, cp] : conns_) {
+        Conn& c = *cp;
+        if (c.up && !c.announced) {
+          c.announced = true;
+          went_up.push_back(c.id);
+        }
+        if (!c.outbound && !c.up) to_erase.push_back(id);
+      }
+      for (const ConnId id : to_erase) conns_.erase(id);
+    }
+
+    for (const ConnId id : went_up) {
+      if (cb_.on_connected) cb_.on_connected(id);
+    }
+    for (Delivery& d : deliveries) {
+      if (cb_.on_frame) cb_.on_frame(d.conn, std::move(d.frame));
+    }
+    for (const ConnId id : went_down) {
+      if (cb_.on_disconnected) cb_.on_disconnected(id);
+    }
+  }
+}
+
+}  // namespace pocc::net

@@ -1,0 +1,161 @@
+// Poll-driven TCP transport for the networked deployment (poccd,
+// pocc_loadgen, and the in-process e2e tests).
+//
+// One background thread owns every socket and runs a poll(2) event loop;
+// other threads interact only through the thread-safe send() and the
+// callbacks (invoked on the transport thread). Responsibilities:
+//
+//   * framing      — inbound bytes are cut into frames by proto::decode_frame
+//                    and delivered one decoded Frame at a time,
+//   * reconnect    — outbound connections dialed with connect_peer() survive
+//                    peer restarts: the ConnId names the *link*, the socket
+//                    behind it redials with exponential backoff, and frames
+//                    sent while down are buffered so the per-link FIFO the
+//                    protocol assumes (§II-C) is preserved across blips,
+//   * backpressure — each connection's outbound buffer is capped
+//                    (max_outbox_bytes); when a peer stops draining, send()
+//                    rejects further frames and reports the overflow instead
+//                    of growing without bound.
+//
+// A decode error on a connection is treated as corruption: the connection is
+// closed (and redialed if it is an outbound link). Accepted (inbound)
+// connections get fresh ConnIds and never redial — the remote owns recovery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/codec.hpp"
+
+namespace pocc::net {
+
+/// Identifier of one transport connection. Outbound ids are stable across
+/// reconnects; inbound ids are per-accepted-socket.
+using ConnId = std::uint64_t;
+
+inline constexpr ConnId kInvalidConn = 0;
+
+struct TransportStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t send_overflows = 0;
+};
+
+class TcpTransport {
+ public:
+  struct Callbacks {
+    /// One decoded frame arrived on `conn`. Transport-thread context: keep it
+    /// short (enqueue and return).
+    std::function<void(ConnId, proto::Frame)> on_frame;
+    /// Outbound link established (first connect or reconnect), or inbound
+    /// connection accepted.
+    std::function<void(ConnId)> on_connected;
+    /// Connection lost. Outbound links will redial; inbound ids are dead.
+    std::function<void(ConnId)> on_disconnected;
+  };
+
+  struct Options {
+    /// Per-connection cap on buffered unsent bytes (backpressure bound).
+    std::size_t max_outbox_bytes = 64u << 20;
+    Duration reconnect_backoff_min_us = 20'000;
+    Duration reconnect_backoff_max_us = 1'000'000;
+  };
+
+  TcpTransport(Callbacks callbacks, Options options);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Bind + listen on `port` (0 = ephemeral), all interfaces. Call before
+  /// start(). Returns the actually bound port. Asserts on bind failure.
+  std::uint16_t listen(std::uint16_t port);
+
+  /// Register a persistent outbound link (dialed once the loop runs; redials
+  /// forever with backoff). Call before or after start().
+  ConnId connect_peer(std::string host, std::uint16_t port);
+
+  /// Frame transmitted first on `conn` every time its socket is established
+  /// (initial connect and every reconnect), ahead of any buffered frames —
+  /// identity announcements (NodeHello) that must precede protocol traffic.
+  void set_greeting(ConnId conn, std::vector<std::uint8_t> frame);
+
+  void start();
+  void stop();
+
+  /// Queue one already-encoded frame. Thread-safe. Returns false when the
+  /// connection is unknown/dead-inbound or its outbox is over the cap (the
+  /// frame is dropped and counted in stats().send_overflows).
+  bool send(ConnId conn, std::vector<std::uint8_t> frame);
+
+  /// True when the connection currently has an established socket.
+  [[nodiscard]] bool connected(ConnId conn) const;
+
+  [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
+  [[nodiscard]] TransportStats stats() const;
+
+ private:
+  struct Conn {
+    ConnId id = kInvalidConn;
+    int fd = -1;
+    bool outbound = false;       // redial on loss
+    bool connecting = false;     // non-blocking connect in flight
+    bool up = false;             // socket established
+    bool announced = false;      // on_connected delivered for this socket
+    std::string host;            // outbound only
+    std::uint16_t port = 0;      // outbound only
+    Timestamp retry_at = 0;      // next dial attempt (steady us)
+    Duration backoff_us = 0;
+    std::vector<std::uint8_t> inbox;   // undecoded inbound bytes
+    std::vector<std::uint8_t> outbox;  // unsent outbound bytes
+    std::size_t outbox_head = 0;       // bytes of outbox already written
+    // Frame boundaries of the bytes at/after the current frame's start, and
+    // how far into the front frame the socket got — a disconnect mid-frame
+    // rewinds to the boundary so the reconnected socket never resumes with
+    // the tail of a half-sent frame (which would garble the peer's framing).
+    std::deque<std::size_t> outbox_frames;
+    std::size_t frame_written = 0;
+    std::vector<std::uint8_t> greeting;  // sent first on every establish
+  };
+
+  void run();
+  void wake();
+  void dial(Conn& c, Timestamp now);
+  void mark_established(Conn& c);
+  void close_socket(Conn& c, bool notify);
+  void drain_outbox(Conn& c);
+  void read_ready(Conn& c);
+  void accept_ready();
+  [[nodiscard]] static Timestamp now_us();
+
+  Callbacks cb_;
+  Options opt_;
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  mutable std::mutex mu_;
+  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
+  ConnId next_conn_id_ = 1;
+  TransportStats stats_;
+  bool stopping_ = false;
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace pocc::net

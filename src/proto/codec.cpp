@@ -1,0 +1,600 @@
+#include "proto/codec.hpp"
+
+#include <cstring>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "store/key_space.hpp"
+
+namespace pocc::proto {
+
+namespace {
+
+// The 0..14 wire ids must track the Message variant order: SimNetwork's
+// accounting and SimNode's priority classing switch on index(), and the codec
+// reuses it as the on-the-wire type tag.
+template <WireType W, typename T>
+constexpr bool kMatches =
+    std::is_same_v<std::variant_alternative_t<static_cast<std::size_t>(W),
+                                              Message>,
+                   T>;
+static_assert(kMatches<WireType::kGetReq, GetReq> &&
+                  kMatches<WireType::kPutReq, PutReq> &&
+                  kMatches<WireType::kRoTxReq, RoTxReq> &&
+                  kMatches<WireType::kGetReply, GetReply> &&
+                  kMatches<WireType::kPutReply, PutReply> &&
+                  kMatches<WireType::kRoTxReply, RoTxReply> &&
+                  kMatches<WireType::kSessionClosed, SessionClosed> &&
+                  kMatches<WireType::kReplicate, Replicate> &&
+                  kMatches<WireType::kHeartbeat, Heartbeat> &&
+                  kMatches<WireType::kSliceReq, SliceReq> &&
+                  kMatches<WireType::kSliceReply, SliceReply> &&
+                  kMatches<WireType::kGcReport, GcReport> &&
+                  kMatches<WireType::kGcVector, GcVector> &&
+                  kMatches<WireType::kStabReport, StabReport> &&
+                  kMatches<WireType::kGssBroadcast, GssBroadcast>,
+              "wire ids must match the Message variant order");
+
+/// Whether a write counts toward wire_size() (protocol metadata) or is
+/// transport framing / measurement-only (see messages.hpp charging rule).
+enum class Charge : bool { kNo = false, kYes = true };
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v, Charge c) { raw(&v, 1, c); }
+  void u16(std::uint16_t v, Charge c) { put_le(v, c); }
+  void u32(std::uint32_t v, Charge c) { put_le(v, c); }
+  void u64(std::uint64_t v, Charge c) { put_le(v, c); }
+  void i64(std::int64_t v, Charge c) {
+    put_le(static_cast<std::uint64_t>(v), c);
+  }
+  void raw(const void* p, std::size_t n, Charge c) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+    if (c == Charge::kYes) charged_ += n;
+  }
+
+  [[nodiscard]] std::size_t charged() const { return charged_; }
+
+ private:
+  template <typename T>
+  void put_le(T v, Charge c) {
+    std::uint8_t buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    raw(buf, sizeof(T), c);
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::size_t charged_ = 0;
+};
+
+void put_header(Writer& w, WireType type) {
+  w.u8(kWireVersion, Charge::kYes);
+  w.u8(static_cast<std::uint8_t>(type), Charge::kYes);
+}
+
+void put_vv(Writer& w, const VersionVector& vv) {
+  w.u8(static_cast<std::uint8_t>(vv.size()), Charge::kYes);
+  for (std::uint32_t i = 0; i < vv.size(); ++i) w.i64(vv[i], Charge::kYes);
+}
+
+/// Keys cross process boundaries as their original strings (KeyIds are
+/// per-process); charged at original length + 2-byte marker.
+void put_key(Writer& w, KeyId key) {
+  const std::string_view name = store::KeySpace::global().name(key);
+  POCC_ASSERT_MSG(name.size() <= std::numeric_limits<std::uint16_t>::max(),
+                  "key longer than the wire format's 64 KiB limit");
+  w.u16(static_cast<std::uint16_t>(name.size()), Charge::kYes);
+  w.raw(name.data(), name.size(), Charge::kYes);
+}
+
+void put_string(Writer& w, const std::string& s, Charge c) {
+  w.u32(static_cast<std::uint32_t>(s.size()), c);
+  w.raw(s.data(), s.size(), c);
+}
+
+void put_node(Writer& w, NodeId n) {
+  w.u32(n.dc, Charge::kYes);
+  w.u32(n.part, Charge::kYes);
+}
+
+void put_key_list(Writer& w, const std::vector<KeyId>& keys) {
+  w.u32(static_cast<std::uint32_t>(keys.size()), Charge::kYes);
+  for (const KeyId k : keys) put_key(w, k);
+}
+
+void put_item(Writer& w, const ReadItem& it) {
+  put_key(w, it.key);
+  w.u8(it.found ? 1 : 0, Charge::kYes);
+  put_string(w, it.value, Charge::kYes);
+  w.u32(it.sr, Charge::kYes);
+  w.i64(it.ut, Charge::kYes);
+  put_vv(w, it.dv);
+  // Measurement-only fields ride along uncharged so decode round-trips
+  // exactly (the checker and tests compare full structs).
+  w.u32(it.fresher_versions, Charge::kNo);
+  w.u32(it.unmerged_versions, Charge::kNo);
+}
+
+void put_item_list(Writer& w, const std::vector<ReadItem>& items) {
+  w.u32(static_cast<std::uint32_t>(items.size()), Charge::kYes);
+  for (const ReadItem& it : items) put_item(w, it);
+}
+
+struct EncodeVisitor {
+  Writer& w;
+
+  void operator()(const GetReq& m) const {
+    put_header(w, WireType::kGetReq);
+    w.u64(m.client, Charge::kYes);
+    put_key(w, m.key);
+    put_vv(w, m.rdv);
+    w.u8(m.pessimistic ? 1 : 0, Charge::kYes);
+    w.u64(m.op_id, Charge::kNo);
+  }
+  void operator()(const PutReq& m) const {
+    put_header(w, WireType::kPutReq);
+    w.u64(m.client, Charge::kYes);
+    put_key(w, m.key);
+    put_string(w, m.value, Charge::kYes);
+    put_vv(w, m.dv);
+    w.u8(m.pessimistic ? 1 : 0, Charge::kYes);
+    w.u64(m.op_id, Charge::kNo);
+  }
+  void operator()(const RoTxReq& m) const {
+    put_header(w, WireType::kRoTxReq);
+    w.u64(m.client, Charge::kYes);
+    put_key_list(w, m.keys);
+    put_vv(w, m.rdv);
+    w.u8(m.pessimistic ? 1 : 0, Charge::kYes);
+    w.u64(m.op_id, Charge::kNo);
+  }
+  void operator()(const GetReply& m) const {
+    put_header(w, WireType::kGetReply);
+    w.u64(m.client, Charge::kYes);
+    put_item(w, m.item);
+    w.i64(m.blocked_us, Charge::kNo);
+    w.u64(m.op_id, Charge::kNo);
+  }
+  void operator()(const PutReply& m) const {
+    put_header(w, WireType::kPutReply);
+    w.u64(m.client, Charge::kYes);
+    put_key(w, m.key);
+    w.i64(m.ut, Charge::kYes);
+    w.u32(m.sr, Charge::kYes);
+    w.i64(m.blocked_us, Charge::kNo);
+    w.u64(m.op_id, Charge::kNo);
+  }
+  void operator()(const RoTxReply& m) const {
+    put_header(w, WireType::kRoTxReply);
+    w.u64(m.client, Charge::kYes);
+    put_item_list(w, m.items);
+    put_vv(w, m.tv);
+    w.i64(m.blocked_us, Charge::kNo);
+    w.u64(m.op_id, Charge::kNo);
+  }
+  void operator()(const SessionClosed& m) const {
+    put_header(w, WireType::kSessionClosed);
+    w.u64(m.client, Charge::kYes);
+    put_string(w, m.reason, Charge::kYes);
+  }
+  void operator()(const Replicate& m) const {
+    put_header(w, WireType::kReplicate);
+    put_key(w, m.version.key);
+    put_string(w, m.version.value, Charge::kYes);
+    w.u32(m.version.sr, Charge::kYes);
+    w.i64(m.version.ut, Charge::kYes);
+    put_vv(w, m.version.dv);
+    w.u8(m.version.opt_origin ? 1 : 0, Charge::kYes);
+  }
+  void operator()(const Heartbeat& m) const {
+    put_header(w, WireType::kHeartbeat);
+    w.u32(m.src_dc, Charge::kYes);
+    w.i64(m.ts, Charge::kYes);
+  }
+  void operator()(const SliceReq& m) const {
+    put_header(w, WireType::kSliceReq);
+    w.u64(m.tx_id, Charge::kYes);
+    put_node(w, m.coordinator);
+    put_key_list(w, m.keys);
+    put_vv(w, m.tv);
+    w.u8(m.pessimistic ? 1 : 0, Charge::kYes);
+  }
+  void operator()(const SliceReply& m) const {
+    put_header(w, WireType::kSliceReply);
+    w.u64(m.tx_id, Charge::kYes);
+    put_item_list(w, m.items);
+    w.u8(m.aborted ? 1 : 0, Charge::kYes);
+    w.i64(m.blocked_us, Charge::kNo);
+  }
+  void operator()(const GcReport& m) const {
+    put_header(w, WireType::kGcReport);
+    put_node(w, m.from);
+    put_vv(w, m.low_watermark);
+  }
+  void operator()(const GcVector& m) const {
+    put_header(w, WireType::kGcVector);
+    put_vv(w, m.gv);
+  }
+  void operator()(const StabReport& m) const {
+    put_header(w, WireType::kStabReport);
+    put_node(w, m.from);
+    put_vv(w, m.vv);
+  }
+  void operator()(const GssBroadcast& m) const {
+    put_header(w, WireType::kGssBroadcast);
+    put_vv(w, m.gss);
+  }
+  void operator()(const RouteProbe&) const {
+    POCC_ASSERT_MSG(false, "RouteProbe is test-only and never encoded");
+  }
+};
+
+// ------------------------------------------------------------- decoding ----
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t n) : p_(p), end_(p + n) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+  void fail(std::string msg) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(msg);
+    }
+  }
+
+  std::uint8_t u8() { return get_le<std::uint8_t>(); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  VersionVector vv() {
+    const std::uint8_t n = u8();
+    if (!ok_) return {};
+    if (n == 0) return {};  // default-constructed (size 0) vector
+    if (n > kMaxDcs) {
+      fail("version vector wider than kMaxDcs");
+      return {};
+    }
+    VersionVector v(n);
+    for (std::uint8_t i = 0; i < n && ok_; ++i) v.set(i, i64());
+    return v;
+  }
+
+  /// Key string off the wire, re-interned into this process's KeySpace.
+  KeyId key() {
+    const std::uint16_t n = u16();
+    if (!ok_ || !need(n, "key bytes")) return 0;
+    const auto* s = reinterpret_cast<const char*>(p_);
+    p_ += n;
+    return store::KeySpace::global().intern(std::string_view(s, n));
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || !need(n, "string bytes")) return {};
+    std::string s(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return s;
+  }
+
+  NodeId node() {
+    NodeId n;
+    n.dc = u32();
+    n.part = u32();
+    return n;
+  }
+
+  std::vector<KeyId> key_list() {
+    const std::uint32_t n = u32();
+    std::vector<KeyId> keys;
+    // Each key costs >= 2 bytes on the wire; an implausible count is
+    // corruption, not a reason to pre-allocate gigabytes.
+    if (!ok_ || n > remaining() / 2 + 1) {
+      fail("implausible key count");
+      return keys;
+    }
+    keys.reserve(n);
+    for (std::uint32_t i = 0; i < n && ok_; ++i) keys.push_back(key());
+    return keys;
+  }
+
+  ReadItem item() {
+    ReadItem it;
+    it.key = key();
+    it.found = u8() != 0;
+    it.value = str();
+    it.sr = u32();
+    it.ut = i64();
+    it.dv = vv();
+    it.fresher_versions = u32();
+    it.unmerged_versions = u32();
+    return it;
+  }
+
+  std::vector<ReadItem> item_list() {
+    const std::uint32_t n = u32();
+    std::vector<ReadItem> items;
+    if (!ok_ || n > remaining() / 20 + 1) {  // >= ~20 bytes per item
+      fail("implausible item count");
+      return items;
+    }
+    items.reserve(n);
+    for (std::uint32_t i = 0; i < n && ok_; ++i) items.push_back(item());
+    return items;
+  }
+
+ private:
+  bool need(std::size_t n, const char* what) {
+    if (remaining() >= n) return true;
+    fail(std::string("truncated frame: ") + what);
+    return false;
+  }
+
+  template <typename T>
+  T get_le() {
+    if (!need(sizeof(T), "fixed field")) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<std::uint64_t>(p_[i]) << (8 * i)));
+    }
+    p_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool ok_ = true;
+  std::string error_;
+};
+
+Frame decode_body(Reader& r, WireType type) {
+  switch (type) {
+    case WireType::kGetReq: {
+      GetReq m;
+      m.client = r.u64();
+      m.key = r.key();
+      m.rdv = r.vv();
+      m.pessimistic = r.u8() != 0;
+      m.op_id = r.u64();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kPutReq: {
+      PutReq m;
+      m.client = r.u64();
+      m.key = r.key();
+      m.value = r.str();
+      m.dv = r.vv();
+      m.pessimistic = r.u8() != 0;
+      m.op_id = r.u64();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kRoTxReq: {
+      RoTxReq m;
+      m.client = r.u64();
+      m.keys = r.key_list();
+      m.rdv = r.vv();
+      m.pessimistic = r.u8() != 0;
+      m.op_id = r.u64();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kGetReply: {
+      GetReply m;
+      m.client = r.u64();
+      m.item = r.item();
+      m.blocked_us = r.i64();
+      m.op_id = r.u64();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kPutReply: {
+      PutReply m;
+      m.client = r.u64();
+      m.key = r.key();
+      m.ut = r.i64();
+      m.sr = r.u32();
+      m.blocked_us = r.i64();
+      m.op_id = r.u64();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kRoTxReply: {
+      RoTxReply m;
+      m.client = r.u64();
+      m.items = r.item_list();
+      m.tv = r.vv();
+      m.blocked_us = r.i64();
+      m.op_id = r.u64();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kSessionClosed: {
+      SessionClosed m;
+      m.client = r.u64();
+      m.reason = r.str();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kReplicate: {
+      Replicate m;
+      m.version.key = r.key();
+      m.version.value = r.str();
+      m.version.sr = r.u32();
+      m.version.ut = r.i64();
+      m.version.dv = r.vv();
+      m.version.opt_origin = r.u8() != 0;
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kHeartbeat: {
+      Heartbeat m;
+      m.src_dc = r.u32();
+      m.ts = r.i64();
+      return Frame{Message{m}};
+    }
+    case WireType::kSliceReq: {
+      SliceReq m;
+      m.tx_id = r.u64();
+      m.coordinator = r.node();
+      m.keys = r.key_list();
+      m.tv = r.vv();
+      m.pessimistic = r.u8() != 0;
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kSliceReply: {
+      SliceReply m;
+      m.tx_id = r.u64();
+      m.items = r.item_list();
+      m.aborted = r.u8() != 0;
+      m.blocked_us = r.i64();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kGcReport: {
+      GcReport m;
+      m.from = r.node();
+      m.low_watermark = r.vv();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kGcVector: {
+      GcVector m;
+      m.gv = r.vv();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kStabReport: {
+      StabReport m;
+      m.from = r.node();
+      m.vv = r.vv();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kGssBroadcast: {
+      GssBroadcast m;
+      m.gss = r.vv();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kNodeHello: {
+      NodeHello h;
+      h.node = r.node();
+      return Frame{h};
+    }
+    case WireType::kClientHello: {
+      ClientHello h;
+      h.client = r.u64();
+      return Frame{h};
+    }
+  }
+  r.fail("unknown message type " + std::to_string(static_cast<int>(type)));
+  return Frame{};
+}
+
+bool known_type(std::uint8_t t) {
+  return t <= static_cast<std::uint8_t>(WireType::kGssBroadcast) ||
+         t == static_cast<std::uint8_t>(WireType::kNodeHello) ||
+         t == static_cast<std::uint8_t>(WireType::kClientHello);
+}
+
+/// Reserve the length prefix, encode via `fn`, then patch the prefix.
+template <typename Fn>
+std::size_t encode_with_prefix(std::vector<std::uint8_t>& out, Fn&& fn) {
+  const std::size_t prefix_at = out.size();
+  out.insert(out.end(), kFrameHeaderBytes, 0);
+  Writer w(out);
+  std::size_t charged = fn(w);
+  const std::size_t body = out.size() - prefix_at - kFrameHeaderBytes;
+  POCC_ASSERT_MSG(body <= kMaxFrameBytes, "frame exceeds kMaxFrameBytes");
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    out[prefix_at + i] = static_cast<std::uint8_t>(body >> (8 * i));
+  }
+  (void)charged;
+  return body;
+}
+
+}  // namespace
+
+std::size_t encode(const Message& m, std::vector<std::uint8_t>& out) {
+  std::size_t charged = 0;
+  const std::size_t body = encode_with_prefix(out, [&](Writer& w) {
+    std::visit(EncodeVisitor{w}, m);
+    charged = w.charged();
+    return charged;
+  });
+  // The §V accounting model and the real wire format must agree exactly
+  // (messages.hpp charging rule); any new or resized field shows up here.
+  POCC_ASSERT_MSG(charged == wire_size(m),
+                  "encoded protocol bytes diverged from wire_size()");
+  return body;
+}
+
+std::size_t encode(const NodeHello& h, std::vector<std::uint8_t>& out) {
+  return encode_with_prefix(out, [&](Writer& w) {
+    put_header(w, WireType::kNodeHello);
+    put_node(w, h.node);
+    return w.charged();
+  });
+}
+
+std::size_t encode(const ClientHello& h, std::vector<std::uint8_t>& out) {
+  return encode_with_prefix(out, [&](Writer& w) {
+    put_header(w, WireType::kClientHello);
+    w.u64(h.client, Charge::kYes);
+    return w.charged();
+  });
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len) {
+  DecodeResult res;
+  if (len < kFrameHeaderBytes) return res;  // kNeedMore
+  std::size_t body = 0;
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    body |= static_cast<std::size_t>(data[i]) << (8 * i);
+  }
+  if (body > kMaxFrameBytes) {
+    res.status = DecodeResult::Status::kError;
+    res.error = "frame length " + std::to_string(body) + " exceeds limit";
+    return res;
+  }
+  if (len < kFrameHeaderBytes + body) return res;  // kNeedMore
+  res.consumed = kFrameHeaderBytes + body;
+
+  Reader r(data + kFrameHeaderBytes, body);
+  if (body < 2) {
+    res.status = DecodeResult::Status::kError;
+    res.error = "frame too short for version + type";
+    return res;
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) {
+    res.status = DecodeResult::Status::kError;
+    res.error = "unsupported wire version " + std::to_string(version);
+    return res;
+  }
+  const std::uint8_t type = r.u8();
+  if (!known_type(type)) {
+    res.status = DecodeResult::Status::kError;
+    res.error = "unknown message type " + std::to_string(type);
+    return res;
+  }
+  Frame frame = decode_body(r, static_cast<WireType>(type));
+  if (!r.ok()) {
+    res.status = DecodeResult::Status::kError;
+    res.error = r.error();
+    return res;
+  }
+  if (r.remaining() != 0) {
+    res.status = DecodeResult::Status::kError;
+    res.error = std::to_string(r.remaining()) + " trailing bytes in frame";
+    return res;
+  }
+  res.status = DecodeResult::Status::kOk;
+  res.frame = std::move(frame);
+  return res;
+}
+
+}  // namespace pocc::proto

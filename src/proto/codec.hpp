@@ -1,0 +1,110 @@
+// Versioned, length-prefixed binary wire codec for proto::Message.
+//
+// This is the process-boundary twin of the in-memory message structs: the TCP
+// deployment (net/tcp_transport.hpp, poccd, pocc_loadgen) exchanges exactly
+// these frames. Layout of one frame:
+//
+//   u32  body length (little-endian, transport framing, never charged)
+//   u8   wire version (kWireVersion; receivers reject other versions)
+//   u8   message type (stable on-the-wire ids, see WireType)
+//   ...  message payload, field by field, little-endian
+//
+// Keys cross the wire as their original strings: KeyIds are a *per-process*
+// interning optimization and are meaningless to a remote peer. encode() reads
+// the key bytes out of the sender's KeySpace; decode() re-interns them into
+// the receiver's, so engines on both sides keep operating on dense 4-byte
+// ids while the wire carries — and wire_size() charges — full key strings
+// (docs/DESIGN.md, "Wire format").
+//
+// Byte-accounting honesty: encode() tallies the bytes belonging to protocol
+// metadata (everything except op_id, the measurement-only fields and the
+// frame length prefix) and asserts that the tally equals wire_size(m). The
+// §V accounting model and the real wire format therefore cannot drift apart.
+//
+// decode_frame() is defensive: truncated, corrupted or absurd input yields a
+// DecodeResult error (never a crash or an allocation bomb) — it is fuzzed by
+// tests/codec_fuzz_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+
+namespace pocc::proto {
+
+/// Bumped on any incompatible layout change; receivers reject mismatches.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Size of the frame length prefix preceding every body.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Upper bound on one frame's body; larger lengths are treated as corruption.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Stable on-the-wire message-type ids. Values 0..14 deliberately mirror the
+/// Message variant indices (static_asserted in codec.cpp); the 200+ range is
+/// transport control traffic that never reaches a protocol engine.
+enum class WireType : std::uint8_t {
+  kGetReq = 0,
+  kPutReq = 1,
+  kRoTxReq = 2,
+  kGetReply = 3,
+  kPutReply = 4,
+  kRoTxReply = 5,
+  kSessionClosed = 6,
+  kReplicate = 7,
+  kHeartbeat = 8,
+  kSliceReq = 9,
+  kSliceReply = 10,
+  kGcReport = 11,
+  kGcVector = 12,
+  kStabReport = 13,
+  kGssBroadcast = 14,
+  kNodeHello = 200,
+  kClientHello = 201,
+};
+
+/// First frame on a server-to-server connection: who is dialing in. Lets the
+/// receiver attribute subsequent frames on the connection to a NodeId.
+struct NodeHello {
+  NodeId node;
+};
+
+/// Optional first frame on a client connection (the server also learns
+/// client -> connection bindings lazily from request frames).
+struct ClientHello {
+  ClientId client = 0;
+};
+
+/// Everything one frame can carry.
+using Frame = std::variant<Message, NodeHello, ClientHello>;
+
+/// Append one frame (length prefix + body) carrying `m` to `out`. Returns the
+/// body size in bytes. Asserts that the charged protocol bytes equal
+/// wire_size(m). RouteProbe (test-only) is not encodable and asserts.
+std::size_t encode(const Message& m, std::vector<std::uint8_t>& out);
+
+std::size_t encode(const NodeHello& h, std::vector<std::uint8_t>& out);
+std::size_t encode(const ClientHello& h, std::vector<std::uint8_t>& out);
+
+struct DecodeResult {
+  enum class Status {
+    kOk,        // `frame` holds the decoded frame, `consumed` bytes eaten
+    kNeedMore,  // the buffer holds only part of a frame; feed more bytes
+    kError,     // corrupted input; `error` explains, the connection is dead
+  };
+  Status status = Status::kNeedMore;
+  Frame frame;
+  std::size_t consumed = 0;  // bytes consumed from the input (prefix + body)
+  std::string error;
+};
+
+/// Decode one frame from the front of [data, data+len). Key strings are
+/// re-interned into the process-global KeySpace.
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len);
+
+}  // namespace pocc::proto

@@ -6,73 +6,110 @@ namespace pocc::proto {
 
 namespace {
 
-constexpr std::size_t kVectorBytes = sizeof(Timestamp);  // per VV entry
+// Exact encoded sizes of the codec's building blocks (proto/codec.cpp). The
+// constants here and in the codec are two views of one wire format; the codec
+// asserts their agreement on every encode, so they cannot drift silently.
+//
+//   header   : 1-byte wire version + 1-byte message type
+//   vv       : 1-byte entry count + 8 bytes per entry
+//   key      : 2-byte length + the original key bytes (interner-recorded)
+//   string   : 4-byte length + payload bytes (values, reasons)
+//   key list : 4-byte count + per-key encoding
+//   item list: 4-byte count + per-item encoding
+constexpr std::size_t kHeaderBytes = 2;
+constexpr std::size_t kClientIdBytes = 8;
+constexpr std::size_t kNodeIdBytes = 8;
+constexpr std::size_t kTimestampBytes = sizeof(Timestamp);
+constexpr std::size_t kFlagBytes = 1;
+constexpr std::size_t kCountBytes = 4;
 
 std::size_t vv_bytes(const VersionVector& vv) {
-  return static_cast<std::size_t>(vv.size()) * kVectorBytes;
+  return 1 + static_cast<std::size_t>(vv.size()) * kTimestampBytes;
 }
 
-// Interned keys are charged at the original key's byte length: the wire
-// model is unchanged by interning (§V metadata fairness).
+// Interned keys are charged at the original key's byte length (plus the
+// 2-byte length marker the codec emits): the accounting model is unchanged
+// by interning (§V metadata fairness).
 std::size_t key_bytes(KeyId key) {
-  return store::KeySpace::global().name_size(key);
+  return 2 + store::KeySpace::global().name_size(key);
 }
 
+std::size_t string_bytes(const std::string& s) { return 4 + s.size(); }
+
+std::size_t key_list_bytes(const std::vector<KeyId>& keys) {
+  std::size_t n = kCountBytes;
+  for (const KeyId k : keys) n += key_bytes(k);
+  return n;
+}
+
+// key + found flag + value + sr (4) + ut + dv. The measurement-only
+// fresher_versions / unmerged_versions fields are transport framing.
 std::size_t item_bytes(const ReadItem& it) {
-  return key_bytes(it.key) + it.value.size() + vv_bytes(it.dv) + 16;
+  return key_bytes(it.key) + kFlagBytes + string_bytes(it.value) + 4 +
+         kTimestampBytes + vv_bytes(it.dv);
+}
+
+std::size_t item_list_bytes(const std::vector<ReadItem>& items) {
+  std::size_t n = kCountBytes;
+  for (const auto& it : items) n += item_bytes(it);
+  return n;
 }
 
 struct SizeVisitor {
   std::size_t operator()(const GetReq& m) const {
-    return key_bytes(m.key) + vv_bytes(m.rdv) + 8;
+    return kHeaderBytes + kClientIdBytes + key_bytes(m.key) + vv_bytes(m.rdv) +
+           kFlagBytes;
   }
   std::size_t operator()(const PutReq& m) const {
-    return key_bytes(m.key) + m.value.size() + vv_bytes(m.dv) + 8;
+    return kHeaderBytes + kClientIdBytes + key_bytes(m.key) +
+           string_bytes(m.value) + vv_bytes(m.dv) + kFlagBytes;
   }
   std::size_t operator()(const RoTxReq& m) const {
-    std::size_t n = vv_bytes(m.rdv) + 8;
-    for (const KeyId k : m.keys) n += key_bytes(k) + 2;
-    return n;
+    return kHeaderBytes + kClientIdBytes + key_list_bytes(m.keys) +
+           vv_bytes(m.rdv) + kFlagBytes;
   }
   std::size_t operator()(const GetReply& m) const {
-    return item_bytes(m.item) + 8;
+    return kHeaderBytes + kClientIdBytes + item_bytes(m.item);
   }
   std::size_t operator()(const PutReply& m) const {
-    return key_bytes(m.key) + 20;
+    return kHeaderBytes + kClientIdBytes + key_bytes(m.key) + kTimestampBytes +
+           4;
   }
   std::size_t operator()(const RoTxReply& m) const {
-    std::size_t n = vv_bytes(m.tv) + 8;
-    for (const auto& it : m.items) n += item_bytes(it);
-    return n;
+    return kHeaderBytes + kClientIdBytes + item_list_bytes(m.items) +
+           vv_bytes(m.tv);
   }
   std::size_t operator()(const SessionClosed& m) const {
-    return m.reason.size() + 8;
+    return kHeaderBytes + kClientIdBytes + string_bytes(m.reason);
   }
   std::size_t operator()(const Replicate& m) const {
-    return key_bytes(m.version.key) + m.version.value.size() +
-           vv_bytes(m.version.dv) + 16;
+    return kHeaderBytes + key_bytes(m.version.key) +
+           string_bytes(m.version.value) + 4 + kTimestampBytes +
+           vv_bytes(m.version.dv) + kFlagBytes;
   }
-  std::size_t operator()(const Heartbeat&) const { return 12; }
+  std::size_t operator()(const Heartbeat&) const {
+    return kHeaderBytes + 4 + kTimestampBytes;
+  }
   std::size_t operator()(const SliceReq& m) const {
-    std::size_t n = vv_bytes(m.tv) + 16;
-    for (const KeyId k : m.keys) n += key_bytes(k) + 2;
-    return n;
+    return kHeaderBytes + 8 + kNodeIdBytes + key_list_bytes(m.keys) +
+           vv_bytes(m.tv) + kFlagBytes;
   }
   std::size_t operator()(const SliceReply& m) const {
-    std::size_t n = 8;
-    for (const auto& it : m.items) n += item_bytes(it);
-    return n;
+    return kHeaderBytes + 8 + item_list_bytes(m.items) + kFlagBytes;
   }
   std::size_t operator()(const GcReport& m) const {
-    return vv_bytes(m.low_watermark) + 8;
+    return kHeaderBytes + kNodeIdBytes + vv_bytes(m.low_watermark);
   }
-  std::size_t operator()(const GcVector& m) const { return vv_bytes(m.gv); }
+  std::size_t operator()(const GcVector& m) const {
+    return kHeaderBytes + vv_bytes(m.gv);
+  }
   std::size_t operator()(const StabReport& m) const {
-    return vv_bytes(m.vv) + 8;
+    return kHeaderBytes + kNodeIdBytes + vv_bytes(m.vv);
   }
   std::size_t operator()(const GssBroadcast& m) const {
-    return vv_bytes(m.gss);
+    return kHeaderBytes + vv_bytes(m.gss);
   }
+  // Test-only, never encoded; nominal size kept for the routing tests.
   std::size_t operator()(const RouteProbe&) const { return 8; }
 };
 

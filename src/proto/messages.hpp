@@ -5,9 +5,11 @@
 // garbage-collection exchange and the (Cure* / HA-POCC) stabilization
 // protocol. All channels are point-to-point, lossless and FIFO (§II-C).
 //
-// Keys travel as interned KeyIds (store/key_space.hpp) — a simulation-host
-// optimization. wire_size() still charges the original key bytes via the
-// interner, so the §V byte-accounting model is unchanged.
+// Keys travel as interned KeyIds (store/key_space.hpp) — a single-process
+// optimization. On the wire (proto/codec.hpp) every key is carried as its
+// original string and re-interned by the receiving process, and wire_size()
+// charges the original key bytes via the interner, so the §V byte-accounting
+// model is unchanged by interning.
 #pragma once
 
 #include <cstdint>
@@ -41,8 +43,9 @@ struct ReadItem {
 // number, echoed verbatim by the server — RPC framing that lets a client
 // discard answers to operations it has abandoned (fault injection: a request
 // can outlive its client-side timeout inside a crashed server's backlog and
-// be answered much later). Not charged by wire_size(): like interned KeyIds,
-// it is transport framing, not protocol metadata (§V fairness accounting).
+// be answered much later). It rides the wire (the codec encodes it) but is
+// not charged by wire_size(): it is transport framing, not protocol metadata
+// (§V fairness accounting) — see the charging rule at wire_size() below.
 
 /// <GETReq k, RDV_c> (Alg. 1 line 2). `pessimistic` marks requests from
 /// sessions that fell back to the pessimistic protocol (HA-POCC, §IV-C).
@@ -207,10 +210,19 @@ using Message =
 /// Human-readable message-type name (logging / tests).
 const char* message_name(const Message& m);
 
-/// Approximate serialized size in bytes (used for network byte accounting —
-/// POCC and Cure* exchange the *same* metadata, §V: "We can compare POCC and
-/// Cure* in a fair manner because the amount of meta-data ... is the same").
-/// Interned keys are charged at their original byte length.
+/// Exact serialized size in bytes of the message's *protocol* content (used
+/// for network byte accounting — POCC and Cure* exchange the *same* metadata,
+/// §V: "We can compare POCC and Cure* in a fair manner because the amount of
+/// meta-data ... is the same"). Interned keys are charged at their original
+/// byte length.
+///
+/// Charging rule: wire_size(m) == encoded frame body size (proto/codec.hpp)
+/// minus the transport-framing fields the codec additionally carries — op_id
+/// on requests/replies, the measurement-only blocked_us / fresher_versions /
+/// unmerged_versions fields, and the 4-byte frame length prefix. The codec
+/// asserts this equality on every encode, so the §V accounting can never
+/// drift from the real wire format. (RouteProbe is test-only, never encoded;
+/// its nominal 8 bytes are kept for the zero-copy routing tests.)
 std::size_t wire_size(const Message& m);
 
 }  // namespace pocc::proto

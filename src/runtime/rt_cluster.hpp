@@ -23,6 +23,8 @@
 
 namespace pocc::rt {
 
+class Cluster;
+
 enum class System { kPocc, kCure, kHaPocc };
 
 struct RtClusterConfig {
@@ -84,10 +86,10 @@ class Session {
   bool closed_signal_ = false;
 };
 
-class Cluster {
+class Cluster final : public Router {
  public:
   explicit Cluster(RtClusterConfig cfg);
-  ~Cluster();
+  ~Cluster() override;
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -109,8 +111,11 @@ class Cluster {
   friend class RtNode;
   friend class Session;
 
-  void route(NodeId from, NodeId to, proto::Message m);
-  void route_to_client(NodeId from, ClientId client, proto::Message m);
+  // rt::Router: deliveries go onto the delay line (and the partition buffer
+  // while the DCs involved are partitioned).
+  void route(NodeId from, NodeId to, proto::Message m) override;
+  void route_to_client(NodeId from, ClientId client,
+                       proto::Message m) override;
   void delay_line_run();
   [[nodiscard]] Duration link_delay(DcId a, DcId b) const;
   RtNode& node_at(NodeId id);

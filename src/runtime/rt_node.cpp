@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "common/assert.hpp"
-#include "runtime/rt_cluster.hpp"
 
 namespace pocc::rt {
 
@@ -19,9 +18,9 @@ Timestamp steady_now_us() {
       .count();
 }
 
-RtNode::RtNode(NodeId self, Cluster& cluster, const ClockConfig& clock_cfg,
+RtNode::RtNode(NodeId self, Router& router, const ClockConfig& clock_cfg,
                Rng& seeder)
-    : self_(self), cluster_(cluster), clock_(clock_cfg, seeder) {}
+    : self_(self), router_(router), clock_(clock_cfg, seeder) {}
 
 RtNode::~RtNode() { stop(); }
 
@@ -57,11 +56,11 @@ void RtNode::enqueue(NodeId from, proto::Message m) {
 }
 
 void RtNode::send(NodeId to, proto::Message m) {
-  cluster_.route(self_, to, std::move(m));
+  router_.route(self_, to, std::move(m));
 }
 
 void RtNode::reply(ClientId client, proto::Message m) {
-  cluster_.route_to_client(self_, client, std::move(m));
+  router_.route_to_client(self_, client, std::move(m));
 }
 
 void RtNode::set_timer(Duration delay, std::uint64_t timer_id) {

@@ -1,7 +1,8 @@
 // Threaded runtime host: one OS thread per server node, driving the very same
-// protocol engines as the discrete-event host. Used by the examples and the
-// wall-clock integration tests — this is the library running as a real
-// in-process store rather than as a simulation.
+// protocol engines as the discrete-event host. Used by the examples, the
+// wall-clock integration tests and — through the Router seam — the TCP
+// deployment (net/tcp_node_host.hpp): the node thread is identical whether
+// its messages cross a mutex (rt::Cluster) or a socket (poccd).
 #pragma once
 
 #include <condition_variable>
@@ -22,14 +23,24 @@
 
 namespace pocc::rt {
 
-class Cluster;
-
 /// Wall-clock microseconds on a monotonic clock, shared by every node.
 Timestamp steady_now_us();
 
+/// Where a node's outbound messages go. The in-process rt::Cluster routes
+/// them onto its delay line; the TCP host encodes them onto sockets. `from`
+/// is always the sending node (kept explicit so a router can serve several
+/// nodes).
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual void route(NodeId from, NodeId to, proto::Message m) = 0;
+  virtual void route_to_client(NodeId from, ClientId client,
+                               proto::Message m) = 0;
+};
+
 class RtNode final : public server::Context {
  public:
-  RtNode(NodeId self, Cluster& cluster, const ClockConfig& clock_cfg,
+  RtNode(NodeId self, Router& router, const ClockConfig& clock_cfg,
          Rng& seeder);
   ~RtNode() override;
 
@@ -70,7 +81,7 @@ class RtNode final : public server::Context {
   void run();
 
   NodeId self_;
-  Cluster& cluster_;
+  Router& router_;
   PhysicalClock clock_;
   std::unique_ptr<server::ReplicaBase> engine_;
 

@@ -1,0 +1,102 @@
+// Cluster config parser: round trip, validation errors, defaults.
+#include "net/cluster_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pocc::net {
+namespace {
+
+const char* kGoodConfig = R"(# a 2x2 deployment
+dcs 2
+partitions 2
+system cure
+heartbeat_us 2500
+node 0 0 127.0.0.1:7000
+node 0 1 127.0.0.1:7001
+node 1 0 localhost:7002   # hostnames are fine too
+node 1 1 127.0.0.1:7003
+)";
+
+TEST(ClusterConfig, ParsesAValidFile) {
+  std::istringstream in(kGoodConfig);
+  std::string error;
+  const auto layout = parse_cluster_config(in, &error);
+  ASSERT_TRUE(layout.has_value()) << error;
+  EXPECT_EQ(layout->topology.num_dcs, 2u);
+  EXPECT_EQ(layout->topology.partitions_per_dc, 2u);
+  EXPECT_EQ(layout->system, rt::System::kCure);
+  EXPECT_EQ(layout->protocol.heartbeat_interval_us, 2'500);
+  ASSERT_TRUE(layout->complete());
+  const NodeAddress* addr = layout->find(NodeId{1, 0});
+  ASSERT_NE(addr, nullptr);
+  EXPECT_EQ(addr->host, "localhost");
+  EXPECT_EQ(addr->port, 7002);
+}
+
+TEST(ClusterConfig, FormatRoundTrips) {
+  std::istringstream in(kGoodConfig);
+  std::string error;
+  const auto layout = parse_cluster_config(in, &error);
+  ASSERT_TRUE(layout.has_value()) << error;
+  std::istringstream again(format_cluster_config(*layout));
+  const auto reparsed = parse_cluster_config(again, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->topology.num_dcs, layout->topology.num_dcs);
+  EXPECT_EQ(reparsed->system, layout->system);
+  EXPECT_EQ(reparsed->nodes.size(), layout->nodes.size());
+  for (std::size_t i = 0; i < layout->nodes.size(); ++i) {
+    EXPECT_EQ(reparsed->nodes[i].node, layout->nodes[i].node);
+    EXPECT_EQ(reparsed->nodes[i].host, layout->nodes[i].host);
+    EXPECT_EQ(reparsed->nodes[i].port, layout->nodes[i].port);
+  }
+}
+
+TEST(ClusterConfig, RejectsMissingNodes) {
+  std::istringstream in("dcs 2\npartitions 2\nnode 0 0 h:1\n");
+  std::string error;
+  EXPECT_FALSE(parse_cluster_config(in, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ClusterConfig, RejectsNodeOutsideTopology) {
+  std::istringstream in(
+      "dcs 1\npartitions 1\nnode 0 0 h:1\nnode 5 0 h:2\n");
+  std::string error;
+  EXPECT_FALSE(parse_cluster_config(in, &error).has_value());
+  EXPECT_NE(error.find("outside"), std::string::npos);
+}
+
+TEST(ClusterConfig, RejectsBadKeywordAndBadAddress) {
+  {
+    std::istringstream in("dcs 1\npartitions 1\nbogus 3\nnode 0 0 h:1\n");
+    std::string error;
+    EXPECT_FALSE(parse_cluster_config(in, &error).has_value());
+    EXPECT_NE(error.find("unknown keyword"), std::string::npos);
+  }
+  {
+    std::istringstream in("dcs 1\npartitions 1\nnode 0 0 noport\n");
+    std::string error;
+    EXPECT_FALSE(parse_cluster_config(in, &error).has_value());
+    EXPECT_NE(error.find("bad address"), std::string::npos);
+  }
+  {
+    std::istringstream in("dcs 1\npartitions 1\nsystem eventual\n");
+    std::string error;
+    EXPECT_FALSE(parse_cluster_config(in, &error).has_value());
+    EXPECT_NE(error.find("unknown system"), std::string::npos);
+  }
+}
+
+TEST(ClusterConfig, SystemNamesRoundTrip) {
+  for (const auto system :
+       {rt::System::kPocc, rt::System::kCure, rt::System::kHaPocc}) {
+    const auto parsed = parse_system(system_name(system));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, system);
+  }
+}
+
+}  // namespace
+}  // namespace pocc::net

@@ -1,0 +1,377 @@
+// Seed-deterministic codec fuzzing (ctest label `fuzz`, like the cluster
+// fuzz suites — see docs/TESTING.md).
+//
+// Three lanes:
+//   * random well-formed messages -> encode -> decode -> field equality,
+//   * truncation: every well-formed frame cut at every length must decode as
+//     kNeedMore or kError — never crash, never mis-decode as a full frame,
+//   * corruption: random byte flips / random garbage must yield kOk with a
+//     plausible frame, kNeedMore or kError — never a crash or an OOM.
+#include "proto/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "store/key_space.hpp"
+
+namespace pocc::proto {
+namespace {
+
+constexpr std::uint64_t kCampaignSeed = 0xC0DEC0DEULL;
+
+std::string random_string(Rng& rng, std::size_t max_len) {
+  const std::size_t n = rng.uniform(max_len + 1);
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(rng.uniform(256)));
+  }
+  return s;
+}
+
+KeyId random_key(Rng& rng) {
+  // Mix canonical workload keys with arbitrary (even empty/binary) strings.
+  if (rng.uniform(2) == 0) {
+    return store::KeySpace::global().intern_partition_key(
+        static_cast<PartitionId>(rng.uniform(8)), rng.uniform(512));
+  }
+  return store::intern_key("fz:" + random_string(rng, 24));
+}
+
+VersionVector random_vv(Rng& rng) {
+  const std::uint32_t n = static_cast<std::uint32_t>(rng.uniform(kMaxDcs + 1));
+  if (n == 0) return {};
+  VersionVector vv(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    vv.set(i, static_cast<Timestamp>(rng.uniform(1'000'000'000)));
+  }
+  return vv;
+}
+
+ReadItem random_item(Rng& rng) {
+  ReadItem it;
+  it.key = random_key(rng);
+  it.found = rng.uniform(2) == 0;
+  it.value = random_string(rng, 64);
+  it.sr = static_cast<DcId>(rng.uniform(8));
+  it.ut = static_cast<Timestamp>(rng.uniform(1'000'000'000));
+  it.dv = random_vv(rng);
+  it.fresher_versions = static_cast<std::uint32_t>(rng.uniform(100));
+  it.unmerged_versions = static_cast<std::uint32_t>(rng.uniform(100));
+  return it;
+}
+
+std::vector<ReadItem> random_items(Rng& rng, std::size_t max_n) {
+  std::vector<ReadItem> items;
+  const std::size_t n = rng.uniform(max_n + 1);
+  for (std::size_t i = 0; i < n; ++i) items.push_back(random_item(rng));
+  return items;
+}
+
+std::vector<KeyId> random_keys(Rng& rng, std::size_t max_n) {
+  std::vector<KeyId> keys;
+  const std::size_t n = rng.uniform(max_n + 1);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(random_key(rng));
+  return keys;
+}
+
+Message random_message(Rng& rng) {
+  switch (rng.uniform(15)) {
+    case 0: {
+      GetReq m;
+      m.client = rng.next();
+      m.key = random_key(rng);
+      m.rdv = random_vv(rng);
+      m.pessimistic = rng.uniform(2) == 0;
+      m.op_id = rng.next();
+      return Message{std::move(m)};
+    }
+    case 1: {
+      PutReq m;
+      m.client = rng.next();
+      m.key = random_key(rng);
+      m.value = random_string(rng, 64);
+      m.dv = random_vv(rng);
+      m.pessimistic = rng.uniform(2) == 0;
+      m.op_id = rng.next();
+      return Message{std::move(m)};
+    }
+    case 2: {
+      RoTxReq m;
+      m.client = rng.next();
+      m.keys = random_keys(rng, 16);
+      m.rdv = random_vv(rng);
+      m.pessimistic = rng.uniform(2) == 0;
+      m.op_id = rng.next();
+      return Message{std::move(m)};
+    }
+    case 3: {
+      GetReply m;
+      m.client = rng.next();
+      m.item = random_item(rng);
+      m.blocked_us = static_cast<Duration>(rng.uniform(1'000'000));
+      m.op_id = rng.next();
+      return Message{std::move(m)};
+    }
+    case 4: {
+      PutReply m;
+      m.client = rng.next();
+      m.key = random_key(rng);
+      m.ut = static_cast<Timestamp>(rng.uniform(1'000'000'000));
+      m.sr = static_cast<DcId>(rng.uniform(8));
+      m.blocked_us = static_cast<Duration>(rng.uniform(1'000'000));
+      m.op_id = rng.next();
+      return Message{std::move(m)};
+    }
+    case 5: {
+      RoTxReply m;
+      m.client = rng.next();
+      m.items = random_items(rng, 8);
+      m.tv = random_vv(rng);
+      m.blocked_us = static_cast<Duration>(rng.uniform(1'000'000));
+      m.op_id = rng.next();
+      return Message{std::move(m)};
+    }
+    case 6: {
+      SessionClosed m;
+      m.client = rng.next();
+      m.reason = random_string(rng, 48);
+      return Message{std::move(m)};
+    }
+    case 7: {
+      Replicate m;
+      m.version.key = random_key(rng);
+      m.version.value = random_string(rng, 64);
+      m.version.sr = static_cast<DcId>(rng.uniform(8));
+      m.version.ut = static_cast<Timestamp>(rng.uniform(1'000'000'000));
+      m.version.dv = random_vv(rng);
+      m.version.opt_origin = rng.uniform(2) == 0;
+      return Message{std::move(m)};
+    }
+    case 8: {
+      Heartbeat m;
+      m.src_dc = static_cast<DcId>(rng.uniform(8));
+      m.ts = static_cast<Timestamp>(rng.uniform(1'000'000'000));
+      return Message{m};
+    }
+    case 9: {
+      SliceReq m;
+      m.tx_id = rng.next();
+      m.coordinator = NodeId{static_cast<DcId>(rng.uniform(8)),
+                             static_cast<PartitionId>(rng.uniform(32))};
+      m.keys = random_keys(rng, 16);
+      m.tv = random_vv(rng);
+      m.pessimistic = rng.uniform(2) == 0;
+      return Message{std::move(m)};
+    }
+    case 10: {
+      SliceReply m;
+      m.tx_id = rng.next();
+      m.items = random_items(rng, 8);
+      m.blocked_us = static_cast<Duration>(rng.uniform(1'000'000));
+      m.aborted = rng.uniform(2) == 0;
+      return Message{std::move(m)};
+    }
+    case 11: {
+      GcReport m;
+      m.from = NodeId{static_cast<DcId>(rng.uniform(8)),
+                      static_cast<PartitionId>(rng.uniform(32))};
+      m.low_watermark = random_vv(rng);
+      return Message{std::move(m)};
+    }
+    case 12: {
+      GcVector m;
+      m.gv = random_vv(rng);
+      return Message{std::move(m)};
+    }
+    case 13: {
+      StabReport m;
+      m.from = NodeId{static_cast<DcId>(rng.uniform(8)),
+                      static_cast<PartitionId>(rng.uniform(32))};
+      m.vv = random_vv(rng);
+      return Message{std::move(m)};
+    }
+    default: {
+      GssBroadcast m;
+      m.gss = random_vv(rng);
+      return Message{std::move(m)};
+    }
+  }
+}
+
+bool items_equal(const ReadItem& a, const ReadItem& b) {
+  return a.key == b.key && a.found == b.found && a.value == b.value &&
+         a.sr == b.sr && a.ut == b.ut && a.dv == b.dv &&
+         a.fresher_versions == b.fresher_versions &&
+         a.unmerged_versions == b.unmerged_versions;
+}
+
+bool item_lists_equal(const std::vector<ReadItem>& a,
+                      const std::vector<ReadItem>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!items_equal(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+struct EqualVisitor {
+  const Message& rhs;
+
+  bool operator()(const GetReq& a) const {
+    const auto& b = std::get<GetReq>(rhs);
+    return a.client == b.client && a.key == b.key && a.rdv == b.rdv &&
+           a.pessimistic == b.pessimistic && a.op_id == b.op_id;
+  }
+  bool operator()(const PutReq& a) const {
+    const auto& b = std::get<PutReq>(rhs);
+    return a.client == b.client && a.key == b.key && a.value == b.value &&
+           a.dv == b.dv && a.pessimistic == b.pessimistic &&
+           a.op_id == b.op_id;
+  }
+  bool operator()(const RoTxReq& a) const {
+    const auto& b = std::get<RoTxReq>(rhs);
+    return a.client == b.client && a.keys == b.keys && a.rdv == b.rdv &&
+           a.pessimistic == b.pessimistic && a.op_id == b.op_id;
+  }
+  bool operator()(const GetReply& a) const {
+    const auto& b = std::get<GetReply>(rhs);
+    return a.client == b.client && items_equal(a.item, b.item) &&
+           a.blocked_us == b.blocked_us && a.op_id == b.op_id;
+  }
+  bool operator()(const PutReply& a) const {
+    const auto& b = std::get<PutReply>(rhs);
+    return a.client == b.client && a.key == b.key && a.ut == b.ut &&
+           a.sr == b.sr && a.blocked_us == b.blocked_us && a.op_id == b.op_id;
+  }
+  bool operator()(const RoTxReply& a) const {
+    const auto& b = std::get<RoTxReply>(rhs);
+    return a.client == b.client && item_lists_equal(a.items, b.items) &&
+           a.tv == b.tv && a.blocked_us == b.blocked_us && a.op_id == b.op_id;
+  }
+  bool operator()(const SessionClosed& a) const {
+    const auto& b = std::get<SessionClosed>(rhs);
+    return a.client == b.client && a.reason == b.reason;
+  }
+  bool operator()(const Replicate& a) const {
+    const auto& b = std::get<Replicate>(rhs);
+    return a.version.key == b.version.key &&
+           a.version.value == b.version.value &&
+           a.version.sr == b.version.sr && a.version.ut == b.version.ut &&
+           a.version.dv == b.version.dv &&
+           a.version.opt_origin == b.version.opt_origin;
+  }
+  bool operator()(const Heartbeat& a) const {
+    const auto& b = std::get<Heartbeat>(rhs);
+    return a.src_dc == b.src_dc && a.ts == b.ts;
+  }
+  bool operator()(const SliceReq& a) const {
+    const auto& b = std::get<SliceReq>(rhs);
+    return a.tx_id == b.tx_id && a.coordinator == b.coordinator &&
+           a.keys == b.keys && a.tv == b.tv &&
+           a.pessimistic == b.pessimistic;
+  }
+  bool operator()(const SliceReply& a) const {
+    const auto& b = std::get<SliceReply>(rhs);
+    return a.tx_id == b.tx_id && item_lists_equal(a.items, b.items) &&
+           a.blocked_us == b.blocked_us && a.aborted == b.aborted;
+  }
+  bool operator()(const GcReport& a) const {
+    const auto& b = std::get<GcReport>(rhs);
+    return a.from == b.from && a.low_watermark == b.low_watermark;
+  }
+  bool operator()(const GcVector& a) const {
+    return a.gv == std::get<GcVector>(rhs).gv;
+  }
+  bool operator()(const StabReport& a) const {
+    const auto& b = std::get<StabReport>(rhs);
+    return a.from == b.from && a.vv == b.vv;
+  }
+  bool operator()(const GssBroadcast& a) const {
+    return a.gss == std::get<GssBroadcast>(rhs).gss;
+  }
+  bool operator()(const RouteProbe&) const { return false; }
+};
+
+bool messages_equal(const Message& a, const Message& b) {
+  if (a.index() != b.index()) return false;
+  return std::visit(EqualVisitor{b}, a);
+}
+
+TEST(CodecFuzz, RandomMessagesRoundTripExactly) {
+  Rng rng(kCampaignSeed);
+  for (int i = 0; i < 2'000; ++i) {
+    const Message m = random_message(rng);
+    std::vector<std::uint8_t> buf;
+    encode(m, buf);
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    ASSERT_EQ(res.status, DecodeResult::Status::kOk)
+        << "iteration " << i << " (" << message_name(m) << "): " << res.error;
+    ASSERT_EQ(res.consumed, buf.size());
+    ASSERT_TRUE(messages_equal(m, std::get<Message>(res.frame)))
+        << "iteration " << i << ": " << message_name(m)
+        << " did not round-trip";
+  }
+}
+
+TEST(CodecFuzz, TruncatedFramesNeverDecode) {
+  Rng rng(kCampaignSeed + 1);
+  for (int i = 0; i < 300; ++i) {
+    const Message m = random_message(rng);
+    std::vector<std::uint8_t> buf;
+    encode(m, buf);
+    // Every strict prefix must report kNeedMore (frame not complete yet).
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      const DecodeResult res = decode_frame(buf.data(), cut);
+      ASSERT_EQ(res.status, DecodeResult::Status::kNeedMore)
+          << message_name(m) << " cut at " << cut;
+    }
+  }
+}
+
+TEST(CodecFuzz, ByteFlipsNeverCrash) {
+  Rng rng(kCampaignSeed + 2);
+  std::uint64_t survived = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    const Message m = random_message(rng);
+    std::vector<std::uint8_t> buf;
+    encode(m, buf);
+    // Flip 1-4 random bytes anywhere in the frame (including the prefix).
+    const std::size_t flips = 1 + rng.uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.uniform(buf.size());
+      buf[at] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    }
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    // Any status is legal — a flip in an uninterpreted byte still decodes —
+    // but the decoder must neither crash nor return a bogus consumed count.
+    if (res.status == DecodeResult::Status::kOk) {
+      ASSERT_LE(res.consumed, buf.size());
+      ++survived;
+    }
+  }
+  // Sanity: some flips (e.g. in value bytes) must survive decoding.
+  EXPECT_GT(survived, 0u);
+}
+
+TEST(CodecFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(kCampaignSeed + 3);
+  for (int i = 0; i < 5'000; ++i) {
+    std::vector<std::uint8_t> buf;
+    const std::size_t n = rng.uniform(256);
+    buf.reserve(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      buf.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+    }
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    if (res.status == DecodeResult::Status::kOk) {
+      ASSERT_LE(res.consumed, buf.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pocc::proto

@@ -1,0 +1,255 @@
+// End-to-end TCP deployment: a full 3-DC x 2-partition cluster of
+// TcpNodeHosts behind real localhost sockets (ephemeral ports), driven by
+// TcpClientPool sessions — the same classes poccd / pocc_loadgen are built
+// from, minus the process boundary (scripts/e2e_local_cluster.sh covers that
+// in CI). Verifies read-your-writes, the cross-DC WC-DEP causal chain, and a
+// concurrent mixed load whose full client history replays through the
+// HistoryChecker with zero violations.
+//
+// Timing assertions are deliberately generous — this suite runs on loaded CI
+// machines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/client_history.hpp"
+#include "checker/history_checker.hpp"
+#include "common/rng.hpp"
+#include "net/tcp_client.hpp"
+#include "net/tcp_node_host.hpp"
+#include "store/key_space.hpp"
+
+namespace pocc::net {
+namespace {
+
+/// Deployment-unique client ids across all tests in this binary.
+std::atomic<ClientId> g_next_client{1};
+
+ClusterLayout small_layout(rt::System system) {
+  ClusterLayout layout;
+  layout.topology.num_dcs = 3;
+  layout.topology.partitions_per_dc = 2;
+  layout.topology.partition_scheme = PartitionScheme::kHash;
+  layout.system = system;
+  layout.protocol.heartbeat_interval_us = 5'000;  // gentle on single-core CI
+  layout.protocol.stabilization_interval_us = 20'000;
+  layout.protocol.gc_interval_us = 200'000;
+  layout.protocol.block_timeout_us = 2'000'000;
+  // Addresses are filled in by Deployment once the ephemeral ports are known.
+  return layout;
+}
+
+/// A whole cluster + per-DC client pools, in one process over real TCP.
+class Deployment {
+ public:
+  explicit Deployment(rt::System system) : layout_(small_layout(system)) {
+    const auto& topo = layout_.topology;
+    std::uint64_t seed = 1;
+    for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
+      for (PartitionId p = 0; p < topo.partitions_per_dc; ++p) {
+        TcpNodeHost::Options opt;
+        opt.listen_port = 0;  // ephemeral
+        opt.seed = seed++;
+        hosts_.push_back(
+            std::make_unique<TcpNodeHost>(NodeId{dc, p}, layout_, opt));
+        layout_.nodes.push_back(NodeAddress{
+            NodeId{dc, p}, "127.0.0.1", hosts_.back()->port()});
+      }
+    }
+    for (auto& host : hosts_) host->start(layout_.nodes);
+    for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
+      pools_.push_back(std::make_unique<TcpClientPool>(layout_, dc));
+      pools_.back()->start();
+    }
+    for (auto& pool : pools_) {
+      EXPECT_TRUE(pool->wait_connected(10'000'000))
+          << "client pool failed to reach all partitions";
+    }
+  }
+
+  ~Deployment() {
+    for (auto& pool : pools_) pool->stop();
+    for (auto& host : hosts_) host->stop();
+  }
+
+  TcpSession& connect(DcId dc) {
+    return pools_[dc]->connect(g_next_client.fetch_add(1));
+  }
+
+  std::vector<checker::SessionHistory> histories() const {
+    std::vector<checker::SessionHistory> all;
+    for (const auto& pool : pools_) {
+      auto h = pool->histories();
+      all.insert(all.end(), h.begin(), h.end());
+    }
+    return all;
+  }
+
+  const ClusterLayout& layout() const { return layout_; }
+
+  std::uint64_t dropped_frames() const {
+    std::uint64_t n = 0;
+    for (const auto& host : hosts_) n += host->dropped_frames();
+    return n;
+  }
+
+ private:
+  ClusterLayout layout_;
+  std::vector<std::unique_ptr<TcpNodeHost>> hosts_;
+  std::vector<std::unique_ptr<TcpClientPool>> pools_;
+};
+
+/// Poll `fn` until it returns true or the deadline passes.
+bool eventually(Duration timeout_us, const std::function<bool()>& fn) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (fn()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return fn();
+}
+
+void expect_clean_replay(const Deployment& cluster) {
+  checker::HistoryChecker checker(cluster.layout().topology.num_dcs);
+  const auto result = checker::replay_history(cluster.histories(), checker);
+  EXPECT_TRUE(result.complete) << result.error;
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().size() << " violations, first: "
+      << checker.violations().front();
+  EXPECT_GT(checker.checks_performed(), 0u);
+}
+
+TEST(E2eTcp, ReadYourWritesSingleDc) {
+  Deployment cluster(rt::System::kPocc);
+  TcpSession& s = cluster.connect(0);
+  const auto put = s.put("e2e:ryw", "v1");
+  ASSERT_TRUE(put.ok);
+  EXPECT_GT(put.ut, 0);
+  const auto get = s.get("e2e:ryw");
+  ASSERT_TRUE(get.ok);
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(get.value, "v1");
+
+  // Overwrites stay monotonic under the same session.
+  ASSERT_TRUE(s.put("e2e:ryw", "v2").ok);
+  const auto get2 = s.get("e2e:ryw");
+  ASSERT_TRUE(get2.ok);
+  EXPECT_EQ(get2.value, "v2");
+  expect_clean_replay(cluster);
+}
+
+TEST(E2eTcp, WcDepChainAcrossDcs) {
+  // The paper's write-chain scenario (§II-A): Alice posts a photo (x) in
+  // DC0; Bob in DC1 sees it and comments (y); Carol in DC2 who sees the
+  // comment MUST see the photo — y's dependency vector forces the GET on x
+  // to block until x's replication arrives.
+  Deployment cluster(rt::System::kPocc);
+  TcpSession& alice = cluster.connect(0);
+  TcpSession& bob = cluster.connect(1);
+  TcpSession& carol = cluster.connect(2);
+
+  ASSERT_TRUE(alice.put("e2e:photo", "selfie").ok);
+
+  // Bob polls until the photo replicated into DC1, then comments.
+  ASSERT_TRUE(eventually(10'000'000, [&] {
+    const auto got = bob.get("e2e:photo");
+    return got.ok && got.found;
+  })) << "photo never replicated to DC1";
+  ASSERT_TRUE(bob.put("e2e:comment", "nice!").ok);
+
+  // Carol polls for the comment; the instant she sees it, causality demands
+  // the photo be visible too (the GET may block, but must not miss).
+  ASSERT_TRUE(eventually(10'000'000, [&] {
+    const auto got = carol.get("e2e:comment");
+    return got.ok && got.found;
+  })) << "comment never replicated to DC2";
+  const auto photo = carol.get("e2e:photo");
+  ASSERT_TRUE(photo.ok);
+  EXPECT_TRUE(photo.found) << "WC-DEP violated: comment seen, photo missing";
+  EXPECT_EQ(photo.value, "selfie");
+  expect_clean_replay(cluster);
+}
+
+TEST(E2eTcp, RoTxReturnsCompleteSnapshot) {
+  Deployment cluster(rt::System::kPocc);
+  TcpSession& s = cluster.connect(0);
+  ASSERT_TRUE(s.put("e2e:tx:a", "1").ok);
+  ASSERT_TRUE(s.put("e2e:tx:b", "2").ok);
+  const auto tx = s.ro_tx({"e2e:tx:a", "e2e:tx:b"});
+  ASSERT_TRUE(tx.ok);
+  ASSERT_EQ(tx.items.size(), 2u);
+  for (const auto& item : tx.items) {
+    EXPECT_TRUE(item.found) << store::key_name(item.key);
+  }
+  expect_clean_replay(cluster);
+}
+
+/// Closed-loop mixed workload on a deliberately tiny keyspace (maximum
+/// cross-session conflict), all three DCs concurrently.
+void run_load(Deployment& cluster, int sessions_per_dc, int ops_per_session) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (DcId dc = 0; dc < cluster.layout().topology.num_dcs; ++dc) {
+    for (int i = 0; i < sessions_per_dc; ++i) {
+      TcpSession& s = cluster.connect(dc);
+      threads.emplace_back([&, dc, i, ops_per_session] {
+        Rng rng((static_cast<std::uint64_t>(dc) << 8) | i);
+        for (int op = 0; op < ops_per_session; ++op) {
+          const std::string key =
+              "e2e:load:" + std::to_string(rng.uniform(12));
+          const std::uint64_t kind = rng.uniform(10);
+          if (kind < 5) {
+            if (!s.get(key).ok) ++failures;
+          } else if (kind < 9) {
+            const std::string value =
+                "v" + std::to_string(dc) + "." + std::to_string(op);
+            if (!s.put(key, value).ok) ++failures;
+          } else {
+            const std::string other =
+                "e2e:load:" + std::to_string(rng.uniform(12));
+            if (!s.ro_tx({key, other}).ok) ++failures;
+          }
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << "some operations timed out";
+}
+
+TEST(E2eTcp, ConcurrentLoadReplaysCleanlyPocc) {
+  Deployment cluster(rt::System::kPocc);
+  run_load(cluster, /*sessions_per_dc=*/2, /*ops_per_session=*/120);
+  EXPECT_EQ(cluster.dropped_frames(), 0u);
+  expect_clean_replay(cluster);
+}
+
+TEST(E2eTcp, ConcurrentLoadReplaysCleanlyCure) {
+  Deployment cluster(rt::System::kCure);
+  run_load(cluster, /*sessions_per_dc=*/2, /*ops_per_session=*/80);
+  EXPECT_EQ(cluster.dropped_frames(), 0u);
+  expect_clean_replay(cluster);
+}
+
+TEST(E2eTcp, CrossDcVisibilityEventuallyConverges) {
+  Deployment cluster(rt::System::kPocc);
+  TcpSession& writer = cluster.connect(0);
+  ASSERT_TRUE(writer.put("e2e:geo", "hello").ok);
+  for (DcId dc = 1; dc < 3; ++dc) {
+    TcpSession& reader = cluster.connect(dc);
+    EXPECT_TRUE(eventually(10'000'000, [&] {
+      const auto got = reader.get("e2e:geo");
+      return got.ok && got.found && got.value == "hello";
+    })) << "value never visible in DC " << dc;
+  }
+  expect_clean_replay(cluster);
+}
+
+}  // namespace
+}  // namespace pocc::net

@@ -1,0 +1,454 @@
+// pocc_loadgen — drives a networked poccd cluster over TCP with the paper's
+// workload generators (§V-B/C) and verifies the collected client history
+// against the causal-consistency checker.
+//
+//   pocc_loadgen --config cluster.cfg                       # 5 s load, all DCs
+//   pocc_loadgen --config cluster.cfg --mode smoke          # causal smoke
+//   pocc_loadgen --config cluster.cfg --out BENCH_tcp_loadgen.json
+//
+// Modes:
+//   load  — N closed-loop client sessions per DC run the Get-Put (or Tx-Put)
+//           workload for --duration-s, then the merged per-session histories
+//           are replayed through the HistoryChecker. Emits one JSON line
+//           (throughput + latency percentiles + checker verdict).
+//   smoke — deterministic causal scenarios: read-your-writes in one DC and
+//           the cross-DC WC-DEP chain (photo/comment, §II-A), plus eventual
+//           cross-DC convergence; every session history checked afterwards.
+//
+// Exit codes: 0 = pass, 1 = consistency violation / incomplete history,
+// 2 = operation failures (timeouts), 3 = usage or config error.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/client_history.hpp"
+#include "checker/history_checker.hpp"
+#include "net/tcp_client.hpp"
+#include "runtime/rt_node.hpp"
+#include "stats/histogram.hpp"
+#include "store/key_space.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pocc;
+
+struct Args {
+  const char* config_path = nullptr;
+  std::string mode = "load";
+  long dc = -1;  // -1 = all DCs
+  std::uint32_t clients_per_dc = 4;
+  double duration_s = 5.0;
+  std::string pattern = "getput";
+  std::uint32_t gets_per_put = 4;
+  std::uint32_t tx_partitions = 2;
+  Duration think_us = 0;
+  std::uint32_t value_size = 8;
+  std::uint64_t keys_per_partition = 1'000;
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 1;
+  ClientId client_base = 1;
+  const char* out_path = nullptr;
+  bool check = true;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --config FILE [--mode load|smoke] [--dc N]\n"
+      "          [--clients N] [--duration-s S] [--pattern getput|txput]\n"
+      "          [--gets-per-put N] [--tx-partitions N] [--think-us N]\n"
+      "          [--value-size N] [--keys-per-partition N] [--zipf T]\n"
+      "          [--seed N] [--client-base N] [--out FILE] [--no-check]\n",
+      argv0);
+  return 3;
+}
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[i]);
+        std::exit(3);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--config") == 0) {
+      args->config_path = value();
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      args->mode = value();
+    } else if (std::strcmp(argv[i], "--dc") == 0) {
+      args->dc = std::strtol(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      args->clients_per_dc =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--duration-s") == 0) {
+      args->duration_s = std::strtod(value(), nullptr);
+    } else if (std::strcmp(argv[i], "--pattern") == 0) {
+      args->pattern = value();
+    } else if (std::strcmp(argv[i], "--gets-per-put") == 0) {
+      args->gets_per_put =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tx-partitions") == 0) {
+      args->tx_partitions =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--think-us") == 0) {
+      args->think_us = std::strtol(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--value-size") == 0) {
+      args->value_size =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--keys-per-partition") == 0) {
+      args->keys_per_partition = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+      args->zipf_theta = std::strtod(value(), nullptr);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      args->seed = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--client-base") == 0) {
+      args->client_base = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      args->out_path = value();
+    } else if (std::strcmp(argv[i], "--no-check") == 0) {
+      args->check = false;
+    } else {
+      return false;
+    }
+  }
+  return args->config_path != nullptr;
+}
+
+Duration now_us() { return rt::steady_now_us(); }
+
+struct OpStats {
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> txs{0};
+  std::atomic<std::uint64_t> failures{0};
+};
+
+/// Per-thread latency histograms, merged after the run (Histogram is not
+/// thread-safe).
+struct ThreadLatencies {
+  stats::Histogram get_us;
+  stats::Histogram put_us;
+  stats::Histogram tx_us;
+};
+
+void run_client(net::TcpSession& session, const workload::WorkloadConfig& wl,
+                std::uint32_t partitions, std::uint64_t seed,
+                Duration deadline, OpStats& ops, ThreadLatencies& lat) {
+  workload::Generator gen(wl, partitions, seed);
+  while (now_us() < deadline) {
+    const workload::Op op = gen.next();
+    const Duration start = now_us();
+    bool ok = false;
+    switch (op.type) {
+      case workload::OpType::kGet:
+        ok = session.get_id(op.keys.front()).ok;
+        if (ok) {
+          ++ops.gets;
+          lat.get_us.record(now_us() - start);
+        }
+        break;
+      case workload::OpType::kPut:
+        ok = session.put_id(op.keys.front(), op.value).ok;
+        if (ok) {
+          ++ops.puts;
+          lat.put_us.record(now_us() - start);
+        }
+        break;
+      case workload::OpType::kRoTx:
+        ok = session.ro_tx_ids(op.keys).ok;
+        if (ok) {
+          ++ops.txs;
+          lat.tx_us.record(now_us() - start);
+        }
+        break;
+    }
+    if (!ok) {
+      ++ops.failures;
+      continue;  // session may have gone pessimistic; keep driving
+    }
+    if (wl.think_time_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(wl.think_time_us));
+    }
+  }
+}
+
+/// Replays all histories; returns checker verdict (violations printed).
+struct CheckOutcome {
+  bool complete = true;
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+};
+
+CheckOutcome check_histories(
+    const net::ClusterLayout& layout,
+    const std::vector<checker::SessionHistory>& histories) {
+  checker::HistoryChecker checker(layout.topology.num_dcs);
+  const auto result = checker::replay_history(histories, checker);
+  CheckOutcome outcome;
+  outcome.complete = result.complete;
+  outcome.checks = checker.checks_performed();
+  outcome.violations = checker.violations().size();
+  if (!result.complete) {
+    std::fprintf(stderr, "loadgen: history replay incomplete: %s\n",
+                 result.error.c_str());
+  }
+  for (const std::string& v : checker.violations()) {
+    std::fprintf(stderr, "loadgen: VIOLATION: %s\n", v.c_str());
+  }
+  return outcome;
+}
+
+int run_load(const Args& args, const net::ClusterLayout& layout) {
+  const auto& topo = layout.topology;
+
+  workload::WorkloadConfig wl;
+  wl.pattern = args.pattern == "txput" ? workload::Pattern::kTxPut
+                                       : workload::Pattern::kGetPut;
+  wl.gets_per_put = args.gets_per_put;
+  wl.tx_partitions = std::min(args.tx_partitions, topo.partitions_per_dc);
+  wl.think_time_us = args.think_us;
+  wl.zipf_theta = args.zipf_theta;
+  wl.keys_per_partition = args.keys_per_partition;
+  wl.value_size = args.value_size;
+
+  std::vector<DcId> dcs;
+  if (args.dc >= 0) {
+    dcs.push_back(static_cast<DcId>(args.dc));
+  } else {
+    for (DcId dc = 0; dc < topo.num_dcs; ++dc) dcs.push_back(dc);
+  }
+
+  std::vector<std::unique_ptr<net::TcpClientPool>> pools;
+  for (const DcId dc : dcs) {
+    pools.push_back(std::make_unique<net::TcpClientPool>(layout, dc));
+    pools.back()->start();
+  }
+  for (auto& pool : pools) {
+    if (!pool->wait_connected(10'000'000)) {
+      std::fprintf(stderr, "loadgen: cannot reach all partitions of DC %u\n",
+                   pool->dc());
+      return 3;
+    }
+  }
+
+  OpStats ops;
+  std::vector<ThreadLatencies> lats(dcs.size() * args.clients_per_dc);
+  std::vector<std::thread> threads;
+  ClientId next_client = args.client_base;
+  const Duration start = now_us();
+  const Duration deadline =
+      start + static_cast<Duration>(args.duration_s * 1e6);
+  std::size_t t = 0;
+  for (std::size_t p = 0; p < pools.size(); ++p) {
+    for (std::uint32_t i = 0; i < args.clients_per_dc; ++i, ++t) {
+      net::TcpSession* session = &pools[p]->connect(next_client++);
+      const std::uint64_t seed = args.seed * 1'000'003 + t;
+      threads.emplace_back([&, session, seed, t] {
+        run_client(*session, wl, topo.partitions_per_dc, seed, deadline, ops,
+                   lats[t]);
+      });
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed_s = static_cast<double>(now_us() - start) / 1e6;
+
+  stats::Histogram get_us;
+  stats::Histogram put_us;
+  stats::Histogram tx_us;
+  for (const ThreadLatencies& l : lats) {
+    get_us.merge(l.get_us);
+    put_us.merge(l.put_us);
+    tx_us.merge(l.tx_us);
+  }
+
+  std::vector<checker::SessionHistory> histories;
+  for (const auto& pool : pools) {
+    auto h = pool->histories();
+    histories.insert(histories.end(), h.begin(), h.end());
+  }
+  for (auto& pool : pools) pool->stop();
+
+  CheckOutcome verdict;
+  if (args.check) verdict = check_histories(layout, histories);
+
+  const std::uint64_t total = ops.gets + ops.puts + ops.txs;
+  std::size_t history_events = 0;
+  for (const auto& h : histories) history_events += h.events.size();
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"tcp_loadgen\",\"mode\":\"load\",\"system\":\"%s\","
+      "\"dcs\":%u,\"partitions\":%u,\"clients_per_dc\":%u,\"pattern\":\"%s\","
+      "\"seed\":%llu,\"duration_s\":%.2f,\"ops\":%llu,\"ops_per_sec\":%.1f,"
+      "\"gets\":%llu,\"puts\":%llu,\"ro_txs\":%llu,\"failures\":%llu,"
+      "\"get_p50_us\":%lld,\"get_p99_us\":%lld,\"put_p50_us\":%lld,"
+      "\"put_p99_us\":%lld,\"tx_p50_us\":%lld,\"tx_p99_us\":%lld,"
+      "\"history_events\":%zu,\"checks\":%llu,\"violations\":%llu}",
+      net::system_name(layout.system), topo.num_dcs, topo.partitions_per_dc,
+      args.clients_per_dc, args.pattern.c_str(),
+      static_cast<unsigned long long>(args.seed), elapsed_s,
+      static_cast<unsigned long long>(total),
+      elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0,
+      static_cast<unsigned long long>(ops.gets.load()),
+      static_cast<unsigned long long>(ops.puts.load()),
+      static_cast<unsigned long long>(ops.txs.load()),
+      static_cast<unsigned long long>(ops.failures.load()),
+      static_cast<long long>(get_us.percentile(50)),
+      static_cast<long long>(get_us.percentile(99)),
+      static_cast<long long>(put_us.percentile(50)),
+      static_cast<long long>(put_us.percentile(99)),
+      static_cast<long long>(tx_us.percentile(50)),
+      static_cast<long long>(tx_us.percentile(99)),
+      history_events,
+      static_cast<unsigned long long>(verdict.checks),
+      static_cast<unsigned long long>(verdict.violations));
+  std::printf("%s\n", json);
+  if (args.out_path != nullptr) {
+    std::FILE* f = std::fopen(args.out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot open %s\n", args.out_path);
+      return 3;
+    }
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+
+  if (!verdict.complete || verdict.violations > 0) return 1;
+  if (ops.failures.load() > 0 || total == 0) return 2;
+  return 0;
+}
+
+/// Poll `fn` until true or `timeout_us` elapsed.
+template <typename Fn>
+bool eventually(Duration timeout_us, Fn&& fn) {
+  const Duration deadline = now_us() + timeout_us;
+  while (now_us() < deadline) {
+    if (fn()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return fn();
+}
+
+int run_smoke(const Args& args, const net::ClusterLayout& layout) {
+  const auto& topo = layout.topology;
+  if (topo.num_dcs < 2) {
+    std::fprintf(stderr, "loadgen: smoke mode needs >= 2 DCs\n");
+    return 3;
+  }
+  std::vector<std::unique_ptr<net::TcpClientPool>> pools;
+  for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
+    pools.push_back(std::make_unique<net::TcpClientPool>(layout, dc));
+    pools.back()->start();
+  }
+  for (auto& pool : pools) {
+    if (!pool->wait_connected(10'000'000)) {
+      std::fprintf(stderr, "loadgen: cannot reach all partitions of DC %u\n",
+                   pool->dc());
+      return 3;
+    }
+  }
+  ClientId next_client = args.client_base;
+  int failures = 0;
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "loadgen: SMOKE FAIL: %s\n", what);
+    ++failures;
+  };
+
+  // --- read-your-writes, single DC ---
+  {
+    net::TcpSession& s = pools[0]->connect(next_client++);
+    if (!s.put("smoke:ryw", "v1").ok) fail("RYW put timed out");
+    const auto got = s.get("smoke:ryw");
+    if (!(got.ok && got.found && got.value == "v1")) {
+      fail("read-your-writes: put not visible to its own session");
+    }
+  }
+
+  // --- WC-DEP chain across DCs (photo/comment, §II-A) ---
+  {
+    net::TcpSession& alice = pools[0]->connect(next_client++);
+    net::TcpSession& bob = pools[1]->connect(next_client++);
+    const DcId carol_dc = topo.num_dcs >= 3 ? 2 : 1;
+    net::TcpSession& carol = pools[carol_dc]->connect(next_client++);
+
+    if (!alice.put("smoke:photo", "selfie").ok) fail("photo put timed out");
+    if (!eventually(15'000'000, [&] {
+          const auto got = bob.get("smoke:photo");
+          return got.ok && got.found;
+        })) {
+      fail("photo never replicated to DC 1");
+    }
+    if (!bob.put("smoke:comment", "nice!").ok) fail("comment put timed out");
+    if (!eventually(15'000'000, [&] {
+          const auto got = carol.get("smoke:comment");
+          return got.ok && got.found;
+        })) {
+      fail("comment never replicated");
+    }
+    const auto photo = carol.get("smoke:photo");
+    if (!(photo.ok && photo.found && photo.value == "selfie")) {
+      fail("WC-DEP violated: comment visible but photo missing");
+    }
+  }
+
+  // --- eventual cross-DC convergence of a single write ---
+  {
+    net::TcpSession& writer = pools[0]->connect(next_client++);
+    if (!writer.put("smoke:geo", "hello").ok) fail("geo put timed out");
+    for (DcId dc = 1; dc < topo.num_dcs; ++dc) {
+      net::TcpSession& reader = pools[dc]->connect(next_client++);
+      if (!eventually(15'000'000, [&] {
+            const auto got = reader.get("smoke:geo");
+            return got.ok && got.found && got.value == "hello";
+          })) {
+        fail("write never became visible in a remote DC");
+      }
+    }
+  }
+
+  std::vector<checker::SessionHistory> histories;
+  for (const auto& pool : pools) {
+    auto h = pool->histories();
+    histories.insert(histories.end(), h.begin(), h.end());
+  }
+  for (auto& pool : pools) pool->stop();
+
+  CheckOutcome verdict;
+  if (args.check) verdict = check_histories(layout, histories);
+  if (!verdict.complete || verdict.violations > 0) return 1;
+  if (failures > 0) return 2;
+  std::printf(
+      "{\"bench\":\"tcp_loadgen\",\"mode\":\"smoke\",\"system\":\"%s\","
+      "\"dcs\":%u,\"partitions\":%u,\"checks\":%llu,\"violations\":0,"
+      "\"result\":\"pass\"}\n",
+      net::system_name(layout.system), topo.num_dcs, topo.partitions_per_dc,
+      static_cast<unsigned long long>(verdict.checks));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) return usage(argv[0]);
+
+  std::string error;
+  auto layout = net::load_cluster_config(args.config_path, &error);
+  if (!layout.has_value()) {
+    std::fprintf(stderr, "loadgen: bad config: %s\n", error.c_str());
+    return 3;
+  }
+
+  if (args.mode == "load") return run_load(args, *layout);
+  if (args.mode == "smoke") return run_smoke(args, *layout);
+  std::fprintf(stderr, "loadgen: unknown mode '%s'\n", args.mode.c_str());
+  return 3;
+}

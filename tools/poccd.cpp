@@ -1,0 +1,148 @@
+// poccd — one POCC/Cure*/HA-POCC node as a standalone networked server
+// process. A real deployment runs M x N of these (one per (dc, partition)),
+// all reading the same cluster config file:
+//
+//   poccd --config cluster.cfg --dc 0 --part 1 [--system pocc|cure|ha]
+//         [--seed N] [--verbose]
+//
+// The process serves until SIGINT/SIGTERM, then prints an exit stats line.
+// Engine clocks are aligned to CLOCK_REALTIME at startup so that update
+// timestamps agree across processes to NTP precision — the paper's loose
+// synchronization assumption (§IV); correctness never depends on it.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "net/tcp_node_host.hpp"
+#include "runtime/rt_node.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int /*sig*/) { g_stop = 1; }
+
+pocc::Timestamp realtime_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<pocc::Timestamp>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config FILE --dc N --part N\n"
+               "          [--system pocc|cure|ha] [--seed N] [--verbose]\n",
+               argv0);
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pocc;
+
+  const char* config_path = nullptr;
+  long dc = -1;
+  long part = -1;
+  const char* system_override = nullptr;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_with_value = [&](const char* name, const char** out) {
+      if (std::strcmp(argv[i], name) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(3);
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* value = nullptr;
+    if (arg_with_value("--config", &config_path)) {
+    } else if (arg_with_value("--dc", &value)) {
+      dc = std::strtol(value, nullptr, 10);
+    } else if (arg_with_value("--part", &value)) {
+      part = std::strtol(value, nullptr, 10);
+    } else if (arg_with_value("--system", &system_override)) {
+    } else if (arg_with_value("--seed", &value)) {
+      seed = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config_path == nullptr || dc < 0 || part < 0) return usage(argv[0]);
+
+  std::string error;
+  auto layout = net::load_cluster_config(config_path, &error);
+  if (!layout.has_value()) {
+    std::fprintf(stderr, "poccd: bad config: %s\n", error.c_str());
+    return 3;
+  }
+  if (system_override != nullptr) {
+    const auto system = net::parse_system(system_override);
+    if (!system.has_value()) {
+      std::fprintf(stderr, "poccd: unknown system '%s'\n", system_override);
+      return 3;
+    }
+    layout->system = *system;
+  }
+
+  const NodeId self{static_cast<DcId>(dc), static_cast<PartitionId>(part)};
+  const net::NodeAddress* addr = layout->find(self);
+  if (addr == nullptr) {
+    std::fprintf(stderr, "poccd: node %s not in the config\n",
+                 self.to_string().c_str());
+    return 3;
+  }
+
+  net::TcpNodeHost::Options opt;
+  opt.listen_port = addr->port;
+  opt.seed = seed;
+  opt.verbose = verbose;
+  // Map the engine clock onto wall time: steady_now_us() is process-relative,
+  // so without this bias every process would carry a clock skew equal to its
+  // start-time stagger, stalling PUT clock waits (Alg. 2 line 7) for exactly
+  // that long.
+  opt.clock = ClockConfig::perfect();
+  opt.clock.offset_bias_us = realtime_us() - rt::steady_now_us();
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  net::TcpNodeHost host(self, *layout, opt);
+  host.start();
+  std::fprintf(stderr, "poccd %s: %s engine on port %u\n",
+               self.to_string().c_str(), net::system_name(layout->system),
+               host.port());
+
+  while (g_stop == 0) {
+    timespec nap{0, 50'000'000};  // 50 ms
+    nanosleep(&nap, nullptr);
+  }
+
+  host.stop();
+  const auto& engine = host.engine();
+  const auto stats = host.transport_stats();
+  std::fprintf(stderr,
+               "poccd %s: exiting — gets=%llu puts=%llu slices=%llu "
+               "frames_in=%llu frames_out=%llu bytes_in=%llu bytes_out=%llu "
+               "reconnects=%llu decode_errors=%llu dropped=%llu\n",
+               self.to_string().c_str(),
+               static_cast<unsigned long long>(engine.gets_served()),
+               static_cast<unsigned long long>(engine.puts_served()),
+               static_cast<unsigned long long>(engine.slices_served()),
+               static_cast<unsigned long long>(stats.frames_in),
+               static_cast<unsigned long long>(stats.frames_out),
+               static_cast<unsigned long long>(stats.bytes_in),
+               static_cast<unsigned long long>(stats.bytes_out),
+               static_cast<unsigned long long>(stats.reconnects),
+               static_cast<unsigned long long>(stats.decode_errors),
+               static_cast<unsigned long long>(host.dropped_frames()));
+  return 0;
+}
