@@ -1,8 +1,11 @@
-// Quickstart for the TCP deployment layer: a 2-DC x 2-partition cluster of
-// TcpNodeHosts behind real localhost sockets (ephemeral ports), driven by
-// blocking TcpSessions — the in-process twin of a `poccd` + `pocc_loadgen`
-// deployment (see README "Running a real cluster"). Everything here is the
-// same engine code the simulator runs; only the host differs.
+// Quickstart for the TCP deployment layer: a 2-DC x 2-partition cluster
+// hosted by TWO multi-partition TcpNodeHosts (one per DC, both partitions on
+// a small worker pool) behind real localhost sockets (ephemeral ports),
+// driven by blocking TcpSessions — the in-process twin of a `poccd` +
+// `pocc_loadgen` deployment (see README "Running a real cluster").
+// Everything here is the same engine code the simulator runs; only the host
+// differs: cross-partition traffic within a DC is an in-process queue push,
+// inter-DC replication rides coalesced Batch frames.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -18,20 +21,26 @@ int main() {
   layout.topology.partitions_per_dc = 2;
   layout.system = rt::System::kPocc;
 
-  // Bind every node on an ephemeral port, then tell everyone where everyone
+  // One host per DC on an ephemeral port, then tell everyone where everyone
   // else ended up (a poccd deployment reads the same layout from a file).
   std::vector<std::unique_ptr<net::TcpNodeHost>> hosts;
   for (DcId dc = 0; dc < layout.topology.num_dcs; ++dc) {
+    net::ProcessSpec spec;
+    spec.dc = dc;
+    spec.parts = {0, 1};
+    spec.threads = 2;
+    spec.host = "127.0.0.1";
+    net::TcpNodeHost::Options opt;
+    opt.seed = 1 + hosts.size();
+    hosts.push_back(std::make_unique<net::TcpNodeHost>(spec, layout, opt));
+    spec.port = hosts.back()->port();
+    layout.processes.push_back(spec);
     for (PartitionId p = 0; p < layout.topology.partitions_per_dc; ++p) {
-      net::TcpNodeHost::Options opt;
-      opt.seed = 1 + hosts.size();
-      hosts.push_back(
-          std::make_unique<net::TcpNodeHost>(NodeId{dc, p}, layout, opt));
-      layout.nodes.push_back(net::NodeAddress{
-          NodeId{dc, p}, "127.0.0.1", hosts.back()->port()});
+      layout.nodes.push_back(
+          net::NodeAddress{NodeId{dc, p}, "127.0.0.1", spec.port});
     }
   }
-  for (auto& host : hosts) host->start(layout.nodes);
+  for (auto& host : hosts) host->start(layout.processes);
 
   net::TcpClientPool dc0(layout, 0);
   net::TcpClientPool dc1(layout, 1);

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# End-to-end deployment check: launch a real 3-DC x 2-partition poccd cluster
-# on localhost (one process per node), run the causal-consistency smoke and a
-# checked load through pocc_loadgen, then tear everything down. Non-zero exit
-# on any failure; server logs and the BENCH_tcp_loadgen.json artifact are
-# left in OUT_DIR (CI uploads them).
+# End-to-end deployment check: launch a real 3-DC poccd cluster on localhost
+# — ONE multi-partition process per DC (2 partitions on E2E_THREADS workers
+# each, the group topology) — run the causal-consistency smoke and a checked
+# load through pocc_loadgen, then tear everything down. Non-zero exit on any
+# failure; server logs and the BENCH_tcp_loadgen.json artifact are left in
+# OUT_DIR (CI uploads them). When a committed baseline exists, the loadgen
+# throughput/latency delta vs bench/baselines/BENCH_tcp_loadgen.json is
+# printed (non-gating unless E2E_REQUIRE_SPEEDUP=1).
 #
 # usage: scripts/e2e_local_cluster.sh [BUILD_DIR] [OUT_DIR]
 # env:   E2E_BASE_PORT (7450)  E2E_SYSTEM (pocc)  E2E_DURATION_S (5)
-#        E2E_CLIENTS (4)
+#        E2E_CLIENTS (8)  E2E_CONNECTIONS (2)  E2E_THREADS (2)
+#        E2E_REQUIRE_SPEEDUP (0)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -15,7 +19,10 @@ OUT_DIR="${2:-e2e-out}"
 BASE_PORT="${E2E_BASE_PORT:-7450}"
 SYSTEM="${E2E_SYSTEM:-pocc}"
 DURATION_S="${E2E_DURATION_S:-5}"
-CLIENTS="${E2E_CLIENTS:-4}"
+CLIENTS="${E2E_CLIENTS:-8}"
+CONNECTIONS="${E2E_CONNECTIONS:-2}"
+THREADS="${E2E_THREADS:-2}"
+REQUIRE_SPEEDUP="${E2E_REQUIRE_SPEEDUP:-0}"
 DCS=3
 PARTS=2
 
@@ -36,10 +43,8 @@ CFG="$OUT_DIR/cluster.cfg"
   echo "stabilization_us 10000"
   port="$BASE_PORT"
   for dc in $(seq 0 $((DCS - 1))); do
-    for part in $(seq 0 $((PARTS - 1))); do
-      echo "node $dc $part 127.0.0.1:$port"
-      port=$((port + 1))
-    done
+    echo "node dc=$dc parts=0-$((PARTS - 1)) threads=$THREADS addr=127.0.0.1:$port"
+    port=$((port + 1))
   done
 } > "$CFG"
 echo "e2e: cluster config:" && cat "$CFG"
@@ -59,19 +64,17 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "e2e: launching $((DCS * PARTS)) poccd processes"
+echo "e2e: launching $DCS poccd processes (one per DC, $PARTS partitions x $THREADS workers each)"
 for dc in $(seq 0 $((DCS - 1))); do
-  for part in $(seq 0 $((PARTS - 1))); do
-    "$BUILD_DIR/poccd" --config "$CFG" --dc "$dc" --part "$part" \
-      > "$OUT_DIR/poccd_${dc}_${part}.log" 2>&1 &
-    PIDS+=($!)
-  done
+  "$BUILD_DIR/poccd" --config "$CFG" --dc "$dc" \
+    > "$OUT_DIR/poccd_dc${dc}.log" 2>&1 &
+  PIDS+=($!)
 done
 
 echo "e2e: waiting for all node ports to listen"
 for attempt in $(seq 1 100); do
   up=1
-  for offset in $(seq 0 $((DCS * PARTS - 1))); do
+  for offset in $(seq 0 $((DCS - 1))); do
     port=$((BASE_PORT + offset))
     if ! (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
       up=0
@@ -90,11 +93,27 @@ done
 echo "e2e: causal smoke (read-your-writes + WC-DEP chain across DCs)"
 "$BUILD_DIR/pocc_loadgen" --config "$CFG" --mode smoke --client-base 100000
 
-echo "e2e: checked load ($CLIENTS clients/DC for ${DURATION_S}s)"
+echo "e2e: checked load ($CLIENTS client threads x $CONNECTIONS connections per DC for ${DURATION_S}s)"
 "$BUILD_DIR/pocc_loadgen" --config "$CFG" --mode load \
-  --clients "$CLIENTS" --duration-s "$DURATION_S" \
+  --threads "$CLIENTS" --connections "$CONNECTIONS" \
+  --duration-s "$DURATION_S" \
   --out "$OUT_DIR/BENCH_tcp_loadgen.json" --client-base 1
 cat "$OUT_DIR/BENCH_tcp_loadgen.json"
+
+BASELINE="bench/baselines/BENCH_tcp_loadgen.json"
+if [[ -f "$BASELINE" ]]; then
+  echo "e2e: throughput/latency delta vs the committed single-thread baseline"
+  scripts/perf_delta.sh "$OUT_DIR/BENCH_tcp_loadgen.json" "$BASELINE" || true
+  if [[ "$REQUIRE_SPEEDUP" == "1" ]]; then
+    cur="$(sed -n 's/.*"ops_per_sec":\([0-9][0-9.]*\).*/\1/p' "$OUT_DIR/BENCH_tcp_loadgen.json")"
+    base="$(sed -n 's/.*"ops_per_sec":\([0-9][0-9.]*\).*/\1/p' "$BASELINE")"
+    if ! awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c > b) }'; then
+      echo "e2e: FAIL — multi-threaded throughput ($cur ops/s) does not beat the baseline ($base ops/s)" >&2
+      exit 6
+    fi
+    echo "e2e: throughput beats the single-thread baseline ($cur > $base ops/s)"
+  fi
+fi
 
 echo "e2e: verifying every poccd survived the run"
 for pid in "${PIDS[@]}"; do
@@ -112,4 +131,6 @@ for pid in "${PIDS[@]}"; do
   wait "$pid" || true
 done
 PIDS=()
+echo "e2e: aggregated exit stats (per process):"
+grep -h "exiting" "$OUT_DIR"/poccd_dc*.log || true
 echo "e2e: PASS"

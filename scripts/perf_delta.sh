@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
-# Print the delta between a fresh perf_smoke JSON line and the committed
-# baseline (bench/baselines/BENCH_perf_smoke.json). Informational only — CI
-# runs it non-gating so the perf trajectory is visible on every push without
-# flaking on runner noise.
+# Print the delta between a fresh bench JSON line and its committed baseline.
+# Handles both artifact kinds:
+#   * perf_smoke      (bench/baselines/BENCH_perf_smoke.json)   — simulator
+#   * tcp_loadgen     (bench/baselines/BENCH_tcp_loadgen.json)  — e2e cluster
+# Informational only — CI runs it non-gating so the perf trajectory is
+# visible on every push without flaking on runner noise.
 #
-# usage: scripts/perf_delta.sh CURRENT.json [BASELINE.json]
+# usage: perf_delta.sh CURRENT.json [BASELINE.json]
 set -euo pipefail
 
 CURRENT="${1:?usage: perf_delta.sh CURRENT.json [BASELINE.json]}"
-BASELINE="${2:-bench/baselines/BENCH_perf_smoke.json}"
 
-if [[ ! -f "$CURRENT" || ! -f "$BASELINE" ]]; then
-  echo "perf_delta: missing $CURRENT or $BASELINE" >&2
+if [[ ! -f "$CURRENT" ]]; then
+  echo "perf_delta: missing $CURRENT" >&2
   exit 1
 fi
 
@@ -19,9 +20,25 @@ extract() { # file key -> numeric value (empty if absent)
   sed -n 's/.*"'"$2"'":\([0-9][0-9.]*\).*/\1/p' "$1"
 }
 
-echo "perf_smoke delta vs committed baseline ($BASELINE)"
-echo "(positive % = larger than baseline; wall_ms/peak_rss_kb lower is better)"
-for key in sim_ops_per_sec events_per_sec wall_ms peak_rss_kb; do
+# Key set AND default baseline depend on the bench that produced the line.
+if grep -q '"bench":"tcp_loadgen"' "$CURRENT"; then
+  BASELINE="${2:-bench/baselines/BENCH_tcp_loadgen.json}"
+  KEYS="ops_per_sec get_p50_us get_p99_us put_p50_us put_p99_us failures"
+  NOTE="(positive % = larger than baseline; ops_per_sec higher is better, latencies lower)"
+else
+  BASELINE="${2:-bench/baselines/BENCH_perf_smoke.json}"
+  KEYS="sim_ops_per_sec events_per_sec wall_ms peak_rss_kb"
+  NOTE="(positive % = larger than baseline; wall_ms/peak_rss_kb lower is better)"
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "perf_delta: missing $BASELINE" >&2
+  exit 1
+fi
+
+echo "perf delta vs committed baseline ($BASELINE)"
+echo "$NOTE"
+for key in $KEYS; do
   cur="$(extract "$CURRENT" "$key")"
   base="$(extract "$BASELINE" "$key")"
   if [[ -z "$cur" || -z "$base" ]]; then

@@ -1,13 +1,27 @@
 #include "net/cluster_config.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
 namespace pocc::net {
 
+bool ProcessSpec::hosts(NodeId node) const {
+  return node.dc == dc &&
+         std::find(parts.begin(), parts.end(), node.part) != parts.end();
+}
+
 const NodeAddress* ClusterLayout::find(NodeId node) const {
   for (const NodeAddress& a : nodes) {
     if (a.node == node) return &a;
+  }
+  return nullptr;
+}
+
+const ProcessSpec* ClusterLayout::process_for(NodeId node) const {
+  for (const ProcessSpec& p : processes) {
+    if (p.hosts(node)) return &p;
   }
   return nullptr;
 }
@@ -69,6 +83,101 @@ bool parse_host_port(const std::string& spec, std::string* host,
   }
   if (value == 0 || value > 65'535) return false;
   *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  // from_chars reports overflow (result_out_of_range), so absurdly large
+  // values are rejected instead of silently wrapping mod 2^64.
+  if (s.empty()) return false;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// "0-3" (range), "0,2,5" (list) or "4" (single) -> sorted partition ids.
+bool parse_parts(const std::string& spec, std::vector<PartitionId>* out) {
+  out->clear();
+  const std::size_t dash = spec.find('-');
+  if (dash != std::string::npos) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    if (!parse_u64(spec.substr(0, dash), &lo) ||
+        !parse_u64(spec.substr(dash + 1), &hi) || hi < lo || hi >= 4096) {
+      return false;
+    }
+    for (std::uint64_t p = lo; p <= hi; ++p) {
+      out->push_back(static_cast<PartitionId>(p));
+    }
+    return true;
+  }
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string tok =
+        spec.substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    std::uint64_t p = 0;
+    if (!parse_u64(tok, &p) || p >= 4096) return false;
+    out->push_back(static_cast<PartitionId>(p));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  std::sort(out->begin(), out->end());
+  return !out->empty() &&
+         std::adjacent_find(out->begin(), out->end()) == out->end();
+}
+
+/// Group form: `node dc=0 parts=0-3 threads=4 addr=host:port`.
+bool parse_group_node(std::istringstream& ls, const std::string& first_token,
+                      ProcessSpec* spec, std::string* why) {
+  bool saw_dc = false;
+  bool saw_parts = false;
+  bool saw_addr = false;
+  std::string token = first_token;
+  do {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      *why = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    std::uint64_t v = 0;
+    if (key == "dc") {
+      if (!parse_u64(value, &v) || v >= kMaxDcs) {
+        *why = "bad dc '" + value + "'";
+        return false;
+      }
+      spec->dc = static_cast<DcId>(v);
+      saw_dc = true;
+    } else if (key == "parts") {
+      if (!parse_parts(value, &spec->parts)) {
+        *why = "bad parts '" + value + "' (want N, N-M or N,M,...)";
+        return false;
+      }
+      saw_parts = true;
+    } else if (key == "threads") {
+      if (!parse_u64(value, &v) || v < 1 || v > 1024) {
+        *why = "threads must be 1..1024";
+        return false;
+      }
+      spec->threads = static_cast<std::uint32_t>(v);
+    } else if (key == "addr") {
+      if (!parse_host_port(value, &spec->host, &spec->port)) {
+        *why = "bad address '" + value + "'";
+        return false;
+      }
+      saw_addr = true;
+    } else {
+      *why = "unknown key '" + key + "'";
+      return false;
+    }
+  } while (ls >> token);
+  if (!saw_dc || !saw_parts || !saw_addr) {
+    *why = "group node needs dc=, parts= and addr=";
+    return false;
+  }
   return true;
 }
 
@@ -168,20 +277,35 @@ std::optional<ClusterLayout> parse_cluster_config(std::istream& in,
       }
       layout.protocol.put_dependency_wait = v == 1;
     } else if (keyword == "node") {
-      std::uint64_t dc = 0;
-      std::uint64_t part = 0;
-      std::string addr;
-      if (!(ls >> dc >> part >> addr)) {
-        fail(error, line_no, "expected: node DC PART HOST:PORT");
+      std::string first;
+      if (!(ls >> first)) {
+        fail(error, line_no, "empty node line");
         return std::nullopt;
       }
-      NodeAddress na;
-      na.node = NodeId{static_cast<DcId>(dc), static_cast<PartitionId>(part)};
-      if (!parse_host_port(addr, &na.host, &na.port)) {
-        fail(error, line_no, "bad address '" + addr + "'");
-        return std::nullopt;
+      ProcessSpec spec;
+      if (first.find('=') != std::string::npos) {
+        std::string why;
+        if (!parse_group_node(ls, first, &spec, &why)) {
+          fail(error, line_no, why);
+          return std::nullopt;
+        }
+      } else {
+        // Legacy positional form: node DC PART HOST:PORT.
+        std::uint64_t dc = 0;
+        std::uint64_t part = 0;
+        std::string addr;
+        if (!parse_u64(first, &dc) || !(ls >> part >> addr)) {
+          fail(error, line_no, "expected: node DC PART HOST:PORT");
+          return std::nullopt;
+        }
+        spec.dc = static_cast<DcId>(dc);
+        spec.parts = {static_cast<PartitionId>(part)};
+        if (!parse_host_port(addr, &spec.host, &spec.port)) {
+          fail(error, line_no, "bad address '" + addr + "'");
+          return std::nullopt;
+        }
       }
-      layout.nodes.push_back(std::move(na));
+      layout.processes.push_back(std::move(spec));
     } else {
       fail(error, line_no, "unknown keyword '" + keyword + "'");
       return std::nullopt;
@@ -191,18 +315,22 @@ std::optional<ClusterLayout> parse_cluster_config(std::istream& in,
     if (error != nullptr) *error = "missing dcs/partitions declaration";
     return std::nullopt;
   }
-  for (const NodeAddress& a : layout.nodes) {
-    if (a.node.dc >= layout.topology.num_dcs ||
-        a.node.part >= layout.topology.partitions_per_dc) {
-      if (error != nullptr) {
-        *error = "node " + a.node.to_string() + " outside the topology";
+  for (const ProcessSpec& p : layout.processes) {
+    for (const PartitionId part : p.parts) {
+      if (p.dc >= layout.topology.num_dcs ||
+          part >= layout.topology.partitions_per_dc) {
+        if (error != nullptr) {
+          *error = "node " + NodeId{p.dc, part}.to_string() +
+                   " outside the topology";
+        }
+        return std::nullopt;
       }
-      return std::nullopt;
+      layout.nodes.push_back(NodeAddress{NodeId{p.dc, part}, p.host, p.port});
     }
   }
   if (!layout.complete()) {
     if (error != nullptr) {
-      *error = "need exactly one node line per (dc, partition) pair";
+      *error = "every (dc, partition) pair needs exactly one hosting process";
     }
     return std::nullopt;
   }
@@ -238,9 +366,31 @@ std::string format_cluster_config(const ClusterLayout& layout) {
       << layout.protocol.ha_stabilization_interval_us << "\n";
   out << "put_dependency_wait "
       << (layout.protocol.put_dependency_wait ? 1 : 0) << "\n";
-  for (const NodeAddress& a : layout.nodes) {
-    out << "node " << a.node.dc << " " << a.node.part << " " << a.host << ":"
-        << a.port << "\n";
+  for (const ProcessSpec& p : layout.processes) {
+    if (p.parts.size() == 1 && p.threads == 1) {
+      out << "node " << p.dc << " " << p.parts.front() << " " << p.host << ":"
+          << p.port << "\n";
+      continue;
+    }
+    out << "node dc=" << p.dc << " parts=";
+    // Contiguous runs render as a range, anything else as a list.
+    bool contiguous = true;
+    for (std::size_t i = 1; i < p.parts.size(); ++i) {
+      if (p.parts[i] != p.parts[i - 1] + 1) {
+        contiguous = false;
+        break;
+      }
+    }
+    if (contiguous && p.parts.size() > 1) {
+      out << p.parts.front() << "-" << p.parts.back();
+    } else {
+      for (std::size_t i = 0; i < p.parts.size(); ++i) {
+        if (i > 0) out << ",";
+        out << p.parts[i];
+      }
+    }
+    out << " threads=" << p.threads << " addr=" << p.host << ":" << p.port
+        << "\n";
   }
   return out.str();
 }

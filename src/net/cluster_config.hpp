@@ -1,5 +1,5 @@
 // Cluster layout for the TCP deployment: which engine runs, the M x N
-// topology, and the host:port every node listens on. Parsed from the poccd
+// topology, and which process hosts which partitions. Parsed from the poccd
 // config file format (one file shared by every process of a deployment):
 //
 //   # comment / blank lines ignored
@@ -13,9 +13,15 @@
 //   block_timeout_us 500000
 //   ha_stabilization_us 100000
 //   put_dependency_wait 1
+//   # one line per PROCESS — either the multi-partition group form
+//   node dc=0 parts=0-1 threads=2 addr=127.0.0.1:7450
+//   node dc=1 parts=0-1 threads=2 addr=127.0.0.1:7451
+//   node dc=2 parts=0,1 threads=2 addr=127.0.0.1:7452
+//   # ... or the legacy one-partition-per-process form
 //   node 0 0 127.0.0.1:7450
-//   node 0 1 127.0.0.1:7451
-//   ...                    # exactly dcs x partitions node lines
+//
+// Every (dc, partition) pair must be hosted by exactly one process; a
+// process's partitions all belong to its one data center.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +42,31 @@ struct NodeAddress {
   std::uint16_t port = 0;
 };
 
+/// One poccd process: the partitions of one DC it hosts, its worker-thread
+/// count, and the address it listens on.
+struct ProcessSpec {
+  DcId dc = 0;
+  std::vector<PartitionId> parts;  // sorted, non-empty
+  std::uint32_t threads = 1;
+  std::string host;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool hosts(NodeId node) const;
+};
+
 struct ClusterLayout {
   TopologyConfig topology;
   rt::System system = rt::System::kPocc;
   ProtocolConfig protocol;
+  /// Per-node dial addresses (derived from `processes` when parsing; group
+  /// members share their process's address). Kept because clients dial per
+  /// partition.
   std::vector<NodeAddress> nodes;
+  /// Per-process hosting specs — the deployment's unit of launch.
+  std::vector<ProcessSpec> processes;
 
   [[nodiscard]] const NodeAddress* find(NodeId node) const;
+  [[nodiscard]] const ProcessSpec* process_for(NodeId node) const;
   /// True when every (dc, partition) pair has exactly one address.
   [[nodiscard]] bool complete() const;
 };
@@ -56,7 +80,9 @@ std::optional<ClusterLayout> load_cluster_config(const std::string& path,
                                                  std::string* error);
 
 /// Render `layout` in the config file format (used by tests and the e2e
-/// harness to generate deployments programmatically).
+/// harness to generate deployments programmatically). Multi-partition or
+/// multi-threaded processes emit the group form, single-partition ones the
+/// legacy positional form.
 std::string format_cluster_config(const ClusterLayout& layout);
 
 [[nodiscard]] const char* system_name(rt::System system);

@@ -179,6 +179,7 @@ TcpClientPool::TcpClientPool(ClusterLayout layout, DcId dc,
               [this](ConnId c, proto::Frame f) { on_frame(c, std::move(f)); },
               nullptr,
               nullptr,
+              nullptr,
           },
           TcpTransport::Options{}) {
   POCC_ASSERT(dc_ < layout_.topology.num_dcs);

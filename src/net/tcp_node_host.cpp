@@ -1,5 +1,6 @@
 #include "net/tcp_node_host.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -7,73 +8,122 @@
 #include "cure/cure_server.hpp"
 #include "ha/ha_pocc_server.hpp"
 #include "pocc/pocc_server.hpp"
+#include "store/key_space.hpp"
 
 namespace pocc::net {
 
-TcpNodeHost::TcpNodeHost(NodeId self, const ClusterLayout& layout,
+namespace {
+
+/// Per-process rng seed, distinct across the deployment's hosts. Asserts
+/// here (rather than in the constructor body) because the member
+/// initializer list needs the first hosted partition.
+std::uint64_t host_seed(const ProcessSpec& spec, std::uint64_t seed) {
+  POCC_ASSERT_MSG(!spec.parts.empty(), "a host serves at least one partition");
+  const std::uint64_t flat =
+      (static_cast<std::uint64_t>(spec.dc) << 32) | spec.parts.front();
+  return seed ^ (flat * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+}
+
+}  // namespace
+
+TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
                          Options options)
-    : self_(self),
+    : self_(std::move(self)),
       layout_(layout),
       opt_(options),
-      rng_(options.seed ^ (flat(self) * 0x9e3779b97f4a7c15ULL)),
+      rng_(host_seed(self_, options.seed)),
       transport_(
           TcpTransport::Callbacks{
               [this](ConnId c, proto::Frame f) { on_frame(c, std::move(f)); },
               nullptr,
               [this](ConnId c) { on_disconnected(c); },
+              [this] { on_tick(); },
           },
-          TcpTransport::Options{}) {
-  POCC_ASSERT_MSG(self.dc < layout_.topology.num_dcs &&
-                      self.part < layout_.topology.partitions_per_dc,
-                  "node id outside the layout topology");
+          [&options] {
+            TcpTransport::Options t;
+            t.tick_interval_us = options.batch.max_delay_us;
+            return t;
+          }()) {
+  POCC_ASSERT_MSG(self_.dc < layout_.topology.num_dcs,
+                  "host dc outside the layout topology");
+  for (const PartitionId p : self_.parts) {
+    POCC_ASSERT_MSG(p < layout_.topology.partitions_per_dc,
+                    "hosted partition outside the layout topology");
+  }
   transport_.listen(opt_.listen_port);
 
-  node_ = std::make_unique<rt::RtNode>(self_, *this, opt_.clock, rng_);
-  std::unique_ptr<server::ReplicaBase> engine;
-  switch (layout_.system) {
-    case rt::System::kPocc:
-      engine = std::make_unique<PoccServer>(self_, layout_.topology,
+  rt::NodeGroup::Options group_opt;
+  group_opt.threads = self_.threads;
+  group_opt.clock = opt_.clock;
+  group_opt.seed = rng_.next();
+  group_ = std::make_unique<rt::NodeGroup>(self_.dc, self_.parts, *this,
+                                           group_opt);
+  tx_coordinator_part_ = group_->hosts(NodeId{self_.dc, 0})
+                             ? 0
+                             : group_->partitions().front();
+
+  group_->install_engines([this](NodeId id, server::Context& ctx)
+                              -> std::unique_ptr<server::ReplicaBase> {
+    switch (layout_.system) {
+      case rt::System::kPocc:
+        return std::make_unique<PoccServer>(id, layout_.topology,
                                             layout_.protocol, ServiceConfig{},
-                                            *node_);
-      break;
-    case rt::System::kCure:
-      engine = std::make_unique<CureServer>(self_, layout_.topology,
+                                            ctx);
+      case rt::System::kCure:
+        return std::make_unique<CureServer>(id, layout_.topology,
                                             layout_.protocol, ServiceConfig{},
-                                            *node_);
-      break;
-    case rt::System::kHaPocc:
-      engine = std::make_unique<HaPoccServer>(self_, layout_.topology,
+                                            ctx);
+      case rt::System::kHaPocc:
+        return std::make_unique<HaPoccServer>(id, layout_.topology,
                                               layout_.protocol,
-                                              ServiceConfig{}, *node_);
-      break;
-  }
-  node_->install_engine(std::move(engine));
+                                              ServiceConfig{}, ctx);
+    }
+    POCC_ASSERT_MSG(false, "unknown system");
+    return nullptr;
+  });
 }
 
 TcpNodeHost::~TcpNodeHost() { stop(); }
 
-void TcpNodeHost::start() { start(layout_.nodes); }
+void TcpNodeHost::start() { start(layout_.processes); }
 
-void TcpNodeHost::start(const std::vector<NodeAddress>& peers) {
+void TcpNodeHost::start(const std::vector<ProcessSpec>& peers) {
   {
     std::lock_guard lk(mu_);
     POCC_ASSERT_MSG(!started_, "start() called twice");
     started_ = true;
-    for (const NodeAddress& peer : peers) {
-      if (peer.node == self_) continue;
-      const ConnId conn = transport_.connect_peer(peer.host, peer.port);
-      std::vector<std::uint8_t> hello;
-      proto::encode(proto::NodeHello{self_}, hello);
-      transport_.set_greeting(conn, std::move(hello));
-      peer_conn_[flat(peer.node)] = conn;
+  }
+  for (const ProcessSpec& peer : peers) {
+    if (peer.dc == self_.dc && peer.parts == self_.parts) continue;  // self
+    auto link = std::make_unique<Link>();
+    link->spec = peer;
+    link->conn = transport_.connect_peer(peer.host, peer.port);
+    std::vector<std::uint8_t> hello;
+    proto::encode(proto::NodeHello{NodeId{self_.dc, self_.parts.front()}},
+                  hello);
+    transport_.set_greeting(link->conn, std::move(hello));
+    link->batcher =
+        std::make_unique<LinkBatcher>(transport_, link->conn, opt_.batch);
+    for (const PartitionId p : peer.parts) {
+      const bool inserted =
+          link_by_node_.emplace(flat(NodeId{peer.dc, p}), link.get()).second;
+      POCC_ASSERT_MSG(inserted, "two processes host the same (dc, partition)");
     }
-    POCC_ASSERT_MSG(
-        peer_conn_.size() + 1 == layout_.topology.total_nodes(),
-        "peer list must cover every other node of the topology");
+    links_.push_back(std::move(link));
+  }
+  // Every node of the topology must be reachable: hosted here or linked.
+  for (DcId dc = 0; dc < layout_.topology.num_dcs; ++dc) {
+    for (PartitionId p = 0; p < layout_.topology.partitions_per_dc; ++p) {
+      const NodeId node{dc, p};
+      POCC_ASSERT_MSG(group_->hosts(node) || link_by_node_.contains(flat(node)),
+                      "peer list must cover every node of the topology");
+    }
   }
   transport_.start();
-  node_->start();
-  log("serving on port " + std::to_string(port()));
+  group_->start();
+  log("serving " + std::to_string(self_.parts.size()) + " partitions on " +
+      std::to_string(group_->threads()) + " workers, port " +
+      std::to_string(port()));
 }
 
 void TcpNodeHost::stop() {
@@ -82,8 +132,16 @@ void TcpNodeHost::stop() {
     if (!started_) return;
     started_ = false;
   }
-  node_->stop();
+  group_->stop();
+  // Push out whatever the workers staged before the sockets close.
+  for (const auto& link : links_) link->batcher->flush();
   transport_.stop();
+}
+
+BatchStats TcpNodeHost::batch_stats() const {
+  BatchStats total;
+  for (const auto& link : links_) total += link->batcher->stats();
+  return total;
 }
 
 std::uint64_t TcpNodeHost::dropped_frames() const {
@@ -93,33 +151,16 @@ std::uint64_t TcpNodeHost::dropped_frames() const {
 
 void TcpNodeHost::log(const std::string& what) const {
   if (!opt_.verbose) return;
-  std::fprintf(stderr, "[poccd %s] %s\n", self_.to_string().c_str(),
-               what.c_str());
+  std::fprintf(stderr, "[poccd dc%u] %s\n", self_.dc, what.c_str());
 }
 
 void TcpNodeHost::route(NodeId from, NodeId to, proto::Message m) {
-  if (to == self_) {
-    // Loopback (e.g. a partition reporting to itself as DC aggregator).
-    node_->enqueue(from, std::move(m));
-    return;
-  }
-  std::vector<std::uint8_t> frame;
-  proto::encode(m, frame);
-  ConnId conn = kInvalidConn;
-  {
-    std::lock_guard lk(mu_);
-    auto it = peer_conn_.find(flat(to));
-    if (it != peer_conn_.end()) conn = it->second;
-  }
-  POCC_ASSERT_MSG(conn != kInvalidConn, "send to a node outside the layout");
-  if (!transport_.send(conn, std::move(frame))) {
-    // Outbox overflow: the peer stopped draining long past the backpressure
-    // cap. Dropping here breaks FIFO for that link, so surface it loudly.
-    std::lock_guard lk(mu_);
-    ++dropped_;
-    log("OVERFLOW: dropped " + std::string(proto::message_name(m)) + " to " +
-        to.to_string());
-  }
+  // NodeGroup short-circuits hosted destinations, so everything here leaves
+  // the process. links_/link_by_node_ are immutable once the workers run.
+  auto it = link_by_node_.find(flat(to));
+  POCC_ASSERT_MSG(it != link_by_node_.end(),
+                  "send to a node outside the layout");
+  it->second->batcher->add(from, to, m);
 }
 
 void TcpNodeHost::route_to_client(NodeId /*from*/, ClientId client,
@@ -145,6 +186,47 @@ void TcpNodeHost::route_to_client(NodeId /*from*/, ClientId client,
   }
 }
 
+void TcpNodeHost::on_tick() {
+  // Time axis of the flush policy: whatever the size thresholds left staged
+  // goes out at most one tick late.
+  for (const auto& link : links_) link->batcher->flush();
+}
+
+void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m) {
+  // Client requests carry no destination node — the process dispatches by
+  // key placement (the client dialed this process because it hosts the
+  // partition; recompute instead of trusting the connection).
+  ClientId client = 0;
+  PartitionId part = 0;
+  if (const auto* get = std::get_if<proto::GetReq>(&m)) {
+    client = get->client;
+    part = store::KeySpace::global().partition(
+        get->key, layout_.topology.partitions_per_dc,
+        layout_.topology.partition_scheme);
+  } else if (const auto* put = std::get_if<proto::PutReq>(&m)) {
+    client = put->client;
+    part = store::KeySpace::global().partition(
+        put->key, layout_.topology.partitions_per_dc,
+        layout_.topology.partition_scheme);
+  } else if (const auto* tx = std::get_if<proto::RoTxReq>(&m)) {
+    client = tx->client;
+    part = tx_coordinator_part_;
+  }
+  const NodeId to{self_.dc, part};
+  if (!group_->hosts(to)) {
+    std::lock_guard lk(mu_);
+    ++dropped_;
+    log("dropped " + std::string(proto::message_name(m)) +
+        " for partition this process does not host");
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    client_conn_[client] = conn;
+  }
+  group_->enqueue(to, to, std::move(m));
+}
+
 void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
   if (const auto* hello = std::get_if<proto::NodeHello>(&frame)) {
     std::lock_guard lk(mu_);
@@ -156,36 +238,47 @@ void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
     client_conn_[hello->client] = conn;
     return;
   }
-  auto& m = std::get<proto::Message>(frame);
-
-  // Client requests bind their session to the connection they arrived on
-  // (replies and SessionCloseds route back over it); everything else must
-  // come from a peer that already greeted.
-  ClientId request_client = 0;
-  if (const auto* get = std::get_if<proto::GetReq>(&m)) {
-    request_client = get->client;
-  } else if (const auto* put = std::get_if<proto::PutReq>(&m)) {
-    request_client = put->client;
-  } else if (const auto* tx = std::get_if<proto::RoTxReq>(&m)) {
-    request_client = tx->client;
-  }
-
-  NodeId from = self_;
-  if (request_client != 0) {
-    std::lock_guard lk(mu_);
-    client_conn_[request_client] = conn;
-  } else {
-    std::lock_guard lk(mu_);
-    auto it = conn_peer_.find(conn);
-    if (it == conn_peer_.end()) {
-      ++dropped_;
-      log("dropped " + std::string(proto::message_name(m)) +
-          " from un-greeted connection");
-      return;
+  if (auto* batch = std::get_if<proto::BatchFrame>(&frame)) {
+    // Admission: server-to-server traffic is only accepted from connections
+    // that greeted with NodeHello (the transport replays the greeting ahead
+    // of buffered frames on every (re)connect) — a client connection must
+    // not be able to inject spoofed replication/GC traffic.
+    {
+      std::lock_guard lk(mu_);
+      if (!conn_peer_.contains(conn)) {
+        dropped_ += batch->items.size();
+        log("dropped batch from un-greeted connection");
+        return;
+      }
     }
-    from = it->second;
+    for (proto::RoutedMessage& item : batch->items) {
+      if (!group_->hosts(item.to)) {
+        std::lock_guard lk(mu_);
+        ++dropped_;
+        log("dropped batched " + std::string(proto::message_name(item.msg)) +
+            " addressed to " + item.to.to_string());
+        continue;
+      }
+      group_->enqueue(item.from, item.to, std::move(item.msg));
+    }
+    return;
   }
-  node_->enqueue(from, std::move(m));
+
+  auto& m = std::get<proto::Message>(frame);
+  const bool is_client_request = std::holds_alternative<proto::GetReq>(m) ||
+                                 std::holds_alternative<proto::PutReq>(m) ||
+                                 std::holds_alternative<proto::RoTxReq>(m);
+  if (is_client_request) {
+    dispatch_client_request(conn, std::move(m));
+    return;
+  }
+  // Server-to-server traffic always rides Batch frames (explicit routing
+  // envelopes); a bare protocol message from a peer has no well-defined
+  // destination in a multi-partition process.
+  std::lock_guard lk(mu_);
+  ++dropped_;
+  log("dropped unbatched " + std::string(proto::message_name(m)) +
+      " from a peer connection");
 }
 
 void TcpNodeHost::on_disconnected(ConnId conn) {

@@ -1,23 +1,31 @@
-// One protocol node served over real TCP: the building block of `poccd` (one
-// process per node) and of the in-process e2e tests (many hosts, one
-// process — same code path, real sockets either way).
+// One protocol PROCESS served over real TCP: since the multi-partition
+// runtime landed, a host carries every partition its ProcessSpec names —
+// all partitions of a data center in the standard 3-process deployment —
+// on an rt::NodeGroup worker pool. This is the building block of `poccd`
+// (one process per DC) and of the in-process e2e tests (several hosts, one
+// test process — same code path, real sockets either way).
 //
-// Composition: a TcpTransport (sockets + framing + reconnect) feeding an
-// rt::RtNode (the threaded engine host from runtime/), with this class as
-// the rt::Router in between — where rt::Cluster moves a message onto its
-// in-memory delay line, this host encodes it onto the peer's socket. The
-// engine cannot tell the difference (server::Context is identical), which is
-// the point: the TCP deployment runs the very same protocol code the
-// simulator validates.
+// Composition: a TcpTransport (sockets + framing + reconnect + flush tick)
+// feeding an rt::NodeGroup (partitions pinned to worker threads), with this
+// class as the rt::Router in between — where rt::Cluster moves a message
+// onto its in-memory delay line, this host stages it into the destination
+// link's LinkBatcher. The engines cannot tell the difference
+// (server::Context is identical), which is the point: the TCP deployment
+// runs the very same protocol code the simulator validates.
 //
-// Identity on the wire:
-//   * to each peer node this host keeps one persistent outbound connection,
-//     greeting with NodeHello{self} so the peer can attribute inbound frames
-//     (the transport re-sends the greeting on every reconnect, before any
-//     buffered frames);
-//   * client connections are identified lazily — every client request frame
-//     binds its client id to the connection it arrived on; replies (and
-//     HA-POCC SessionCloseds) go back over that connection.
+// Wire identity and addressing:
+//   * to each peer PROCESS this host keeps one persistent outbound
+//     connection, greeting with NodeHello{first hosted node} so logs can
+//     attribute the link (the transport re-sends the greeting on every
+//     reconnect, before any buffered frames);
+//   * all server-to-server traffic rides Batch frames whose per-message
+//     envelopes carry explicit (from, to) NodeIds — connection identity no
+//     longer names the endpoints when both sides host several partitions;
+//   * client requests arrive as plain Message frames; each binds its client
+//     id to the connection it arrived on (replies and HA-POCC
+//     SessionCloseds go back over it), and is dispatched to the hosted
+//     partition that owns the request (key placement for GET/PUT, the
+//     DC-local coordinator partition for RO-TX).
 #pragma once
 
 #include <cstdint>
@@ -30,7 +38,7 @@
 #include "common/rng.hpp"
 #include "net/cluster_config.hpp"
 #include "net/tcp_transport.hpp"
-#include "runtime/rt_node.hpp"
+#include "runtime/node_group.hpp"
 #include "server/replica_base.hpp"
 
 namespace pocc::net {
@@ -42,59 +50,83 @@ class TcpNodeHost final : public rt::Router {
     std::uint16_t listen_port = 0;
     std::uint64_t seed = 1;
     ClockConfig clock = ClockConfig::perfect();
+    /// Replication coalescing thresholds (see BatchPolicy).
+    BatchPolicy batch;
     /// Log connection events and dropped frames to stderr.
     bool verbose = false;
   };
 
   /// Binds the listening socket immediately (port() is valid afterwards);
-  /// serving starts with start().
-  TcpNodeHost(NodeId self, const ClusterLayout& layout, Options options);
+  /// serving starts with start(). `self` must name partitions of one DC
+  /// inside the layout topology.
+  TcpNodeHost(ProcessSpec self, const ClusterLayout& layout, Options options);
   ~TcpNodeHost() override;
 
   TcpNodeHost(const TcpNodeHost&) = delete;
   TcpNodeHost& operator=(const TcpNodeHost&) = delete;
 
   [[nodiscard]] std::uint16_t port() const { return transport_.listen_port(); }
-  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] DcId dc() const { return group_->dc(); }
+  [[nodiscard]] const ProcessSpec& spec() const { return self_; }
 
-  /// Dial every peer in `peers` (ignoring the entry for self, if present) and
-  /// start the engine. `peers` defaults to the layout's addresses; tests pass
-  /// the post-bind ephemeral ports instead.
+  /// Dial every peer process in `peers` (ignoring the entry for self) and
+  /// start the worker pool. `peers` defaults to the layout's processes;
+  /// tests pass the post-bind ephemeral ports instead.
   void start();
-  void start(const std::vector<NodeAddress>& peers);
+  void start(const std::vector<ProcessSpec>& peers);
   void stop();
 
   /// Engine access for post-shutdown inspection (not thread-safe while
   /// running).
-  server::ReplicaBase& engine() { return node_->engine(); }
+  server::ReplicaBase& engine(PartitionId part) {
+    return group_->engine(part);
+  }
+  rt::NodeGroup& group() { return *group_; }
+
   [[nodiscard]] TransportStats transport_stats() const {
     return transport_.stats();
   }
-  /// Frames that arrived for an unknown peer / departed client (diagnostic).
+  /// Batching accounting summed over every peer link.
+  [[nodiscard]] BatchStats batch_stats() const;
+  /// Frames that arrived for an unknown partition / departed client.
   [[nodiscard]] std::uint64_t dropped_frames() const;
 
-  // --- rt::Router (called from the node thread) ---
+  // --- rt::Router (called from the worker threads) ---
   void route(NodeId from, NodeId to, proto::Message m) override;
   void route_to_client(NodeId from, ClientId client,
                        proto::Message m) override;
 
  private:
+  struct Link {
+    ProcessSpec spec;
+    ConnId conn = kInvalidConn;
+    std::unique_ptr<LinkBatcher> batcher;
+  };
+
   void on_frame(ConnId conn, proto::Frame frame);
   void on_disconnected(ConnId conn);
+  void on_tick();
+  void dispatch_client_request(ConnId conn, proto::Message m);
   void log(const std::string& what) const;
   [[nodiscard]] static std::uint64_t flat(NodeId n) {
     return (static_cast<std::uint64_t>(n.dc) << 32) | n.part;
   }
 
-  NodeId self_;
+  ProcessSpec self_;
   ClusterLayout layout_;
   Options opt_;
   Rng rng_;
   TcpTransport transport_;
-  std::unique_ptr<rt::RtNode> node_;
+  std::unique_ptr<rt::NodeGroup> group_;
+  /// Partition coordinating RO-TXs for this DC (0 when hosted, else the
+  /// lowest hosted partition — the one clients dial for transactions).
+  PartitionId tx_coordinator_part_ = 0;
+
+  // Immutable once start() returns (workers read them lock-free).
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::uint64_t, Link*> link_by_node_;
 
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, ConnId> peer_conn_;  // flat(node) -> conn
   std::unordered_map<ConnId, NodeId> conn_peer_;  // inbound, via NodeHello
   std::unordered_map<ClientId, ConnId> client_conn_;
   std::uint64_t dropped_ = 0;

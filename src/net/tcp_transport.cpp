@@ -298,6 +298,11 @@ void TcpTransport::run() {
   std::vector<Delivery> deliveries;
   std::vector<ConnId> to_erase;
 
+  // Batch-flush tick: the poll timeout is clamped to the next tick so staged
+  // batches never wait longer than one interval for the flush callback.
+  const Duration tick_us = opt_.tick_interval_us;
+  Timestamp next_tick = tick_us > 0 ? now_us() + tick_us : 0;
+
   while (true) {
     pfds.clear();
     pfd_conn.clear();
@@ -330,6 +335,9 @@ void TcpTransport::run() {
                    (next_timer == 0 || c.retry_at < next_timer)) {
           next_timer = c.retry_at;
         }
+      }
+      if (tick_us > 0 && (next_timer == 0 || next_tick < next_timer)) {
+        next_timer = next_tick;
       }
       if (next_timer > 0) {
         const Timestamp now2 = now_us();
@@ -438,7 +446,47 @@ void TcpTransport::run() {
     for (const ConnId id : went_down) {
       if (cb_.on_disconnected) cb_.on_disconnected(id);
     }
+    if (tick_us > 0 && now_us() >= next_tick) {
+      next_tick = now_us() + tick_us;
+      if (cb_.on_tick) cb_.on_tick();
+    }
   }
+}
+
+// ------------------------------------------------------------ LinkBatcher ---
+
+void LinkBatcher::add(NodeId from, NodeId to, const proto::Message& m) {
+  std::lock_guard lk(mu_);
+  writer_.add(from, to, m);
+  ++stats_.messages;
+  if (writer_.count() >= policy_.max_messages ||
+      writer_.body_bytes() >= policy_.max_bytes) {
+    flush_locked();
+  }
+}
+
+void LinkBatcher::flush() {
+  std::lock_guard lk(mu_);
+  if (!writer_.empty()) flush_locked();
+}
+
+void LinkBatcher::flush_locked() {
+  stats_.protocol_bytes += writer_.stats().protocol_bytes;
+  stats_.overhead_bytes +=
+      writer_.stats().overhead_bytes + proto::kFrameHeaderBytes;
+  std::vector<std::uint8_t> frame;
+  writer_.flush_to(frame);
+  if (!transport_.send(conn_, std::move(frame))) {
+    // Backpressure overflow: the whole batch is dropped and counted — same
+    // contract as TcpTransport::send for singleton frames.
+    ++stats_.send_failures;
+  }
+  ++stats_.batches;
+}
+
+BatchStats LinkBatcher::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
 }
 
 }  // namespace pocc::net

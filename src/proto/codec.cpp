@@ -247,6 +247,12 @@ class Reader {
   [[nodiscard]] std::size_t remaining() const {
     return static_cast<std::size_t>(end_ - p_);
   }
+  /// Raw read position (batch decoding carves sub-readers out of the body).
+  [[nodiscard]] const std::uint8_t* cursor() const { return p_; }
+  /// Advance past `n` bytes the caller consumed through a sub-reader.
+  void skip(std::size_t n) {
+    if (need(n, "skipped bytes")) p_ += n;
+  }
 
   void fail(std::string msg) {
     if (ok_) {
@@ -360,6 +366,45 @@ class Reader {
   bool ok_ = true;
   std::string error_;
 };
+
+Frame decode_body(Reader& r, WireType type);
+
+/// One routed sub-message of a Batch body: envelope, sub-length, then a full
+/// (version + type + payload) message body. Only protocol messages are legal
+/// — control frames and nested batches are corruption.
+bool decode_batch_item(Reader& r, RoutedMessage* out) {
+  out->from = r.node();
+  out->to = r.node();
+  const std::uint32_t len = r.u32();
+  if (!r.ok()) return false;
+  if (len < 2 || len > r.remaining()) {
+    r.fail("truncated batch item");
+    return false;
+  }
+  Reader sub(r.cursor(), len);
+  const std::uint8_t version = sub.u8();
+  if (version != kWireVersion) {
+    r.fail("unsupported wire version inside batch");
+    return false;
+  }
+  const std::uint8_t type = sub.u8();
+  if (type > static_cast<std::uint8_t>(WireType::kGssBroadcast)) {
+    r.fail("batch item is not a protocol message");
+    return false;
+  }
+  Frame f = decode_body(sub, static_cast<WireType>(type));
+  if (!sub.ok()) {
+    r.fail(sub.error());
+    return false;
+  }
+  if (sub.remaining() != 0) {
+    r.fail("trailing bytes in batch item");
+    return false;
+  }
+  r.skip(len);
+  out->msg = std::move(std::get<Message>(f));
+  return true;
+}
 
 Frame decode_body(Reader& r, WireType type) {
   switch (type) {
@@ -489,6 +534,27 @@ Frame decode_body(Reader& r, WireType type) {
       h.client = r.u64();
       return Frame{h};
     }
+    case WireType::kBatch: {
+      const std::uint32_t n = r.u32();
+      BatchFrame batch;
+      if (!r.ok()) return Frame{};
+      if (n == 0) {
+        r.fail("empty batch");
+        return Frame{};
+      }
+      // Each item costs at least its envelope + a 2-byte sub-body.
+      if (n > r.remaining() / (kBatchItemOverheadBytes + 2) + 1) {
+        r.fail("implausible batch count");
+        return Frame{};
+      }
+      batch.items.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        RoutedMessage item;
+        if (!decode_batch_item(r, &item)) return Frame{};
+        batch.items.push_back(std::move(item));
+      }
+      return Frame{std::move(batch)};
+    }
   }
   r.fail("unknown message type " + std::to_string(static_cast<int>(type)));
   return Frame{};
@@ -497,7 +563,8 @@ Frame decode_body(Reader& r, WireType type) {
 bool known_type(std::uint8_t t) {
   return t <= static_cast<std::uint8_t>(WireType::kGssBroadcast) ||
          t == static_cast<std::uint8_t>(WireType::kNodeHello) ||
-         t == static_cast<std::uint8_t>(WireType::kClientHello);
+         t == static_cast<std::uint8_t>(WireType::kClientHello) ||
+         t == static_cast<std::uint8_t>(WireType::kBatch);
 }
 
 /// Reserve the length prefix, encode via `fn`, then patch the prefix.
@@ -546,6 +613,74 @@ std::size_t encode(const ClientHello& h, std::vector<std::uint8_t>& out) {
     w.u64(h.client, Charge::kYes);
     return w.charged();
   });
+}
+
+// ------------------------------------------------------------- batching ----
+
+BatchWriter::BatchWriter() = default;
+
+void BatchWriter::add(NodeId from, NodeId to, const Message& m) {
+  if (buf_.empty()) {
+    // Lazily start the staged body: outer version + type + count placeholder
+    // (patched by flush_to). All of it is batching overhead, never §V
+    // protocol bytes — the per-message version/type live in the sub-bodies.
+    buf_.push_back(kWireVersion);
+    buf_.push_back(static_cast<std::uint8_t>(WireType::kBatch));
+    buf_.insert(buf_.end(), 4, 0);
+    stats_.overhead_bytes += kBatchHeaderOverheadBytes;
+  }
+  Writer w(buf_);
+  w.u32(from.dc, Charge::kNo);
+  w.u32(from.part, Charge::kNo);
+  w.u32(to.dc, Charge::kNo);
+  w.u32(to.part, Charge::kNo);
+  const std::size_t len_at = buf_.size();
+  w.u32(0, Charge::kNo);  // sub-body length, patched below
+  const std::size_t sub_start = buf_.size();
+  std::visit(EncodeVisitor{w}, m);
+  const std::size_t sub_len = buf_.size() - sub_start;
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf_[len_at + i] = static_cast<std::uint8_t>(sub_len >> (8 * i));
+  }
+  // Same honesty rule as standalone frames: the charged bytes of every
+  // batched message must equal its wire_size().
+  POCC_ASSERT_MSG(w.charged() == wire_size(m),
+                  "batched protocol bytes diverged from wire_size()");
+  stats_.protocol_bytes += w.charged();
+  stats_.overhead_bytes += kBatchItemOverheadBytes;
+  ++count_;
+}
+
+std::size_t BatchWriter::flush_to(std::vector<std::uint8_t>& out) {
+  POCC_ASSERT_MSG(count_ > 0, "flushing an empty batch");
+  const std::size_t count = count_;
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf_[2 + i] = static_cast<std::uint8_t>(count >> (8 * i));
+  }
+  const std::size_t body = buf_.size();
+  POCC_ASSERT_MSG(body <= kMaxFrameBytes, "batch exceeds kMaxFrameBytes");
+  out.reserve(out.size() + kFrameHeaderBytes + body);
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    out.push_back(static_cast<std::uint8_t>(body >> (8 * i)));
+  }
+  out.insert(out.end(), buf_.begin(), buf_.end());
+  buf_.clear();
+  count_ = 0;
+  stats_ = BatchEncodeStats{};
+  return body;
+}
+
+std::size_t encode(const BatchFrame& batch, std::vector<std::uint8_t>& out,
+                   BatchEncodeStats* stats) {
+  BatchWriter w;
+  for (const RoutedMessage& item : batch.items) {
+    w.add(item.from, item.to, item.msg);
+  }
+  if (stats != nullptr) {
+    *stats = w.stats();
+    stats->overhead_bytes += kFrameHeaderBytes;
+  }
+  return w.flush_to(out);
 }
 
 DecodeResult decode_frame(const std::uint8_t* data, std::size_t len) {

@@ -37,7 +37,9 @@
 namespace pocc::proto {
 
 /// Bumped on any incompatible layout change; receivers reject mismatches.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: Batch frames (coalesced server-to-server traffic with explicit
+/// per-message (from, to) routing envelopes — multi-partition hosting).
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Size of the frame length prefix preceding every body.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -66,6 +68,7 @@ enum class WireType : std::uint8_t {
   kGssBroadcast = 14,
   kNodeHello = 200,
   kClientHello = 201,
+  kBatch = 202,
 };
 
 /// First frame on a server-to-server connection: who is dialing in. Lets the
@@ -80,8 +83,35 @@ struct ClientHello {
   ClientId client = 0;
 };
 
+/// One protocol message with its routing envelope, as carried inside a Batch
+/// frame. Multi-partition hosts need the explicit (from, to) pair: a link
+/// connects two *processes*, each hosting several (dc, partition) nodes, so
+/// connection identity alone no longer names the endpoints.
+struct RoutedMessage {
+  NodeId from;
+  NodeId to;
+  Message msg;
+};
+
+/// Coalesced server-to-server traffic: every message a process accumulated
+/// for one peer link since the last flush rides a single wire frame (Okapi /
+/// Cure-style interval batching — amortizes the per-frame cost of update
+/// propagation and stabilization traffic). Only protocol Messages may ride in
+/// a batch; control frames and nested batches are rejected by the decoder.
+struct BatchFrame {
+  std::vector<RoutedMessage> items;
+};
+
+/// Per-envelope batching overhead in body bytes: from(8) + to(8) + the u32
+/// sub-body length. The sub-body itself re-carries version + type, which are
+/// already charged as protocol bytes by wire_size().
+inline constexpr std::size_t kBatchItemOverheadBytes = 8 + 8 + 4;
+
+/// Batch body bytes that are not per-item: outer version + type + u32 count.
+inline constexpr std::size_t kBatchHeaderOverheadBytes = 1 + 1 + 4;
+
 /// Everything one frame can carry.
-using Frame = std::variant<Message, NodeHello, ClientHello>;
+using Frame = std::variant<Message, NodeHello, ClientHello, BatchFrame>;
 
 /// Append one frame (length prefix + body) carrying `m` to `out`. Returns the
 /// body size in bytes. Asserts that the charged protocol bytes equal
@@ -90,6 +120,52 @@ std::size_t encode(const Message& m, std::vector<std::uint8_t>& out);
 
 std::size_t encode(const NodeHello& h, std::vector<std::uint8_t>& out);
 std::size_t encode(const ClientHello& h, std::vector<std::uint8_t>& out);
+
+/// Byte split of one encoded batch: `protocol` is what wire_size() charges
+/// across the contained messages (§V accounting, identical to sending each
+/// message as its own frame); `overhead` is everything batching added — the
+/// routing envelopes, sub-lengths, the batch header and the frame length
+/// prefix. Tracked separately so the deployment can report how much framing
+/// the coalescing policy costs/saves (docs/DESIGN.md deviation 8).
+struct BatchEncodeStats {
+  std::size_t protocol_bytes = 0;
+  std::size_t overhead_bytes = 0;
+};
+
+/// Append one Batch frame carrying `batch` to `out`. Returns the body size.
+/// Asserts the batch is non-empty and contains no RouteProbe. `stats`, when
+/// given, receives the protocol/overhead byte split (including the length
+/// prefix in overhead).
+std::size_t encode(const BatchFrame& batch, std::vector<std::uint8_t>& out,
+                   BatchEncodeStats* stats = nullptr);
+
+/// Incremental Batch encoder for the per-link coalescing path: each add()
+/// serializes the message straight into the staged frame (no second copy at
+/// flush time), so the flush policy can bound batches by *exact* wire bytes.
+/// flush_to() completes the frame and resets the writer for the next batch.
+class BatchWriter {
+ public:
+  BatchWriter();
+
+  /// Encode one routed message into the staged batch.
+  void add(NodeId from, NodeId to, const Message& m);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Staged body size so far (what the wire frame's body will be).
+  [[nodiscard]] std::size_t body_bytes() const { return buf_.size(); }
+  /// Protocol/overhead split of the staged bytes (prefix not yet included).
+  [[nodiscard]] const BatchEncodeStats& stats() const { return stats_; }
+
+  /// Append the completed frame (length prefix + staged body) to `out` and
+  /// reset to empty. Asserts at least one message was staged.
+  std::size_t flush_to(std::vector<std::uint8_t>& out);
+
+ private:
+  std::vector<std::uint8_t> buf_;  // staged body: header + items
+  std::size_t count_ = 0;
+  BatchEncodeStats stats_;
+};
 
 struct DecodeResult {
   enum class Status {

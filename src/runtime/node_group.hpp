@@ -1,0 +1,179 @@
+// Multi-partition, multi-threaded runtime host: every partition engine of
+// one data center lives in ONE process, pinned onto a pool of worker
+// threads. This is the DC-scale generalization of rt::RtNode (one thread =
+// one engine), and what a `poccd` process hosts since the 3-process
+// deployment (one process per DC) replaced the one-process-per-partition
+// layout.
+//
+// Threading model (docs/ARCHITECTURE.md, "Threading model"):
+//   * partitions are THREAD-AFFINE: partition p is served by worker
+//     p mod M forever — an engine's state (PartitionStore, VV, parking lot)
+//     is only ever touched by its worker, so the protocol hot path takes no
+//     locks beyond each worker's inbox mutex;
+//   * each worker owns one MPSC inbox (common::Ring under a mutex — the same
+//     ring the simulator's CpuQueue uses) fed by the TCP transport thread
+//     and by sibling workers;
+//   * cross-partition messages between two partitions of the group never
+//     touch a socket: Slot::send() detects a locally-hosted destination and
+//     pushes straight into the target worker's inbox (the intra-DC
+//     SliceReq/GC/stabilization traffic of Alg. 2 becomes a queue push);
+//   * timers are per-worker (armed and fired only on the owning worker
+//     thread, like rt::RtNode).
+//
+// Everything leaving the group — messages to other processes and client
+// replies — flows through the rt::Router seam, exactly as with RtNode; the
+// TCP host batches those per peer link (net/tcp_node_host.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "clock/physical_clock.hpp"
+#include "common/config.hpp"
+#include "common/ring.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+#include "runtime/rt_node.hpp"
+#include "server/context.hpp"
+#include "server/replica_base.hpp"
+
+namespace pocc::rt {
+
+/// Aggregate over every engine of the group (poccd exit stats, tests).
+struct NodeGroupStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t slices = 0;
+  std::uint64_t parked = 0;
+  /// Cross-partition messages delivered in-process (never hit a socket).
+  std::uint64_t local_deliveries = 0;
+};
+
+class NodeGroup {
+ public:
+  struct Options {
+    /// Worker threads the partitions are pinned onto (clamped to the number
+    /// of partitions; 0 means one worker per partition).
+    std::uint32_t threads = 1;
+    ClockConfig clock = ClockConfig::perfect();
+    std::uint64_t seed = 1;
+  };
+
+  /// Builds one engine bound to `ctx` (its partition-private Context).
+  using EngineFactory = std::function<std::unique_ptr<server::ReplicaBase>(
+      NodeId, server::Context&)>;
+
+  /// The group hosts `parts` of data center `dc`; `router` carries
+  /// everything addressed outside the group.
+  NodeGroup(DcId dc, std::vector<PartitionId> parts, Router& router,
+            Options options);
+  ~NodeGroup();
+
+  NodeGroup(const NodeGroup&) = delete;
+  NodeGroup& operator=(const NodeGroup&) = delete;
+
+  /// Instantiate every partition's engine. Call once, before start().
+  void install_engines(const EngineFactory& make);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] DcId dc() const { return dc_; }
+  [[nodiscard]] const std::vector<PartitionId>& partitions() const {
+    return parts_;
+  }
+  [[nodiscard]] std::uint32_t threads() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  [[nodiscard]] bool hosts(NodeId node) const {
+    return node.dc == dc_ && node.part < by_part_.size() &&
+           by_part_[node.part] != nullptr;
+  }
+
+  /// Deliver one message to a hosted partition (thread-safe; the TCP host
+  /// calls this from the transport thread, workers from each other).
+  void enqueue(NodeId from, NodeId to, proto::Message m);
+
+  /// Engine access for post-shutdown inspection (not thread-safe while
+  /// running).
+  server::ReplicaBase& engine(PartitionId part);
+
+  /// Sum over all hosted engines. Only stable after stop() — engine counters
+  /// belong to their worker threads while running.
+  [[nodiscard]] NodeGroupStats stats() const;
+
+  /// Cross-partition messages delivered in-process so far (thread-safe).
+  [[nodiscard]] std::uint64_t local_deliveries() const {
+    return local_deliveries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker;
+
+  /// Per-partition server::Context: the engine's private seam to its clock,
+  /// its worker's timer heap and the group's routing.
+  struct Slot final : server::Context {
+    Slot(NodeGroup& group, NodeId self, const ClockConfig& clock_cfg,
+         Rng& seeder);
+
+    Timestamp clock_now() override { return clock.read(steady_now_us()); }
+    Timestamp clock_peek() override { return clock.peek(steady_now_us()); }
+    Timestamp time() override { return steady_now_us(); }
+    void send(NodeId to, proto::Message m) override;
+    void reply(ClientId client, proto::Message m) override;
+    void set_timer(Duration delay, std::uint64_t timer_id) override;
+
+    NodeGroup& group;
+    NodeId self;
+    PhysicalClock clock;
+    Worker* worker = nullptr;
+    std::unique_ptr<server::ReplicaBase> engine;
+  };
+
+  struct Incoming {
+    NodeId from;
+    Slot* slot = nullptr;
+    proto::Message msg;
+  };
+  struct Timer {
+    Timestamp at = 0;
+    Slot* slot = nullptr;
+    std::uint64_t id = 0;
+    bool operator>(const Timer& o) const { return at > o.at; }
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    common::Ring<Incoming> inbox;  // MPSC: any thread pushes, owner pops
+    bool stopping = false;
+    // Armed and fired exclusively on this worker's thread.
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
+    std::vector<Slot*> slots;
+    std::thread thread;
+  };
+
+  void run_worker(Worker& w);
+
+  DcId dc_;
+  std::vector<PartitionId> parts_;
+  Router& router_;
+  Options opt_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Slot*> by_part_;  // index: PartitionId
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> local_deliveries_{0};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace pocc::rt

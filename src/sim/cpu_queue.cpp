@@ -7,21 +7,6 @@
 
 namespace pocc::sim {
 
-void CpuQueue::JobRing::grow() {
-  const std::size_t cap = cap_ == 0 ? 16 : cap_ * 2;
-  // Default-init (new Job[cap]), not value-init: the latter would zero every
-  // job's ~200-byte inline buffer.
-  std::unique_ptr<Job[]> bigger(new Job[cap]);
-  const std::size_t n = tail_ - head_;
-  for (std::size_t i = 0; i < n; ++i) {
-    bigger[i] = std::move(ring_[(head_ + i) & (cap_ - 1)]);
-  }
-  ring_ = std::move(bigger);
-  cap_ = cap;
-  head_ = 0;
-  tail_ = n;
-}
-
 CpuQueue::CpuQueue(Simulator& simulator, std::uint32_t cores,
                    std::uint32_t background_share_den)
     : sim_(simulator),

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/inline_function.hpp"
+#include "common/ring.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 
@@ -49,33 +50,12 @@ class CpuQueue {
   static constexpr std::size_t kJobInline = 48;
   using Job = common::InlineFunction<Duration(), kJobInline>;
 
-  /// FIFO of waiting jobs. A power-of-two ring over contiguous storage:
-  /// std::deque would allocate a 512-byte node per two Jobs (a Job is
-  /// ~200 bytes), putting one malloc/free back on the busy-server path.
-  /// Callables emplace directly into their ring cell (no temporary Job).
-  class JobRing {
-   public:
-    [[nodiscard]] bool empty() const { return head_ == tail_; }
-    [[nodiscard]] std::size_t size() const { return tail_ - head_; }
-    template <typename F>
-    void push_back(F&& job) {
-      if (tail_ - head_ == cap_) grow();
-      ring_[tail_++ & (cap_ - 1)] = std::forward<F>(job);
-    }
-    Job pop_front() {
-      Job j = std::move(ring_[head_ & (cap_ - 1)]);
-      ++head_;
-      return j;
-    }
-
-   private:
-    void grow();
-
-    std::unique_ptr<Job[]> ring_;  // default-init storage, power-of-two cap
-    std::size_t cap_ = 0;
-    std::size_t head_ = 0;
-    std::size_t tail_ = 0;
-  };
+  /// FIFO of waiting jobs. A power-of-two ring over contiguous storage
+  /// (common/ring.hpp, extracted from here): std::deque would allocate a
+  /// 512-byte node per two Jobs (a Job is ~200 bytes), putting one
+  /// malloc/free back on the busy-server path. Callables emplace directly
+  /// into their ring cell (no temporary Job).
+  using JobRing = common::Ring<Job>;
 
   CpuQueue(Simulator& simulator, std::uint32_t cores,
            std::uint32_t background_share_den = 16);

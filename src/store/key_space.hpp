@@ -10,14 +10,15 @@
 // byte-for-byte identical to the uninterned system. Nothing protocol-visible
 // changes: dependency/version vectors, timestamps and values are untouched.
 //
-// Concurrency: `intern` (and the string-keyed `find`) serialize on a mutex —
-// they are called at the workload/client boundary only. Per-id lookups
-// (`name`, `hash_of`, `partition`) are lock-free: entries live in fixed-size
-// chunks whose pointers are published with release semantics, and an id is
-// only ever looked up by code that received it through a synchronizing
-// channel (the simulator is single-threaded; the threaded runtime moves ids
-// through mutex-protected queues), which orders the entry's construction
-// before the lookup.
+// Concurrency: `intern` (and the string-keyed `find`) serialize on a mutex.
+// Callers span threads freely — the workload/client boundary, the TCP
+// transport thread (codec re-interning on decode) and every rt::NodeGroup
+// worker. Per-id lookups (`name`, `hash_of`, `partition`) are lock-free:
+// entries live in fixed-size chunks whose pointers are published with
+// release semantics before the entry count is (release-)advanced, so any
+// thread that obtained an id — through a queue, a lock, or directly from
+// intern() — observes the fully-constructed entry. Stressed under TSan by
+// tests/store_concurrency_test.cpp.
 #pragma once
 
 #include <atomic>

@@ -5,6 +5,7 @@
 namespace pocc::store {
 
 std::size_t PartitionStore::insert(Version v) {
+  std::unique_lock lk(mu_);
   auto [chain, created] = chains_.try_emplace(v.key);
   const KeyId key = v.key;
   const std::size_t before = chain->size();
@@ -29,6 +30,7 @@ void PartitionStore::rebuild_multi_version() {
 }
 
 StoreStats PartitionStore::stats() const {
+  std::shared_lock lk(mu_);
   StoreStats s;
   s.keys = chains_.size();
   s.versions = versions_;

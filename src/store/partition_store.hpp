@@ -9,9 +9,25 @@
 // Chains are keyed by interned KeyId in an open-addressing flat map (see
 // flat_key_map.hpp): a lookup costs one u32 mix and a short linear probe,
 // instead of hashing and comparing a heap-allocated string.
+//
+// Concurrency (one-writer / concurrent-reader): each partition is owned by
+// exactly one worker thread (rt::NodeGroup pins partitions to workers), and
+// only the owner ever mutates the store. Mutators (insert/gc/purge_if) take
+// the per-shard writer lock; foreign threads read through the shared-locked
+// read_chain()/read_chains()/stats() APIs. The owner's plain reads
+// (find()/chains()/multi_version_keys()) stay lock-free: the owner is the
+// only writer, so its unlocked reads can never race a mutation. There is no
+// global lock anywhere — contention is per shard, and in steady state the
+// writer lock is uncontended. The single-threaded simulator pays the
+// uncontended lock on mutators too; measured on perf_smoke this is inside
+// run-to-run noise (~0-2% of wall), so one store serves every host rather
+// than templating the lock away.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -30,11 +46,15 @@ struct StoreStats {
 
 class PartitionStore {
  public:
+  // ----- owner-thread API (the one writer) -----
+
   /// Insert a version into its key's chain. Returns the insert position
   /// (0 == the new version is the key's freshest).
   std::size_t insert(Version v);
 
   /// Chain for `key`, or nullptr if the key has never been written.
+  /// Owner-thread only: unlocked (the owner is the sole writer); foreign
+  /// threads must use read_chain().
   [[nodiscard]] const VersionChain* find(KeyId key) const;
 
   /// GC pass over keys with more than one version: for each chain, retain the
@@ -42,6 +62,7 @@ class PartitionStore {
   /// (see VersionChain::gc). Returns versions removed.
   template <typename Pred>
   std::uint64_t gc(Pred&& reachable_floor) {
+    std::unique_lock lk(mu_);
     std::uint64_t total_removed = 0;
     for (std::size_t i = 0; i < multi_version_.size();) {
       VersionChain* chain = chains_.find(multi_version_[i]);
@@ -59,12 +80,11 @@ class PartitionStore {
     return total_removed;
   }
 
-  [[nodiscard]] StoreStats stats() const;
-
   /// Remove every version matching `pred` from every chain (HA-POCC's
   /// lost-update discard, §III-B). Returns versions removed.
   template <typename Pred>
   std::uint64_t purge_if(Pred&& pred) {
+    std::unique_lock lk(mu_);
     std::uint64_t removed = 0;
     for (auto& [key, chain] : chains_.entries()) {
       removed += chain.erase_if(pred);
@@ -75,19 +95,45 @@ class PartitionStore {
   }
 
   /// All chains, densely packed (checker/convergence inspection).
+  /// Owner-thread (or post-shutdown) only.
   [[nodiscard]] const std::vector<std::pair<KeyId, VersionChain>>& chains()
       const {
     return chains_.entries();
   }
 
-  /// Keys with >1 version (staleness denominator; unordered).
+  /// Keys with >1 version (staleness denominator; unordered). Owner-thread
+  /// only.
   [[nodiscard]] const std::vector<KeyId>& multi_version_keys() const {
     return multi_version_;
   }
 
+  // ----- foreign-reader API (any thread, concurrent with the writer) -----
+
+  /// Read `key`'s chain under the shared lock: `fn(const VersionChain*)` is
+  /// invoked with nullptr when the key was never written. The pointer is
+  /// valid only inside `fn` — a concurrent insert may grow the map after.
+  template <typename Fn>
+  void read_chain(KeyId key, Fn&& fn) const {
+    std::shared_lock lk(mu_);
+    fn(static_cast<const VersionChain*>(chains_.find(key)));
+  }
+
+  /// Visit every chain under the shared lock (live convergence probes).
+  template <typename Fn>
+  void read_chains(Fn&& fn) const {
+    std::shared_lock lk(mu_);
+    fn(chains_.entries());
+  }
+
+  /// Safe from any thread (shared-locked against the writer).
+  [[nodiscard]] StoreStats stats() const;
+
  private:
   void rebuild_multi_version();
 
+  // Writer lock: exclusive on mutation, shared for foreign readers, not
+  // taken by owner reads (single-writer invariant, see file header).
+  mutable std::shared_mutex mu_;
   FlatKeyMap<VersionChain> chains_;
   std::vector<KeyId> multi_version_;
   std::uint64_t versions_ = 0;

@@ -317,6 +317,80 @@ TEST(CodecFuzz, RandomMessagesRoundTripExactly) {
   }
 }
 
+BatchFrame random_batch(Rng& rng) {
+  BatchFrame batch;
+  const std::size_t n = 1 + rng.uniform(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    RoutedMessage item;
+    item.from = NodeId{static_cast<DcId>(rng.uniform(8)),
+                       static_cast<PartitionId>(rng.uniform(32))};
+    item.to = NodeId{static_cast<DcId>(rng.uniform(8)),
+                     static_cast<PartitionId>(rng.uniform(32))};
+    item.msg = random_message(rng);
+    batch.items.push_back(std::move(item));
+  }
+  return batch;
+}
+
+TEST(CodecFuzz, RandomBatchesRoundTripExactly) {
+  Rng rng(kCampaignSeed + 4);
+  for (int i = 0; i < 500; ++i) {
+    const BatchFrame batch = random_batch(rng);
+    std::vector<std::uint8_t> buf;
+    BatchEncodeStats stats;
+    encode(batch, buf, &stats);
+    // Overhead model must hold for every composition.
+    ASSERT_EQ(stats.overhead_bytes,
+              kBatchHeaderOverheadBytes + kFrameHeaderBytes +
+                  batch.items.size() * kBatchItemOverheadBytes);
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    ASSERT_EQ(res.status, DecodeResult::Status::kOk)
+        << "iteration " << i << ": " << res.error;
+    ASSERT_EQ(res.consumed, buf.size());
+    const auto& decoded = std::get<BatchFrame>(res.frame);
+    ASSERT_EQ(decoded.items.size(), batch.items.size());
+    for (std::size_t j = 0; j < batch.items.size(); ++j) {
+      ASSERT_EQ(decoded.items[j].from, batch.items[j].from);
+      ASSERT_EQ(decoded.items[j].to, batch.items[j].to);
+      ASSERT_TRUE(messages_equal(decoded.items[j].msg, batch.items[j].msg))
+          << "iteration " << i << " item " << j << ": "
+          << message_name(batch.items[j].msg) << " did not round-trip";
+    }
+  }
+}
+
+TEST(CodecFuzz, TruncatedBatchesNeverDecode) {
+  Rng rng(kCampaignSeed + 5);
+  for (int i = 0; i < 60; ++i) {
+    const BatchFrame batch = random_batch(rng);
+    std::vector<std::uint8_t> buf;
+    encode(batch, buf);
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      const DecodeResult res = decode_frame(buf.data(), cut);
+      ASSERT_EQ(res.status, DecodeResult::Status::kNeedMore)
+          << "batch cut at " << cut;
+    }
+  }
+}
+
+TEST(CodecFuzz, BatchByteFlipsNeverCrash) {
+  Rng rng(kCampaignSeed + 6);
+  for (int i = 0; i < 1'000; ++i) {
+    const BatchFrame batch = random_batch(rng);
+    std::vector<std::uint8_t> buf;
+    encode(batch, buf);
+    const std::size_t flips = 1 + rng.uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.uniform(buf.size());
+      buf[at] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    }
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    if (res.status == DecodeResult::Status::kOk) {
+      ASSERT_LE(res.consumed, buf.size());
+    }
+  }
+}
+
 TEST(CodecFuzz, TruncatedFramesNeverDecode) {
   Rng rng(kCampaignSeed + 1);
   for (int i = 0; i < 300; ++i) {

@@ -416,5 +416,189 @@ TEST(Codec, RejectsImplausibleKeyCount) {
   EXPECT_EQ(res.status, DecodeResult::Status::kError);
 }
 
+// ------------------------------------------------------------ Batch frames --
+
+bool messages_equivalent(const Message& a, const Message& b) {
+  // Structural equality via re-encoding: two messages that serialize to the
+  // same bytes are the same message.
+  std::vector<std::uint8_t> ba;
+  std::vector<std::uint8_t> bb;
+  encode(a, ba);
+  encode(b, bb);
+  return ba == bb;
+}
+
+TEST(Codec, BatchRoundTripsRoutedMessages) {
+  BatchFrame batch;
+  Replicate repl;
+  repl.version.key = K("batch:repl");
+  repl.version.value = "payload";
+  repl.version.sr = 1;
+  repl.version.ut = 42;
+  repl.version.dv = vv3();
+  batch.items.push_back(
+      RoutedMessage{NodeId{0, 1}, NodeId{2, 1}, Message{repl}});
+  batch.items.push_back(
+      RoutedMessage{NodeId{0, 0}, NodeId{2, 0}, Message{Heartbeat{0, 99}}});
+  StabReport sr;
+  sr.from = NodeId{0, 1};
+  sr.vv = vv3();
+  batch.items.push_back(
+      RoutedMessage{NodeId{0, 1}, NodeId{0, 0}, Message{sr}});
+
+  std::vector<std::uint8_t> buf;
+  BatchEncodeStats stats;
+  const std::size_t body = encode(batch, buf, &stats);
+  EXPECT_EQ(buf.size(), body + kFrameHeaderBytes);
+
+  const DecodeResult res = decode_frame(buf.data(), buf.size());
+  ASSERT_EQ(res.status, DecodeResult::Status::kOk) << res.error;
+  EXPECT_EQ(res.consumed, buf.size());
+  const auto& decoded = std::get<BatchFrame>(res.frame);
+  ASSERT_EQ(decoded.items.size(), batch.items.size());
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    EXPECT_EQ(decoded.items[i].from, batch.items[i].from) << i;
+    EXPECT_EQ(decoded.items[i].to, batch.items[i].to) << i;
+    EXPECT_TRUE(
+        messages_equivalent(decoded.items[i].msg, batch.items[i].msg))
+        << i;
+  }
+}
+
+TEST(Codec, BatchAccountingSplitsProtocolFromOverhead) {
+  // The §V-charged bytes of a batch must equal the sum of the members'
+  // wire_size() — batching adds framing, never protocol metadata — and the
+  // overhead must be exactly the documented envelope model.
+  BatchFrame batch;
+  std::size_t protocol = 0;
+  for (int i = 0; i < 5; ++i) {
+    Replicate repl;
+    repl.version.key = K("batch:acct:" + std::to_string(i));
+    repl.version.value = "v";
+    repl.version.dv = vv3();
+    protocol += wire_size(Message{repl});
+    batch.items.push_back(
+        RoutedMessage{NodeId{0, 0}, NodeId{1, 0}, Message{repl}});
+  }
+  std::vector<std::uint8_t> buf;
+  BatchEncodeStats stats;
+  const std::size_t body = encode(batch, buf, &stats);
+  EXPECT_EQ(stats.protocol_bytes, protocol);
+  EXPECT_EQ(stats.overhead_bytes,
+            kBatchHeaderOverheadBytes +
+                batch.items.size() * kBatchItemOverheadBytes +
+                kFrameHeaderBytes);
+  // Replicate carries no uncharged transport fields, so the split is exact.
+  EXPECT_EQ(body + kFrameHeaderBytes,
+            stats.protocol_bytes + stats.overhead_bytes);
+}
+
+TEST(Codec, BatchWriterMatchesOneShotEncode) {
+  BatchWriter w;
+  EXPECT_TRUE(w.empty());
+  BatchFrame batch;
+  for (int i = 0; i < 3; ++i) {
+    Heartbeat hb{static_cast<DcId>(i), 1'000 + i};
+    batch.items.push_back(
+        RoutedMessage{NodeId{0, 0}, NodeId{1, 1}, Message{hb}});
+    w.add(NodeId{0, 0}, NodeId{1, 1}, Message{hb});
+  }
+  EXPECT_EQ(w.count(), 3u);
+  std::vector<std::uint8_t> incremental;
+  w.flush_to(incremental);
+  EXPECT_TRUE(w.empty());  // reset for reuse
+  std::vector<std::uint8_t> oneshot;
+  encode(batch, oneshot);
+  EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(Codec, BatchRejectsEmptyNestedAndControlItems) {
+  // Hand-build malformed batches: count 0, a nested batch, a NodeHello item.
+  const auto frame_with_body = [](const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> buf;
+    for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(body.size() >> (8 * i)));
+    }
+    buf.insert(buf.end(), body.begin(), body.end());
+    return buf;
+  };
+  const auto header = [] {
+    std::vector<std::uint8_t> body;
+    body.push_back(kWireVersion);
+    body.push_back(static_cast<std::uint8_t>(WireType::kBatch));
+    return body;
+  };
+
+  {  // count = 0
+    auto body = header();
+    body.insert(body.end(), 4, 0);
+    const auto buf = frame_with_body(body);
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    EXPECT_EQ(res.status, DecodeResult::Status::kError);
+    EXPECT_NE(res.error.find("empty batch"), std::string::npos);
+  }
+  {  // one item whose sub-body is a control frame (NodeHello)
+    auto body = header();
+    body.push_back(1);  // count LE
+    body.insert(body.end(), 3, 0);
+    body.insert(body.end(), 16, 0);  // from/to envelope
+    std::vector<std::uint8_t> sub;
+    sub.push_back(kWireVersion);
+    sub.push_back(static_cast<std::uint8_t>(WireType::kNodeHello));
+    sub.insert(sub.end(), 8, 0);  // NodeId
+    body.push_back(static_cast<std::uint8_t>(sub.size()));
+    body.insert(body.end(), 3, 0);
+    body.insert(body.end(), sub.begin(), sub.end());
+    const auto buf = frame_with_body(body);
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    EXPECT_EQ(res.status, DecodeResult::Status::kError);
+    EXPECT_NE(res.error.find("not a protocol message"), std::string::npos);
+  }
+  {  // nested batch inside a batch
+    auto body = header();
+    body.push_back(1);
+    body.insert(body.end(), 3, 0);
+    body.insert(body.end(), 16, 0);
+    std::vector<std::uint8_t> sub = header();  // a batch sub-body
+    sub.insert(sub.end(), 4, 0);
+    body.push_back(static_cast<std::uint8_t>(sub.size()));
+    body.insert(body.end(), 3, 0);
+    body.insert(body.end(), sub.begin(), sub.end());
+    const auto buf = frame_with_body(body);
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    EXPECT_EQ(res.status, DecodeResult::Status::kError);
+  }
+  {  // implausible item count
+    auto body = header();
+    body.push_back(0xff);
+    body.push_back(0xff);
+    body.push_back(0xff);
+    body.push_back(0x7f);
+    const auto buf = frame_with_body(body);
+    const DecodeResult res = decode_frame(buf.data(), buf.size());
+    EXPECT_EQ(res.status, DecodeResult::Status::kError);
+    EXPECT_NE(res.error.find("implausible batch count"), std::string::npos);
+  }
+}
+
+TEST(Codec, BatchTruncationNeedsMore) {
+  BatchFrame batch;
+  for (int i = 0; i < 3; ++i) {
+    Replicate repl;
+    repl.version.key = K("batch:trunc");
+    repl.version.value = "vvvv";
+    repl.version.dv = vv3();
+    batch.items.push_back(
+        RoutedMessage{NodeId{0, 0}, NodeId{1, 0}, Message{repl}});
+  }
+  std::vector<std::uint8_t> buf;
+  encode(batch, buf);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    const DecodeResult res = decode_frame(buf.data(), cut);
+    EXPECT_EQ(res.status, DecodeResult::Status::kNeedMore)
+        << "batch prefix of " << cut << " bytes must not decode";
+  }
+}
+
 }  // namespace
 }  // namespace pocc::proto

@@ -1,10 +1,12 @@
-// End-to-end TCP deployment: a full 3-DC x 2-partition cluster of
-// TcpNodeHosts behind real localhost sockets (ephemeral ports), driven by
-// TcpClientPool sessions — the same classes poccd / pocc_loadgen are built
-// from, minus the process boundary (scripts/e2e_local_cluster.sh covers that
-// in CI). Verifies read-your-writes, the cross-DC WC-DEP causal chain, and a
-// concurrent mixed load whose full client history replays through the
-// HistoryChecker with zero violations.
+// End-to-end TCP deployment: a 3-DC x 2-partition cluster hosted by THREE
+// multi-partition TcpNodeHosts (one per DC, two worker threads each — the
+// poccd group topology) behind real localhost sockets (ephemeral ports),
+// driven by TcpClientPool sessions — the same classes poccd / pocc_loadgen
+// are built from, minus the process boundary (scripts/e2e_local_cluster.sh
+// covers that in CI). Verifies read-your-writes, the cross-DC WC-DEP causal
+// chain, and a concurrent mixed load whose full client history replays
+// through the HistoryChecker with zero violations — all riding coalesced
+// Batch frames between the hosts and in-process queues within them.
 //
 // Timing assertions are deliberately generous — this suite runs on loaded CI
 // machines.
@@ -44,24 +46,33 @@ ClusterLayout small_layout(rt::System system) {
   return layout;
 }
 
-/// A whole cluster + per-DC client pools, in one process over real TCP.
+/// A whole cluster + per-DC client pools, in one process over real TCP:
+/// one multi-partition host per DC, all partitions on 2 worker threads.
 class Deployment {
  public:
   explicit Deployment(rt::System system) : layout_(small_layout(system)) {
     const auto& topo = layout_.topology;
     std::uint64_t seed = 1;
     for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
+      ProcessSpec spec;
+      spec.dc = dc;
       for (PartitionId p = 0; p < topo.partitions_per_dc; ++p) {
-        TcpNodeHost::Options opt;
-        opt.listen_port = 0;  // ephemeral
-        opt.seed = seed++;
-        hosts_.push_back(
-            std::make_unique<TcpNodeHost>(NodeId{dc, p}, layout_, opt));
-        layout_.nodes.push_back(NodeAddress{
-            NodeId{dc, p}, "127.0.0.1", hosts_.back()->port()});
+        spec.parts.push_back(p);
+      }
+      spec.threads = 2;
+      spec.host = "127.0.0.1";
+      TcpNodeHost::Options opt;
+      opt.listen_port = 0;  // ephemeral
+      opt.seed = seed++;
+      hosts_.push_back(std::make_unique<TcpNodeHost>(spec, layout_, opt));
+      spec.port = hosts_.back()->port();
+      layout_.processes.push_back(spec);
+      for (PartitionId p = 0; p < topo.partitions_per_dc; ++p) {
+        layout_.nodes.push_back(
+            NodeAddress{NodeId{dc, p}, "127.0.0.1", spec.port});
       }
     }
-    for (auto& host : hosts_) host->start(layout_.nodes);
+    for (auto& host : hosts_) host->start(layout_.processes);
     for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
       pools_.push_back(std::make_unique<TcpClientPool>(layout_, dc));
       pools_.back()->start();
@@ -95,6 +106,24 @@ class Deployment {
   std::uint64_t dropped_frames() const {
     std::uint64_t n = 0;
     for (const auto& host : hosts_) n += host->dropped_frames();
+    return n;
+  }
+
+  std::uint64_t local_deliveries() const {
+    std::uint64_t n = 0;
+    for (const auto& host : hosts_) n += host->group().local_deliveries();
+    return n;
+  }
+
+  std::uint64_t batched_messages() const {
+    std::uint64_t n = 0;
+    for (const auto& host : hosts_) n += host->batch_stats().messages;
+    return n;
+  }
+
+  std::uint64_t batch_send_failures() const {
+    std::uint64_t n = 0;
+    for (const auto& host : hosts_) n += host->batch_stats().send_failures;
     return n;
   }
 
@@ -227,6 +256,13 @@ TEST(E2eTcp, ConcurrentLoadReplaysCleanlyPocc) {
   Deployment cluster(rt::System::kPocc);
   run_load(cluster, /*sessions_per_dc=*/2, /*ops_per_session=*/120);
   EXPECT_EQ(cluster.dropped_frames(), 0u);
+  // The multi-partition topology must actually exercise both transports:
+  // intra-DC traffic (GC reports, sibling slices) as in-process pushes,
+  // inter-DC replication as coalesced Batch frames.
+  EXPECT_GT(cluster.local_deliveries(), 0u);
+  EXPECT_GT(cluster.batched_messages(), 0u);
+  EXPECT_EQ(cluster.batch_send_failures(), 0u)
+      << "backpressure dropped replication batches";
   expect_clean_replay(cluster);
 }
 

@@ -1,0 +1,226 @@
+// rt::NodeGroup: several partition engines of one DC pinned onto a worker
+// pool behind per-worker MPSC inboxes (ctest label `concurrency`; runs under
+// ThreadSanitizer in CI).
+//
+// A single-DC topology makes the routing seam fully observable: with no
+// remote replicas, NOTHING may leave the group through Router::route — every
+// cross-partition message (RO-TX slices, GC reports, loopbacks) must be an
+// in-process queue push.
+#include "runtime/node_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pocc/pocc_server.hpp"
+#include "store/key_space.hpp"
+
+namespace pocc::rt {
+namespace {
+
+/// Thread-safe Router double: collects client replies, flags any external
+/// server-to-server route (illegal in a 1-DC group).
+class RecordingRouter final : public Router {
+ public:
+  void route(NodeId /*from*/, NodeId /*to*/, proto::Message /*m*/) override {
+    ++external_routes_;
+  }
+  void route_to_client(NodeId /*from*/, ClientId client,
+                       proto::Message m) override {
+    {
+      std::lock_guard lk(mu_);
+      replies_.emplace_back(client, std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  /// Wait until `n` client replies arrived (false on timeout).
+  bool wait_replies(std::size_t n, Duration timeout_us = 10'000'000) {
+    std::unique_lock lk(mu_);
+    return cv_.wait_for(lk, std::chrono::microseconds(timeout_us),
+                        [&] { return replies_.size() >= n; });
+  }
+
+  std::vector<std::pair<ClientId, proto::Message>> replies() {
+    std::lock_guard lk(mu_);
+    return replies_;
+  }
+
+  [[nodiscard]] std::uint64_t external_routes() const {
+    return external_routes_.load();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<ClientId, proto::Message>> replies_;
+  std::atomic<std::uint64_t> external_routes_{0};
+};
+
+constexpr std::uint32_t kParts = 4;
+
+TopologyConfig one_dc_topology() {
+  return TopologyConfig{1, kParts, PartitionScheme::kHash};
+}
+
+std::unique_ptr<NodeGroup> make_group(Router& router, std::uint32_t threads) {
+  NodeGroup::Options opt;
+  opt.threads = threads;
+  opt.seed = 7;
+  auto group = std::make_unique<NodeGroup>(
+      /*dc=*/0, std::vector<PartitionId>{0, 1, 2, 3}, router, opt);
+  group->install_engines([](NodeId id, server::Context& ctx) {
+    return std::make_unique<PoccServer>(id, one_dc_topology(),
+                                        ProtocolConfig{}, ServiceConfig{},
+                                        ctx);
+  });
+  return group;
+}
+
+PartitionId part_of(KeyId key) {
+  return store::KeySpace::global().partition(key, kParts,
+                                             PartitionScheme::kHash);
+}
+
+proto::PutReq put_req(ClientId client, KeyId key, const std::string& value,
+                      std::uint64_t op_id) {
+  proto::PutReq req;
+  req.client = client;
+  req.key = key;
+  req.value = value;
+  req.dv = VersionVector(1);
+  req.op_id = op_id;
+  return req;
+}
+
+TEST(NodeGroup, ServesEveryPartitionAcrossFewerWorkers) {
+  RecordingRouter router;
+  auto group = make_group(router, /*threads=*/2);
+  EXPECT_EQ(group->threads(), 2u);
+  EXPECT_TRUE(group->hosts(NodeId{0, 3}));
+  EXPECT_FALSE(group->hosts(NodeId{0, kParts}));
+  EXPECT_FALSE(group->hosts(NodeId{1, 0}));
+  group->start();
+
+  // One PUT per partition; every engine must answer through the router.
+  std::uint64_t op = 0;
+  for (PartitionId p = 0; p < kParts; ++p) {
+    // Find a key hashing onto partition p.
+    KeyId key = 0;
+    for (std::uint64_t i = 0;; ++i) {
+      key = store::intern_key("ng:" + std::to_string(p) + ":" +
+                              std::to_string(i));
+      if (part_of(key) == p) break;
+    }
+    const NodeId to{0, p};
+    group->enqueue(to, to,
+                   proto::Message{put_req(100 + p, key, "v", ++op)});
+  }
+  ASSERT_TRUE(router.wait_replies(kParts));
+  group->stop();
+
+  const auto replies = router.replies();
+  ASSERT_EQ(replies.size(), kParts);
+  for (const auto& [client, m] : replies) {
+    EXPECT_TRUE(std::holds_alternative<proto::PutReply>(m));
+  }
+  const NodeGroupStats stats = group->stats();
+  EXPECT_EQ(stats.puts, kParts);
+  EXPECT_EQ(router.external_routes(), 0u)
+      << "a 1-DC group must never route outside the process";
+}
+
+TEST(NodeGroup, CrossPartitionTxIsAnInProcessQueuePush) {
+  RecordingRouter router;
+  auto group = make_group(router, /*threads=*/2);
+  group->start();
+
+  // Two keys on two different partitions, then an RO-TX spanning both,
+  // coordinated by partition 0 (the collocated coordinator, §II-C). The
+  // SliceReq/SliceReply exchange must ride the in-process path.
+  KeyId key_a = 0;
+  KeyId key_b = 0;
+  for (std::uint64_t i = 0;; ++i) {
+    const KeyId k = store::intern_key("ngtx:" + std::to_string(i));
+    if (key_a == 0 && part_of(k) == 1) key_a = k;
+    if (key_b == 0 && part_of(k) == 2) key_b = k;
+    if (key_a != 0 && key_b != 0) break;
+  }
+  const NodeId coord{0, 0};
+  std::uint64_t op = 0;
+  group->enqueue(coord, NodeId{0, 1},
+                 proto::Message{put_req(7, key_a, "a", ++op)});
+  group->enqueue(coord, NodeId{0, 2},
+                 proto::Message{put_req(7, key_b, "b", ++op)});
+  ASSERT_TRUE(router.wait_replies(2));
+
+  proto::RoTxReq tx;
+  tx.client = 7;
+  tx.keys = {key_a, key_b};
+  tx.rdv = VersionVector(1);
+  tx.op_id = ++op;
+  group->enqueue(coord, coord, proto::Message{std::move(tx)});
+  ASSERT_TRUE(router.wait_replies(3));
+  group->stop();
+
+  const auto replies = router.replies();
+  const auto* reply = std::get_if<proto::RoTxReply>(&replies.back().second);
+  ASSERT_NE(reply, nullptr);
+  ASSERT_EQ(reply->items.size(), 2u);
+  for (const auto& item : reply->items) {
+    EXPECT_TRUE(item.found) << store::key_name(item.key);
+  }
+  EXPECT_GT(group->local_deliveries(), 0u)
+      << "slice traffic must use the in-process path";
+  EXPECT_EQ(router.external_routes(), 0u);
+  const NodeGroupStats stats = group->stats();
+  EXPECT_GT(stats.slices, 0u);
+}
+
+TEST(NodeGroup, WorkerCountClampsToPartitions) {
+  RecordingRouter router;
+  NodeGroup::Options opt;
+  opt.threads = 64;
+  NodeGroup group(/*dc=*/2, std::vector<PartitionId>{1, 3}, router, opt);
+  EXPECT_EQ(group.threads(), 2u);
+  EXPECT_TRUE(group.hosts(NodeId{2, 1}));
+  EXPECT_TRUE(group.hosts(NodeId{2, 3}));
+  EXPECT_FALSE(group.hosts(NodeId{2, 0}));
+  EXPECT_FALSE(group.hosts(NodeId{2, 2}));
+
+  NodeGroup::Options one;
+  one.threads = 0;  // 0 = one worker per partition
+  NodeGroup per_part(/*dc=*/0, std::vector<PartitionId>{0, 1, 2}, router,
+                     one);
+  EXPECT_EQ(per_part.threads(), 3u);
+}
+
+TEST(NodeGroup, TimersFirePerPartition) {
+  // Engines arm periodic GC timers at start(); with 4 partitions on one
+  // worker the per-slot timer bookkeeping must drive every engine (the GC
+  // exchange reaches the partition-0 aggregator and returns GcVectors, all
+  // in-process).
+  RecordingRouter router;
+  auto group = make_group(router, /*threads=*/1);
+  group->start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  // ProtocolConfig defaults arm GC on a short interval; wait until the
+  // in-process GC exchange shows up as local deliveries.
+  while (group->local_deliveries() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  group->stop();
+  EXPECT_GT(group->local_deliveries(), 0u)
+      << "periodic GC reports never reached the aggregator in-process";
+  EXPECT_EQ(router.external_routes(), 0u);
+}
+
+}  // namespace
+}  // namespace pocc::rt

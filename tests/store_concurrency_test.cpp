@@ -1,0 +1,165 @@
+// Concurrency stress for the one-writer/concurrent-reader store contract
+// (ctest label `concurrency`; run under ThreadSanitizer in CI).
+//
+// The multi-partition runtime pins each PartitionStore to one worker (the
+// single writer) while other threads may sample it live through the
+// shared-locked reader API, and every worker interns keys into the shared
+// KeySpace concurrently. These tests hammer exactly those two boundaries and
+// assert structural invariants that would break under a torn read.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "store/key_space.hpp"
+#include "store/partition_store.hpp"
+#include "store/version_chain.hpp"
+
+namespace pocc::store {
+namespace {
+
+TEST(StoreConcurrency, OneWriterManyReaders) {
+  PartitionStore store;
+  constexpr std::uint64_t kKeys = 512;
+  constexpr int kReaders = 4;
+
+  std::vector<KeyId> keys;
+  keys.reserve(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    keys.push_back(intern_key("conc:" + std::to_string(k)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  // Foreign readers: live sampling through the shared-locked API only.
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(0xBEEF + static_cast<std::uint64_t>(r));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const KeyId key = keys[rng.uniform(kKeys)];
+        store.read_chain(key, [&](const VersionChain* chain) {
+          if (chain == nullptr) return;
+          // Invariants that tear under a racing mutation: chains are
+          // freshest-first and never empty.
+          ASSERT_GT(chain->size(), 0u);
+          const auto& versions = chain->versions();
+          for (std::size_t i = 1; i < versions.size(); ++i) {
+            ASSERT_TRUE(versions[i - 1].fresher_than(versions[i]));
+          }
+        });
+        const StoreStats s = store.stats();
+        ASSERT_GE(s.versions + s.gc_removed, s.multi_version_keys);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The single writer: inserts and periodic GC, like a worker thread.
+  Rng rng(42);
+  std::uint64_t inserted = 0;
+  for (int round = 0; round < 40'000; ++round) {
+    Version v;
+    v.key = keys[rng.uniform(kKeys)];
+    v.value = "v" + std::to_string(round);
+    v.sr = static_cast<DcId>(rng.uniform(3));
+    v.ut = static_cast<Timestamp>(round + 1);
+    v.dv = VersionVector(3);
+    store.insert(std::move(v));
+    ++inserted;
+    if (round % 4'096 == 4'095) {
+      // GC down to the freshest version of every chain.
+      store.gc([](const Version&) { return true; });
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  const StoreStats s = store.stats();
+  EXPECT_EQ(s.versions + s.gc_removed, inserted);
+  EXPECT_GT(reads.load(), 0u);
+  // Post-join, the owner API must agree with the locked stats.
+  EXPECT_EQ(s.keys, store.chains().size());
+}
+
+TEST(StoreConcurrency, ConcurrentInternAndLookup) {
+  // Worker threads intern overlapping key ranges (idempotence under the
+  // intern mutex) while concurrently resolving ids they already own through
+  // the lock-free per-id lookups.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kRange = 4'000;
+  KeySpace& ks = KeySpace::global();
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<KeyId>> ids(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x5EED + static_cast<std::uint64_t>(t));
+      ids[t].reserve(kRange);
+      for (std::uint64_t i = 0; i < kRange; ++i) {
+        // Overlapping ranges: every key is interned by several threads.
+        const std::string name =
+            "ci:" + std::to_string((i * 7 + static_cast<std::uint64_t>(t)) %
+                                   kRange);
+        const KeyId id = ks.intern(name);
+        ids[t].push_back(id);
+        // Lock-free lookups on ids this thread legitimately holds.
+        ASSERT_EQ(ks.name(id), name);
+        ASSERT_EQ(ks.hash_of(id), ks.hash_of(id));
+        const KeyId other = ids[t][rng.uniform(ids[t].size())];
+        ASSERT_FALSE(ks.name(other).empty());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Idempotence across threads: same string -> same id everywhere.
+  for (std::uint64_t i = 0; i < kRange; ++i) {
+    const std::string name = "ci:" + std::to_string(i);
+    const KeyId id = ks.find(name);
+    ASSERT_NE(id, kInvalidKeyId);
+    for (int t = 0; t < kThreads; ++t) {
+      // Every thread that interned `name` must have received `id`; verify by
+      // re-interning (pure lookup now).
+      ASSERT_EQ(ks.intern(name), id);
+    }
+  }
+}
+
+TEST(StoreConcurrency, ReadersSeeConsistentStatsDuringPurge) {
+  // purge_if rewrites every chain (HA-POCC lost-update discard); foreign
+  // stats sampling must never observe an intermediate count.
+  PartitionStore store;
+  const KeyId key = intern_key("purge:key");
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const StoreStats s = store.stats();
+      ASSERT_LE(s.multi_version_keys, s.keys);
+    }
+  });
+  Rng rng(7);
+  for (int round = 0; round < 2'000; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      Version v;
+      v.key = key;
+      v.ut = static_cast<Timestamp>(round * 100 + i + 1);
+      v.dv = VersionVector(3);
+      v.opt_origin = (i % 2) == 0;
+      store.insert(std::move(v));
+    }
+    store.purge_if([](const Version& v) { return v.opt_origin; });
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+}
+
+}  // namespace
+}  // namespace pocc::store

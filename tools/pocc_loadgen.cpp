@@ -43,6 +43,10 @@ struct Args {
   std::string mode = "load";
   long dc = -1;  // -1 = all DCs
   std::uint32_t clients_per_dc = 4;
+  /// TcpClientPools (transport threads / socket sets) per DC. One pool's
+  /// single transport thread saturates long before a multi-threaded server
+  /// does; sessions round-robin across the pools.
+  std::uint32_t connections_per_dc = 1;
   double duration_s = 5.0;
   std::string pattern = "getput";
   std::uint32_t gets_per_put = 4;
@@ -61,7 +65,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --config FILE [--mode load|smoke] [--dc N]\n"
-      "          [--clients N] [--duration-s S] [--pattern getput|txput]\n"
+      "          [--threads N | --clients N] [--connections N]\n"
+      "          [--duration-s S] [--pattern getput|txput]\n"
       "          [--gets-per-put N] [--tx-partitions N] [--think-us N]\n"
       "          [--value-size N] [--keys-per-partition N] [--zipf T]\n"
       "          [--seed N] [--client-base N] [--out FILE] [--no-check]\n",
@@ -84,9 +89,16 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->mode = value();
     } else if (std::strcmp(argv[i], "--dc") == 0) {
       args->dc = std::strtol(value(), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--clients") == 0) {
+    } else if (std::strcmp(argv[i], "--clients") == 0 ||
+               std::strcmp(argv[i], "--threads") == 0) {
+      // --threads is the saturation-oriented alias: each closed-loop client
+      // session is one driving thread.
       args->clients_per_dc =
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      args->connections_per_dc =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      if (args->connections_per_dc == 0) args->connections_per_dc = 1;
     } else if (std::strcmp(argv[i], "--duration-s") == 0) {
       args->duration_s = std::strtod(value(), nullptr);
     } else if (std::strcmp(argv[i], "--pattern") == 0) {
@@ -226,10 +238,14 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
     for (DcId dc = 0; dc < topo.num_dcs; ++dc) dcs.push_back(dc);
   }
 
+  // --connections pools per DC: one pool = one transport thread + one socket
+  // per partition; client sessions round-robin across their DC's pools.
   std::vector<std::unique_ptr<net::TcpClientPool>> pools;
   for (const DcId dc : dcs) {
-    pools.push_back(std::make_unique<net::TcpClientPool>(layout, dc));
-    pools.back()->start();
+    for (std::uint32_t c = 0; c < args.connections_per_dc; ++c) {
+      pools.push_back(std::make_unique<net::TcpClientPool>(layout, dc));
+      pools.back()->start();
+    }
   }
   for (auto& pool : pools) {
     if (!pool->wait_connected(10'000'000)) {
@@ -247,9 +263,11 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   const Duration deadline =
       start + static_cast<Duration>(args.duration_s * 1e6);
   std::size_t t = 0;
-  for (std::size_t p = 0; p < pools.size(); ++p) {
+  for (std::size_t d = 0; d < dcs.size(); ++d) {
     for (std::uint32_t i = 0; i < args.clients_per_dc; ++i, ++t) {
-      net::TcpSession* session = &pools[p]->connect(next_client++);
+      const std::size_t pool_idx =
+          d * args.connections_per_dc + i % args.connections_per_dc;
+      net::TcpSession* session = &pools[pool_idx]->connect(next_client++);
       const std::uint64_t seed = args.seed * 1'000'003 + t;
       threads.emplace_back([&, session, seed, t] {
         run_client(*session, wl, topo.partitions_per_dc, seed, deadline, ops,
@@ -286,14 +304,15 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   std::snprintf(
       json, sizeof(json),
       "{\"bench\":\"tcp_loadgen\",\"mode\":\"load\",\"system\":\"%s\","
-      "\"dcs\":%u,\"partitions\":%u,\"clients_per_dc\":%u,\"pattern\":\"%s\","
+      "\"dcs\":%u,\"partitions\":%u,\"clients_per_dc\":%u,"
+      "\"connections_per_dc\":%u,\"pattern\":\"%s\","
       "\"seed\":%llu,\"duration_s\":%.2f,\"ops\":%llu,\"ops_per_sec\":%.1f,"
       "\"gets\":%llu,\"puts\":%llu,\"ro_txs\":%llu,\"failures\":%llu,"
       "\"get_p50_us\":%lld,\"get_p99_us\":%lld,\"put_p50_us\":%lld,"
       "\"put_p99_us\":%lld,\"tx_p50_us\":%lld,\"tx_p99_us\":%lld,"
       "\"history_events\":%zu,\"checks\":%llu,\"violations\":%llu}",
       net::system_name(layout.system), topo.num_dcs, topo.partitions_per_dc,
-      args.clients_per_dc, args.pattern.c_str(),
+      args.clients_per_dc, args.connections_per_dc, args.pattern.c_str(),
       static_cast<unsigned long long>(args.seed), elapsed_s,
       static_cast<unsigned long long>(total),
       elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0,

@@ -1,14 +1,20 @@
-// poccd — one POCC/Cure*/HA-POCC node as a standalone networked server
-// process. A real deployment runs M x N of these (one per (dc, partition)),
-// all reading the same cluster config file:
+// poccd — the partitions of one data center as a standalone networked
+// server process, pinned onto a pool of worker threads. A real deployment
+// runs one of these per DC (the config's group `node` lines), all reading
+// the same cluster config file:
 //
-//   poccd --config cluster.cfg --dc 0 --part 1 [--system pocc|cure|ha]
-//         [--seed N] [--verbose]
+//   poccd --config cluster.cfg --dc 0 [--part N] [--threads N]
+//         [--system pocc|cure|ha] [--seed N] [--verbose]
 //
-// The process serves until SIGINT/SIGTERM, then prints an exit stats line.
-// Engine clocks are aligned to CLOCK_REALTIME at startup so that update
-// timestamps agree across processes to NTP precision — the paper's loose
-// synchronization assumption (§IV); correctness never depends on it.
+// --part selects a process in legacy one-partition-per-process configs (one
+// `node DC PART HOST:PORT` line each); group configs need only --dc.
+// --threads overrides the config's worker count for this process.
+//
+// The process serves until SIGINT/SIGTERM, then prints an exit stats line
+// aggregated over every hosted partition engine. Engine clocks are aligned
+// to CLOCK_REALTIME at startup so that update timestamps agree across
+// processes to NTP precision — the paper's loose synchronization assumption
+// (§IV); correctness never depends on it.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -33,7 +39,7 @@ pocc::Timestamp realtime_us() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --config FILE --dc N --part N\n"
+               "usage: %s --config FILE --dc N [--part N] [--threads N]\n"
                "          [--system pocc|cure|ha] [--seed N] [--verbose]\n",
                argv0);
   return 3;
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   const char* config_path = nullptr;
   long dc = -1;
   long part = -1;
+  long threads_override = -1;
   const char* system_override = nullptr;
   std::uint64_t seed = 1;
   bool verbose = false;
@@ -66,6 +73,8 @@ int main(int argc, char** argv) {
       dc = std::strtol(value, nullptr, 10);
     } else if (arg_with_value("--part", &value)) {
       part = std::strtol(value, nullptr, 10);
+    } else if (arg_with_value("--threads", &value)) {
+      threads_override = std::strtol(value, nullptr, 10);
     } else if (arg_with_value("--system", &system_override)) {
     } else if (arg_with_value("--seed", &value)) {
       seed = std::strtoull(value, nullptr, 10);
@@ -75,7 +84,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (config_path == nullptr || dc < 0 || part < 0) return usage(argv[0]);
+  if (config_path == nullptr || dc < 0) return usage(argv[0]);
 
   std::string error;
   auto layout = net::load_cluster_config(config_path, &error);
@@ -92,16 +101,41 @@ int main(int argc, char** argv) {
     layout->system = *system;
   }
 
-  const NodeId self{static_cast<DcId>(dc), static_cast<PartitionId>(part)};
-  const net::NodeAddress* addr = layout->find(self);
-  if (addr == nullptr) {
-    std::fprintf(stderr, "poccd: node %s not in the config\n",
-                 self.to_string().c_str());
+  // Pick the ProcessSpec this invocation serves: by --dc alone for group
+  // configs (one process per DC), disambiguated by --part for legacy
+  // one-partition-per-process configs.
+  const net::ProcessSpec* self = nullptr;
+  int matches = 0;
+  for (const net::ProcessSpec& p : layout->processes) {
+    if (p.dc != static_cast<DcId>(dc)) continue;
+    if (part >= 0 && !p.hosts(NodeId{static_cast<DcId>(dc),
+                                     static_cast<PartitionId>(part)})) {
+      continue;
+    }
+    self = &p;
+    ++matches;
+  }
+  if (self == nullptr) {
+    const std::string suffix =
+        part >= 0 ? " part " + std::to_string(part) : std::string();
+    std::fprintf(stderr, "poccd: no process for dc %ld%s in the config\n", dc,
+                 suffix.c_str());
+    return 3;
+  }
+  if (matches > 1) {
+    std::fprintf(stderr,
+                 "poccd: %d processes host dc %ld — pass --part to pick one\n",
+                 matches, dc);
     return 3;
   }
 
+  net::ProcessSpec spec = *self;
+  if (threads_override > 0) {
+    spec.threads = static_cast<std::uint32_t>(threads_override);
+  }
+
   net::TcpNodeHost::Options opt;
-  opt.listen_port = addr->port;
+  opt.listen_port = spec.port;
   opt.seed = seed;
   opt.verbose = verbose;
   // Map the engine clock onto wall time: steady_now_us() is process-relative,
@@ -115,11 +149,13 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGPIPE, SIG_IGN);
 
-  net::TcpNodeHost host(self, *layout, opt);
+  net::TcpNodeHost host(spec, *layout, opt);
   host.start();
-  std::fprintf(stderr, "poccd %s: %s engine on port %u\n",
-               self.to_string().c_str(), net::system_name(layout->system),
-               host.port());
+  std::fprintf(stderr,
+               "poccd dc%ld: %s engine, %zu partitions on %u workers, "
+               "port %u\n",
+               dc, net::system_name(layout->system), spec.parts.size(),
+               host.group().threads(), host.port());
 
   while (g_stop == 0) {
     timespec nap{0, 50'000'000};  // 50 ms
@@ -127,22 +163,43 @@ int main(int argc, char** argv) {
   }
 
   host.stop();
-  const auto& engine = host.engine();
+  // Exit stats aggregate every hosted partition engine (a single-node
+  // deployment used to report just its one engine).
+  const rt::NodeGroupStats agg = host.group().stats();
   const auto stats = host.transport_stats();
+  const auto batch = host.batch_stats();
   std::fprintf(stderr,
-               "poccd %s: exiting — gets=%llu puts=%llu slices=%llu "
+               "poccd dc%ld: exiting — gets=%llu puts=%llu slices=%llu "
+               "parked=%llu local_deliveries=%llu "
                "frames_in=%llu frames_out=%llu bytes_in=%llu bytes_out=%llu "
+               "batches_out=%llu batched_msgs=%llu batch_overhead_bytes=%llu "
+               "batch_send_failures=%llu "
                "reconnects=%llu decode_errors=%llu dropped=%llu\n",
-               self.to_string().c_str(),
-               static_cast<unsigned long long>(engine.gets_served()),
-               static_cast<unsigned long long>(engine.puts_served()),
-               static_cast<unsigned long long>(engine.slices_served()),
+               dc, static_cast<unsigned long long>(agg.gets),
+               static_cast<unsigned long long>(agg.puts),
+               static_cast<unsigned long long>(agg.slices),
+               static_cast<unsigned long long>(agg.parked),
+               static_cast<unsigned long long>(agg.local_deliveries),
                static_cast<unsigned long long>(stats.frames_in),
                static_cast<unsigned long long>(stats.frames_out),
                static_cast<unsigned long long>(stats.bytes_in),
                static_cast<unsigned long long>(stats.bytes_out),
+               static_cast<unsigned long long>(batch.batches),
+               static_cast<unsigned long long>(batch.messages),
+               static_cast<unsigned long long>(batch.overhead_bytes),
+               static_cast<unsigned long long>(batch.send_failures),
                static_cast<unsigned long long>(stats.reconnects),
                static_cast<unsigned long long>(stats.decode_errors),
                static_cast<unsigned long long>(host.dropped_frames()));
+  // Per-partition breakdown so a skewed key distribution is visible.
+  for (const PartitionId p : spec.parts) {
+    const auto& engine = host.engine(p);
+    std::fprintf(stderr,
+                 "poccd dc%ld:   part %u — gets=%llu puts=%llu slices=%llu\n",
+                 dc, p,
+                 static_cast<unsigned long long>(engine.gets_served()),
+                 static_cast<unsigned long long>(engine.puts_served()),
+                 static_cast<unsigned long long>(engine.slices_served()));
+  }
   return 0;
 }
