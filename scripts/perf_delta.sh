@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Print the delta between a fresh bench JSON line and its committed baseline.
-# Handles both artifact kinds:
+# Handles all artifact kinds:
 #   * perf_smoke      (bench/baselines/BENCH_perf_smoke.json)   — simulator
 #   * tcp_loadgen     (bench/baselines/BENCH_tcp_loadgen.json)  — e2e cluster
+#   * recovery        (bench/baselines/BENCH_recovery.json)     — WAL replay
 # Informational only — CI runs it non-gating so the perf trajectory is
 # visible on every push without flaking on runner noise.
 #
@@ -25,6 +26,10 @@ if grep -q '"bench":"tcp_loadgen"' "$CURRENT"; then
   BASELINE="${2:-bench/baselines/BENCH_tcp_loadgen.json}"
   KEYS="ops_per_sec get_p50_us get_p99_us put_p50_us put_p99_us failures"
   NOTE="(positive % = larger than baseline; ops_per_sec higher is better, latencies lower)"
+elif grep -q '"bench":"recovery"' "$CURRENT"; then
+  BASELINE="${2:-bench/baselines/BENCH_recovery.json}"
+  KEYS="replay_1k_ms replay_10k_ms replay_50k_ms replay_50k_snap_ms replay_mb_per_sec"
+  NOTE="(positive % = larger than baseline; replay_*_ms lower is better, mb_per_sec higher)"
 else
   BASELINE="${2:-bench/baselines/BENCH_perf_smoke.json}"
   KEYS="sim_ops_per_sec events_per_sec wall_ms peak_rss_kb"

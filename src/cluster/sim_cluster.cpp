@@ -52,33 +52,15 @@ SimCluster::SimCluster(SimClusterConfig cfg)
       node_clock.offset_bias_us += dc_bias[dc];
       auto node = std::make_unique<SimNode>(id, cfg_.service, node_clock,
                                             sim_, *net_, root_rng_);
-      std::unique_ptr<server::ReplicaBase> engine;
-      switch (cfg_.system) {
-        case SystemKind::kPocc:
-          engine = std::make_unique<PoccServer>(id, topo, cfg_.protocol,
-                                                cfg_.service, *node);
-          break;
-        case SystemKind::kCure:
-          engine = std::make_unique<CureServer>(id, topo, cfg_.protocol,
-                                                cfg_.service, *node);
-          break;
-        case SystemKind::kHaPocc:
-          engine = std::make_unique<HaPoccServer>(id, topo, cfg_.protocol,
-                                                  cfg_.service, *node);
-          break;
-        case SystemKind::kScalarPocc:
-          engine = std::make_unique<ScalarPoccServer>(id, topo, cfg_.protocol,
-                                                      cfg_.service, *node);
-          break;
+      if (cfg_.durability == DurabilityMode::kWal) {
+        // The same factory that builds the engine here rebuilds it after a
+        // crash, so the recovered incarnation gets its checker observer
+        // re-wired exactly like the original.
+        node->enable_wal_mode([this](NodeId nid, server::Context& ctx) {
+          return make_engine(nid, ctx);
+        });
       }
-      if (checker_ != nullptr) {
-        engine->set_version_observer(
-            [chk = checker_.get()](ClientId c, std::uint64_t op_id,
-                                   const store::Version& v) {
-              chk->on_version_created(c, op_id, v.key, v.ut, v.sr, v.dv);
-            });
-      }
-      node->install_engine(std::move(engine));
+      node->install_engine(make_engine(id, *node));
       nodes_.push_back(std::move(node));
     }
   }
@@ -92,6 +74,38 @@ SimCluster::SimCluster(SimClusterConfig cfg)
 }
 
 SimCluster::~SimCluster() = default;
+
+std::unique_ptr<server::ReplicaBase> SimCluster::make_engine(
+    NodeId id, server::Context& ctx) {
+  const auto& topo = cfg_.topology;
+  std::unique_ptr<server::ReplicaBase> engine;
+  switch (cfg_.system) {
+    case SystemKind::kPocc:
+      engine = std::make_unique<PoccServer>(id, topo, cfg_.protocol,
+                                            cfg_.service, ctx);
+      break;
+    case SystemKind::kCure:
+      engine = std::make_unique<CureServer>(id, topo, cfg_.protocol,
+                                            cfg_.service, ctx);
+      break;
+    case SystemKind::kHaPocc:
+      engine = std::make_unique<HaPoccServer>(id, topo, cfg_.protocol,
+                                              cfg_.service, ctx);
+      break;
+    case SystemKind::kScalarPocc:
+      engine = std::make_unique<ScalarPoccServer>(id, topo, cfg_.protocol,
+                                                  cfg_.service, ctx);
+      break;
+  }
+  if (checker_ != nullptr) {
+    engine->set_version_observer(
+        [chk = checker_.get()](ClientId c, std::uint64_t op_id,
+                               const store::Version& v) {
+          chk->on_version_created(c, op_id, v.key, v.ut, v.sr, v.dv);
+        });
+  }
+  return engine;
+}
 
 SimNode& SimCluster::node_at(NodeId id) {
   const std::size_t idx = id.flat_index(cfg_.topology.partitions_per_dc);

@@ -31,6 +31,13 @@ enum class SystemKind { kPocc, kCure, kHaPocc, kScalarPocc };
 
 [[nodiscard]] const char* system_name(SystemKind k);
 
+/// How a crashed node's durable state is modeled (see SimNode::crash).
+/// kIdealized: the engine object survives the crash as an abstract durable
+/// store. kWal: every durable mutation is logged to an in-memory WAL and a
+/// restart rebuilds a fresh engine by replaying it — the sim twin of the real
+/// PartitionWal recovery path, still bit-identical under seed replay.
+enum class DurabilityMode { kIdealized, kWal };
+
 struct SimClusterConfig {
   TopologyConfig topology{3, 8, PartitionScheme::kPrefix};
   LatencyConfig latency = LatencyConfig::aws_three_dc();
@@ -38,6 +45,7 @@ struct SimClusterConfig {
   ServiceConfig service;
   ProtocolConfig protocol;
   SystemKind system = SystemKind::kPocc;
+  DurabilityMode durability = DurabilityMode::kIdealized;
   std::uint64_t seed = 1;
   /// Attach the causal-consistency checker (tests; costs memory and time).
   bool enable_checker = false;
@@ -146,6 +154,11 @@ class SimCluster {
 
   SimNode& node_at(NodeId id);
   [[nodiscard]] NodeId node_for_key(DcId dc, KeyId key) const;
+  /// Builds a protocol engine for the configured system, checker observer
+  /// wired. Used at construction and, in DurabilityMode::kWal, by
+  /// SimNode::restart to rebuild a crashed node's engine.
+  std::unique_ptr<server::ReplicaBase> make_engine(NodeId id,
+                                                   server::Context& ctx);
 
   SimClusterConfig cfg_;
   sim::Simulator sim_;

@@ -24,6 +24,13 @@ void SimNode::install_engine(std::unique_ptr<server::ReplicaBase> engine) {
   engine_ = std::move(engine);
 }
 
+void SimNode::enable_wal_mode(EngineFactory rebuild) {
+  POCC_ASSERT_MSG(rebuild != nullptr, "WAL mode needs an engine factory");
+  POCC_ASSERT_MSG(wal_log_ == nullptr, "WAL mode enabled twice");
+  rebuild_ = std::move(rebuild);
+  wal_log_ = std::make_unique<wal::MemoryLog>();
+}
+
 namespace {
 /// Client-facing traffic (requests and the RO-TX slice path) takes the
 /// foreground CPU class; replication, heartbeats, stabilization and GC take
@@ -92,8 +99,23 @@ void SimNode::crash() {
 std::uint64_t SimNode::restart() {
   POCC_ASSERT_MSG(down_, "restart of a node that is up");
   down_ = false;
-  // RAM is gone; the store and checkpointed metadata survive on disk.
-  engine_->recover();
+  if (wal_log_ != nullptr) {
+    // WAL mode: the process image — engine object included — is gone.
+    // Rebuild the engine from scratch and replay the logged mutations
+    // through the same restore calls the real disk recovery path drives
+    // (TcpNodeHost + PartitionWal::replay). Restored state equals the
+    // pre-crash durable state: MemoryLog is lossless, so the restored VV
+    // matches the pre-crash VV and the FIFO backlog replayed below still
+    // lands in timestamp order (no fifo_tolerant_ needed).
+    engine_ = rebuild_(self_, *this);
+    wal_log_->replay(
+        [this](const store::Version& v) { engine_->restore_version(v); },
+        [this](const VersionVector& vv) { engine_->restore_vv(vv); });
+  } else {
+    // Idealized mode: RAM is gone; the engine object models the durable
+    // store + checkpointed metadata and survives.
+    engine_->recover();
+  }
   // Timers armed before the crash carry the old epoch and are dead; re-arm.
   engine_->start();
   // Rebuild from peers: replay the backlogged replication/maintenance

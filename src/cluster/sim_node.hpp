@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "server/replica_base.hpp"
 #include "sim/cpu_queue.hpp"
 #include "sim/simulator.hpp"
+#include "wal/memory_log.hpp"
 
 namespace pocc::cluster {
 
@@ -26,6 +28,21 @@ class SimNode final : public net::Endpoint, public server::Context {
 
   void install_engine(std::unique_ptr<server::ReplicaBase> engine);
   void start();
+
+  /// Builds a fresh protocol engine against a node's Context (same signature
+  /// as rt::NodeGroup::EngineFactory — one factory serves both substrates).
+  using EngineFactory = std::function<std::unique_ptr<server::ReplicaBase>(
+      NodeId, server::Context&)>;
+
+  /// Switch this node from the idealized durable-store crash model to WAL
+  /// mode: the engine logs every durable mutation to an in-memory WAL
+  /// (wal::MemoryLog — the sim stand-in for PartitionWal, lossless and
+  /// filesystem-free so seed replay stays bit-identical), and restart()
+  /// discards the engine object entirely, rebuilding it through `rebuild`
+  /// and replaying the log through restore_version/restore_vv — the same
+  /// restore calls the real recovery path drives from disk. Call before the
+  /// engine starts.
+  void enable_wal_mode(EngineFactory rebuild);
 
   // --- fault injection: fail-stop crash with durable storage ---
   /// Kill the process: pending CPU jobs and timers become no-ops (epoch
@@ -40,10 +57,12 @@ class SimNode final : public net::Endpoint, public server::Context {
   /// its own stability floor, so a peer's store may lack exactly the
   /// versions this DC's snapshots still need.
   void crash();
-  /// Reboot: clears the engine's volatile state (ReplicaBase::recover),
-  /// re-arms timers, then rebuilds — replays the backlogged peer streams in
-  /// FIFO order through the normal delivery path. Returns the number of
-  /// replicated versions recovered from peers this way.
+  /// Reboot. Idealized mode: clears the engine's volatile state
+  /// (ReplicaBase::recover). WAL mode: rebuilds a fresh engine and replays
+  /// the in-memory WAL through the restore_* calls (see enable_wal_mode).
+  /// Either way timers are then re-armed and the backlogged peer streams
+  /// replayed in FIFO order through the normal delivery path. Returns the
+  /// number of replicated versions recovered from peers this way.
   std::uint64_t restart();
   [[nodiscard]] bool down() const { return down_; }
 
@@ -67,6 +86,7 @@ class SimNode final : public net::Endpoint, public server::Context {
     net_.send_to_client(self_, client, std::move(m));
   }
   void set_timer(Duration delay, std::uint64_t timer_id) override;
+  server::DurabilityLog* durability() override { return wal_log_.get(); }
 
  private:
   /// A delivered message awaiting its CPU job. `from` and the arrival
@@ -91,6 +111,10 @@ class SimNode final : public net::Endpoint, public server::Context {
   sim::CpuQueue cpu_;
   PhysicalClock clock_;
   std::unique_ptr<server::ReplicaBase> engine_;
+  /// WAL mode (enable_wal_mode): the in-memory WAL and the factory restart()
+  /// rebuilds the engine with. Null in idealized mode.
+  std::unique_ptr<wal::MemoryLog> wal_log_;
+  EngineFactory rebuild_;
   bool down_ = false;
   /// Bumped on crash: CPU jobs and timer events capture the epoch they were
   /// created under and turn into no-ops when it no longer matches.

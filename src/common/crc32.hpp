@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// framing every WAL record and snapshot body (src/wal/). Table-driven,
+// byte-at-a-time: recovery replay is sequential disk I/O, not a hot loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pocc {
+
+/// Incremental update: feed `crc32_update(crc, ...)` the next chunk, starting
+/// from crc32_init() and finishing with crc32_final().
+[[nodiscard]] inline std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                         std::size_t len);
+[[nodiscard]] inline std::uint32_t crc32_final(std::uint32_t crc) {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of [data, data+len).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+}  // namespace pocc

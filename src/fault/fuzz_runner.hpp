@@ -26,6 +26,11 @@ namespace pocc::fault {
 
 struct FuzzCase {
   cluster::SystemKind system = cluster::SystemKind::kPocc;
+  /// kWal runs fail-stop crashes through the real WAL recovery path
+  /// (engine rebuild + log replay) instead of the idealized durable-store
+  /// model. Digests are comparable within a mode, not across modes (a
+  /// rebuilt engine's stat counters restart from zero).
+  cluster::DurabilityMode durability = cluster::DurabilityMode::kIdealized;
   std::uint64_t seed = 1;
   std::uint32_t num_dcs = 3;
   std::uint32_t partitions = 2;
@@ -63,6 +68,11 @@ struct FuzzOutcome {
 /// Parse an `--engine` spelling; returns false on unknown names.
 [[nodiscard]] bool parse_engine(const std::string& name,
                                 cluster::SystemKind& out);
+/// `--durability` spelling of a mode (idealized / wal).
+[[nodiscard]] const char* durability_flag(cluster::DurabilityMode m);
+/// Parse a `--durability` spelling; returns false on unknown names.
+[[nodiscard]] bool parse_durability(const std::string& name,
+                                    cluster::DurabilityMode& out);
 
 /// The one-line repro printed on failure: replaying it reruns the identical
 /// case (the plan hash lets the replayer prove it rebuilt the same plan).

@@ -52,10 +52,17 @@ TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
   }
   transport_.listen(opt_.listen_port);
 
+  if (!opt_.data_dir.empty()) {
+    wal::PartitionWal::Options wal_opt;
+    wal_opt.checkpoint_bytes = opt_.checkpoint_bytes;
+    wal_ = std::make_unique<wal::WalManager>(opt_.data_dir, wal_opt);
+  }
+
   rt::NodeGroup::Options group_opt;
   group_opt.threads = self_.threads;
   group_opt.clock = opt_.clock;
   group_opt.seed = rng_.next();
+  group_opt.wal = wal_.get();
   group_ = std::make_unique<rt::NodeGroup>(self_.dc, self_.parts, *this,
                                            group_opt);
   tx_coordinator_part_ = group_->hosts(NodeId{self_.dc, 0})
@@ -81,6 +88,21 @@ TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
     POCC_ASSERT_MSG(false, "unknown system");
     return nullptr;
   });
+
+  // Rebuild each engine from its durable image before anything can touch it
+  // (no workers yet): newest valid snapshot, then the segment suffix.
+  if (wal_ != nullptr) {
+    for (const PartitionId p : self_.parts) {
+      server::ReplicaBase& eng = group_->engine(p);
+      replay_stats_.push_back(wal_->wal_for(p).replay(
+          [&eng](const store::Version& v) { eng.restore_version(v); },
+          [&eng](const VersionVector& vv) { eng.restore_vv(vv); }));
+      const auto& rs = replay_stats_.back();
+      log("partition " + std::to_string(p) + " replayed " +
+          std::to_string(rs.snapshot_versions) + " snapshot + " +
+          std::to_string(rs.log_versions) + " log versions");
+    }
+  }
 }
 
 TcpNodeHost::~TcpNodeHost() { stop(); }
@@ -119,11 +141,34 @@ void TcpNodeHost::start(const std::vector<ProcessSpec>& peers) {
                       "peer list must cover every node of the topology");
     }
   }
+  // Peer recovery: before the workers run, each durable engine asks its
+  // sibling replicas for the replication suffix past its restored VV (the
+  // RecoveryReqs stage into the batchers here and leave once the transport
+  // connects). Client requests park until every RecoveryDone is back — a
+  // fresh cluster answers instantly (empty stores), so the gate only bites
+  // after a real crash.
+  std::uint32_t expected_dones = 0;
+  if (wal_ != nullptr && layout_.topology.num_dcs > 1) {
+    for (const PartitionId p : self_.parts) {
+      group_->engine(p).begin_peer_recovery();
+      expected_dones += layout_.topology.num_dcs - 1;
+    }
+  }
+  {
+    std::lock_guard lk(mu_);
+    recovery_dones_pending_ = expected_dones;
+    if (expected_dones > 0) {
+      recovery_deadline_at_ = rt::steady_now_us() + opt_.recovery_deadline_us;
+    }
+  }
   transport_.start();
   group_->start();
   log("serving " + std::to_string(self_.parts.size()) + " partitions on " +
       std::to_string(group_->threads()) + " workers, port " +
-      std::to_string(port()));
+      std::to_string(port()) +
+      (expected_dones > 0
+           ? ", awaiting " + std::to_string(expected_dones) + " RecoveryDones"
+           : ""));
 }
 
 void TcpNodeHost::stop() {
@@ -136,6 +181,32 @@ void TcpNodeHost::stop() {
   // Push out whatever the workers staged before the sockets close.
   for (const auto& link : links_) link->batcher->flush();
   transport_.stop();
+  if (wal_ != nullptr) wal_->stop();  // drain queued checkpoint commits
+}
+
+void TcpNodeHost::crash_stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  group_->stop();
+  // Deliberately NO batcher flush — staged replication frames die with the
+  // process, exactly like kill -9. Same for the WAL tail: records past the
+  // last group commit are discarded, not synced (no output depended on
+  // them; Slot held those back).
+  transport_.stop();
+  if (wal_ != nullptr) {
+    for (const PartitionId p : self_.parts) {
+      wal_->wal_for(p).discard_unsynced();
+    }
+    wal_->stop();
+  }
+}
+
+bool TcpNodeHost::recovering() const {
+  std::lock_guard lk(mu_);
+  return recovery_dones_pending_ > 0;
 }
 
 BatchStats TcpNodeHost::batch_stats() const {
@@ -190,6 +261,19 @@ void TcpNodeHost::on_tick() {
   // Time axis of the flush policy: whatever the size thresholds left staged
   // goes out at most one tick late.
   for (const auto& link : links_) link->batcher->flush();
+  // Recovery gate deadline: a dead peer never sends its RecoveryDone; past
+  // the deadline this DC serves clients anyway (it is causally consistent
+  // with what it has — only the lost suffix's freshness is forfeited).
+  bool expired = false;
+  {
+    std::lock_guard lk(mu_);
+    if (recovery_dones_pending_ > 0 && recovery_deadline_at_ != 0 &&
+        rt::steady_now_us() >= recovery_deadline_at_) {
+      recovery_dones_pending_ = 0;
+      expired = true;
+    }
+  }
+  if (expired) release_parked_clients("recovery deadline expired");
 }
 
 void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m) {
@@ -223,8 +307,28 @@ void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m) {
   {
     std::lock_guard lk(mu_);
     client_conn_[client] = conn;
+    if (recovery_dones_pending_ > 0) {
+      // Admission gate: until the peers have streamed the lost replication
+      // suffix back, a client could read state older than what it already
+      // saw before the crash. Park the request; released in arrival order.
+      parked_clients_.emplace_back(conn, std::move(m));
+      return;
+    }
   }
   group_->enqueue(to, to, std::move(m));
+}
+
+void TcpNodeHost::release_parked_clients(const char* why) {
+  std::vector<std::pair<ConnId, proto::Message>> parked;
+  {
+    std::lock_guard lk(mu_);
+    parked.swap(parked_clients_);
+  }
+  if (!parked.empty() || opt_.verbose) {
+    log("recovery gate open (" + std::string(why) + "), releasing " +
+        std::to_string(parked.size()) + " parked client requests");
+  }
+  for (auto& [conn, m] : parked) dispatch_client_request(conn, std::move(m));
 }
 
 void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
@@ -251,6 +355,7 @@ void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
         return;
       }
     }
+    bool gate_opened = false;
     for (proto::RoutedMessage& item : batch->items) {
       if (!group_->hosts(item.to)) {
         std::lock_guard lk(mu_);
@@ -259,8 +364,19 @@ void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
             " addressed to " + item.to.to_string());
         continue;
       }
+      // Snoop the recovery handshake: the admission gate opens when the
+      // last outstanding RecoveryDone goes by (the engine merges its VV
+      // moments later on the worker thread; a released request that wins
+      // that race simply parks on the normal VV wait).
+      if (std::holds_alternative<proto::RecoveryDone>(item.msg)) {
+        std::lock_guard lk(mu_);
+        if (recovery_dones_pending_ > 0 && --recovery_dones_pending_ == 0) {
+          gate_opened = true;
+        }
+      }
       group_->enqueue(item.from, item.to, std::move(item.msg));
     }
+    if (gate_opened) release_parked_clients("all RecoveryDones received");
     return;
   }
 

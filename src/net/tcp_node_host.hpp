@@ -33,6 +33,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -40,6 +41,7 @@
 #include "net/tcp_transport.hpp"
 #include "runtime/node_group.hpp"
 #include "server/replica_base.hpp"
+#include "wal/wal_manager.hpp"
 
 namespace pocc::net {
 
@@ -54,6 +56,16 @@ class TcpNodeHost final : public rt::Router {
     BatchPolicy batch;
     /// Log connection events and dropped frames to stderr.
     bool verbose = false;
+    /// Durable root: every hosted partition keeps its WAL + snapshots under
+    /// `<data_dir>/p<part>/`. Empty disables durability entirely (the
+    /// pre-WAL behavior; poccd --no-durability).
+    std::string data_dir;
+    /// Active-segment size that triggers a background checkpoint.
+    std::uint64_t checkpoint_bytes = 4u << 20;
+    /// Upper bound on the client-admission gate while peer recovery runs;
+    /// past it, parked client requests are released even with RecoveryDones
+    /// outstanding (a dead peer must not wedge this DC forever).
+    Duration recovery_deadline_us = 10'000'000;
   };
 
   /// Binds the listening socket immediately (port() is valid afterwards);
@@ -75,6 +87,24 @@ class TcpNodeHost final : public rt::Router {
   void start();
   void start(const std::vector<ProcessSpec>& peers);
   void stop();
+
+  /// SIGKILL-equivalent in-process shutdown (crash-recovery tests): stop the
+  /// workers and close the sockets WITHOUT flushing the staged batcher
+  /// frames or the unsynced WAL tail — exactly the state a kill -9 leaves
+  /// on disk. The durable image stays valid for a restart with the same
+  /// data_dir.
+  void crash_stop();
+
+  /// True while the client-admission gate is closed (peer recovery pending).
+  [[nodiscard]] bool recovering() const;
+
+  /// Per hosted partition, what the WAL replay restored (empty when
+  /// durability is off). Index-aligned with spec().parts.
+  [[nodiscard]] const std::vector<wal::PartitionWal::ReplayStats>&
+  replay_stats() const {
+    return replay_stats_;
+  }
+  [[nodiscard]] wal::WalManager* wal_manager() { return wal_.get(); }
 
   /// Engine access for post-shutdown inspection (not thread-safe while
   /// running).
@@ -107,6 +137,7 @@ class TcpNodeHost final : public rt::Router {
   void on_disconnected(ConnId conn);
   void on_tick();
   void dispatch_client_request(ConnId conn, proto::Message m);
+  void release_parked_clients(const char* why);
   void log(const std::string& what) const;
   [[nodiscard]] static std::uint64_t flat(NodeId n) {
     return (static_cast<std::uint64_t>(n.dc) << 32) | n.part;
@@ -117,7 +148,11 @@ class TcpNodeHost final : public rt::Router {
   Options opt_;
   Rng rng_;
   TcpTransport transport_;
+  /// Declared before group_: slots hold raw PartitionWal pointers into it,
+  /// so the group must be destroyed first.
+  std::unique_ptr<wal::WalManager> wal_;
   std::unique_ptr<rt::NodeGroup> group_;
+  std::vector<wal::PartitionWal::ReplayStats> replay_stats_;
   /// Partition coordinating RO-TXs for this DC (0 when hosted, else the
   /// lowest hosted partition — the one clients dial for transactions).
   PartitionId tx_coordinator_part_ = 0;
@@ -131,6 +166,11 @@ class TcpNodeHost final : public rt::Router {
   std::unordered_map<ClientId, ConnId> client_conn_;
   std::uint64_t dropped_ = 0;
   bool started_ = false;
+  /// RecoveryDones still outstanding across all hosted partitions; client
+  /// requests park in parked_clients_ until it reaches 0 (or the deadline).
+  std::uint32_t recovery_dones_pending_ = 0;
+  Timestamp recovery_deadline_at_ = 0;
+  std::vector<std::pair<ConnId, proto::Message>> parked_clients_;
 };
 
 }  // namespace pocc::net

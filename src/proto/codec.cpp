@@ -34,7 +34,10 @@ static_assert(kMatches<WireType::kGetReq, GetReq> &&
                   kMatches<WireType::kGcReport, GcReport> &&
                   kMatches<WireType::kGcVector, GcVector> &&
                   kMatches<WireType::kStabReport, StabReport> &&
-                  kMatches<WireType::kGssBroadcast, GssBroadcast>,
+                  kMatches<WireType::kGssBroadcast, GssBroadcast> &&
+                  kMatches<WireType::kRecoveryReq, RecoveryReq> &&
+                  kMatches<WireType::kRecoveryVersion, RecoveryVersion> &&
+                  kMatches<WireType::kRecoveryDone, RecoveryDone>,
               "wire ids must match the Message variant order");
 
 /// Whether a write counts toward wire_size() (protocol metadata) or is
@@ -231,6 +234,25 @@ struct EncodeVisitor {
     put_header(w, WireType::kGssBroadcast);
     put_vv(w, m.gss);
   }
+  void operator()(const RecoveryReq& m) const {
+    put_header(w, WireType::kRecoveryReq);
+    put_node(w, m.from);
+    put_vv(w, m.durable_vv);
+  }
+  void operator()(const RecoveryVersion& m) const {
+    put_header(w, WireType::kRecoveryVersion);
+    put_key(w, m.version.key);
+    put_string(w, m.version.value, Charge::kYes);
+    w.u32(m.version.sr, Charge::kYes);
+    w.i64(m.version.ut, Charge::kYes);
+    put_vv(w, m.version.dv);
+    w.u8(m.version.opt_origin ? 1 : 0, Charge::kYes);
+  }
+  void operator()(const RecoveryDone& m) const {
+    put_header(w, WireType::kRecoveryDone);
+    put_node(w, m.from);
+    put_vv(w, m.vv);
+  }
   void operator()(const RouteProbe&) const {
     POCC_ASSERT_MSG(false, "RouteProbe is test-only and never encoded");
   }
@@ -388,7 +410,7 @@ bool decode_batch_item(Reader& r, RoutedMessage* out) {
     return false;
   }
   const std::uint8_t type = sub.u8();
-  if (type > static_cast<std::uint8_t>(WireType::kGssBroadcast)) {
+  if (type > kMaxProtocolWireType) {
     r.fail("batch item is not a protocol message");
     return false;
   }
@@ -524,6 +546,28 @@ Frame decode_body(Reader& r, WireType type) {
       m.gss = r.vv();
       return Frame{Message{std::move(m)}};
     }
+    case WireType::kRecoveryReq: {
+      RecoveryReq m;
+      m.from = r.node();
+      m.durable_vv = r.vv();
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kRecoveryVersion: {
+      RecoveryVersion m;
+      m.version.key = r.key();
+      m.version.value = r.str();
+      m.version.sr = r.u32();
+      m.version.ut = r.i64();
+      m.version.dv = r.vv();
+      m.version.opt_origin = r.u8() != 0;
+      return Frame{Message{std::move(m)}};
+    }
+    case WireType::kRecoveryDone: {
+      RecoveryDone m;
+      m.from = r.node();
+      m.vv = r.vv();
+      return Frame{Message{std::move(m)}};
+    }
     case WireType::kNodeHello: {
       NodeHello h;
       h.node = r.node();
@@ -561,7 +605,7 @@ Frame decode_body(Reader& r, WireType type) {
 }
 
 bool known_type(std::uint8_t t) {
-  return t <= static_cast<std::uint8_t>(WireType::kGssBroadcast) ||
+  return t <= kMaxProtocolWireType ||
          t == static_cast<std::uint8_t>(WireType::kNodeHello) ||
          t == static_cast<std::uint8_t>(WireType::kClientHello) ||
          t == static_cast<std::uint8_t>(WireType::kBatch);

@@ -39,7 +39,9 @@ namespace pocc::proto {
 /// Bumped on any incompatible layout change; receivers reject mismatches.
 /// v2: Batch frames (coalesced server-to-server traffic with explicit
 /// per-message (from, to) routing envelopes — multi-partition hosting).
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: crash-recovery handshake messages (RecoveryReq / RecoveryVersion /
+/// RecoveryDone — durable WAL deployments, src/wal/).
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /// Size of the frame length prefix preceding every body.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -47,7 +49,7 @@ inline constexpr std::size_t kFrameHeaderBytes = 4;
 /// Upper bound on one frame's body; larger lengths are treated as corruption.
 inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
 
-/// Stable on-the-wire message-type ids. Values 0..14 deliberately mirror the
+/// Stable on-the-wire message-type ids. Values 0..17 deliberately mirror the
 /// Message variant indices (static_asserted in codec.cpp); the 200+ range is
 /// transport control traffic that never reaches a protocol engine.
 enum class WireType : std::uint8_t {
@@ -66,10 +68,17 @@ enum class WireType : std::uint8_t {
   kGcVector = 12,
   kStabReport = 13,
   kGssBroadcast = 14,
+  kRecoveryReq = 15,
+  kRecoveryVersion = 16,
+  kRecoveryDone = 17,
   kNodeHello = 200,
   kClientHello = 201,
   kBatch = 202,
 };
+
+/// Highest wire id that is a protocol message (legal inside a Batch frame).
+inline constexpr std::uint8_t kMaxProtocolWireType =
+    static_cast<std::uint8_t>(WireType::kRecoveryDone);
 
 /// First frame on a server-to-server connection: who is dialing in. Lets the
 /// receiver attribute subsequent frames on the connection to a NodeId.

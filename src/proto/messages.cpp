@@ -109,6 +109,17 @@ struct SizeVisitor {
   std::size_t operator()(const GssBroadcast& m) const {
     return kHeaderBytes + vv_bytes(m.gss);
   }
+  std::size_t operator()(const RecoveryReq& m) const {
+    return kHeaderBytes + kNodeIdBytes + vv_bytes(m.durable_vv);
+  }
+  std::size_t operator()(const RecoveryVersion& m) const {
+    return kHeaderBytes + key_bytes(m.version.key) +
+           string_bytes(m.version.value) + 4 + kTimestampBytes +
+           vv_bytes(m.version.dv) + kFlagBytes;
+  }
+  std::size_t operator()(const RecoveryDone& m) const {
+    return kHeaderBytes + kNodeIdBytes + vv_bytes(m.vv);
+  }
   // Test-only, never encoded; nominal size kept for the routing tests.
   std::size_t operator()(const RouteProbe&) const { return 8; }
 };
@@ -129,6 +140,11 @@ struct NameVisitor {
   const char* operator()(const GcVector&) const { return "GcVector"; }
   const char* operator()(const StabReport&) const { return "StabReport"; }
   const char* operator()(const GssBroadcast&) const { return "GssBroadcast"; }
+  const char* operator()(const RecoveryReq&) const { return "RecoveryReq"; }
+  const char* operator()(const RecoveryVersion&) const {
+    return "RecoveryVersion";
+  }
+  const char* operator()(const RecoveryDone&) const { return "RecoveryDone"; }
   const char* operator()(const RouteProbe&) const { return "RouteProbe"; }
 };
 

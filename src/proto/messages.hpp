@@ -170,6 +170,34 @@ struct GssBroadcast {
   VersionVector gss;
 };
 
+/// Crash-recovery handshake (durable deployments, wire v3). A restarted
+/// process replays its per-partition WAL, then asks every sibling replica for
+/// the replication suffix it missed while down or lost past its last group
+/// commit: <RecoveryREQ durable_vv> names the cut. The peer answers with a
+/// stream of RecoveryVERSION records — every version in its store fresher
+/// than the cut, regardless of source replica (this also reflects back the
+/// recovering DC's own versions that were replicated out but arrived at the
+/// peer ahead of a local fsync) — closed by <RecoveryDONE vv>. Because the
+/// answers ride the same FIFO link as live Replicates, the recovering node's
+/// VV may only be merged at DONE time, and the host keeps clients gated until
+/// every sibling's DONE arrived (net/tcp_node_host.cpp).
+struct RecoveryReq {
+  NodeId from;
+  VersionVector durable_vv;
+};
+
+/// One recovered version. Handled tolerantly: inserted idempotently (the
+/// version chain dedupes on (ut, sr)), never subject to the Replicate
+/// channel's timestamp-order assertion, and never raising the VV by itself.
+struct RecoveryVersion {
+  store::Version version;
+};
+
+struct RecoveryDone {
+  NodeId from;
+  VersionVector vv;
+};
+
 /// Test-only payload: counts copies and moves so tests can enforce the
 /// zero-copy routing invariant (a Message is moved, never copied, from sender
 /// to endpoint). Never sent by a protocol engine.
@@ -202,10 +230,12 @@ struct RouteProbe {
 
 // RouteProbe sits last so the protocol alternatives keep their stable indices
 // (SimNetwork::account and SimNode's priority classing switch on index()).
+// New protocol messages are appended before it, never between existing ones.
 using Message =
     std::variant<GetReq, PutReq, RoTxReq, GetReply, PutReply, RoTxReply,
                  SessionClosed, Replicate, Heartbeat, SliceReq, SliceReply,
-                 GcReport, GcVector, StabReport, GssBroadcast, RouteProbe>;
+                 GcReport, GcVector, StabReport, GssBroadcast, RecoveryReq,
+                 RecoveryVersion, RecoveryDone, RouteProbe>;
 
 /// Human-readable message-type name (logging / tests).
 const char* message_name(const Message& m);

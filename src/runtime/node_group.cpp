@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "wal/wal_format.hpp"
 
 namespace pocc::rt {
 
@@ -37,6 +38,7 @@ NodeGroup::NodeGroup(DcId dc, std::vector<PartitionId> parts, Router& router,
     // i mod M — the engine is only ever touched by that worker.
     Worker& w = *workers_[i % workers_.size()];
     slot->worker = &w;
+    if (opt_.wal != nullptr) slot->wal = &opt_.wal->wal_for(parts_[i]);
     w.slots.push_back(slot.get());
     by_part_[parts_[i]] = slot.get();
     slots_.push_back(std::move(slot));
@@ -50,6 +52,14 @@ NodeGroup::Slot::Slot(NodeGroup& g, NodeId self_id,
     : group(g), self(self_id), clock(clock_cfg, seeder) {}
 
 void NodeGroup::Slot::send(NodeId to, proto::Message m) {
+  if (wal != nullptr && wal->unsynced_bytes() > 0) {
+    // Output commit: this send may depend on records a crash could still
+    // lose. Park it until the covering group commit (flush_durability).
+    // Sibling-partition sends are held too — a sibling could otherwise
+    // leak the unsynced state to a client through its own replies.
+    held.push_back(HeldOutput{false, to, 0, std::move(m)});
+    return;
+  }
   if (group.hosts(to)) {
     // Sibling partition in this process: a queue push, not a socket write.
     group.local_deliveries_.fetch_add(1, std::memory_order_relaxed);
@@ -60,7 +70,40 @@ void NodeGroup::Slot::send(NodeId to, proto::Message m) {
 }
 
 void NodeGroup::Slot::reply(ClientId client, proto::Message m) {
+  if (wal != nullptr && wal->unsynced_bytes() > 0) {
+    held.push_back(HeldOutput{true, NodeId{}, client, std::move(m)});
+    return;
+  }
   group.router_.route_to_client(self, client, std::move(m));
+}
+
+void NodeGroup::Slot::flush_durability() {
+  if (wal == nullptr) return;
+  if (wal->unsynced_bytes() > 0) wal->sync();
+  if (!held.empty()) {
+    // Re-route through send()/reply(): with the tail synced they go
+    // straight out, in the order the handlers produced them.
+    std::vector<HeldOutput> outs;
+    outs.swap(held);
+    for (HeldOutput& o : outs) {
+      if (o.is_reply) {
+        reply(o.client, std::move(o.msg));
+      } else {
+        send(o.to, std::move(o.msg));
+      }
+    }
+  }
+  if (wal->wants_checkpoint()) {
+    // Step 1 on the owner thread: rotate, then serialize the cut — between
+    // the two nothing appends (same thread), so the snapshot is exactly
+    // "everything in segments < seq". Step 2 (durable write + prune) runs
+    // on the manager's flusher thread.
+    const std::uint64_t seq = wal->begin_checkpoint();
+    group.opt_.wal->submit_checkpoint(
+        wal, seq,
+        wal::encode_snapshot(engine->partition_store(),
+                             engine->version_vector()));
+  }
 }
 
 void NodeGroup::Slot::set_timer(Duration delay, std::uint64_t timer_id) {
@@ -150,6 +193,15 @@ void NodeGroup::run_worker(Worker& w) {
       t.slot->engine->on_timer(t.id);
       lk.lock();
     }
+    // Group-commit anything the timer callbacks appended (heartbeat VV
+    // raises) before sleeping — held outputs must never straddle a wait.
+    // Unlocked: releasing a held sibling send takes this worker's mutex.
+    if (std::any_of(w.slots.begin(), w.slots.end(),
+                    [](const Slot* s) { return s->needs_flush(); })) {
+      lk.unlock();
+      for (Slot* slot : w.slots) slot->flush_durability();
+      lk.lock();
+    }
     if (w.stopping) break;
     if (!w.inbox.empty()) {
       // Swap-drain: take the whole backlog in ONE lock cycle instead of a
@@ -161,6 +213,9 @@ void NodeGroup::run_worker(Worker& w) {
         Incoming in = backlog.pop_front();
         in.slot->engine->handle_message(in.from, std::move(in.msg));
       }
+      // One fdatasync covers the whole drained batch (group commit), then
+      // the batch's replies and sends leave together.
+      for (Slot* slot : w.slots) slot->flush_durability();
       lk.lock();
       continue;
     }

@@ -44,6 +44,7 @@
 #include "runtime/rt_node.hpp"
 #include "server/context.hpp"
 #include "server/replica_base.hpp"
+#include "wal/wal_manager.hpp"
 
 namespace pocc::rt {
 
@@ -65,6 +66,15 @@ class NodeGroup {
     std::uint32_t threads = 1;
     ClockConfig clock = ClockConfig::perfect();
     std::uint64_t seed = 1;
+    /// When set, every hosted partition writes a WAL under the manager's
+    /// data directory, with OUTPUT COMMIT: a worker withholds the replies
+    /// and sends a handler produces while its partition's WAL holds
+    /// unsynced records, group-commits (one fdatasync per drained batch)
+    /// at the end of each drain cycle, and only then releases the held
+    /// outputs in order. Nothing externally visible ever depends on state
+    /// a crash could lose. nullptr = no durability (simulator, tests,
+    /// --no-durability).
+    wal::WalManager* wal = nullptr;
   };
 
   /// Builds one engine bound to `ctx` (its partition-private Context).
@@ -130,12 +140,33 @@ class NodeGroup {
     void send(NodeId to, proto::Message m) override;
     void reply(ClientId client, proto::Message m) override;
     void set_timer(Duration delay, std::uint64_t timer_id) override;
+    server::DurabilityLog* durability() override { return wal; }
+
+    /// True when the group-commit pass has work for this slot.
+    [[nodiscard]] bool needs_flush() const {
+      return wal != nullptr && (wal->unsynced_bytes() > 0 || !held.empty() ||
+                                wal->wants_checkpoint());
+    }
+    /// Owner thread, unlocked: sync the WAL, release held outputs in
+    /// order, and hand a due checkpoint to the background flusher.
+    void flush_durability();
+
+    /// An output produced while the WAL tail was unsynced, parked until
+    /// the covering group commit lands.
+    struct HeldOutput {
+      bool is_reply = false;
+      NodeId to;
+      ClientId client = 0;
+      proto::Message msg;
+    };
 
     NodeGroup& group;
     NodeId self;
     PhysicalClock clock;
     Worker* worker = nullptr;
     std::unique_ptr<server::ReplicaBase> engine;
+    wal::PartitionWal* wal = nullptr;  // owned by Options::wal's manager
+    std::vector<HeldOutput> held;
   };
 
   struct Incoming {

@@ -15,6 +15,8 @@
 
 namespace pocc::server {
 
+class DurabilityLog;
+
 /// Environment provided to a server engine.
 class Context {
  public:
@@ -41,6 +43,11 @@ class Context {
   /// Request an `on_timer(timer_id)` callback after `delay`. One-shot; engines
   /// re-arm periodic timers themselves.
   virtual void set_timer(Duration delay, std::uint64_t timer_id) = 0;
+
+  /// Write-ahead log for mutations that must survive a crash, or nullptr when
+  /// the host provides no durability (see server/durability.hpp). The engine
+  /// appends; the host syncs and holds outputs until the sync lands.
+  virtual DurabilityLog* durability() { return nullptr; }
 };
 
 }  // namespace pocc::server

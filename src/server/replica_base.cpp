@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "server/durability.hpp"
 #include "store/key_space.hpp"
 
 namespace pocc::server {
@@ -63,6 +64,12 @@ Duration ReplicaBase::handle_message(NodeId from, proto::Message m) {
           on_stab_report(msg);
         } else if constexpr (std::is_same_v<T, proto::GssBroadcast>) {
           on_gss_broadcast(msg);
+        } else if constexpr (std::is_same_v<T, proto::RecoveryReq>) {
+          on_recovery_req(msg);
+        } else if constexpr (std::is_same_v<T, proto::RecoveryVersion>) {
+          on_recovery_version(msg);
+        } else if constexpr (std::is_same_v<T, proto::RecoveryDone>) {
+          on_recovery_done(msg);
         } else {
           POCC_ASSERT_MSG(false, "server received unexpected message type");
         }
@@ -80,6 +87,11 @@ Duration ReplicaBase::on_timer(std::uint64_t timer_id) {
       const Timestamp ct = ctx_.clock_peek();
       if (ct >= vv_[local_dc()] + protocol_.heartbeat_interval_us) {
         vv_[local_dc()] = ctx_.clock_now();
+        // The raise must be durable before any peer acts on the broadcast:
+        // a heartbeat promises "every update <= ts has been sent", which
+        // after a crash means "…is in the WAL" (the host holds the sends
+        // below until this append is synced).
+        if (DurabilityLog* dur = ctx_.durability()) dur->log_vv(vv_);
         for (DcId j = 0; j < topology_.num_dcs; ++j) {
           if (j == local_dc()) continue;
           charge(service_.heartbeat_us);
@@ -206,6 +218,7 @@ void ReplicaBase::serve_put(const proto::PutReq& req, Duration blocked_us) {
   v.dv = req.dv;
   v.opt_origin = mark_opt_origin(req);
   store_.insert(v);
+  if (DurabilityLog* dur = ctx_.durability()) dur->log_version(v);
   if (version_observer_) version_observer_(req.client, req.op_id, v);
 
   // Alg. 2 lines 12-14: replicate to the partition's siblings. FIFO channels
@@ -234,9 +247,13 @@ void ReplicaBase::serve_put(const proto::PutReq& req, Duration blocked_us) {
 Duration ReplicaBase::on_replicate(const proto::Replicate& msg) {
   charge(service_.replicate_us);
   const store::Version& v = msg.version;
-  POCC_ASSERT_MSG(v.ut >= vv_[v.sr],
+  // After begin_peer_recovery() the VV merges peer RecoveryDone vectors, so a
+  // live FIFO link that lags the merged VV legitimately delivers versions
+  // below it; they are idempotent duplicates of recovered state.
+  POCC_ASSERT_MSG(fifo_tolerant_ || v.ut >= vv_[v.sr],
                   "replication channel must deliver in timestamp order");
   store_.insert(v);
+  if (DurabilityLog* dur = ctx_.durability()) dur->log_version(v);
   vv_.raise(v.sr, v.ut);  // Alg. 2 line 18
   poke();
   return work_;
@@ -247,6 +264,88 @@ Duration ReplicaBase::on_heartbeat(NodeId from, const proto::Heartbeat& msg) {
   charge(service_.heartbeat_us);
   POCC_ASSERT(msg.src_dc < topology_.num_dcs);
   vv_.raise(msg.src_dc, msg.ts);  // Alg. 2 line 28
+  // Durable so a restart does not regress the VV below what clients already
+  // observed through served reads (GET waits are VV-driven).
+  if (DurabilityLog* dur = ctx_.durability()) dur->log_vv(vv_);
+  poke();
+  return work_;
+}
+
+// ----------------------------------------------------- crash recovery ----
+
+void ReplicaBase::restore_version(const store::Version& v) {
+  POCC_ASSERT(v.sr < topology_.num_dcs);
+  store_.insert(v);
+  vv_.raise(v.sr, v.ut);
+}
+
+void ReplicaBase::restore_vv(const VersionVector& vv) {
+  if (vv.size() == vv_.size()) vv_.merge_max(vv);
+}
+
+void ReplicaBase::begin_peer_recovery() {
+  fifo_tolerant_ = true;
+  recovering_dcs_ = 0;
+  for (DcId j = 0; j < topology_.num_dcs; ++j) {
+    if (j == local_dc()) continue;
+    ++recovering_dcs_;
+    ctx_.send(NodeId{j, self_.part}, proto::RecoveryReq{self_, vv_});
+  }
+}
+
+Duration ReplicaBase::on_recovery_req(const proto::RecoveryReq& req) {
+  charge(service_.gc_round_us);
+  // Stream every version fresher than the crashed sibling's durable cut —
+  // its own source replica included: versions it created and replicated out
+  // may have been acknowledged here before its fsync covered them. GC never
+  // tears a hole into this: only versions superseded by a fresher one of the
+  // same key are collected, so the per-key freshest state is always present.
+  const auto cut = [&](DcId sr) {
+    return sr < req.durable_vv.size() ? req.durable_vv[sr] : 0;
+  };
+  for (const auto& [key, chain] : store_.chains()) {
+    for (const store::Version& v : chain.versions()) {
+      if (v.ut > cut(v.sr)) {
+        charge(service_.replicate_us);
+        ctx_.send(req.from, proto::RecoveryVersion{v});
+      }
+    }
+  }
+  // DONE carries this node's VV: only merged by the receiver *after* every
+  // RecoveryVersion above landed (same FIFO link), so the VV never promises
+  // versions still in flight.
+  ctx_.send(req.from, proto::RecoveryDone{self_, vv_});
+  return work_;
+}
+
+Duration ReplicaBase::on_recovery_version(const proto::RecoveryVersion& msg) {
+  charge(service_.replicate_us);
+  if (msg.version.sr >= topology_.num_dcs) return work_;  // corrupt peer
+  store_.insert(msg.version);  // idempotent on (ut, sr)
+  if (DurabilityLog* dur = ctx_.durability()) dur->log_version(msg.version);
+  ++versions_recovered_;
+  return work_;
+}
+
+Duration ReplicaBase::on_recovery_done(const proto::RecoveryDone& msg) {
+  charge(service_.heartbeat_us);
+  if (msg.vv.size() == vv_.size()) {
+    // Push back our own durable suffix the peer never received — Replicates
+    // that died in this process's batcher outbox at crash time. Tolerantly
+    // restored on the peer (RecoveryVersion, not Replicate).
+    const Timestamp peer_has = msg.vv[local_dc()];
+    for (const auto& [key, chain] : store_.chains()) {
+      for (const store::Version& v : chain.versions()) {
+        if (v.sr == local_dc() && v.ut > peer_has) {
+          charge(service_.replicate_us);
+          ctx_.send(msg.from, proto::RecoveryVersion{v});
+        }
+      }
+    }
+    vv_.merge_max(msg.vv);
+    if (DurabilityLog* dur = ctx_.durability()) dur->log_vv(vv_);
+  }
+  if (recovering_dcs_ > 0) --recovering_dcs_;
   poke();
   return work_;
 }

@@ -63,6 +63,34 @@ class ReplicaBase {
   /// updates are recovered from peer replicas by the cluster host.
   virtual void recover();
 
+  // --- WAL restore + peer recovery (src/wal/, net/tcp_node_host.cpp) ---
+
+  /// Re-install one version from a WAL/snapshot replay: idempotent store
+  /// insert (the chain dedupes on (ut, sr)) + VV raise — exactly what
+  /// serve_put/on_replicate did originally, minus replication, observers and
+  /// durability logging. Only legal before start().
+  void restore_version(const store::Version& v);
+
+  /// Merge a WAL-replayed VV record (heartbeat-driven raises).
+  void restore_vv(const VersionVector& vv);
+
+  /// Ask every sibling replica for the replication suffix lost past the
+  /// durable cut (vv_ as restored): sends RecoveryReq per peer DC and arms
+  /// recovery_complete(). Also makes on_replicate tolerate below-VV
+  /// duplicates permanently: recovery answers and live replication race on
+  /// independent FIFO links, so the timestamp-order invariant of a single
+  /// channel no longer covers the merged stream.
+  void begin_peer_recovery();
+
+  /// True once every sibling's RecoveryDone was processed (vacuously true
+  /// with one DC or before begin_peer_recovery()).
+  [[nodiscard]] bool recovery_complete() const { return recovering_dcs_ == 0; }
+
+  /// Versions ingested via RecoveryVersion (stats/tests).
+  [[nodiscard]] std::uint64_t versions_recovered() const {
+    return versions_recovered_;
+  }
+
   /// Dispatch any message (client request, replica traffic). Returns CPU time
   /// consumed by the handler, including any parked work it resumed.
   Duration handle_message(NodeId from, proto::Message m);
@@ -177,6 +205,9 @@ class ReplicaBase {
   Duration on_gc_vector(const proto::GcVector& msg);
   virtual Duration on_stab_report(const proto::StabReport& msg);
   virtual Duration on_gss_broadcast(const proto::GssBroadcast& msg);
+  Duration on_recovery_req(const proto::RecoveryReq& req);
+  Duration on_recovery_version(const proto::RecoveryVersion& msg);
+  Duration on_recovery_done(const proto::RecoveryDone& msg);
 
   void serve_get(const proto::GetReq& req, Duration blocked_us);
   [[nodiscard]] bool put_ready(const proto::PutReq& req) const;
@@ -251,6 +282,13 @@ class ReplicaBase {
   bool clock_wakeup_armed_ = false;
   Timestamp armed_clock_target_ = kTimestampMax;
   VersionObserver version_observer_;
+
+  /// Sibling DCs whose RecoveryDone is still outstanding (peer recovery).
+  std::uint32_t recovering_dcs_ = 0;
+  /// Set by begin_peer_recovery(): on_replicate accepts versions below the
+  /// VV as idempotent duplicates instead of asserting channel order.
+  bool fifo_tolerant_ = false;
+  std::uint64_t versions_recovered_ = 0;
 };
 
 }  // namespace pocc::server

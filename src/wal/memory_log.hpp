@@ -1,0 +1,52 @@
+// In-memory DurabilityLog for the discrete-event simulator's kWal fault
+// mode: records exactly what a PartitionWal would make durable, without any
+// filesystem I/O (the sim must stay deterministic and hermetic). "Sync" is
+// implicit per append — the sim models the WAL as lossless, so a crashed
+// node's restart replays the full logged history, exercising the same
+// restore_version/restore_vv rebuild path the real recovery uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "server/durability.hpp"
+#include "store/version.hpp"
+#include "vclock/version_vector.hpp"
+
+namespace pocc::wal {
+
+class MemoryLog final : public server::DurabilityLog {
+ public:
+  void log_version(const store::Version& v) override {
+    entries_.push_back(Entry{true, v, {}});
+  }
+  void log_vv(const VersionVector& vv) override {
+    entries_.push_back(Entry{false, {}, vv});
+  }
+
+  /// Replay the full logged history in order (sim restart path).
+  void replay(const std::function<void(const store::Version&)>& on_version,
+              const std::function<void(const VersionVector&)>& on_vv) const {
+    for (const Entry& e : entries_) {
+      if (e.is_version) {
+        on_version(e.version);
+      } else {
+        on_vv(e.vv);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    bool is_version = false;
+    store::Version version;
+    VersionVector vv;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pocc::wal

@@ -1,0 +1,79 @@
+// Process-level durability root: one PartitionWal per hosted partition under
+// `<data_dir>/p<part>/`, plus the background checkpoint flusher.
+//
+// Division of labor with the runtime: the engine's worker thread owns the hot
+// path (append, group-commit sync, snapshot serialization — all thread-affine
+// with the engine), while the flusher thread here does the slow, contention-
+// free part of a checkpoint: writing the snapshot body to disk, fsyncing,
+// renaming and pruning (PartitionWal::commit_checkpoint, which is safe off
+// the owner thread by design).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wal/partition_wal.hpp"
+
+namespace pocc::wal {
+
+class WalManager {
+ public:
+  /// `data_dir` is the process's durable root (poccd --data-dir).
+  explicit WalManager(std::string data_dir,
+                      PartitionWal::Options opt = PartitionWal::Options());
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// The WAL for one partition, created (and its torn tail healed) on first
+  /// use. Setup-phase only: callers must not race this with each other.
+  PartitionWal& wal_for(PartitionId part);
+
+  /// Queue a serialized snapshot for durable commit on the flusher thread
+  /// (step 2 of PartitionWal's checkpoint protocol).
+  void submit_checkpoint(PartitionWal* wal, std::uint64_t seq,
+                         std::vector<std::uint8_t> body);
+
+  /// Drain the checkpoint queue and join the flusher. Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& data_dir() const { return data_dir_; }
+  [[nodiscard]] std::uint64_t checkpoints_committed() const {
+    return checkpoints_committed_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_failed() const {
+    return checkpoints_failed_;
+  }
+
+ private:
+  struct Pending {
+    PartitionWal* wal = nullptr;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> body;
+  };
+
+  void run_flusher();
+
+  std::string data_dir_;
+  PartitionWal::Options opt_;
+  std::unordered_map<PartitionId, std::unique_ptr<PartitionWal>> wals_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::thread flusher_;
+  std::uint64_t checkpoints_committed_ = 0;  // flusher thread, read post-stop
+  std::uint64_t checkpoints_failed_ = 0;
+};
+
+}  // namespace pocc::wal

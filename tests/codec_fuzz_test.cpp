@@ -79,7 +79,7 @@ std::vector<KeyId> random_keys(Rng& rng, std::size_t max_n) {
 }
 
 Message random_message(Rng& rng) {
-  switch (rng.uniform(15)) {
+  switch (rng.uniform(18)) {
     case 0: {
       GetReq m;
       m.client = rng.next();
@@ -194,9 +194,33 @@ Message random_message(Rng& rng) {
       m.vv = random_vv(rng);
       return Message{std::move(m)};
     }
-    default: {
+    case 14: {
       GssBroadcast m;
       m.gss = random_vv(rng);
+      return Message{std::move(m)};
+    }
+    case 15: {
+      RecoveryReq m;
+      m.from = NodeId{static_cast<DcId>(rng.uniform(8)),
+                      static_cast<PartitionId>(rng.uniform(32))};
+      m.durable_vv = random_vv(rng);
+      return Message{std::move(m)};
+    }
+    case 16: {
+      RecoveryVersion m;
+      m.version.key = random_key(rng);
+      m.version.value = random_string(rng, 64);
+      m.version.sr = static_cast<DcId>(rng.uniform(8));
+      m.version.ut = static_cast<Timestamp>(rng.uniform(1'000'000'000));
+      m.version.dv = random_vv(rng);
+      m.version.opt_origin = rng.uniform(2) == 0;
+      return Message{std::move(m)};
+    }
+    default: {
+      RecoveryDone m;
+      m.from = NodeId{static_cast<DcId>(rng.uniform(8)),
+                      static_cast<PartitionId>(rng.uniform(32))};
+      m.vv = random_vv(rng);
       return Message{std::move(m)};
     }
   }
@@ -292,6 +316,22 @@ struct EqualVisitor {
   }
   bool operator()(const GssBroadcast& a) const {
     return a.gss == std::get<GssBroadcast>(rhs).gss;
+  }
+  bool operator()(const RecoveryReq& a) const {
+    const auto& b = std::get<RecoveryReq>(rhs);
+    return a.from == b.from && a.durable_vv == b.durable_vv;
+  }
+  bool operator()(const RecoveryVersion& a) const {
+    const auto& b = std::get<RecoveryVersion>(rhs);
+    return a.version.key == b.version.key &&
+           a.version.value == b.version.value &&
+           a.version.sr == b.version.sr && a.version.ut == b.version.ut &&
+           a.version.dv == b.version.dv &&
+           a.version.opt_origin == b.version.opt_origin;
+  }
+  bool operator()(const RecoveryDone& a) const {
+    const auto& b = std::get<RecoveryDone>(rhs);
+    return a.from == b.from && a.vv == b.vv;
   }
   bool operator()(const RouteProbe&) const { return false; }
 };

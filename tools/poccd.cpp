@@ -5,10 +5,15 @@
 //
 //   poccd --config cluster.cfg --dc 0 [--part N] [--threads N]
 //         [--system pocc|cure|ha] [--seed N] [--verbose]
+//         [--data-dir DIR] [--no-durability]
 //
 // --part selects a process in legacy one-partition-per-process configs (one
 // `node DC PART HOST:PORT` line each); group configs need only --dc.
 // --threads overrides the config's worker count for this process.
+// --data-dir enables the per-partition WAL + checkpoints under DIR (the
+// process recovers from it after a crash — kill -9 included — rebuilding the
+// lost replication suffix from peer DCs before admitting clients);
+// --no-durability makes the omission of --data-dir explicit in scripts.
 //
 // The process serves until SIGINT/SIGTERM, then prints an exit stats line
 // aggregated over every hosted partition engine. Engine clocks are aligned
@@ -40,7 +45,8 @@ pocc::Timestamp realtime_us() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --config FILE --dc N [--part N] [--threads N]\n"
-               "          [--system pocc|cure|ha] [--seed N] [--verbose]\n",
+               "          [--system pocc|cure|ha] [--seed N] [--verbose]\n"
+               "          [--data-dir DIR] [--no-durability]\n",
                argv0);
   return 3;
 }
@@ -55,6 +61,8 @@ int main(int argc, char** argv) {
   long part = -1;
   long threads_override = -1;
   const char* system_override = nullptr;
+  const char* data_dir = nullptr;
+  bool no_durability = false;
   std::uint64_t seed = 1;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +86,9 @@ int main(int argc, char** argv) {
     } else if (arg_with_value("--system", &system_override)) {
     } else if (arg_with_value("--seed", &value)) {
       seed = std::strtoull(value, nullptr, 10);
+    } else if (arg_with_value("--data-dir", &data_dir)) {
+    } else if (std::strcmp(argv[i], "--no-durability") == 0) {
+      no_durability = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
@@ -134,10 +145,17 @@ int main(int argc, char** argv) {
     spec.threads = static_cast<std::uint32_t>(threads_override);
   }
 
+  if (data_dir != nullptr && no_durability) {
+    std::fprintf(stderr,
+                 "poccd: --data-dir and --no-durability are exclusive\n");
+    return 3;
+  }
+
   net::TcpNodeHost::Options opt;
   opt.listen_port = spec.port;
   opt.seed = seed;
   opt.verbose = verbose;
+  if (data_dir != nullptr) opt.data_dir = data_dir;
   // Map the engine clock onto wall time: steady_now_us() is process-relative,
   // so without this bias every process would carry a clock skew equal to its
   // start-time stagger, stalling PUT clock waits (Alg. 2 line 7) for exactly
@@ -156,6 +174,22 @@ int main(int argc, char** argv) {
                "port %u\n",
                dc, net::system_name(layout->system), spec.parts.size(),
                host.group().threads(), host.port());
+  if (data_dir != nullptr) {
+    // One line per partition so crash drills can assert the WAL replay
+    // actually ran (scripts grep for "recovered part").
+    const auto& replays = host.replay_stats();
+    for (std::size_t i = 0; i < spec.parts.size(); ++i) {
+      const wal::PartitionWal::ReplayStats& rs = replays[i];
+      std::fprintf(stderr,
+                   "poccd dc%ld: recovered part %u — snapshot_versions=%llu "
+                   "log_versions=%llu vv_records=%llu torn_bytes=%llu\n",
+                   dc, spec.parts[i],
+                   static_cast<unsigned long long>(rs.snapshot_versions),
+                   static_cast<unsigned long long>(rs.log_versions),
+                   static_cast<unsigned long long>(rs.vv_records),
+                   static_cast<unsigned long long>(rs.torn_bytes));
+    }
+  }
 
   while (g_stop == 0) {
     timespec nap{0, 50'000'000};  // 50 ms
