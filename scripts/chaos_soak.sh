@@ -1,0 +1,226 @@
+#!/usr/bin/env bash
+# Chaos soak across real process boundaries: a 3-DC poccd cluster whose
+# inter-DC replication links all pass through pocc_chaosproxy — one proxy
+# route per DIRECTED DC pair, so the seed-deterministic fault schedule
+# (delay/jitter/loss-stalls/reorder + timed full/asymmetric partitions) hits
+# the actual wire between processes. Servers run durable (--data-dir) with
+# bounded admission (--max-inbox); a kill -9 + restart leg runs mid-load;
+# the load itself runs through pocc_loadgen --resilient, so every op has a
+# deadline, idempotent retries, backoff and failover — and the run is gated
+# on ZERO causal-consistency violations plus a deadline-failure budget.
+#
+# Route plumbing: each poccd gets its OWN config file in which every peer
+# DC's address points at the proxy port for the (self -> peer) direction,
+# while its own line keeps the real listen address. Clients (loadgen) use
+# the undoctored config — client resilience is exercised by the kill leg
+# and the server-side admission bounds, not by the proxy.
+#
+# usage: scripts/chaos_soak.sh [BUILD_DIR] [OUT_DIR]
+# env:   SOAK_SEED (1)  SOAK_SYSTEM (pocc)  SOAK_DURATION_S (20)
+#        SOAK_BASE_PORT (7550)  SOAK_PROXY_BASE_PORT (7560)
+#        SOAK_CLIENTS (8)  SOAK_THREADS (2)  SOAK_KILL (1)
+#        SOAK_DEADLINE_BUDGET (0.05)  SOAK_OP_DEADLINE_US (15000000)
+#        SOAK_DELAY_US (2000)  SOAK_JITTER_US (1000)  SOAK_LOSS (0.01)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-chaos-out}"
+SEED="${SOAK_SEED:-1}"
+SYSTEM="${SOAK_SYSTEM:-pocc}"
+DURATION_S="${SOAK_DURATION_S:-20}"
+BASE_PORT="${SOAK_BASE_PORT:-7550}"
+PROXY_BASE_PORT="${SOAK_PROXY_BASE_PORT:-7560}"
+CLIENTS="${SOAK_CLIENTS:-8}"
+THREADS="${SOAK_THREADS:-2}"
+KILL="${SOAK_KILL:-1}"
+DEADLINE_BUDGET="${SOAK_DEADLINE_BUDGET:-0.05}"
+OP_DEADLINE_US="${SOAK_OP_DEADLINE_US:-15000000}"
+DELAY_US="${SOAK_DELAY_US:-2000}"
+JITTER_US="${SOAK_JITTER_US:-1000}"
+LOSS="${SOAK_LOSS:-0.01}"
+DCS=3
+PARTS=2
+
+for bin in poccd pocc_loadgen pocc_chaosproxy; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "chaos_soak: $BUILD_DIR/$bin not built" >&2
+    exit 3
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+
+# Real node addresses (the client view).
+real_port() { echo $((BASE_PORT + $1)); }
+# Proxy listen port for the directed pair src -> dst.
+proxy_port() { echo $((PROXY_BASE_PORT + $1 * DCS + $2)); }
+
+config_header() {
+  echo "dcs $DCS"
+  echo "partitions $PARTS"
+  echo "system $SYSTEM"
+  echo "heartbeat_us 2000"
+  echo "stabilization_us 10000"
+}
+
+# Client config: real addresses everywhere.
+CFG="$OUT_DIR/cluster.cfg"
+{
+  config_header
+  for dc in $(seq 0 $((DCS - 1))); do
+    echo "node dc=$dc parts=0-$((PARTS - 1)) threads=$THREADS addr=127.0.0.1:$(real_port "$dc")"
+  done
+} > "$CFG"
+
+# Per-DC server configs: peers behind the (self -> peer) proxy route.
+for self in $(seq 0 $((DCS - 1))); do
+  {
+    config_header
+    for dc in $(seq 0 $((DCS - 1))); do
+      if [[ "$dc" == "$self" ]]; then
+        addr="127.0.0.1:$(real_port "$dc")"
+      else
+        addr="127.0.0.1:$(proxy_port "$self" "$dc")"
+      fi
+      echo "node dc=$dc parts=0-$((PARTS - 1)) threads=$THREADS addr=$addr"
+    done
+  } > "$OUT_DIR/cluster_dc${self}.cfg"
+done
+echo "chaos_soak: client config:" && cat "$CFG"
+
+PIDS=()
+PROXY_PID=""
+cleanup() {
+  local status=$?
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  [[ -n "$PROXY_PID" ]] && kill "$PROXY_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  if [[ $status -ne 0 ]]; then
+    echo "chaos_soak: FAILED (exit $status) — logs:" >&2
+    tail -n 20 "$OUT_DIR"/poccd_*.log "$OUT_DIR"/chaosproxy.log >&2 || true
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
+# One proxy process carries all 6 directed routes; its fault schedule spans
+# the whole soak so partitions recur seed-deterministically.
+ROUTE_ARGS=()
+for src in $(seq 0 $((DCS - 1))); do
+  for dst in $(seq 0 $((DCS - 1))); do
+    [[ "$src" == "$dst" ]] && continue
+    ROUTE_ARGS+=(--route "$(proxy_port "$src" "$dst"):127.0.0.1:$(real_port "$dst"):$src:$dst")
+  done
+done
+echo "chaos_soak: launching chaosproxy (seed $SEED, ${#ROUTE_ARGS[@]} args)"
+"$BUILD_DIR/pocc_chaosproxy" --seed "$SEED" --dcs "$DCS" --parts "$PARTS" \
+  --duration-s "$DURATION_S" \
+  --delay-us "$DELAY_US" --jitter-us "$JITTER_US" --loss "$LOSS" \
+  "${ROUTE_ARGS[@]}" > "$OUT_DIR/chaosproxy.log" 2>&1 &
+PROXY_PID=$!
+
+echo "chaos_soak: launching $DCS durable poccd processes (bounded admission)"
+for dc in $(seq 0 $((DCS - 1))); do
+  "$BUILD_DIR/poccd" --config "$OUT_DIR/cluster_dc${dc}.cfg" --dc "$dc" \
+    --data-dir "$OUT_DIR/data_dc$dc" --max-inbox 4096 \
+    > "$OUT_DIR/poccd_dc${dc}.log" 2>&1 &
+  PIDS+=($!)
+done
+
+echo "chaos_soak: waiting for all node ports to listen"
+for attempt in $(seq 1 100); do
+  up=1
+  for dc in $(seq 0 $((DCS - 1))); do
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$(real_port "$dc")") 2>/dev/null; then
+      up=0
+      break
+    fi
+    exec 3>&- || true
+  done
+  [[ $up -eq 1 ]] && break
+  if [[ $attempt -eq 100 ]]; then
+    echo "chaos_soak: cluster never came up" >&2
+    exit 4
+  fi
+  sleep 0.1
+done
+
+if ! kill -0 "$PROXY_PID" 2>/dev/null; then
+  echo "chaos_soak: chaosproxy died at startup" >&2
+  exit 4
+fi
+grep "plan_hash" "$OUT_DIR/chaosproxy.log" || true
+
+echo "chaos_soak: resilient checked load for ${DURATION_S}s under wire chaos"
+"$BUILD_DIR/pocc_loadgen" --config "$CFG" --mode load \
+  --threads "$CLIENTS" --connections 2 \
+  --duration-s "$DURATION_S" --resilient --expect-disruption \
+  --op-deadline-us "$OP_DEADLINE_US" --deadline-budget "$DEADLINE_BUDGET" \
+  --out "$OUT_DIR/BENCH_chaos_soak.json" --client-base 1 \
+  > "$OUT_DIR/loadgen_soak.log" 2>&1 &
+LOAD_PID=$!
+
+if [[ "$KILL" == "1" ]]; then
+  VICTIM_DC=$((DCS - 1))
+  sleep 3
+  VICTIM_PID="${PIDS[$VICTIM_DC]}"
+  echo "chaos_soak: kill -9 poccd dc$VICTIM_DC (pid $VICTIM_PID) mid-soak"
+  kill -9 "$VICTIM_PID" 2>/dev/null || true
+  wait "$VICTIM_PID" 2>/dev/null || true
+  sleep 1
+  echo "chaos_soak: restarting dc$VICTIM_DC on its data dir"
+  "$BUILD_DIR/poccd" --config "$OUT_DIR/cluster_dc${VICTIM_DC}.cfg" \
+    --dc "$VICTIM_DC" --data-dir "$OUT_DIR/data_dc$VICTIM_DC" \
+    --max-inbox 4096 \
+    >> "$OUT_DIR/poccd_dc${VICTIM_DC}.log" 2>&1 &
+  PIDS[$VICTIM_DC]=$!
+  for attempt in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$(real_port "$VICTIM_DC")") 2>/dev/null; then
+      exec 3>&- || true
+      break
+    fi
+    if [[ $attempt -eq 100 ]]; then
+      echo "chaos_soak: dc$VICTIM_DC never listened again" >&2
+      exit 7
+    fi
+    sleep 0.1
+  done
+  # Second batch of "recovered part" lines proves the WAL replay ran.
+  for attempt in $(seq 1 50); do
+    lines="$(grep -c "recovered part" "$OUT_DIR/poccd_dc${VICTIM_DC}.log" || true)"
+    [[ "$lines" -ge $((2 * PARTS)) ]] && break
+    if [[ $attempt -eq 50 ]]; then
+      echo "chaos_soak: restarted dc$VICTIM_DC never reported a WAL replay" >&2
+      exit 7
+    fi
+    sleep 0.1
+  done
+fi
+
+if ! wait "$LOAD_PID"; then
+  status=$?
+  echo "chaos_soak: FAIL — resilient load exited $status (1=violation, 3=deadline budget)" >&2
+  tail -n 30 "$OUT_DIR/loadgen_soak.log" >&2 || true
+  exit 8
+fi
+cat "$OUT_DIR/BENCH_chaos_soak.json"
+
+echo "chaos_soak: verifying every process survived"
+for pid in "${PIDS[@]}" "$PROXY_PID"; do
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "chaos_soak: a process died during the soak" >&2
+    exit 5
+  fi
+done
+
+echo "chaos_soak: graceful shutdown"
+for pid in "${PIDS[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+kill -TERM "$PROXY_PID" 2>/dev/null || true
+for pid in "${PIDS[@]}"; do wait "$pid" || true; done
+wait "$PROXY_PID" 2>/dev/null || true
+PIDS=(); PROXY_PID=""
+echo "chaos_soak: per-process exit stats:"
+grep -h "exiting" "$OUT_DIR"/poccd_dc*.log || true
+echo "chaos_soak: retry/dedupe accounting must show the resilience layer worked:"
+grep -hoE "overloaded=[0-9]+ deduped=[0-9]+" "$OUT_DIR"/poccd_dc*.log || true
+echo "chaos_soak: PASS"

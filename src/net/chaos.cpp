@@ -1,0 +1,171 @@
+#include "net/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pocc::net {
+
+namespace {
+
+/// Ethernet-ish payload per TCP segment; frames are charged loss and
+/// reordering per segment, so a 1 MB value transfer faces more exposure
+/// than a 40-byte heartbeat — as on a real path.
+constexpr std::size_t kSegmentBytes = 1448;
+
+std::size_t segments_of(std::size_t frame_bytes) {
+  return frame_bytes == 0 ? 1 : (frame_bytes + kSegmentBytes - 1) / kSegmentBytes;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ChaosSchedule
+
+ChaosSchedule::ChaosSchedule(std::uint64_t seed,
+                             const TopologyConfig& topology,
+                             Duration horizon_us, Duration duration_us,
+                             const fault::FaultPlanLimits& limits)
+    : seed_(seed), horizon_us_(horizon_us) {
+  POCC_ASSERT_MSG(horizon_us > 0, "chaos schedule needs a positive horizon");
+  const std::size_t n_epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>((duration_us + horizon_us - 1) / horizon_us));
+  epochs_.reserve(n_epochs);
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    fault::FaultPlan plan = fault::FaultPlan::random(
+        seed + static_cast<std::uint64_t>(e), topology, horizon_us, limits);
+    plan.validate(topology);
+    const Timestamp epoch_base = static_cast<Timestamp>(e) * horizon_us;
+    for (const fault::FaultEvent& ev : plan.events) {
+      if (ev.kind == fault::FaultKind::kCrash) {
+        crashes_.push_back(
+            CrashWindow{ev.node, epoch_base + ev.at, ev.duration});
+      }
+    }
+    epochs_.push_back(std::move(plan));
+  }
+  plan_hash_ = epochs_.front().hash();
+  std::sort(crashes_.begin(), crashes_.end(),
+            [](const CrashWindow& a, const CrashWindow& b) {
+              return a.at < b.at;
+            });
+}
+
+ChaosLinkState ChaosSchedule::state(DcId src, DcId dst, Timestamp t) const {
+  ChaosLinkState s;
+  if (t < 0) return s;
+  const std::size_t epoch = static_cast<std::size_t>(t / horizon_us_);
+  if (epoch >= epochs_.size()) return s;  // past the planned window: calm
+  const Timestamp rel = t % horizon_us_;
+  for (const fault::FaultEvent& ev : epochs_[epoch].events) {
+    if (rel < ev.at || rel >= ev.clears_at()) continue;
+    switch (ev.kind) {
+      case fault::FaultKind::kPartition:
+        if ((ev.dc_a == src && ev.dc_b == dst) ||
+            (ev.dc_a == dst && ev.dc_b == src)) {
+          s.blocked = true;
+        }
+        break;
+      case fault::FaultKind::kAsymPartition:
+        if (ev.dc_a == src && ev.dc_b == dst) s.blocked = true;
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        if (ev.dc_a == src && ev.dc_b == dst) {
+          s.extra_delay_us += ev.extra_delay_us;
+          s.delay_multiplier *= ev.delay_multiplier;
+        }
+        break;
+      case fault::FaultKind::kCrash:
+      case fault::FaultKind::kHeartbeatLoss:
+      case fault::FaultKind::kClockSkewRamp:
+        break;  // no wire-level meaning
+    }
+  }
+  return s;
+}
+
+std::string ChaosSchedule::plan_text() const {
+  return epochs_.front().to_string();
+}
+
+// ---------------------------------------------------------------- ChaosLink
+
+ChaosLink::ChaosLink(std::uint64_t seed, ChaosProfile profile)
+    : profile_(profile), rng_(seed) {}
+
+void ChaosLink::bind_schedule(std::shared_ptr<const ChaosSchedule> schedule,
+                              DcId src, DcId dst, Timestamp start_us) {
+  schedule_ = std::move(schedule);
+  src_ = src;
+  dst_ = dst;
+  start_us_ = start_us;
+}
+
+ChaosLinkState ChaosLink::timed_state(Timestamp now_us) const {
+  if (schedule_ == nullptr) return {};
+  return schedule_->state(src_, dst_, now_us - start_us_);
+}
+
+bool ChaosLink::blocked(Timestamp now_us) const {
+  return timed_state(now_us).blocked;
+}
+
+ChaosVerdict ChaosLink::on_frame(std::size_t frame_bytes, Timestamp now_us) {
+  ChaosVerdict v;
+  const ChaosLinkState timed = timed_state(now_us);
+
+  // Propagation + jitter, scaled by any active gray-link window.
+  double delay = static_cast<double>(profile_.base_delay_us);
+  if (profile_.jitter_mean_us > 0) {
+    delay += rng_.exponential(static_cast<double>(profile_.jitter_mean_us));
+  }
+  delay = delay * timed.delay_multiplier +
+          static_cast<double>(timed.extra_delay_us);
+
+  // Segment loss: the kernel retransmits after an RTO, so a lost segment
+  // stalls the whole stream. One RTO charge per frame with at least one
+  // lost segment; a second consecutive loss (exponential backoff) doubles
+  // it with the conditional probability of losing the retransmit too.
+  if (profile_.loss_p > 0.0) {
+    const std::size_t segs = segments_of(frame_bytes);
+    const double p_any =
+        1.0 - std::pow(1.0 - profile_.loss_p, static_cast<double>(segs));
+    if (rng_.chance(p_any)) {
+      delay += static_cast<double>(profile_.rto_penalty_us);
+      if (rng_.chance(profile_.loss_p)) {
+        delay += 2.0 * static_cast<double>(profile_.rto_penalty_us);
+      }
+    }
+  }
+
+  // Reordered segment: head-of-line blocking until the straggler lands.
+  if (profile_.reorder_window_us > 0) {
+    delay += static_cast<double>(
+        rng_.uniform(static_cast<std::uint64_t>(profile_.reorder_window_us)));
+  }
+
+  // Serialization through the bandwidth bottleneck: the link is busy for
+  // bytes/bandwidth after the previous frame's transmission finished.
+  Timestamp depart = now_us;
+  if (profile_.bandwidth_bytes_per_s > 0.0) {
+    const double tx_us = static_cast<double>(frame_bytes) * 1e6 /
+                         profile_.bandwidth_bytes_per_s;
+    busy_until_us_ = std::max(busy_until_us_, now_us) +
+                     static_cast<Timestamp>(std::llround(tx_us));
+    depart = busy_until_us_;
+  }
+
+  Timestamp release =
+      depart + static_cast<Timestamp>(std::llround(std::max(0.0, delay)));
+  // FIFO clamp: a lucky frame never overtakes an unlucky predecessor —
+  // exactly TCP's in-order delivery under reordering/retransmission.
+  release = std::max(release, last_release_us_);
+  last_release_us_ = release;
+  v.delay_us = release - now_us;
+
+  if (profile_.dup_p > 0.0 && rng_.chance(profile_.dup_p)) v.duplicate = true;
+  if (profile_.reset_p > 0.0 && rng_.chance(profile_.reset_p)) v.reset = true;
+  return v;
+}
+
+}  // namespace pocc::net

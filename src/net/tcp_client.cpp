@@ -14,7 +14,9 @@ namespace pocc::net {
 TcpSession::TcpSession(ClientId id, DcId dc, TcpClientPool& pool)
     : engine_(id, dc, pool.layout().topology.num_dcs,
               /*snapshot_rdv=*/pool.layout().system == rt::System::kCure),
-      pool_(pool) {
+      pool_(pool),
+      res_(pool.resilience_),
+      retry_rng_(0xc11e47ba0cf0ffULL ^ id) {
   history_.client = id;
   history_.dc = dc;
   history_.snapshot_rdv = pool.layout().system == rt::System::kCure;
@@ -33,7 +35,8 @@ void TcpSession::deliver(proto::Message m) {
 }
 
 template <typename M>
-std::optional<M> TcpSession::await(std::uint64_t op_id, Duration timeout_us) {
+std::optional<M> TcpSession::await(std::uint64_t op_id, Duration timeout_us,
+                                   AwaitOutcome* outcome) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_us);
   std::unique_lock lk(mu_);
@@ -47,6 +50,15 @@ std::optional<M> TcpSession::await(std::uint64_t op_id, Duration timeout_us) {
         reply_.reset();
         return out;
       }
+      if (const auto* ov = std::get_if<proto::Overloaded>(&*reply_);
+          ov != nullptr && ov->op_id == op_id && outcome != nullptr) {
+        // The server refused this very attempt: end it now and let the
+        // retry loop pace itself by the server's hint.
+        outcome->overloaded = true;
+        outcome->retry_after_us = ov->retry_after_us;
+        reply_.reset();
+        return std::nullopt;
+      }
       reply_.reset();  // stale answer to an abandoned operation
     }
     if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
@@ -56,6 +68,98 @@ std::optional<M> TcpSession::await(std::uint64_t op_id, Duration timeout_us) {
   }
 }
 
+template <typename Rep, typename Req>
+std::optional<Rep> TcpSession::run_op(const Req& req, PartitionId part,
+                                      Duration timeout_us) {
+  using Clock = std::chrono::steady_clock;
+  if (!res_.enabled) {
+    pool_.send_to_partition(part, proto::Message{req}, 0);
+    return await<Rep>(req.op_id, timeout_us);
+  }
+  // timeout_us is the op's DEADLINE: attempts, backoff and failover all
+  // happen inside it; past it the op fails (history keeps the unanswered
+  // request — acknowledged-writes accounting stays honest).
+  const auto deadline = Clock::now() + std::chrono::microseconds(timeout_us);
+  Duration ceiling = res_.backoff_min_us;
+  for (bool first = true;; first = false) {
+    auto now = Clock::now();
+    if (now >= deadline) {
+      ++rstats_.deadline_exhausted;
+      return std::nullopt;
+    }
+    if (breaker_open_until_[replica_] > now &&
+        breaker_open_until_[1 - replica_] <= now) {
+      // Breaker open on the preferred replica: fail over. When BOTH are
+      // open the send below acts as the half-open probe — the breaker
+      // bounds wasted work, it never blocks the only path forward.
+      replica_ = 1 - replica_;
+      ++rstats_.failovers;
+    }
+    if (!first) ++rstats_.retries;
+    const bool sent =
+        pool_.send_to_partition(part, proto::Message{req}, replica_);
+    AwaitOutcome oc;
+    std::optional<Rep> reply;
+    if (sent) {
+      const Duration remaining = static_cast<Duration>(
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+              .count());
+      reply = await<Rep>(req.op_id,
+                         std::min(res_.attempt_timeout_us, remaining), &oc);
+    }
+    if (reply.has_value()) {
+      consec_fail_[replica_] = 0;
+      return reply;
+    }
+    {
+      std::lock_guard lk(mu_);
+      if (closed_signal_) return std::nullopt;  // caller re-initializes
+    }
+    Duration floor = res_.backoff_min_us;
+    if (oc.overloaded) {
+      // Shed, not lost: the op never executed. Honor the server's pacing
+      // hint as the backoff floor; overload does not trip the breaker
+      // (the replica is alive and answering).
+      ++rstats_.overloaded;
+      floor = std::max(floor, oc.retry_after_us);
+    } else {
+      ++rstats_.timeouts;
+      if (++consec_fail_[replica_] >= res_.breaker_failures) {
+        breaker_open_until_[replica_] =
+            Clock::now() + std::chrono::microseconds(res_.breaker_open_us);
+        consec_fail_[replica_] = 0;
+        ++rstats_.breaker_opens;
+      }
+    }
+    // Full jitter: sleep uniform over [floor, max(floor, ceiling)], then
+    // double the ceiling. Capped by both the policy and the deadline.
+    const Duration span = std::max<Duration>(0, ceiling - floor);
+    Duration sleep_us =
+        floor + (span > 0
+                     ? static_cast<Duration>(retry_rng_.uniform(
+                           static_cast<std::uint64_t>(span) + 1))
+                     : 0);
+    ceiling = std::min(ceiling * 2, res_.backoff_max_us);
+    now = Clock::now();
+    const Duration left = static_cast<Duration>(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+            .count());
+    if (left <= 0) {
+      ++rstats_.deadline_exhausted;
+      return std::nullopt;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min(sleep_us, left)));
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12's -Wmaybe-uninitialized misfires on the variant move loop inside
+// vector reallocation when this function is fully inlined at -O2/-O3; the
+// pushed value is a freshly constructed alternative.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 void TcpSession::record_session_closed() {
   // §III-B client library behaviour, mirroring rt::Session / SimClient.
   {
@@ -66,6 +170,9 @@ void TcpSession::record_session_closed() {
   engine_.reinitialize_pessimistic();
   history_.events.push_back(checker::SessionReset{});
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 TcpSession::GetResult TcpSession::get(const std::string& key,
                                       Duration timeout_us) {
@@ -76,9 +183,9 @@ TcpSession::GetResult TcpSession::get_id(KeyId key, Duration timeout_us) {
   proto::GetReq req = engine_.make_get(key);
   req.op_id = ++op_seq_;
   history_.events.push_back(req);
-  pool_.send_to_partition(pool_.partition_of(key), proto::Message{req});
   GetResult r;
-  auto reply = await<proto::GetReply>(req.op_id, timeout_us);
+  auto reply =
+      run_op<proto::GetReply>(req, pool_.partition_of(key), timeout_us);
   if (!reply.has_value()) {
     std::unique_lock lk(mu_);
     if (closed_signal_) {
@@ -110,9 +217,9 @@ TcpSession::PutResult TcpSession::put_id(KeyId key, std::string value,
   proto::PutReq req = engine_.make_put(key, std::move(value));
   req.op_id = ++op_seq_;
   history_.events.push_back(req);
-  pool_.send_to_partition(pool_.partition_of(key), proto::Message{req});
   PutResult r;
-  auto reply = await<proto::PutReply>(req.op_id, timeout_us);
+  auto reply =
+      run_op<proto::PutReply>(req, pool_.partition_of(key), timeout_us);
   if (!reply.has_value()) {
     std::unique_lock lk(mu_);
     if (closed_signal_) {
@@ -145,9 +252,8 @@ TcpSession::TxResult TcpSession::ro_tx_ids(std::vector<KeyId> keys,
   history_.events.push_back(req);
   // The collocated server coordinates the transaction (§II-C): partition 0
   // plays the role of the session's home node, as in rt::Session.
-  pool_.send_to_partition(0, proto::Message{req});
   TxResult r;
-  auto reply = await<proto::RoTxReply>(req.op_id, timeout_us);
+  auto reply = run_op<proto::RoTxReply>(req, 0, timeout_us);
   if (!reply.has_value()) {
     std::unique_lock lk(mu_);
     if (closed_signal_) {
@@ -194,7 +300,8 @@ void TcpClientPool::start() {
     POCC_ASSERT_MSG(!started_, "start() called twice");
     started_ = true;
   }
-  conn_by_part_.resize(layout_.topology.partitions_per_dc, kInvalidConn);
+  conn_by_part_[0].resize(layout_.topology.partitions_per_dc, kInvalidConn);
+  conn_by_part_[1].resize(layout_.topology.partitions_per_dc, kInvalidConn);
   for (PartitionId p = 0; p < layout_.topology.partitions_per_dc; ++p) {
     const NodeAddress* addr = nullptr;
     for (const NodeAddress& a : addresses_) {
@@ -204,7 +311,14 @@ void TcpClientPool::start() {
       }
     }
     POCC_ASSERT_MSG(addr != nullptr, "no address for a partition of this DC");
-    conn_by_part_[p] = transport_.connect_peer(addr->host, addr->port);
+    conn_by_part_[0][p] = transport_.connect_peer(addr->host, addr->port);
+    if (resilience_.enabled) {
+      // Sibling (failover) connection: a second TCP stream to the same
+      // DC-local endpoint. A mid-frame reset or a wedged primary stream
+      // does not strand the session — it retries on the sibling (replies
+      // demux by client id, so either connection can carry them).
+      conn_by_part_[1][p] = transport_.connect_peer(addr->host, addr->port);
+    }
   }
   transport_.start();
 }
@@ -223,7 +337,7 @@ bool TcpClientPool::wait_connected(Duration timeout_us) {
                         std::chrono::microseconds(timeout_us);
   while (true) {
     bool all_up = true;
-    for (const ConnId c : conn_by_part_) {
+    for (const ConnId c : conn_by_part_[0]) {
       if (!transport_.connected(c)) {
         all_up = false;
         break;
@@ -252,18 +366,32 @@ std::vector<checker::SessionHistory> TcpClientPool::histories() const {
   return out;
 }
 
+ClientResilienceStats TcpClientPool::resilience_stats() const {
+  std::lock_guard lk(mu_);
+  ClientResilienceStats total;
+  for (const auto& s : sessions_) total += s->resilience_stats();
+  return total;
+}
+
+ConnId TcpClientPool::conn_of(PartitionId part, unsigned replica) const {
+  POCC_ASSERT(replica < 2 && part < conn_by_part_[replica].size());
+  return conn_by_part_[replica][part];
+}
+
 PartitionId TcpClientPool::partition_of(KeyId key) const {
   return store::KeySpace::global().partition(
       key, layout_.topology.partitions_per_dc,
       layout_.topology.partition_scheme);
 }
 
-void TcpClientPool::send_to_partition(PartitionId part,
-                                      const proto::Message& m) {
-  POCC_ASSERT(part < conn_by_part_.size());
+bool TcpClientPool::send_to_partition(PartitionId part, const proto::Message& m,
+                                      unsigned replica) {
+  POCC_ASSERT(replica < 2 && part < conn_by_part_[replica].size());
+  const ConnId conn = conn_by_part_[replica][part];
+  if (conn == kInvalidConn) return false;  // sibling not dialed
   std::vector<std::uint8_t> frame;
   proto::encode(m, frame);
-  transport_.send(conn_by_part_[part], std::move(frame));
+  return transport_.send(conn, std::move(frame));
 }
 
 void TcpClientPool::on_frame(ConnId /*conn*/, proto::Frame frame) {
@@ -278,6 +406,8 @@ void TcpClientPool::on_frame(ConnId /*conn*/, proto::Frame frame) {
     client = tx_rep->client;
   } else if (const auto* closed = std::get_if<proto::SessionClosed>(m)) {
     client = closed->client;
+  } else if (const auto* ov = std::get_if<proto::Overloaded>(m)) {
+    client = ov->client;
   } else {
     return;  // not client traffic
   }

@@ -14,6 +14,8 @@
 // processes), and each session must be driven by a single thread.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -25,12 +27,56 @@
 
 #include "checker/client_history.hpp"
 #include "client/client_engine.hpp"
+#include "common/rng.hpp"
 #include "net/cluster_config.hpp"
 #include "net/tcp_transport.hpp"
 
 namespace pocc::net {
 
 class TcpClientPool;
+
+/// Client-side fault tolerance knobs. Disabled by default: an op makes one
+/// attempt and its timeout is simply the await bound (the pre-chaos
+/// behavior). Enabled, the op's timeout becomes a DEADLINE inside which the
+/// session retries the SAME op_id — with per-attempt timeouts, capped
+/// exponential backoff with full jitter, Overloaded-aware pacing, a
+/// per-replica circuit breaker, and failover to the sibling connection of
+/// the same DC. Retries are idempotent end to end: the server's op_id
+/// cache absorbs duplicates, and the session records the request and (at
+/// most one) reply into its history exactly once.
+struct ClientResilience {
+  bool enabled = false;
+  /// One attempt waits at most this long before resending.
+  Duration attempt_timeout_us = 300'000;
+  /// Backoff between attempts: full jitter over [min, ceiling], the
+  /// ceiling doubling per attempt up to max.
+  Duration backoff_min_us = 5'000;
+  Duration backoff_max_us = 200'000;
+  /// Consecutive attempt failures on one replica connection that open its
+  /// breaker (further ops prefer the sibling until the cooldown passes).
+  std::uint32_t breaker_failures = 4;
+  Duration breaker_open_us = 500'000;
+};
+
+/// Per-session (and pool-aggregated) resilience accounting.
+struct ClientResilienceStats {
+  std::uint64_t timeouts = 0;            // attempts that hit their timeout
+  std::uint64_t retries = 0;             // resends of an op_id
+  std::uint64_t failovers = 0;           // switches to the sibling replica
+  std::uint64_t overloaded = 0;          // Overloaded replies received
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t deadline_exhausted = 0;  // ops that failed their deadline
+
+  ClientResilienceStats& operator+=(const ClientResilienceStats& o) {
+    timeouts += o.timeouts;
+    retries += o.retries;
+    failovers += o.failovers;
+    overloaded += o.overloaded;
+    breaker_opens += o.breaker_opens;
+    deadline_exhausted += o.deadline_exhausted;
+    return *this;
+  }
+};
 
 /// Blocking client session over TCP (sticky to the pool's DC).
 class TcpSession {
@@ -75,21 +121,47 @@ class TcpSession {
     return history_;
   }
 
+  /// Resilience accounting of this session (stable between operations).
+  [[nodiscard]] const ClientResilienceStats& resilience_stats() const {
+    return rstats_;
+  }
+
  private:
   friend class TcpClientPool;
   TcpSession(ClientId id, DcId dc, TcpClientPool& pool);
 
   void deliver(proto::Message m);
+  /// Outcome flags of one await: an Overloaded reply for the awaited op
+  /// ends the attempt early with the server's pacing hint.
+  struct AwaitOutcome {
+    bool overloaded = false;
+    Duration retry_after_us = 0;
+  };
   /// Wait for a reply matching `op_id` of message type M, discarding stale
-  /// replies. nullopt = timeout or session closed (closed_ set).
+  /// replies. nullopt = timeout, session closed (closed_signal_ set), or
+  /// Overloaded (outcome->overloaded set).
   template <typename M>
-  std::optional<M> await(std::uint64_t op_id, Duration timeout_us);
+  std::optional<M> await(std::uint64_t op_id, Duration timeout_us,
+                         AwaitOutcome* outcome = nullptr);
+  /// Send-and-await with the session's resilience policy (deadline, retry
+  /// of the same op_id, backoff, breaker, failover).
+  template <typename Rep, typename Req>
+  std::optional<Rep> run_op(const Req& req, PartitionId part,
+                            Duration timeout_us);
   void record_session_closed();
 
   client::ClientEngine engine_;
   TcpClientPool& pool_;
   checker::SessionHistory history_;
   std::uint64_t op_seq_ = 0;
+
+  // Resilience state: the session is single-threaded, no locks needed.
+  ClientResilience res_;
+  ClientResilienceStats rstats_;
+  Rng retry_rng_;
+  unsigned replica_ = 0;  // sticky preferred connection (0 or 1)
+  std::array<std::uint32_t, 2> consec_fail_{};
+  std::array<std::chrono::steady_clock::time_point, 2> breaker_open_until_{};
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -115,6 +187,11 @@ class TcpClientPool {
   /// Block until every partition link is up (false = timed out).
   bool wait_connected(Duration timeout_us);
 
+  /// Resilience policy copied into every session opened AFTER this call.
+  /// When enabled, start() also dials a sibling (failover) connection per
+  /// partition.
+  void set_resilience(const ClientResilience& r) { resilience_ = r; }
+
   /// Open a session. `id` must be unique across the whole deployment.
   TcpSession& connect(ClientId id);
 
@@ -127,18 +204,31 @@ class TcpClientPool {
   [[nodiscard]] TransportStats transport_stats() const {
     return transport_.stats();
   }
+  /// Sum over every session (call when the driving threads are quiescent).
+  [[nodiscard]] ClientResilienceStats resilience_stats() const;
+
+  /// Chaos hooks (campaign/tests): the transport and the per-partition
+  /// connection ids, so callers can arm ChaosLinks on client links.
+  TcpTransport& transport() { return transport_; }
+  [[nodiscard]] ConnId conn_of(PartitionId part, unsigned replica = 0) const;
 
  private:
   friend class TcpSession;
   void on_frame(ConnId conn, proto::Frame frame);
-  void send_to_partition(PartitionId part, const proto::Message& m);
+  /// False when the transport refused the frame (link down / over cap).
+  bool send_to_partition(PartitionId part, const proto::Message& m,
+                         unsigned replica = 0);
   [[nodiscard]] PartitionId partition_of(KeyId key) const;
 
   ClusterLayout layout_;
   DcId dc_;
   std::vector<NodeAddress> addresses_;
+  ClientResilience resilience_;
   TcpTransport transport_;
-  std::vector<ConnId> conn_by_part_;
+  /// [replica 0] primary and [replica 1] sibling connection per partition;
+  /// the sibling is only dialed when resilience is enabled (kInvalidConn
+  /// otherwise — sends on it fail fast and the session falls back).
+  std::array<std::vector<ConnId>, 2> conn_by_part_;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<TcpSession>> sessions_;

@@ -63,6 +63,7 @@ TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
   group_opt.clock = opt_.clock;
   group_opt.seed = rng_.next();
   group_opt.wal = wal_.get();
+  group_opt.max_inbox_messages = opt_.max_inbox_messages;
   group_ = std::make_unique<rt::NodeGroup>(self_.dc, self_.parts, *this,
                                            group_opt);
   tx_coordinator_part_ = group_->hosts(NodeId{self_.dc, 0})
@@ -150,7 +151,7 @@ void TcpNodeHost::start(const std::vector<ProcessSpec>& peers) {
   std::uint32_t expected_dones = 0;
   if (wal_ != nullptr && layout_.topology.num_dcs > 1) {
     for (const PartitionId p : self_.parts) {
-      group_->engine(p).begin_peer_recovery();
+      group_->engine(p).begin_peer_recovery(opt_.recovery_deadline_us);
       expected_dones += layout_.topology.num_dcs - 1;
     }
   }
@@ -209,6 +210,12 @@ bool TcpNodeHost::recovering() const {
   return recovery_dones_pending_ > 0;
 }
 
+void TcpNodeHost::arm_chaos(DcId peer_dc, std::shared_ptr<ChaosLink> link) {
+  for (const auto& l : links_) {
+    if (l->spec.dc == peer_dc) transport_.set_chaos(l->conn, link);
+  }
+}
+
 BatchStats TcpNodeHost::batch_stats() const {
   BatchStats total;
   for (const auto& link : links_) total += link->batcher->stats();
@@ -218,6 +225,16 @@ BatchStats TcpNodeHost::batch_stats() const {
 std::uint64_t TcpNodeHost::dropped_frames() const {
   std::lock_guard lk(mu_);
   return dropped_;
+}
+
+std::uint64_t TcpNodeHost::overloaded_replies() const {
+  std::lock_guard lk(mu_);
+  return overloaded_;
+}
+
+std::uint64_t TcpNodeHost::deduped_requests() const {
+  std::lock_guard lk(mu_);
+  return deduped_;
 }
 
 void TcpNodeHost::log(const std::string& what) const {
@@ -234,11 +251,50 @@ void TcpNodeHost::route(NodeId from, NodeId to, proto::Message m) {
   it->second->batcher->add(from, to, m);
 }
 
+namespace {
+
+/// op_id of a client-facing reply, or 0 when `m` is not one of the three
+/// reply kinds (op_ids are non-zero on the wire — clients start at 1).
+std::uint64_t reply_op_id(const proto::Message& m) {
+  if (const auto* r = std::get_if<proto::GetReply>(&m)) return r->op_id;
+  if (const auto* r = std::get_if<proto::PutReply>(&m)) return r->op_id;
+  if (const auto* r = std::get_if<proto::RoTxReply>(&m)) return r->op_id;
+  return 0;
+}
+
+std::uint64_t request_op_id(const proto::Message& m) {
+  if (const auto* r = std::get_if<proto::GetReq>(&m)) return r->op_id;
+  if (const auto* r = std::get_if<proto::PutReq>(&m)) return r->op_id;
+  if (const auto* r = std::get_if<proto::RoTxReq>(&m)) return r->op_id;
+  return 0;
+}
+
+}  // namespace
+
 void TcpNodeHost::route_to_client(NodeId /*from*/, ClientId client,
                                   proto::Message m) {
+  std::vector<std::uint8_t> frame;
+  proto::encode(m, frame);
+  const std::uint64_t op_id = reply_op_id(m);
   ConnId conn = kInvalidConn;
   {
     std::lock_guard lk(mu_);
+    if (op_id != 0) {
+      // The reply is the op's completion: cache the encoded frame so a
+      // retransmit of this op_id is answered from here (exactly-once), and
+      // retire the in-flight marker. Cached even when the client's
+      // connection is gone — it will retry the op after reconnecting.
+      ClientOpCache& cache = client_ops_[client];
+      cache.has_last = true;
+      cache.last_op = op_id;
+      cache.last_reply = frame;
+      cache.in_flight = false;
+    } else if (std::holds_alternative<proto::SessionClosed>(m)) {
+      // HA-POCC abort: the op resolves with no reply to cache; the client
+      // re-initializes the session rather than retrying the op.
+      auto it = client_ops_.find(client);
+      if (it != client_ops_.end()) it->second.in_flight = false;
+    }
     auto it = client_conn_.find(client);
     if (it != client_conn_.end()) conn = it->second;
   }
@@ -249,8 +305,6 @@ void TcpNodeHost::route_to_client(NodeId /*from*/, ClientId client,
     ++dropped_;
     return;
   }
-  std::vector<std::uint8_t> frame;
-  proto::encode(m, frame);
   if (!transport_.send(conn, std::move(frame))) {
     std::lock_guard lk(mu_);
     ++dropped_;
@@ -276,7 +330,30 @@ void TcpNodeHost::on_tick() {
   if (expired) release_parked_clients("recovery deadline expired");
 }
 
-void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m) {
+bool TcpNodeHost::replication_backlogged() const {
+  // links_ is immutable once the workers run; pending_bytes() locks per
+  // batcher. Any peer link past the threshold sheds NEW client work — its
+  // parked replication batches are this DC's own unacknowledged updates,
+  // and admitting more PUTs only deepens the queue until batches drop.
+  for (const auto& link : links_) {
+    if (link->batcher->pending_bytes() >= opt_.shed_pending_bytes) return true;
+  }
+  return false;
+}
+
+void TcpNodeHost::send_overloaded(ConnId conn, ClientId client,
+                                  std::uint64_t op_id) {
+  proto::Message m =
+      proto::Overloaded{client, opt_.overload_retry_after_us, op_id};
+  std::vector<std::uint8_t> frame;
+  proto::encode(m, frame);
+  transport_.send(conn, std::move(frame));
+  std::lock_guard lk(mu_);
+  ++overloaded_;
+}
+
+void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m,
+                                          bool replayed) {
   // Client requests carry no destination node — the process dispatches by
   // key placement (the client dialed this process because it hosts the
   // partition; recompute instead of trusting the connection).
@@ -304,10 +381,29 @@ void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m) {
         " for partition this process does not host");
     return;
   }
+  const std::uint64_t op_id = request_op_id(m);
+  std::vector<std::uint8_t> resend;
   {
     std::lock_guard lk(mu_);
     client_conn_[client] = conn;
-    if (recovery_dones_pending_ > 0) {
+    if (!replayed && op_id != 0) {
+      // Idempotent retry absorption: the client retries with the SAME
+      // op_id, so a duplicate of the completed op is answered from the
+      // cached reply and a duplicate of the op still in flight is
+      // swallowed — a retried PUT never reaches the engine twice.
+      ClientOpCache& cache = client_ops_[client];
+      if (cache.has_last && op_id == cache.last_op) {
+        ++deduped_;
+        resend = cache.last_reply;  // sent below, outside mu_
+      } else if (cache.in_flight && op_id == cache.in_flight_op) {
+        ++deduped_;
+        return;
+      } else {
+        cache.in_flight = true;
+        cache.in_flight_op = op_id;
+      }
+    }
+    if (resend.empty() && recovery_dones_pending_ > 0) {
       // Admission gate: until the peers have streamed the lost replication
       // suffix back, a client could read state older than what it already
       // saw before the crash. Park the request; released in arrival order.
@@ -315,7 +411,26 @@ void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m) {
       return;
     }
   }
-  group_->enqueue(to, to, std::move(m));
+  if (!resend.empty()) {
+    transport_.send(conn, std::move(resend));
+    return;
+  }
+  // Self-protection: refuse (rather than queue without bound) when the
+  // target worker's inbox is full or a replication link is backed up. The
+  // op did NOT execute; the Overloaded reply tells the client to back off
+  // and retry the same op_id.
+  const bool refused =
+      replication_backlogged() || !group_->try_enqueue(to, to, std::move(m));
+  if (refused) {
+    {
+      std::lock_guard lk(mu_);
+      auto it = client_ops_.find(client);
+      if (it != client_ops_.end() && it->second.in_flight_op == op_id) {
+        it->second.in_flight = false;  // never admitted; a retry is fresh
+      }
+    }
+    send_overloaded(conn, client, op_id);
+  }
 }
 
 void TcpNodeHost::release_parked_clients(const char* why) {
@@ -328,7 +443,9 @@ void TcpNodeHost::release_parked_clients(const char* why) {
     log("recovery gate open (" + std::string(why) + "), releasing " +
         std::to_string(parked.size()) + " parked client requests");
   }
-  for (auto& [conn, m] : parked) dispatch_client_request(conn, std::move(m));
+  for (auto& [conn, m] : parked) {
+    dispatch_client_request(conn, std::move(m), /*replayed=*/true);
+  }
 }
 
 void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {

@@ -66,6 +66,18 @@ class TcpNodeHost final : public rt::Router {
     /// past it, parked client requests are released even with RecoveryDones
     /// outstanding (a dead peer must not wedge this DC forever).
     Duration recovery_deadline_us = 10'000'000;
+    /// Bounded admission: a client request is refused with an Overloaded
+    /// reply when the target worker's inbox already holds this many
+    /// messages (0 = unbounded). Server-to-server traffic is never shed —
+    /// dropping it would break the lossless FIFO channel assumption.
+    std::size_t max_inbox_messages = 0;
+    /// Backpressure propagation: client requests are also refused while any
+    /// replication link has this many bytes of parked (transport-refused)
+    /// batches — a throttled peer link pushes back on *admission* instead
+    /// of letting the parked queue grow until batches drop.
+    std::size_t shed_pending_bytes = 8u << 20;
+    /// Backoff hint carried in Overloaded replies.
+    Duration overload_retry_after_us = 20'000;
   };
 
   /// Binds the listening socket immediately (port() is valid afterwards);
@@ -113,6 +125,11 @@ class TcpNodeHost final : public rt::Router {
   }
   rt::NodeGroup& group() { return *group_; }
 
+  /// Chaos hook (campaign/tests): pass outbound replication frames to the
+  /// peer process serving `peer_dc` through `link` (delay / partition
+  /// verdicts — see net/chaos.hpp). Call after start(); nullptr disarms.
+  void arm_chaos(DcId peer_dc, std::shared_ptr<ChaosLink> link);
+
   [[nodiscard]] TransportStats transport_stats() const {
     return transport_.stats();
   }
@@ -120,6 +137,11 @@ class TcpNodeHost final : public rt::Router {
   [[nodiscard]] BatchStats batch_stats() const;
   /// Frames that arrived for an unknown partition / departed client.
   [[nodiscard]] std::uint64_t dropped_frames() const;
+  /// Client requests refused with an Overloaded reply (admission control).
+  [[nodiscard]] std::uint64_t overloaded_replies() const;
+  /// Retransmitted client requests absorbed by the idempotency cache
+  /// (cached reply resent or duplicate of an in-flight op swallowed).
+  [[nodiscard]] std::uint64_t deduped_requests() const;
 
   // --- rt::Router (called from the worker threads) ---
   void route(NodeId from, NodeId to, proto::Message m) override;
@@ -136,7 +158,15 @@ class TcpNodeHost final : public rt::Router {
   void on_frame(ConnId conn, proto::Frame frame);
   void on_disconnected(ConnId conn);
   void on_tick();
-  void dispatch_client_request(ConnId conn, proto::Message m);
+  /// `replayed` marks re-dispatch of a request parked by the recovery gate:
+  /// the idempotency bookkeeping already ran at first arrival and must not
+  /// mistake the replay for a client retry.
+  void dispatch_client_request(ConnId conn, proto::Message m,
+                               bool replayed = false);
+  /// True while any replication link's parked-batch queue is past the shed
+  /// threshold (admission refuses client work until the peer drains).
+  [[nodiscard]] bool replication_backlogged() const;
+  void send_overloaded(ConnId conn, ClientId client, std::uint64_t op_id);
   void release_parked_clients(const char* why);
   void log(const std::string& what) const;
   [[nodiscard]] static std::uint64_t flat(NodeId n) {
@@ -161,10 +191,27 @@ class TcpNodeHost final : public rt::Router {
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_map<std::uint64_t, Link*> link_by_node_;
 
+  /// Exactly-once against client retries: one entry per client session,
+  /// exploiting the session's serial op stream (op n+1 is only sent once
+  /// op n resolved, so remembering the LAST reply suffices). A retry of
+  /// the completed op gets the cached reply frame resent; a retry of the
+  /// op still in flight is swallowed (the original's reply is coming).
+  /// Guarded by mu_.
+  struct ClientOpCache {
+    bool has_last = false;
+    std::uint64_t last_op = 0;
+    std::vector<std::uint8_t> last_reply;  // encoded frame, ready to resend
+    bool in_flight = false;
+    std::uint64_t in_flight_op = 0;
+  };
+
   mutable std::mutex mu_;
   std::unordered_map<ConnId, NodeId> conn_peer_;  // inbound, via NodeHello
   std::unordered_map<ClientId, ConnId> client_conn_;
+  std::unordered_map<ClientId, ClientOpCache> client_ops_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t overloaded_ = 0;
+  std::uint64_t deduped_ = 0;
   bool started_ = false;
   /// RecoveryDones still outstanding across all hosted partitions; client
   /// requests park in parked_clients_ until it reaches 0 (or the deadline).

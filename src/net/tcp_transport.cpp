@@ -35,7 +35,7 @@ void set_nonblocking(int fd) {
 Timestamp TcpTransport::now_us() { return rt::steady_now_us(); }
 
 TcpTransport::TcpTransport(Callbacks callbacks, Options options)
-    : cb_(std::move(callbacks)), opt_(options) {
+    : cb_(std::move(callbacks)), opt_(options), backoff_rng_(options.seed) {
   POCC_ASSERT(::pipe(wake_pipe_) == 0);
   set_nonblocking(wake_pipe_[0]);
   set_nonblocking(wake_pipe_[1]);
@@ -107,17 +107,63 @@ void TcpTransport::wake() {
   [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
 }
 
-bool TcpTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
+bool TcpTransport::try_send(ConnId conn, std::vector<std::uint8_t>& frame) {
   std::lock_guard lk(mu_);
   auto it = conns_.find(conn);
   if (it == conns_.end()) return false;
   Conn& c = *it->second;
   if (!c.outbound && !c.up) return false;
-  const std::size_t pending = c.outbox.size() - c.outbox_head;
-  if (pending + frame.size() > opt_.max_outbox_bytes) {
-    ++stats_.send_overflows;
+  const std::size_t pending =
+      c.outbox.size() - c.outbox_head + c.chaos_held_bytes;
+  // While the socket is down the tighter reconnect-buffer cap applies: a
+  // long outage must not buffer up to the full backpressure bound.
+  const bool socket_down = !c.up;
+  const std::size_t cap =
+      socket_down ? std::min(opt_.max_down_buffer_bytes, opt_.max_outbox_bytes)
+                  : opt_.max_outbox_bytes;
+  if (pending + frame.size() > cap) {
+    if (socket_down && pending + frame.size() <= opt_.max_outbox_bytes) {
+      ++stats_.down_buffer_drops;
+    } else {
+      ++stats_.send_overflows;
+    }
     return false;
   }
+  if (c.chaos != nullptr) {
+    const Timestamp now = now_us();
+    const ChaosVerdict v = c.chaos->on_frame(frame.size(), now);
+    if (v.reset) c.chaos_reset_pending = true;
+    ++stats_.frames_out;
+    if (v.duplicate) {
+      ++stats_.frames_out;
+      ++stats_.chaos_duplicates;
+    }
+    // Once anything is held, everything queues behind it (FIFO).
+    if (v.delay_us > 0 || !c.chaos_hold.empty()) {
+      ++stats_.chaos_delayed;
+      c.chaos_held_bytes += frame.size() * (v.duplicate ? 2 : 1);
+      if (v.duplicate) {
+        c.chaos_hold.push_back(Conn::HeldFrame{now + v.delay_us, frame});
+      }
+      c.chaos_hold.push_back(
+          Conn::HeldFrame{now + v.delay_us, std::move(frame)});
+      wake();
+      return true;
+    }
+    if (v.duplicate) {
+      enqueue_frame(c, frame);  // copy: the original goes below
+    }
+    enqueue_frame(c, std::move(frame));
+    wake();
+    return true;
+  }
+  enqueue_frame(c, std::move(frame));
+  ++stats_.frames_out;
+  wake();
+  return true;
+}
+
+void TcpTransport::enqueue_frame(Conn& c, std::vector<std::uint8_t> frame) {
   // Compact the consumed prefix before appending when it dominates — but
   // only up to the current frame's start: a disconnect rewinds into those
   // bytes (see close_socket), so they must stay resident.
@@ -129,9 +175,14 @@ bool TcpTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
   }
   c.outbox_frames.push_back(frame.size());
   c.outbox.insert(c.outbox.end(), frame.begin(), frame.end());
-  ++stats_.frames_out;
-  wake();
-  return true;
+}
+
+void TcpTransport::set_chaos(ConnId conn, std::shared_ptr<ChaosLink> link) {
+  std::lock_guard lk(mu_);
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  it->second->chaos = std::move(link);
+  if (started_.load(std::memory_order_relaxed)) wake();
 }
 
 void TcpTransport::set_greeting(ConnId conn, std::vector<std::uint8_t> frame) {
@@ -174,10 +225,7 @@ void TcpTransport::dial(Conn& c, Timestamp now) {
   const std::string port_str = std::to_string(c.port);
   if (::getaddrinfo(c.host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
       res == nullptr) {
-    c.backoff_us = std::clamp<Duration>(c.backoff_us * 2,
-                                        opt_.reconnect_backoff_min_us,
-                                        opt_.reconnect_backoff_max_us);
-    c.retry_at = now + c.backoff_us;
+    arm_backoff(c, now);
     return;
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -198,10 +246,23 @@ void TcpTransport::dial(Conn& c, Timestamp now) {
     return;
   }
   ::close(fd);
-  c.backoff_us = std::clamp<Duration>(c.backoff_us * 2,
-                                      opt_.reconnect_backoff_min_us,
-                                      opt_.reconnect_backoff_max_us);
-  c.retry_at = now + c.backoff_us;
+  arm_backoff(c, now);
+}
+
+void TcpTransport::arm_backoff(Conn& c, Timestamp now) {
+  // The ceiling doubles deterministically; the actual retry draws uniformly
+  // from [min, ceiling] (full jitter) so a partition heal doesn't trigger a
+  // synchronized redial storm across every cut link.
+  c.backoff_us = std::clamp<Duration>(
+      c.backoff_us == 0 ? opt_.reconnect_backoff_min_us : c.backoff_us * 2,
+      opt_.reconnect_backoff_min_us, opt_.reconnect_backoff_max_us);
+  const Duration span = c.backoff_us - opt_.reconnect_backoff_min_us;
+  const Duration jittered =
+      opt_.reconnect_backoff_min_us +
+      (span > 0 ? static_cast<Duration>(
+                      backoff_rng_.uniform(static_cast<std::uint64_t>(span) + 1))
+                : 0);
+  c.retry_at = now + jittered;
 }
 
 void TcpTransport::close_socket(Conn& c, bool /*notify*/) {
@@ -218,11 +279,38 @@ void TcpTransport::close_socket(Conn& c, bool /*notify*/) {
   c.outbox_head -= c.frame_written;
   c.frame_written = 0;
   if (c.outbound) {
-    c.backoff_us = std::clamp<Duration>(
-        c.backoff_us == 0 ? opt_.reconnect_backoff_min_us : c.backoff_us * 2,
-        opt_.reconnect_backoff_min_us, opt_.reconnect_backoff_max_us);
-    c.retry_at = now_us() + c.backoff_us;
+    arm_backoff(c, now_us());
     ++stats_.reconnects;
+  }
+}
+
+void TcpTransport::chaos_pass(Timestamp now, std::vector<ConnId>& went_down) {
+  for (auto& [id, cp] : conns_) {
+    Conn& c = *cp;
+    if (c.chaos == nullptr) continue;
+    const bool was_up = c.up;
+    if (c.chaos_reset_pending) {
+      c.chaos_reset_pending = false;
+      if (c.up || c.connecting) {
+        ++stats_.chaos_resets;
+        close_socket(c, true);
+      }
+    }
+    if ((c.up || c.connecting) && c.chaos->blocked(now)) {
+      // A partition window cuts the established socket too, not only new
+      // dials — the peer sees the link die, exactly like a real outage.
+      close_socket(c, true);
+    }
+    // Release frames whose chaos delay elapsed into the real outbox. They
+    // buffer there even while the socket is down (reconnect semantics).
+    while (!c.chaos_hold.empty() && c.chaos_hold.front().release_at <= now) {
+      std::vector<std::uint8_t> frame =
+          std::move(c.chaos_hold.front().frame);
+      c.chaos_hold.pop_front();
+      c.chaos_held_bytes -= frame.size();
+      enqueue_frame(c, std::move(frame));
+    }
+    if (was_up && !c.up) went_down.push_back(c.id);
   }
 }
 
@@ -322,7 +410,16 @@ void TcpTransport::run() {
         Conn& c = *cp;
         if (c.fd < 0) {
           if (!c.outbound) continue;
-          if (c.retry_at <= now) dial(c, now);
+          if (c.chaos != nullptr && c.chaos->blocked(now)) {
+            // Partition window: don't redial; recheck shortly.
+            c.retry_at = now + 5'000;
+          } else if (c.retry_at <= now) {
+            dial(c, now);
+          }
+        }
+        if (!c.chaos_hold.empty() &&
+            (next_timer == 0 || c.chaos_hold.front().release_at < next_timer)) {
+          next_timer = c.chaos_hold.front().release_at;
         }
         if (c.fd >= 0) {
           short events = POLLIN;
@@ -364,6 +461,7 @@ void TcpTransport::run() {
     {
       std::lock_guard lk(mu_);
       if (stopping_) break;
+      chaos_pass(now_us(), went_down);
       for (std::size_t i = 0; i < pfds.size(); ++i) {
         const pollfd& p = pfds[i];
         if (p.revents == 0) continue;
@@ -467,6 +565,7 @@ void LinkBatcher::add(NodeId from, NodeId to, const proto::Message& m) {
 
 void LinkBatcher::flush() {
   std::lock_guard lk(mu_);
+  retry_pending_locked();
   if (!writer_.empty()) flush_locked();
 }
 
@@ -476,17 +575,46 @@ void LinkBatcher::flush_locked() {
       writer_.stats().overhead_bytes + proto::kFrameHeaderBytes;
   std::vector<std::uint8_t> frame;
   writer_.flush_to(frame);
-  if (!transport_.send(conn_, std::move(frame))) {
-    // Backpressure overflow: the whole batch is dropped and counted — same
-    // contract as TcpTransport::send for singleton frames.
-    ++stats_.send_failures;
-  }
   ++stats_.batches;
+  // FIFO: while older batches are parked, new ones must queue behind them
+  // even if the transport would accept them now.
+  if (!pending_.empty()) {
+    park_locked(std::move(frame));
+    return;
+  }
+  if (!transport_.try_send(conn_, frame)) {
+    // Backpressure: park and re-offer on later ticks instead of dropping —
+    // a throttled link trades latency for losslessness (§II-C channels).
+    ++stats_.send_failures;
+    park_locked(std::move(frame));
+  }
+}
+
+void LinkBatcher::park_locked(std::vector<std::uint8_t> frame) {
+  if (pending_bytes_ + frame.size() > policy_.max_pending_bytes) {
+    ++stats_.dropped_batches;
+    return;
+  }
+  pending_bytes_ += frame.size();
+  pending_.push_back(std::move(frame));
+}
+
+void LinkBatcher::retry_pending_locked() {
+  while (!pending_.empty() && transport_.try_send(conn_, pending_.front())) {
+    pending_bytes_ -= pending_.front().size();
+    ++stats_.retried_batches;
+    pending_.pop_front();
+  }
 }
 
 BatchStats LinkBatcher::stats() const {
   std::lock_guard lk(mu_);
   return stats_;
+}
+
+std::size_t LinkBatcher::pending_bytes() const {
+  std::lock_guard lk(mu_);
+  return pending_bytes_;
 }
 
 }  // namespace pocc::net

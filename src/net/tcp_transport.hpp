@@ -33,7 +33,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/chaos.hpp"
 #include "proto/codec.hpp"
 
 namespace pocc::net {
@@ -53,6 +55,13 @@ struct TransportStats {
   std::uint64_t reconnects = 0;
   std::uint64_t decode_errors = 0;
   std::uint64_t send_overflows = 0;
+  /// Frames dropped because a *down* link's reconnect buffer hit its cap
+  /// (max_down_buffer_bytes) — a long partition cannot buffer unboundedly.
+  std::uint64_t down_buffer_drops = 0;
+  /// Chaos-injection accounting (zero unless set_chaos() armed a link).
+  std::uint64_t chaos_delayed = 0;     // frames held before transmission
+  std::uint64_t chaos_duplicates = 0;  // frames transmitted twice
+  std::uint64_t chaos_resets = 0;      // connections torn down by chaos
 };
 
 class TcpTransport {
@@ -76,8 +85,19 @@ class TcpTransport {
   struct Options {
     /// Per-connection cap on buffered unsent bytes (backpressure bound).
     std::size_t max_outbox_bytes = 64u << 20;
+    /// Tighter cap applied while a link has no established socket: frames
+    /// buffered across an outage are bounded, and overflow is dropped with
+    /// an accounted counter (stats().down_buffer_drops) instead of letting
+    /// a long partition grow the outbox to max_outbox_bytes.
+    std::size_t max_down_buffer_bytes = 8u << 20;
+    /// Reconnect backoff: the *ceiling* doubles deterministically per
+    /// failure, but each retry draws uniformly from [min, ceiling] (full
+    /// jitter) so links cut by one partition don't redial in lockstep when
+    /// it heals.
     Duration reconnect_backoff_min_us = 20'000;
     Duration reconnect_backoff_max_us = 1'000'000;
+    /// Seed of the backoff-jitter Rng (determinism in tests/campaigns).
+    std::uint64_t seed = 0xbac0'ff5eULL;
     /// Period of Callbacks::on_tick; 0 disables the tick.
     Duration tick_interval_us = 0;
   };
@@ -101,13 +121,27 @@ class TcpTransport {
   /// identity announcements (NodeHello) that must precede protocol traffic.
   void set_greeting(ConnId conn, std::vector<std::uint8_t> frame);
 
+  /// Arm wire-level fault injection on an outbound link: every frame sent
+  /// on `conn` passes through `link` (delay/duplicate/reset verdicts), and
+  /// while the link's schedule blocks this direction the socket is torn
+  /// down and not redialed (a partition window). Call before traffic flows;
+  /// nullptr disarms. Thread-safe.
+  void set_chaos(ConnId conn, std::shared_ptr<ChaosLink> link);
+
   void start();
   void stop();
 
   /// Queue one already-encoded frame. Thread-safe. Returns false when the
   /// connection is unknown/dead-inbound or its outbox is over the cap (the
   /// frame is dropped and counted in stats().send_overflows).
-  bool send(ConnId conn, std::vector<std::uint8_t> frame);
+  bool send(ConnId conn, std::vector<std::uint8_t> frame) {
+    return try_send(conn, frame);
+  }
+
+  /// Like send(), but leaves `frame` intact when the transport refuses it —
+  /// the caller can park and retry (LinkBatcher's slow-peer queue) instead
+  /// of losing the bytes. Moves from `frame` only on acceptance.
+  bool try_send(ConnId conn, std::vector<std::uint8_t>& frame);
 
   /// True when the connection currently has an established socket.
   [[nodiscard]] bool connected(ConnId conn) const;
@@ -137,6 +171,19 @@ class TcpTransport {
     std::deque<std::size_t> outbox_frames;
     std::size_t frame_written = 0;
     std::vector<std::uint8_t> greeting;  // sent first on every establish
+
+    // --- chaos injection (null on unarmed links) ---
+    std::shared_ptr<ChaosLink> chaos;
+    struct HeldFrame {
+      Timestamp release_at = 0;
+      std::vector<std::uint8_t> frame;
+    };
+    /// Frames the chaos link is holding back; released into the outbox in
+    /// FIFO order when their delay elapses (ChaosLink clamps release times
+    /// monotone, so the front is always the earliest).
+    std::deque<HeldFrame> chaos_hold;
+    std::size_t chaos_held_bytes = 0;  // counted against the outbox caps
+    bool chaos_reset_pending = false;  // tear down on the next loop pass
   };
 
   void run();
@@ -144,6 +191,13 @@ class TcpTransport {
   void dial(Conn& c, Timestamp now);
   void mark_established(Conn& c);
   void close_socket(Conn& c, bool notify);
+  /// Append one framed message to the outbox (frame table + compaction).
+  void enqueue_frame(Conn& c, std::vector<std::uint8_t> frame);
+  /// Schedule the next dial attempt with full-jitter backoff.
+  void arm_backoff(Conn& c, Timestamp now);
+  /// Chaos pass of one loop iteration: apply pending resets, enforce
+  /// partition windows, release due held frames. Collects lost links.
+  void chaos_pass(Timestamp now, std::vector<ConnId>& went_down);
   void drain_outbox(Conn& c);
   void read_ready(Conn& c);
   void accept_ready();
@@ -159,6 +213,7 @@ class TcpTransport {
   mutable std::mutex mu_;
   std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
   ConnId next_conn_id_ = 1;
+  Rng backoff_rng_;  // guarded by mu_ (backoff jitter + chaos paths)
   TransportStats stats_;
   bool stopping_ = false;
   std::thread thread_;
@@ -179,6 +234,13 @@ struct BatchPolicy {
   std::size_t max_bytes = 48u << 10;
   /// The time threshold — hosts pass it as Options::tick_interval_us.
   Duration max_delay_us = 1'000;
+  /// Slow-peer isolation: flushed batches the transport refuses
+  /// (backpressure) are parked in a per-link retry queue up to this many
+  /// bytes and re-offered on later ticks, so a throttled replica link
+  /// sheds load by *delaying* its own batches — not by dropping them, and
+  /// not by stalling siblings (each link parks independently). Beyond the
+  /// cap batches are dropped and counted (BatchStats::dropped_batches).
+  std::size_t max_pending_bytes = 16u << 20;
 };
 
 /// Accounting of one link's batching (aggregated into poccd exit stats).
@@ -188,6 +250,8 @@ struct BatchStats {
   std::uint64_t protocol_bytes = 0;  // §V-charged bytes inside batches
   std::uint64_t overhead_bytes = 0;  // envelopes + batch headers + prefixes
   std::uint64_t send_failures = 0;   // flushes rejected by backpressure
+  std::uint64_t retried_batches = 0;  // parked batches later accepted
+  std::uint64_t dropped_batches = 0;  // parked batches lost to the cap
 
   BatchStats& operator+=(const BatchStats& o) {
     messages += o.messages;
@@ -195,6 +259,8 @@ struct BatchStats {
     protocol_bytes += o.protocol_bytes;
     overhead_bytes += o.overhead_bytes;
     send_failures += o.send_failures;
+    retried_batches += o.retried_batches;
+    dropped_batches += o.dropped_batches;
     return *this;
   }
 };
@@ -217,14 +283,21 @@ class LinkBatcher {
   /// Stage one message; flushes inline when a size threshold trips.
   void add(NodeId from, NodeId to, const proto::Message& m);
 
-  /// Flush whatever is staged (no-op when empty). Called from the transport
-  /// tick and at shutdown.
+  /// Flush whatever is staged (no-op when empty) after re-offering any
+  /// parked batches. Called from the transport tick and at shutdown.
   void flush();
 
   [[nodiscard]] BatchStats stats() const;
 
+  /// Bytes of flushed-but-unaccepted batches parked on this link — the
+  /// load-shedding signal the host's admission control reads (a congested
+  /// replication link pushes back on *client* admission, not on siblings).
+  [[nodiscard]] std::size_t pending_bytes() const;
+
  private:
   void flush_locked();
+  void park_locked(std::vector<std::uint8_t> frame);
+  void retry_pending_locked();
 
   TcpTransport& transport_;
   ConnId conn_;
@@ -232,6 +305,8 @@ class LinkBatcher {
   mutable std::mutex mu_;
   proto::BatchWriter writer_;
   BatchStats stats_;
+  std::deque<std::vector<std::uint8_t>> pending_;  // FIFO ahead of staged
+  std::size_t pending_bytes_ = 0;
 };
 
 }  // namespace pocc::net

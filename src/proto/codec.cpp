@@ -37,7 +37,8 @@ static_assert(kMatches<WireType::kGetReq, GetReq> &&
                   kMatches<WireType::kGssBroadcast, GssBroadcast> &&
                   kMatches<WireType::kRecoveryReq, RecoveryReq> &&
                   kMatches<WireType::kRecoveryVersion, RecoveryVersion> &&
-                  kMatches<WireType::kRecoveryDone, RecoveryDone>,
+                  kMatches<WireType::kRecoveryDone, RecoveryDone> &&
+                  kMatches<WireType::kOverloaded, Overloaded>,
               "wire ids must match the Message variant order");
 
 /// Whether a write counts toward wire_size() (protocol metadata) or is
@@ -252,6 +253,12 @@ struct EncodeVisitor {
     put_header(w, WireType::kRecoveryDone);
     put_node(w, m.from);
     put_vv(w, m.vv);
+  }
+  void operator()(const Overloaded& m) const {
+    put_header(w, WireType::kOverloaded);
+    w.u64(m.client, Charge::kYes);
+    w.i64(m.retry_after_us, Charge::kYes);
+    w.u64(m.op_id, Charge::kNo);
   }
   void operator()(const RouteProbe&) const {
     POCC_ASSERT_MSG(false, "RouteProbe is test-only and never encoded");
@@ -567,6 +574,13 @@ Frame decode_body(Reader& r, WireType type) {
       m.from = r.node();
       m.vv = r.vv();
       return Frame{Message{std::move(m)}};
+    }
+    case WireType::kOverloaded: {
+      Overloaded m;
+      m.client = r.u64();
+      m.retry_after_us = r.i64();
+      m.op_id = r.u64();
+      return Frame{Message{m}};
     }
     case WireType::kNodeHello: {
       NodeHello h;

@@ -41,7 +41,9 @@ namespace pocc::proto {
 /// per-message (from, to) routing envelopes — multi-partition hosting).
 /// v3: crash-recovery handshake messages (RecoveryReq / RecoveryVersion /
 /// RecoveryDone — durable WAL deployments, src/wal/).
-inline constexpr std::uint8_t kWireVersion = 3;
+/// v4: Overloaded replies (explicit admission-control refusal instead of
+/// silent inbox growth — chaos-hardened deployments, net/tcp_node_host.cpp).
+inline constexpr std::uint8_t kWireVersion = 4;
 
 /// Size of the frame length prefix preceding every body.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -71,6 +73,7 @@ enum class WireType : std::uint8_t {
   kRecoveryReq = 15,
   kRecoveryVersion = 16,
   kRecoveryDone = 17,
+  kOverloaded = 18,
   kNodeHello = 200,
   kClientHello = 201,
   kBatch = 202,
@@ -78,7 +81,7 @@ enum class WireType : std::uint8_t {
 
 /// Highest wire id that is a protocol message (legal inside a Batch frame).
 inline constexpr std::uint8_t kMaxProtocolWireType =
-    static_cast<std::uint8_t>(WireType::kRecoveryDone);
+    static_cast<std::uint8_t>(WireType::kOverloaded);
 
 /// First frame on a server-to-server connection: who is dialing in. Lets the
 /// receiver attribute subsequent frames on the connection to a NodeId.

@@ -120,6 +120,9 @@ struct SizeVisitor {
   std::size_t operator()(const RecoveryDone& m) const {
     return kHeaderBytes + kNodeIdBytes + vv_bytes(m.vv);
   }
+  std::size_t operator()(const Overloaded&) const {
+    return kHeaderBytes + kClientIdBytes + kTimestampBytes;
+  }
   // Test-only, never encoded; nominal size kept for the routing tests.
   std::size_t operator()(const RouteProbe&) const { return 8; }
 };
@@ -145,6 +148,7 @@ struct NameVisitor {
     return "RecoveryVersion";
   }
   const char* operator()(const RecoveryDone&) const { return "RecoveryDone"; }
+  const char* operator()(const Overloaded&) const { return "Overloaded"; }
   const char* operator()(const RouteProbe&) const { return "RouteProbe"; }
 };
 

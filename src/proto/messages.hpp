@@ -198,6 +198,17 @@ struct RecoveryDone {
   VersionVector vv;
 };
 
+/// Overload shedding (wire v4): the server's admission control refused the
+/// request instead of letting its inbox grow without bound. The op is *not*
+/// executed — the client should back off for at least `retry_after_us` and
+/// retry the same op_id (the server's idempotency cache makes the retry
+/// exactly-once even if the original was admitted after all).
+struct Overloaded {
+  ClientId client = 0;
+  Duration retry_after_us = 0;
+  std::uint64_t op_id = 0;  // echo of the refused request's op_id
+};
+
 /// Test-only payload: counts copies and moves so tests can enforce the
 /// zero-copy routing invariant (a Message is moved, never copied, from sender
 /// to endpoint). Never sent by a protocol engine.
@@ -235,7 +246,7 @@ using Message =
     std::variant<GetReq, PutReq, RoTxReq, GetReply, PutReply, RoTxReply,
                  SessionClosed, Replicate, Heartbeat, SliceReq, SliceReply,
                  GcReport, GcVector, StabReport, GssBroadcast, RecoveryReq,
-                 RecoveryVersion, RecoveryDone, RouteProbe>;
+                 RecoveryVersion, RecoveryDone, Overloaded, RouteProbe>;
 
 /// Human-readable message-type name (logging / tests).
 const char* message_name(const Message& m);

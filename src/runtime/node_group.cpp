@@ -159,6 +159,30 @@ void NodeGroup::enqueue(NodeId from, NodeId to, proto::Message m) {
   w.cv.notify_one();
 }
 
+bool NodeGroup::try_enqueue(NodeId from, NodeId to, proto::Message m) {
+  POCC_ASSERT_MSG(hosts(to),
+                  "enqueue for a partition this group does not host");
+  Slot* slot = by_part_[to.part];
+  Worker& w = *slot->worker;
+  {
+    std::lock_guard lk(w.mu);
+    if (opt_.max_inbox_messages > 0 &&
+        w.inbox.size() >= opt_.max_inbox_messages) {
+      return false;
+    }
+    w.inbox.push_back(Incoming{from, slot, std::move(m)});
+  }
+  w.cv.notify_one();
+  return true;
+}
+
+std::size_t NodeGroup::inbox_depth(PartitionId part) const {
+  POCC_ASSERT(hosts(NodeId{dc_, part}));
+  Worker& w = *by_part_[part]->worker;
+  std::lock_guard lk(w.mu);
+  return w.inbox.size();
+}
+
 server::ReplicaBase& NodeGroup::engine(PartitionId part) {
   POCC_ASSERT(hosts(NodeId{dc_, part}));
   return *by_part_[part]->engine;

@@ -75,6 +75,12 @@ class NodeGroup {
     /// a crash could lose. nullptr = no durability (simulator, tests,
     /// --no-durability).
     wal::WalManager* wal = nullptr;
+    /// Bounded admission: try_enqueue() refuses new work once the target
+    /// worker's inbox holds this many messages (0 = unbounded). Only the
+    /// droppable admission class (client requests via try_enqueue) is
+    /// refused; enqueue() — server-to-server traffic whose loss would
+    /// violate the lossless FIFO channel assumption — always delivers.
+    std::size_t max_inbox_messages = 0;
   };
 
   /// Builds one engine bound to `ctx` (its partition-private Context).
@@ -111,6 +117,16 @@ class NodeGroup {
   /// Deliver one message to a hosted partition (thread-safe; the TCP host
   /// calls this from the transport thread, workers from each other).
   void enqueue(NodeId from, NodeId to, proto::Message m);
+
+  /// Admission-controlled variant for droppable work (client requests):
+  /// refuses (returns false, message untouched beyond the move) when the
+  /// target worker's inbox is at Options::max_inbox_messages. The caller
+  /// owns the refusal path (an Overloaded reply). Thread-safe.
+  [[nodiscard]] bool try_enqueue(NodeId from, NodeId to, proto::Message m);
+
+  /// Current depth of the worker inbox serving `part` (thread-safe; a
+  /// load-shedding signal, instantaneously stale like any queue depth).
+  [[nodiscard]] std::size_t inbox_depth(PartitionId part) const;
 
   /// Engine access for post-shutdown inspection (not thread-safe while
   /// running).

@@ -82,6 +82,17 @@ Duration ReplicaBase::on_timer(std::uint64_t timer_id) {
   work_ = 0;
   switch (timer_id) {
     case kTimerHeartbeat: {
+      // Peer-recovery mute: until every RecoveryDone landed, this replica's
+      // pre-crash sends may still be holes on the peers — a heartbeat now
+      // would raise their VV[us] past versions only on_recovery_done()'s
+      // push-back will deliver. The first heartbeat after the gate opens
+      // FIFO-follows those RecoveryVersions on every link, so the promise
+      // "every update <= ts was sent" holds again.
+      if (recovering_dcs_ > 0 &&
+          ctx_.time() < recovery_heartbeat_gate_until_) {
+        ctx_.set_timer(protocol_.heartbeat_interval_us, kTimerHeartbeat);
+        break;
+      }
       // Alg. 2 lines 19-26: if no PUT advanced VV[m] for Δ, broadcast the
       // local clock so remote version vectors keep moving.
       const Timestamp ct = ctx_.clock_peek();
@@ -283,9 +294,10 @@ void ReplicaBase::restore_vv(const VersionVector& vv) {
   if (vv.size() == vv_.size()) vv_.merge_max(vv);
 }
 
-void ReplicaBase::begin_peer_recovery() {
+void ReplicaBase::begin_peer_recovery(Duration heartbeat_gate_us) {
   fifo_tolerant_ = true;
   recovering_dcs_ = 0;
+  recovery_heartbeat_gate_until_ = ctx_.time() + heartbeat_gate_us;
   for (DcId j = 0; j < topology_.num_dcs; ++j) {
     if (j == local_dc()) continue;
     ++recovering_dcs_;

@@ -79,8 +79,13 @@ class ReplicaBase {
   /// recovery_complete(). Also makes on_replicate tolerate below-VV
   /// duplicates permanently: recovery answers and live replication race on
   /// independent FIFO links, so the timestamp-order invariant of a single
-  /// channel no longer covers the merged stream.
-  void begin_peer_recovery();
+  /// channel no longer covers the merged stream. Heartbeats stay muted for
+  /// up to `heartbeat_gate_us` while RecoveryDones are outstanding: a
+  /// heartbeat promises "every update <= ts was sent", and right after a
+  /// crash some of those sends died in flight — broadcasting the restored
+  /// clock before on_recovery_done() pushed the repair suffix would raise
+  /// peer VVs past versions they never received.
+  void begin_peer_recovery(Duration heartbeat_gate_us = 10'000'000);
 
   /// True once every sibling's RecoveryDone was processed (vacuously true
   /// with one DC or before begin_peer_recovery()).
@@ -285,6 +290,9 @@ class ReplicaBase {
 
   /// Sibling DCs whose RecoveryDone is still outstanding (peer recovery).
   std::uint32_t recovering_dcs_ = 0;
+  /// Heartbeats are suppressed while recovering_dcs_ > 0 and ctx_.time() is
+  /// below this mark (a dead sibling must not mute this replica forever).
+  Timestamp recovery_heartbeat_gate_until_ = 0;
   /// Set by begin_peer_recovery(): on_replicate accepts versions below the
   /// VV as idempotent duplicates instead of asserting channel order.
   bool fifo_tolerant_ = false;

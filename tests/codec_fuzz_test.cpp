@@ -79,7 +79,7 @@ std::vector<KeyId> random_keys(Rng& rng, std::size_t max_n) {
 }
 
 Message random_message(Rng& rng) {
-  switch (rng.uniform(18)) {
+  switch (rng.uniform(19)) {
     case 0: {
       GetReq m;
       m.client = rng.next();
@@ -216,12 +216,19 @@ Message random_message(Rng& rng) {
       m.version.opt_origin = rng.uniform(2) == 0;
       return Message{std::move(m)};
     }
-    default: {
+    case 17: {
       RecoveryDone m;
       m.from = NodeId{static_cast<DcId>(rng.uniform(8)),
                       static_cast<PartitionId>(rng.uniform(32))};
       m.vv = random_vv(rng);
       return Message{std::move(m)};
+    }
+    default: {
+      Overloaded m;
+      m.client = rng.next();
+      m.retry_after_us = static_cast<Duration>(rng.uniform(10'000'000));
+      m.op_id = rng.next();
+      return Message{m};
     }
   }
 }
@@ -332,6 +339,11 @@ struct EqualVisitor {
   bool operator()(const RecoveryDone& a) const {
     const auto& b = std::get<RecoveryDone>(rhs);
     return a.from == b.from && a.vv == b.vv;
+  }
+  bool operator()(const Overloaded& a) const {
+    const auto& b = std::get<Overloaded>(rhs);
+    return a.client == b.client && a.retry_after_us == b.retry_after_us &&
+           a.op_id == b.op_id;
   }
   bool operator()(const RouteProbe&) const { return false; }
 };

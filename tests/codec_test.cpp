@@ -66,6 +66,8 @@ std::size_t framing_bytes(const Message& m) {
       return 8 + 8 + 8 * std::get<RoTxReply>(m).items.size();
     case 10:  // SliceReply: blocked_us + per-item measurement fields
       return 8 + 8 * std::get<SliceReply>(m).items.size();
+    case 18:  // Overloaded: op_id
+      return 8;
     default:
       return 0;
   }
@@ -272,6 +274,18 @@ TEST(Codec, GcAndStabilizationRoundTrips) {
   expect_honest_accounting(Message{gss});
 }
 
+TEST(Codec, OverloadedRoundTrip) {
+  Overloaded m;
+  m.client = 4'242;
+  m.retry_after_us = 25'000;
+  m.op_id = 77;
+  const auto d = std::get<Overloaded>(round_trip(Message{m}));
+  EXPECT_EQ(d.client, m.client);
+  EXPECT_EQ(d.retry_after_us, m.retry_after_us);
+  EXPECT_EQ(d.op_id, m.op_id);
+  expect_honest_accounting(Message{m});
+}
+
 TEST(Codec, EmptyAndDefaultMessagesRoundTrip) {
   // Default-constructed messages (empty vectors, empty strings, key id 0 =
   // the pre-interned empty key) must survive the wire too.
@@ -281,6 +295,7 @@ TEST(Codec, EmptyAndDefaultMessagesRoundTrip) {
       Message{SessionClosed{}}, Message{Replicate{}},  Message{Heartbeat{}},
       Message{SliceReq{}},      Message{SliceReply{}}, Message{GcReport{}},
       Message{GcVector{}},      Message{StabReport{}}, Message{GssBroadcast{}},
+      Message{RecoveryReq{}},   Message{RecoveryDone{}}, Message{Overloaded{}},
   };
   for (const Message& m : variants) {
     const Message d = round_trip(m);

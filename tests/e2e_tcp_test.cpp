@@ -22,8 +22,10 @@
 #include "checker/client_history.hpp"
 #include "checker/history_checker.hpp"
 #include "common/rng.hpp"
+#include "net/chaos.hpp"
 #include "net/tcp_client.hpp"
 #include "net/tcp_node_host.hpp"
+#include "runtime/rt_node.hpp"
 #include "store/key_space.hpp"
 
 namespace pocc::net {
@@ -50,7 +52,9 @@ ClusterLayout small_layout(rt::System system) {
 /// one multi-partition host per DC, all partitions on 2 worker threads.
 class Deployment {
  public:
-  explicit Deployment(rt::System system) : layout_(small_layout(system)) {
+  explicit Deployment(rt::System system,
+                      const ClientResilience* resilience = nullptr)
+      : layout_(small_layout(system)) {
     const auto& topo = layout_.topology;
     std::uint64_t seed = 1;
     for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
@@ -75,6 +79,7 @@ class Deployment {
     for (auto& host : hosts_) host->start(layout_.processes);
     for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
       pools_.push_back(std::make_unique<TcpClientPool>(layout_, dc));
+      if (resilience != nullptr) pools_.back()->set_resilience(*resilience);
       pools_.back()->start();
     }
     for (auto& pool : pools_) {
@@ -127,10 +132,61 @@ class Deployment {
     return n;
   }
 
+  std::uint64_t deduped_requests() const {
+    std::uint64_t n = 0;
+    for (const auto& host : hosts_) n += host->deduped_requests();
+    return n;
+  }
+
+  ClientResilienceStats resilience_stats() const {
+    ClientResilienceStats s;
+    for (const auto& pool : pools_) s += pool->resilience_stats();
+    return s;
+  }
+
+  /// Arm every inter-DC replication link with a schedule-bound ChaosLink:
+  /// the profile's delay/jitter plus the seed's timed partition and degrade
+  /// windows, exactly as chaos_campaign does.
+  void arm_server_chaos(std::uint64_t seed, const ChaosProfile& profile) {
+    schedule_ = std::make_shared<ChaosSchedule>(
+        seed, layout_.topology, /*horizon_us=*/2'000'000,
+        /*duration_us=*/60'000'000);
+    const Timestamp start = rt::steady_now_us();
+    std::uint64_t n = 0;
+    for (DcId src = 0; src < layout_.topology.num_dcs; ++src) {
+      for (DcId dst = 0; dst < layout_.topology.num_dcs; ++dst) {
+        if (src == dst) continue;
+        auto link = std::make_shared<ChaosLink>(
+            seed ^ (0x9e3779b97f4a7c15ULL * ++n), profile);
+        link->bind_schedule(schedule_, src, dst, start);
+        hosts_[src]->arm_chaos(dst, link);
+      }
+    }
+  }
+
+  /// Arm every dialed client connection (both replicas when resilience
+  /// dialed siblings) with an unscheduled ChaosLink — client links may
+  /// carry dup/reset chaos because the op_id idempotency cache absorbs it.
+  void arm_client_chaos(std::uint64_t seed, const ChaosProfile& profile) {
+    std::uint64_t n = 0;
+    for (auto& pool : pools_) {
+      for (PartitionId p = 0; p < layout_.topology.partitions_per_dc; ++p) {
+        for (unsigned replica = 0; replica < 2; ++replica) {
+          const ConnId conn = pool->conn_of(p, replica);
+          if (conn == kInvalidConn) continue;
+          pool->transport().set_chaos(
+              conn, std::make_shared<ChaosLink>(
+                        seed ^ (0x9e3779b97f4a7c15ULL * ++n), profile));
+        }
+      }
+    }
+  }
+
  private:
   ClusterLayout layout_;
   std::vector<std::unique_ptr<TcpNodeHost>> hosts_;
   std::vector<std::unique_ptr<TcpClientPool>> pools_;
+  std::shared_ptr<ChaosSchedule> schedule_;
 };
 
 /// Poll `fn` until it returns true or the deadline passes.
@@ -270,6 +326,43 @@ TEST(E2eTcp, ConcurrentLoadReplaysCleanlyCure) {
   Deployment cluster(rt::System::kCure);
   run_load(cluster, /*sessions_per_dc=*/2, /*ops_per_session=*/80);
   EXPECT_EQ(cluster.dropped_frames(), 0u);
+  expect_clean_replay(cluster);
+}
+
+TEST(E2eTcp, ChaosOnReplicationLinksReplaysClean) {
+  // Delay, jitter, loss stalls and the seed's timed partition windows on
+  // every inter-DC link: replication gets late and bursty but stays a
+  // lossless FIFO, so the full history must still replay with zero causal
+  // violations — the core claim of the chaos model (net/chaos.hpp).
+  Deployment cluster(rt::System::kPocc);
+  ChaosProfile profile;
+  profile.base_delay_us = 1'000;
+  profile.jitter_mean_us = 500;
+  profile.loss_p = 0.005;
+  profile.rto_penalty_us = 20'000;
+  profile.reorder_window_us = 1'000;
+  cluster.arm_server_chaos(/*seed=*/7, profile);
+  run_load(cluster, /*sessions_per_dc=*/2, /*ops_per_session=*/100);
+  EXPECT_EQ(cluster.dropped_frames(), 0u);
+  expect_clean_replay(cluster);
+}
+
+TEST(E2eTcp, ResilientSessionsAbsorbDuplicatedClientFrames) {
+  // Dup-heavy chaos on the CLIENT links (the one place duplication is
+  // legal): the per-client op_id idempotency cache must absorb every
+  // duplicate — all ops succeed, the servers count dedups, and the replayed
+  // history stays clean (no double-applied PUT).
+  ClientResilience resilience;
+  resilience.enabled = true;
+  Deployment cluster(rt::System::kPocc, &resilience);
+  ChaosProfile profile;
+  profile.base_delay_us = 200;
+  profile.jitter_mean_us = 200;
+  profile.dup_p = 0.05;
+  cluster.arm_client_chaos(/*seed=*/11, profile);
+  run_load(cluster, /*sessions_per_dc=*/2, /*ops_per_session=*/100);
+  EXPECT_GT(cluster.deduped_requests(), 0u)
+      << "dup_p=0.05 over 1200 ops should have produced duplicates";
   expect_clean_replay(cluster);
 }
 

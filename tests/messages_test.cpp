@@ -27,6 +27,7 @@ TEST(Messages, NamesAreDistinctive) {
   EXPECT_STREQ(message_name(Message{GcVector{}}), "GcVector");
   EXPECT_STREQ(message_name(Message{StabReport{}}), "StabReport");
   EXPECT_STREQ(message_name(Message{GssBroadcast{}}), "GssBroadcast");
+  EXPECT_STREQ(message_name(Message{Overloaded{}}), "Overloaded");
   EXPECT_STREQ(message_name(Message{RouteProbe{}}), "RouteProbe");
 }
 

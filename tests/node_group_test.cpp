@@ -222,5 +222,47 @@ TEST(NodeGroup, TimersFirePerPartition) {
   EXPECT_EQ(router.external_routes(), 0u);
 }
 
+TEST(NodeGroup, BoundedAdmissionRefusesOnlyDroppableWork) {
+  RecordingRouter router;
+  NodeGroup::Options opt;
+  opt.threads = 1;
+  opt.seed = 7;
+  opt.max_inbox_messages = 4;
+  NodeGroup group(/*dc=*/0, std::vector<PartitionId>{0, 1, 2, 3}, router,
+                  opt);
+  group.install_engines([](NodeId id, server::Context& ctx) {
+    return std::make_unique<PoccServer>(id, one_dc_topology(),
+                                        ProtocolConfig{}, ServiceConfig{},
+                                        ctx);
+  });
+  // Workers not started: nothing drains, so the cap is hit deterministically.
+  KeyId key = 0;
+  for (std::uint64_t i = 0;; ++i) {
+    key = store::intern_key("adm:" + std::to_string(i));
+    if (part_of(key) == 0) break;
+  }
+  const NodeId to{0, 0};
+  std::uint64_t op = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(
+        group.try_enqueue(to, to, proto::Message{put_req(1, key, "v", ++op)}));
+  }
+  EXPECT_FALSE(
+      group.try_enqueue(to, to, proto::Message{put_req(1, key, "v", ++op)}))
+      << "the admission cap must refuse droppable work";
+  EXPECT_EQ(group.inbox_depth(0), 4u);
+  // enqueue() — the lossless server-to-server class — is never refused:
+  // shedding replication would tear the FIFO channel the protocol assumes.
+  group.enqueue(to, to, proto::Message{put_req(2, key, "v", ++op)});
+  EXPECT_EQ(group.inbox_depth(0), 5u);
+  // Draining reopens admission.
+  group.start();
+  ASSERT_TRUE(router.wait_replies(5));
+  EXPECT_TRUE(
+      group.try_enqueue(to, to, proto::Message{put_req(3, key, "v", ++op)}));
+  ASSERT_TRUE(router.wait_replies(6));
+  group.stop();
+}
+
 }  // namespace
 }  // namespace pocc::rt

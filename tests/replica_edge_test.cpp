@@ -336,5 +336,64 @@ TEST_F(ReplicaEdgeTest, PutClockWaitBoundaryIsStrict) {
   EXPECT_GT(replies[0].second.ut, 2'000'000);
 }
 
+TEST_F(ReplicaEdgeTest, HeartbeatsMuteDuringPeerRecoveryAndResumeAfter) {
+  // A heartbeat promises "every update <= ts was sent"; right after a
+  // crash-restart some of those sends died in flight, and broadcasting the
+  // WAL-restored clock before the RecoveryDone push-back would raise peer
+  // VVs past versions they never received (a causal hole). The gate must
+  // hold exactly until every sibling's Done is in.
+  server_.begin_peer_recovery(/*heartbeat_gate_us=*/500'000);
+  EXPECT_EQ(ctx_.sent_of<proto::RecoveryReq>().size(), 2u);
+  ctx_.clear_traffic();
+  ctx_.now += 10'000;  // idle for 10 ms >> Δ = 1 ms: a heartbeat is due
+  server_.on_timer(server::kTimerHeartbeat);
+  EXPECT_TRUE(ctx_.sent_of<proto::Heartbeat>().empty());
+  EXPECT_FALSE(ctx_.timers.empty());  // the timer re-arms while muted
+
+  server_.handle_message(
+      NodeId{1, 1}, proto::RecoveryDone{NodeId{1, 1}, VersionVector(3)});
+  ctx_.now += 10'000;
+  server_.on_timer(server::kTimerHeartbeat);
+  EXPECT_TRUE(ctx_.sent_of<proto::Heartbeat>().empty());  // one Done missing
+
+  server_.handle_message(
+      NodeId{2, 1}, proto::RecoveryDone{NodeId{2, 1}, VersionVector(3)});
+  EXPECT_TRUE(server_.recovery_complete());
+  ctx_.clear_traffic();
+  ctx_.now += 10'000;
+  server_.on_timer(server::kTimerHeartbeat);
+  EXPECT_EQ(ctx_.sent_of<proto::Heartbeat>().size(), 2u);
+}
+
+TEST_F(ReplicaEdgeTest, HeartbeatGateExpiresSoADeadPeerCannotMuteForever) {
+  server_.begin_peer_recovery(/*heartbeat_gate_us=*/50'000);
+  ctx_.clear_traffic();
+  ctx_.now += 60'000;  // past the gate with a RecoveryDone still outstanding
+  server_.on_timer(server::kTimerHeartbeat);
+  EXPECT_EQ(ctx_.sent_of<proto::Heartbeat>().size(), 2u);
+}
+
+TEST_F(ReplicaEdgeTest, RecoveryDonePushesBackOwnSuffixThePeerNeverGot) {
+  // This replica's own replication stream may have holes on the PEER side:
+  // Replicates that died in flight at the crash. The Done's VV tells this
+  // node how far the peer really got; everything fresher of its own source
+  // replica must be re-sent as tolerantly-restored RecoveryVersions.
+  server_.restore_version(remote_version("1:a", 500'000, 0));
+  server_.restore_version(remote_version("1:b", 900'000, 0));
+  server_.begin_peer_recovery();
+  ctx_.clear_traffic();
+  VersionVector peer_vv(3);
+  peer_vv.raise(0, 600'000);  // the peer saw our stream through 600 ms only
+  server_.handle_message(NodeId{1, 1},
+                         proto::RecoveryDone{NodeId{1, 1}, peer_vv});
+  const auto pushed = ctx_.sent_of<proto::RecoveryVersion>();
+  ASSERT_EQ(pushed.size(), 1u);
+  EXPECT_EQ(pushed[0].first, (NodeId{1, 1}));
+  EXPECT_EQ(pushed[0].second.version.sr, 0u);
+  EXPECT_EQ(pushed[0].second.version.ut, 900'000);
+  // The Done's VV is merged so replication resumes from the peer's view.
+  EXPECT_EQ(server_.version_vector()[0], 900'000);
+}
+
 }  // namespace
 }  // namespace pocc

@@ -172,6 +172,116 @@ TEST(TcpTransport, ReconnectsAndPreservesPendingFrames) {
   server2.reset();
 }
 
+TEST(TcpTransport, ReconnectDuringHandshakeReplaysGreetingFirst) {
+  // The peer dies right after consuming the greeting. On the replacement
+  // socket the greeting must be replayed BEFORE any buffered payload — a
+  // restarted peer that never saw it could not attribute the traffic.
+  FrameSink client_sink;
+  TcpTransport client(client_sink.callbacks(), TcpTransport::Options{});
+
+  FrameSink sink1;
+  auto server = std::make_unique<TcpTransport>(sink1.callbacks(),
+                                               TcpTransport::Options{});
+  const std::uint16_t port = server->listen(0);
+  server->start();
+
+  const ConnId conn = client.connect_peer("127.0.0.1", port);
+  std::vector<std::uint8_t> hello;
+  proto::encode(proto::NodeHello{NodeId{2, 1}}, hello);
+  client.set_greeting(conn, hello);
+  client.start();
+  ASSERT_TRUE(client.send(conn, heartbeat_frame(0, 1)));
+  // First server saw greeting + one payload, then dies mid-handshake.
+  ASSERT_TRUE(sink1.wait_for_frames(2));
+  server.reset();
+  std::this_thread::sleep_for(30ms);
+  ASSERT_TRUE(client.send(conn, heartbeat_frame(0, 2)));
+  ASSERT_TRUE(client.send(conn, heartbeat_frame(0, 3)));
+
+  FrameSink sink2;
+  auto server2 = std::make_unique<TcpTransport>(sink2.callbacks(),
+                                                TcpTransport::Options{});
+  ASSERT_EQ(server2->listen(port), port);
+  server2->start();
+
+  ASSERT_TRUE(sink2.wait_for_frames(3, 10'000'000))
+      << "greeting + buffered frames not delivered after reconnect";
+  const auto first = [&] {
+    std::lock_guard lk(sink2.mu);
+    return sink2.frames[0];
+  }();
+  ASSERT_TRUE(std::holds_alternative<proto::NodeHello>(first))
+      << "replacement socket must open with the greeting";
+  EXPECT_EQ(std::get<proto::NodeHello>(first).node, (NodeId{2, 1}));
+  const auto m1 = sink2.message_at(1);
+  const auto m2 = sink2.message_at(2);
+  ASSERT_TRUE(m1.has_value() && m2.has_value());
+  EXPECT_EQ(std::get<proto::Heartbeat>(*m1).ts, 2);
+  EXPECT_EQ(std::get<proto::Heartbeat>(*m2).ts, 3);
+  client.stop();
+  server2.reset();
+}
+
+TEST(TcpTransport, DownBufferCapDropsWhileDisconnected) {
+  // While a link has no socket, buffering is bounded by the tighter
+  // down-buffer cap: overflow is dropped and counted, never queued forever.
+  FrameSink sink;
+  TcpTransport::Options opt;
+  opt.max_down_buffer_bytes = 64;  // one heartbeat frame fits, ten do not
+  TcpTransport client(sink.callbacks(), opt);
+  const ConnId conn = client.connect_peer("127.0.0.1", 1);  // never answers
+  client.start();
+  bool rejected = false;
+  for (int i = 0; i < 10; ++i) {
+    rejected = !client.send(conn, heartbeat_frame(0, i)) || rejected;
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_GT(client.stats().down_buffer_drops, 0u);
+  client.stop();
+}
+
+TEST(TcpTransport, ChaosLinkDuplicatesAndDelaysAreAccounted) {
+  // A dup_p=1 chaos link on the client connection: every frame transmits
+  // twice; FIFO order of the originals is preserved and the injection is
+  // visible in the transport stats.
+  FrameSink server_sink;
+  TcpTransport server(server_sink.callbacks(), TcpTransport::Options{});
+  const std::uint16_t port = server.listen(0);
+  server.start();
+
+  FrameSink client_sink;
+  TcpTransport client(client_sink.callbacks(), TcpTransport::Options{});
+  const ConnId conn = client.connect_peer("127.0.0.1", port);
+  client.start();
+  ChaosProfile p;
+  p.base_delay_us = 1'000;
+  p.dup_p = 1.0;
+  client.set_chaos(conn, std::make_shared<ChaosLink>(5, p));
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.send(conn, heartbeat_frame(0, 100 + i)));
+  }
+  ASSERT_TRUE(server_sink.wait_for_frames(10))
+      << "duplicated frames never arrived";
+  EXPECT_EQ(client.stats().chaos_duplicates, 5u);
+  EXPECT_EQ(client.stats().chaos_delayed, 5u);
+  // Dedup the doubled stream: the surviving order must still be FIFO.
+  std::vector<Timestamp> seq;
+  {
+    std::lock_guard lk(server_sink.mu);
+    for (const proto::Frame& f : server_sink.frames) {
+      if (const auto* m = std::get_if<proto::Message>(&f)) {
+        const auto& hb = std::get<proto::Heartbeat>(*m);
+        if (seq.empty() || seq.back() != hb.ts) seq.push_back(hb.ts);
+      }
+    }
+  }
+  ASSERT_EQ(seq.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(seq[i], 100 + i);
+  client.stop();
+  server.stop();
+}
+
 TEST(TcpTransport, BackpressureCapsOutbox) {
   FrameSink sink;
   TcpTransport::Options tight;

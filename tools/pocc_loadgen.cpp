@@ -16,7 +16,15 @@
 //           cross-DC convergence; every session history checked afterwards.
 //
 // Exit codes: 0 = pass, 1 = consistency violation / incomplete history,
-// 2 = operation failures (timeouts), 3 = usage or config error.
+// 2 = operation failures (timeouts), 3 = deadline-budget breach (more than
+// --deadline-budget of the ops missed their --op-deadline-us), 4 = usage or
+// config error.
+//
+// --resilient arms the client sessions' retry machinery (deadlines, retry
+// of the same op_id with backoff, failover — net/tcp_client.hpp): op
+// timeouts become survivable blips, and the JSON reports the per-op
+// timeout/retry/failover/overloaded counters so a chaos run can budget its
+// failure rate instead of failing on the first lost packet.
 //
 // --expect-disruption is for crash-recovery drills (a server is killed and
 // restarted mid-run): operation timeouts and an incomplete history replay —
@@ -66,6 +74,13 @@ struct Args {
   const char* out_path = nullptr;
   bool check = true;
   bool expect_disruption = false;
+  bool resilient = false;
+  /// Per-op deadline handed to every session op (await bound when
+  /// --resilient is off, full retry deadline when on).
+  Duration op_deadline_us = 10'000'000;
+  /// Fail the run (exit 3) when more than this fraction of attempted ops
+  /// missed their deadline. Negative = no budget gate.
+  double deadline_budget = -1.0;
 };
 
 int usage(const char* argv0) {
@@ -77,9 +92,10 @@ int usage(const char* argv0) {
       "          [--gets-per-put N] [--tx-partitions N] [--think-us N]\n"
       "          [--value-size N] [--keys-per-partition N] [--zipf T]\n"
       "          [--seed N] [--client-base N] [--out FILE] [--no-check]\n"
-      "          [--expect-disruption]\n",
+      "          [--expect-disruption] [--resilient]\n"
+      "          [--op-deadline-us N] [--deadline-budget F]\n",
       argv0);
-  return 3;
+  return 4;
 }
 
 bool parse_args(int argc, char** argv, Args* args) {
@@ -87,7 +103,7 @@ bool parse_args(int argc, char** argv, Args* args) {
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", argv[i]);
-        std::exit(3);
+        std::exit(4);
       }
       return argv[++i];
     };
@@ -136,6 +152,12 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->check = false;
     } else if (std::strcmp(argv[i], "--expect-disruption") == 0) {
       args->expect_disruption = true;
+    } else if (std::strcmp(argv[i], "--resilient") == 0) {
+      args->resilient = true;
+    } else if (std::strcmp(argv[i], "--op-deadline-us") == 0) {
+      args->op_deadline_us = std::strtol(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--deadline-budget") == 0) {
+      args->deadline_budget = std::strtod(value(), nullptr);
     } else {
       return false;
     }
@@ -162,7 +184,8 @@ struct ThreadLatencies {
 
 void run_client(net::TcpSession& session, const workload::WorkloadConfig& wl,
                 std::uint32_t partitions, std::uint64_t seed,
-                Duration deadline, OpStats& ops, ThreadLatencies& lat) {
+                Duration deadline, Duration op_deadline_us, OpStats& ops,
+                ThreadLatencies& lat) {
   workload::Generator gen(wl, partitions, seed);
   while (now_us() < deadline) {
     const workload::Op op = gen.next();
@@ -170,21 +193,21 @@ void run_client(net::TcpSession& session, const workload::WorkloadConfig& wl,
     bool ok = false;
     switch (op.type) {
       case workload::OpType::kGet:
-        ok = session.get_id(op.keys.front()).ok;
+        ok = session.get_id(op.keys.front(), op_deadline_us).ok;
         if (ok) {
           ++ops.gets;
           lat.get_us.record(now_us() - start);
         }
         break;
       case workload::OpType::kPut:
-        ok = session.put_id(op.keys.front(), op.value).ok;
+        ok = session.put_id(op.keys.front(), op.value, op_deadline_us).ok;
         if (ok) {
           ++ops.puts;
           lat.put_us.record(now_us() - start);
         }
         break;
       case workload::OpType::kRoTx:
-        ok = session.ro_tx_ids(op.keys).ok;
+        ok = session.ro_tx_ids(op.keys, op_deadline_us).ok;
         if (ok) {
           ++ops.txs;
           lat.tx_us.record(now_us() - start);
@@ -254,6 +277,11 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   for (const DcId dc : dcs) {
     for (std::uint32_t c = 0; c < args.connections_per_dc; ++c) {
       pools.push_back(std::make_unique<net::TcpClientPool>(layout, dc));
+      if (args.resilient) {
+        net::ClientResilience res;
+        res.enabled = true;
+        pools.back()->set_resilience(res);
+      }
       pools.back()->start();
     }
   }
@@ -261,7 +289,7 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
     if (!pool->wait_connected(10'000'000)) {
       std::fprintf(stderr, "loadgen: cannot reach all partitions of DC %u\n",
                    pool->dc());
-      return 3;
+      return 4;
     }
   }
 
@@ -280,8 +308,8 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       net::TcpSession* session = &pools[pool_idx]->connect(next_client++);
       const std::uint64_t seed = args.seed * 1'000'003 + t;
       threads.emplace_back([&, session, seed, t] {
-        run_client(*session, wl, topo.partitions_per_dc, seed, deadline, ops,
-                   lats[t]);
+        run_client(*session, wl, topo.partitions_per_dc, seed, deadline,
+                   args.op_deadline_us, ops, lats[t]);
       });
     }
   }
@@ -298,9 +326,11 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   }
 
   std::vector<checker::SessionHistory> histories;
+  net::ClientResilienceStats rstats;
   for (const auto& pool : pools) {
     auto h = pool->histories();
     histories.insert(histories.end(), h.begin(), h.end());
+    rstats += pool->resilience_stats();
   }
   for (auto& pool : pools) pool->stop();
 
@@ -308,9 +338,14 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   if (args.check) verdict = check_histories(layout, histories);
 
   const std::uint64_t total = ops.gets + ops.puts + ops.txs;
+  const std::uint64_t attempted = total + ops.failures.load();
+  const double failure_rate =
+      attempted > 0
+          ? static_cast<double>(ops.failures.load()) / attempted
+          : 0.0;
   std::size_t history_events = 0;
   for (const auto& h : histories) history_events += h.events.size();
-  char json[1024];
+  char json[1536];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\":\"tcp_loadgen\",\"mode\":\"load\",\"system\":\"%s\","
@@ -320,7 +355,11 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       "\"gets\":%llu,\"puts\":%llu,\"ro_txs\":%llu,\"failures\":%llu,"
       "\"get_p50_us\":%lld,\"get_p99_us\":%lld,\"put_p50_us\":%lld,"
       "\"put_p99_us\":%lld,\"tx_p50_us\":%lld,\"tx_p99_us\":%lld,"
-      "\"history_events\":%zu,\"checks\":%llu,\"violations\":%llu}",
+      "\"history_events\":%zu,\"checks\":%llu,\"violations\":%llu,"
+      "\"resilient\":%s,\"op_deadline_us\":%lld,"
+      "\"op_timeouts\":%llu,\"op_retries\":%llu,\"op_failovers\":%llu,"
+      "\"op_overloaded\":%llu,\"breaker_opens\":%llu,"
+      "\"deadline_exhausted\":%llu,\"failure_rate\":%.6f}",
       net::system_name(layout.system), topo.num_dcs, topo.partitions_per_dc,
       args.clients_per_dc, args.connections_per_dc, args.pattern.c_str(),
       static_cast<unsigned long long>(args.seed), elapsed_s,
@@ -338,13 +377,22 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       static_cast<long long>(tx_us.percentile(99)),
       history_events,
       static_cast<unsigned long long>(verdict.checks),
-      static_cast<unsigned long long>(verdict.violations));
+      static_cast<unsigned long long>(verdict.violations),
+      args.resilient ? "true" : "false",
+      static_cast<long long>(args.op_deadline_us),
+      static_cast<unsigned long long>(rstats.timeouts),
+      static_cast<unsigned long long>(rstats.retries),
+      static_cast<unsigned long long>(rstats.failovers),
+      static_cast<unsigned long long>(rstats.overloaded),
+      static_cast<unsigned long long>(rstats.breaker_opens),
+      static_cast<unsigned long long>(rstats.deadline_exhausted),
+      failure_rate);
   std::printf("%s\n", json);
   if (args.out_path != nullptr) {
     std::FILE* f = std::fopen(args.out_path, "w");
     if (f == nullptr) {
       std::fprintf(stderr, "loadgen: cannot open %s\n", args.out_path);
-      return 3;
+      return 4;
     }
     std::fprintf(f, "%s\n", json);
     std::fclose(f);
@@ -353,7 +401,17 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   if (verdict.violations > 0) return 1;
   if (!verdict.complete && !args.expect_disruption) return 1;
   if (total == 0) return 2;  // even a disrupted run must complete some work
-  if (ops.failures.load() > 0 && !args.expect_disruption) return 2;
+  if (args.deadline_budget >= 0.0 && failure_rate > args.deadline_budget) {
+    std::fprintf(stderr,
+                 "loadgen: deadline budget breached — %.4f of ops failed "
+                 "their deadline (budget %.4f)\n",
+                 failure_rate, args.deadline_budget);
+    return 3;
+  }
+  if (ops.failures.load() > 0 && !args.expect_disruption &&
+      args.deadline_budget < 0.0) {
+    return 2;
+  }
   return 0;
 }
 
@@ -372,7 +430,7 @@ int run_smoke(const Args& args, const net::ClusterLayout& layout) {
   const auto& topo = layout.topology;
   if (topo.num_dcs < 2) {
     std::fprintf(stderr, "loadgen: smoke mode needs >= 2 DCs\n");
-    return 3;
+    return 4;
   }
   std::vector<std::unique_ptr<net::TcpClientPool>> pools;
   for (DcId dc = 0; dc < topo.num_dcs; ++dc) {
@@ -383,7 +441,7 @@ int run_smoke(const Args& args, const net::ClusterLayout& layout) {
     if (!pool->wait_connected(10'000'000)) {
       std::fprintf(stderr, "loadgen: cannot reach all partitions of DC %u\n",
                    pool->dc());
-      return 3;
+      return 4;
     }
   }
   ClientId next_client = args.client_base;
@@ -475,11 +533,11 @@ int main(int argc, char** argv) {
   auto layout = net::load_cluster_config(args.config_path, &error);
   if (!layout.has_value()) {
     std::fprintf(stderr, "loadgen: bad config: %s\n", error.c_str());
-    return 3;
+    return 4;
   }
 
   if (args.mode == "load") return run_load(args, *layout);
   if (args.mode == "smoke") return run_smoke(args, *layout);
   std::fprintf(stderr, "loadgen: unknown mode '%s'\n", args.mode.c_str());
-  return 3;
+  return 4;
 }

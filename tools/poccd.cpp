@@ -5,7 +5,7 @@
 //
 //   poccd --config cluster.cfg --dc 0 [--part N] [--threads N]
 //         [--system pocc|cure|ha] [--seed N] [--verbose]
-//         [--data-dir DIR] [--no-durability]
+//         [--data-dir DIR] [--no-durability] [--max-inbox N]
 //
 // --part selects a process in legacy one-partition-per-process configs (one
 // `node DC PART HOST:PORT` line each); group configs need only --dc.
@@ -20,11 +20,16 @@
 // to CLOCK_REALTIME at startup so that update timestamps agree across
 // processes to NTP precision — the paper's loose synchronization assumption
 // (§IV); correctness never depends on it.
+// --max-inbox bounds each worker's admission queue: past it, client requests
+// are refused with Overloaded replies instead of queueing without bound
+// (0 = unbounded, the default).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "net/tcp_node_host.hpp"
 #include "runtime/rt_node.hpp"
@@ -46,9 +51,31 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --config FILE --dc N [--part N] [--threads N]\n"
                "          [--system pocc|cure|ha] [--seed N] [--verbose]\n"
-               "          [--data-dir DIR] [--no-durability]\n",
+               "          [--data-dir DIR] [--no-durability] [--max-inbox N]\n",
                argv0);
   return 3;
+}
+
+/// Fail fast on an unusable --data-dir: create it if missing, then prove it
+/// is writable with a probe file. Catching this before the host constructs
+/// beats an assert deep inside the WAL manager mid-recovery.
+bool data_dir_writable(const char* dir, std::string* why) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    *why = "cannot create directory: " + ec.message();
+    return false;
+  }
+  const fs::path probe = fs::path(dir) / ".poccd_write_probe";
+  std::FILE* f = std::fopen(probe.c_str(), "wb");
+  if (f == nullptr) {
+    *why = "directory is not writable: " + std::string(std::strerror(errno));
+    return false;
+  }
+  std::fclose(f);
+  fs::remove(probe, ec);
+  return true;
 }
 
 }  // namespace
@@ -64,6 +91,7 @@ int main(int argc, char** argv) {
   const char* data_dir = nullptr;
   bool no_durability = false;
   std::uint64_t seed = 1;
+  long max_inbox = 0;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const auto arg_with_value = [&](const char* name, const char** out) {
@@ -87,6 +115,8 @@ int main(int argc, char** argv) {
     } else if (arg_with_value("--seed", &value)) {
       seed = std::strtoull(value, nullptr, 10);
     } else if (arg_with_value("--data-dir", &data_dir)) {
+    } else if (arg_with_value("--max-inbox", &value)) {
+      max_inbox = std::strtol(value, nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-durability") == 0) {
       no_durability = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -155,7 +185,16 @@ int main(int argc, char** argv) {
   opt.listen_port = spec.port;
   opt.seed = seed;
   opt.verbose = verbose;
-  if (data_dir != nullptr) opt.data_dir = data_dir;
+  if (max_inbox > 0) opt.max_inbox_messages = static_cast<std::size_t>(max_inbox);
+  if (data_dir != nullptr) {
+    std::string why;
+    if (!data_dir_writable(data_dir, &why)) {
+      std::fprintf(stderr, "poccd: --data-dir %s unusable — %s\n", data_dir,
+                   why.c_str());
+      return 3;
+    }
+    opt.data_dir = data_dir;
+  }
   // Map the engine clock onto wall time: steady_now_us() is process-relative,
   // so without this bias every process would carry a clock skew equal to its
   // start-time stagger, stalling PUT clock waits (Alg. 2 line 7) for exactly
@@ -207,8 +246,10 @@ int main(int argc, char** argv) {
                "parked=%llu local_deliveries=%llu "
                "frames_in=%llu frames_out=%llu bytes_in=%llu bytes_out=%llu "
                "batches_out=%llu batched_msgs=%llu batch_overhead_bytes=%llu "
-               "batch_send_failures=%llu "
-               "reconnects=%llu decode_errors=%llu dropped=%llu\n",
+               "batch_send_failures=%llu batch_retries=%llu "
+               "batch_drops=%llu "
+               "reconnects=%llu decode_errors=%llu dropped=%llu "
+               "overloaded=%llu deduped=%llu\n",
                dc, static_cast<unsigned long long>(agg.gets),
                static_cast<unsigned long long>(agg.puts),
                static_cast<unsigned long long>(agg.slices),
@@ -222,9 +263,13 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(batch.messages),
                static_cast<unsigned long long>(batch.overhead_bytes),
                static_cast<unsigned long long>(batch.send_failures),
+               static_cast<unsigned long long>(batch.retried_batches),
+               static_cast<unsigned long long>(batch.dropped_batches),
                static_cast<unsigned long long>(stats.reconnects),
                static_cast<unsigned long long>(stats.decode_errors),
-               static_cast<unsigned long long>(host.dropped_frames()));
+               static_cast<unsigned long long>(host.dropped_frames()),
+               static_cast<unsigned long long>(host.overloaded_replies()),
+               static_cast<unsigned long long>(host.deduped_requests()));
   // Per-partition breakdown so a skewed key distribution is visible.
   for (const PartitionId p : spec.parts) {
     const auto& engine = host.engine(p);
