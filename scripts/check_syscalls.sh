@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# check_syscalls.sh — grep-lint for raw interruptible syscalls.
+#
+# History: a signal landing mid-::recv made the transport treat EINTR as a
+# fatal socket error and tear the connection down (and ::poll's return value
+# was consumed unchecked, acting on unspecified revents). The fix audited
+# every raw syscall site and confined them to a small set of files whose
+# read/write/accept/wait loops all retry on EINTR.
+#
+# This lint keeps it that way:
+#   1. any *.cpp under src/ or tools/ calling an interruptible socket/pipe
+#      syscall must be one of the audited files below;
+#   2. every audited file must still contain an EINTR branch (so the
+#      hardening cannot be refactored away silently).
+#
+# New call sites are fine — handle EINTR, then add the file to AUDITED.
+#
+# Pattern notes: bare `read(`/`write(`/`send(`/`connect(` are too generic to
+# grep for (the codebase has methods of those names), so unqualified
+# matching covers only the unambiguous syscall names and the `::`-qualified
+# form covers the rest. That is a tripwire, not a proof — code review still
+# owns the long tail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+AUDITED=(
+  src/net/event_loop.cpp
+  src/net/tcp_transport.cpp
+  src/wal/partition_wal.cpp
+  tools/pocc_chaosproxy.cpp
+)
+
+UNQUALIFIED='(^|[^_[:alnum:]>.:])(poll|epoll_wait|epoll_pwait|recvmsg|sendmsg|recv|accept4|accept)[[:space:]]*\('
+QUALIFIED='(^|[^_[:alnum:]])::[[:space:]]*(poll|recv|send|accept|read|write|connect)[[:space:]]*\('
+PATTERN="${UNQUALIFIED}|${QUALIFIED}"
+
+fail=0
+
+while IFS= read -r f; do
+  allowed=0
+  for a in "${AUDITED[@]}"; do
+    [[ "$f" == "$a" ]] && allowed=1
+  done
+  if [[ "$allowed" == 0 ]]; then
+    echo "check_syscalls: $f calls a raw interruptible syscall but is not an audited EINTR-hardened site:" >&2
+    grep -nE "$PATTERN" "$f" >&2
+    fail=1
+  fi
+done < <(grep -rlE "$PATTERN" --include='*.cpp' src tools || true)
+
+for f in "${AUDITED[@]}"; do
+  if [[ ! -f "$f" ]]; then
+    echo "check_syscalls: audited file $f is gone — update AUDITED in $0" >&2
+    fail=1
+    continue
+  fi
+  if ! grep -q 'EINTR' "$f"; then
+    echo "check_syscalls: audited file $f no longer handles EINTR" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "check_syscalls: FAIL — see scripts/check_syscalls.sh for the rules" >&2
+  exit 1
+fi
+echo "check_syscalls: OK (${#AUDITED[@]} audited sites, no strays)"

@@ -1,0 +1,142 @@
+#include "net/event_loop.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define POCC_HAVE_EPOLL 1
+#endif
+
+#include "common/assert.hpp"
+
+namespace pocc::net {
+
+namespace {
+
+constexpr std::size_t kMaxEventsPerWait = 256;
+
+}  // namespace
+
+EventLoop::Backend EventLoop::default_backend() {
+#if defined(POCC_HAVE_EPOLL)
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+#if defined(POCC_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    POCC_ASSERT_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+    return;
+  }
+#endif
+  // Platforms without epoll silently get the fallback even when kEpoll was
+  // requested — callers pick a backend for *testing*, not for semantics.
+  backend_ = Backend::kPoll;
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::watch(int fd, bool read, bool write) {
+  POCC_ASSERT(fd >= 0);
+  auto it = interest_.find(fd);
+  const bool known = it != interest_.end();
+  if (known && it->second.read == read && it->second.write == write) return;
+  interest_[fd] = Interest{read, write};
+#if defined(POCC_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u) | EPOLLRDHUP;
+    ev.data.fd = fd;
+    int rc = ::epoll_ctl(epoll_fd_, known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd,
+                         &ev);
+    if (rc != 0 && errno == ENOENT) {
+      // The kernel dropped the registration behind our back (fd closed and
+      // the number recycled); re-add under the fresh identity.
+      rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    } else if (rc != 0 && errno == EEXIST) {
+      rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+    POCC_ASSERT_MSG(rc == 0, "epoll_ctl failed");
+  }
+#endif
+}
+
+void EventLoop::unwatch(int fd) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) return;
+  interest_.erase(it);
+#if defined(POCC_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    // Failure is tolerated here (the caller may race a close), but the
+    // table stays exact either way.
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+#endif
+}
+
+std::size_t EventLoop::wait(int timeout_ms, std::vector<Event>& out) {
+  out.clear();
+#if defined(POCC_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event evs[kMaxEventsPerWait];
+    const int n = ::epoll_wait(epoll_fd_, evs,
+                               static_cast<int>(kMaxEventsPerWait),
+                               timeout_ms);
+    if (n < 0) {
+      // EINTR: a signal landed mid-wait; the event set is unspecified, so
+      // report nothing and let the caller re-enter (satellite: never
+      // consume readiness state after an interrupted wait).
+      POCC_ASSERT_MSG(errno == EINTR, "epoll_wait failed");
+      return 0;
+    }
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = evs[i].data.fd;
+      e.readable = (evs[i].events & (EPOLLIN | EPOLLRDHUP)) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(e);
+    }
+    return out.size();
+  }
+#endif
+  pfds_.clear();
+  pfds_.reserve(interest_.size());
+  for (const auto& [fd, in] : interest_) {
+    pfds_.push_back(pollfd{
+        fd,
+        static_cast<short>((in.read ? POLLIN : 0) | (in.write ? POLLOUT : 0)),
+        0});
+  }
+  const int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+  if (n < 0) {
+    // Same contract as the epoll path: on EINTR `revents` is unspecified
+    // and must not be consumed; anything else is a programming error.
+    POCC_ASSERT_MSG(errno == EINTR, "poll failed");
+    return 0;
+  }
+  if (n == 0) return 0;
+  for (const pollfd& p : pfds_) {
+    if (p.revents == 0) continue;
+    Event e;
+    e.fd = p.fd;
+    e.readable = (p.revents & POLLIN) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(e);
+  }
+  return out.size();
+}
+
+}  // namespace pocc::net

@@ -1,0 +1,83 @@
+// Readiness-notification seam of the TCP transport: one EventLoop per
+// transport shard, wrapping epoll(7) on Linux with a poll(2) fallback for
+// portability (and for exercising both code paths in tests).
+//
+// The abstraction is deliberately thin — registration (watch/unwatch) plus
+// one blocking wait() — because the transport keeps its own per-connection
+// state and recomputes interest each loop pass; the EventLoop's job is to
+// turn that interest into O(ready) wakeups instead of the O(watched) scan
+// poll(2) does in the kernel on every call.
+//
+// Syscall discipline (scripts/check_syscalls.sh): every epoll_wait/poll
+// return value is checked here. EINTR yields an empty ready set — the
+// caller re-enters its loop and re-evaluates timers, which is exactly what
+// a spurious wakeup costs; any other failure asserts with the errno, never
+// consumes unspecified revents.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct pollfd;  // <poll.h>; only the kPoll backend materializes these
+
+namespace pocc::net {
+
+class EventLoop {
+ public:
+  enum class Backend {
+    kEpoll,  // Linux: epoll(7), O(ready) wakeups
+    kPoll,   // portable fallback: poll(2) over the registered set
+  };
+
+  /// kEpoll where the platform has it, kPoll elsewhere.
+  [[nodiscard]] static Backend default_backend();
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// POLLERR/POLLHUP-class condition. May accompany readable (pending
+    /// bytes are still delivered before EOF).
+    bool error = false;
+  };
+
+  explicit EventLoop(Backend backend = default_backend());
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register or update interest in `fd`. Idempotent and cheap when the
+  /// interest did not change (no syscall). `read`/`write` both false is a
+  /// valid parked registration (error conditions still reported).
+  void watch(int fd, bool read, bool write);
+
+  /// Drop `fd` from the set. Must be called before the fd is closed (a
+  /// closed fd's registration would otherwise go stale in the fallback
+  /// backend's table). No-op when the fd is not registered.
+  void unwatch(int fd);
+
+  /// Block up to `timeout_ms` (-1 = indefinitely, 0 = poll) and append the
+  /// ready fds to `out` (cleared first). Returns the number of events.
+  /// EINTR returns 0 — callers treat it as a timer-less spurious wakeup.
+  std::size_t wait(int timeout_ms, std::vector<Event>& out);
+
+  [[nodiscard]] Backend backend() const { return backend_; }
+  [[nodiscard]] std::size_t watched() const { return interest_.size(); }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  Backend backend_;
+  int epoll_fd_ = -1;  // kEpoll only
+  std::unordered_map<int, Interest> interest_;
+  // kPoll scratch (rebuilt per wait; member to reuse the allocation).
+  std::vector<pollfd> pfds_;
+};
+
+}  // namespace pocc::net

@@ -270,6 +270,285 @@ TcpSession::TxResult TcpSession::ro_tx_ids(std::vector<KeyId> keys,
   return r;
 }
 
+// ------------------------------------------- TcpSession (pipelined API) ----
+
+template <typename M>
+std::optional<M> TcpSession::poll_reply(std::uint64_t op_id, bool* overloaded,
+                                        Duration* retry_after_us,
+                                        bool* closed) {
+  std::lock_guard lk(mu_);
+  if (closed_signal_) {
+    *closed = true;
+    return std::nullopt;
+  }
+  if (!reply_.has_value()) return std::nullopt;
+  if (const M* m = std::get_if<M>(&*reply_);
+      m != nullptr && m->op_id == op_id && m->client == id()) {
+    M out = std::move(*std::get_if<M>(&*reply_));
+    reply_.reset();
+    return out;
+  }
+  if (const auto* ov = std::get_if<proto::Overloaded>(&*reply_);
+      ov != nullptr && ov->op_id == op_id && res_.enabled) {
+    // Same contract as the blocking await: the refusal ends this attempt
+    // and the server's hint paces the retry. (Ignored without resilience,
+    // matching the blocking single-attempt mode.)
+    *overloaded = true;
+    *retry_after_us = ov->retry_after_us;
+  }
+  reply_.reset();  // stale answer to an abandoned operation
+  return std::nullopt;
+}
+
+void TcpSession::async_begin(OpKind kind, PartitionId part,
+                             Duration timeout_us) {
+  async_.kind = kind;
+  async_.part = part;
+  async_.ceiling = res_.backoff_min_us;
+  async_.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(timeout_us);
+}
+
+bool TcpSession::async_send_attempt() {
+  switch (async_.kind) {
+    case OpKind::kGet:
+      return pool_.send_to_partition(async_.part,
+                                     proto::Message{async_.get_req}, replica_);
+    case OpKind::kPut:
+      return pool_.send_to_partition(async_.part,
+                                     proto::Message{async_.put_req}, replica_);
+    case OpKind::kTx:
+      return pool_.send_to_partition(async_.part, proto::Message{async_.tx_req},
+                                     replica_);
+    case OpKind::kNone:
+      break;
+  }
+  return false;
+}
+
+void TcpSession::async_schedule_backoff(Duration floor_us) {
+  // Full jitter over [floor, max(floor, ceiling)], ceiling doubling — the
+  // same policy as the blocking run_op, with the sleep replaced by a
+  // wall-clock gate the next pump() honors.
+  const Duration span = std::max<Duration>(0, async_.ceiling - floor_us);
+  const Duration sleep_us =
+      floor_us + (span > 0 ? static_cast<Duration>(retry_rng_.uniform(
+                                 static_cast<std::uint64_t>(span) + 1))
+                           : 0);
+  async_.ceiling = std::min(async_.ceiling * 2, res_.backoff_max_us);
+  async_.backoff_until = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(sleep_us);
+  async_.in_backoff = true;
+  async_.sent = false;
+}
+
+bool TcpSession::start_get(const std::string& key, Duration timeout_us) {
+  return start_get_id(store::intern_key(key), timeout_us);
+}
+
+bool TcpSession::start_get_id(KeyId key, Duration timeout_us) {
+  if (async_.kind != OpKind::kNone) return false;
+  proto::GetReq req = engine_.make_get(key);
+  req.op_id = ++op_seq_;
+  history_.events.push_back(req);
+  async_ = AsyncOp{};
+  async_.get_req = std::move(req);
+  async_begin(OpKind::kGet, pool_.partition_of(key), timeout_us);
+  return true;
+}
+
+bool TcpSession::start_put(const std::string& key, const std::string& value,
+                           Duration timeout_us) {
+  return start_put_id(store::intern_key(key), value, timeout_us);
+}
+
+bool TcpSession::start_put_id(KeyId key, std::string value,
+                              Duration timeout_us) {
+  if (async_.kind != OpKind::kNone) return false;
+  proto::PutReq req = engine_.make_put(key, std::move(value));
+  req.op_id = ++op_seq_;
+  history_.events.push_back(req);
+  async_ = AsyncOp{};
+  async_.put_req = std::move(req);
+  async_begin(OpKind::kPut, pool_.partition_of(key), timeout_us);
+  return true;
+}
+
+bool TcpSession::start_ro_tx(const std::vector<std::string>& keys,
+                             Duration timeout_us) {
+  std::vector<KeyId> ids;
+  ids.reserve(keys.size());
+  for (const std::string& k : keys) ids.push_back(store::intern_key(k));
+  return start_ro_tx_ids(std::move(ids), timeout_us);
+}
+
+bool TcpSession::start_ro_tx_ids(std::vector<KeyId> keys,
+                                 Duration timeout_us) {
+  if (async_.kind != OpKind::kNone) return false;
+  proto::RoTxReq req = engine_.make_ro_tx(std::move(keys));
+  req.op_id = ++op_seq_;
+  history_.events.push_back(req);
+  async_ = AsyncOp{};
+  async_.tx_req = std::move(req);
+  async_begin(OpKind::kTx, /*part=*/0, timeout_us);
+  return true;
+}
+
+bool TcpSession::pump() {
+  using Clock = std::chrono::steady_clock;
+  if (async_.kind == OpKind::kNone || async_.done) return true;
+
+  bool overloaded = false;
+  bool closed = false;
+  Duration retry_after = 0;
+  switch (async_.kind) {
+    case OpKind::kGet: {
+      auto rep = poll_reply<proto::GetReply>(async_.get_req.op_id, &overloaded,
+                                             &retry_after, &closed);
+      if (rep.has_value()) {
+        history_.events.push_back(*rep);
+        engine_.absorb_get(*rep);
+        async_.get_res.ok = true;
+        async_.get_res.found = rep->item.found;
+        async_.get_res.value = rep->item.value;
+        async_.get_res.ut = rep->item.ut;
+        async_.get_res.sr = rep->item.sr;
+        async_.get_res.blocked_us = rep->blocked_us;
+      }
+      break;
+    }
+    case OpKind::kPut: {
+      auto rep = poll_reply<proto::PutReply>(async_.put_req.op_id, &overloaded,
+                                             &retry_after, &closed);
+      if (rep.has_value()) {
+        history_.events.push_back(*rep);
+        engine_.absorb_put(*rep);
+        async_.put_res.ok = true;
+        async_.put_res.ut = rep->ut;
+        async_.put_res.blocked_us = rep->blocked_us;
+      }
+      break;
+    }
+    case OpKind::kTx: {
+      auto rep = poll_reply<proto::RoTxReply>(async_.tx_req.op_id, &overloaded,
+                                              &retry_after, &closed);
+      if (rep.has_value()) {
+        history_.events.push_back(*rep);
+        engine_.absorb_ro_tx(*rep);
+        async_.tx_res.ok = true;
+        async_.tx_res.items = std::move(rep->items);
+      }
+      break;
+    }
+    case OpKind::kNone:
+      break;
+  }
+  const bool completed = (async_.kind == OpKind::kGet && async_.get_res.ok) ||
+                         (async_.kind == OpKind::kPut && async_.put_res.ok) ||
+                         (async_.kind == OpKind::kTx && async_.tx_res.ok);
+  if (completed) {
+    consec_fail_[replica_] = 0;
+    async_.done = true;
+    return true;
+  }
+  if (closed) {
+    record_session_closed();
+    if (async_.kind == OpKind::kGet) async_.get_res.session_closed = true;
+    if (async_.kind == OpKind::kPut) async_.put_res.session_closed = true;
+    if (async_.kind == OpKind::kTx) async_.tx_res.session_closed = true;
+    async_.done = true;
+    return true;
+  }
+  auto now = Clock::now();
+  if (overloaded) {
+    ++rstats_.overloaded;
+    async_schedule_backoff(std::max(res_.backoff_min_us, retry_after));
+  }
+  if (now >= async_.deadline) {
+    if (res_.enabled) ++rstats_.deadline_exhausted;
+    async_.done = true;  // results keep their default ok = false
+    return true;
+  }
+  if (async_.in_backoff) {
+    if (now < async_.backoff_until) return false;
+    async_.in_backoff = false;
+  }
+  if (async_.sent) {
+    if (now < async_.attempt_deadline) return false;  // reply still pending
+    // Attempt timed out. Without resilience the attempt IS the op.
+    if (!res_.enabled) {
+      async_.done = true;
+      return true;
+    }
+    ++rstats_.timeouts;
+    if (++consec_fail_[replica_] >= res_.breaker_failures) {
+      breaker_open_until_[replica_] =
+          now + std::chrono::microseconds(res_.breaker_open_us);
+      consec_fail_[replica_] = 0;
+      ++rstats_.breaker_opens;
+    }
+    async_schedule_backoff(res_.backoff_min_us);
+    return false;
+  }
+  // Launch an attempt (first send, or a resend after timeout/backoff).
+  if (res_.enabled && breaker_open_until_[replica_] > now &&
+      breaker_open_until_[1 - replica_] <= now) {
+    replica_ = 1 - replica_;
+    ++rstats_.failovers;
+  }
+  if (!async_.first && res_.enabled) ++rstats_.retries;
+  const bool sent = async_send_attempt();
+  async_.first = false;
+  if (!res_.enabled) {
+    // Single attempt: wait out the full op timeout whether or not the
+    // transport took the frame (the blocking path behaves the same).
+    async_.attempt_deadline = async_.deadline;
+    async_.sent = true;
+    return false;
+  }
+  if (!sent) {
+    // Transport refused (link down / over cap): count it as a failed
+    // attempt and back off, exactly like the blocking loop.
+    ++rstats_.timeouts;
+    if (++consec_fail_[replica_] >= res_.breaker_failures) {
+      breaker_open_until_[replica_] =
+          now + std::chrono::microseconds(res_.breaker_open_us);
+      consec_fail_[replica_] = 0;
+      ++rstats_.breaker_opens;
+    }
+    async_schedule_backoff(res_.backoff_min_us);
+    return false;
+  }
+  const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+      async_.deadline - now);
+  async_.attempt_deadline =
+      now + std::min(std::chrono::microseconds(res_.attempt_timeout_us),
+                     remaining);
+  async_.sent = true;
+  return false;
+}
+
+TcpSession::GetResult TcpSession::finish_get() {
+  POCC_ASSERT(async_.kind == OpKind::kGet && async_.done);
+  GetResult r = std::move(async_.get_res);
+  async_ = AsyncOp{};
+  return r;
+}
+
+TcpSession::PutResult TcpSession::finish_put() {
+  POCC_ASSERT(async_.kind == OpKind::kPut && async_.done);
+  PutResult r = std::move(async_.put_res);
+  async_ = AsyncOp{};
+  return r;
+}
+
+TcpSession::TxResult TcpSession::finish_tx() {
+  POCC_ASSERT(async_.kind == OpKind::kTx && async_.done);
+  TxResult r = std::move(async_.tx_res);
+  async_ = AsyncOp{};
+  return r;
+}
+
 // ------------------------------------------------------- TcpClientPool ----
 
 TcpClientPool::TcpClientPool(ClusterLayout layout, DcId dc)
@@ -283,6 +562,8 @@ TcpClientPool::TcpClientPool(ClusterLayout layout, DcId dc,
       transport_(
           TcpTransport::Callbacks{
               [this](ConnId c, proto::Frame f) { on_frame(c, std::move(f)); },
+              nullptr,
+              nullptr,
               nullptr,
               nullptr,
               nullptr,
@@ -311,13 +592,22 @@ void TcpClientPool::start() {
       }
     }
     POCC_ASSERT_MSG(addr != nullptr, "no address for a partition of this DC");
+    // Greet each connection with the partition it was dialed for (client 0:
+    // the pool speaks for many sessions), so a sharded server can pin the
+    // socket to the event loop owning that partition's worker. The
+    // transport replays the greeting on every reconnect — a fresh socket
+    // lands on an arbitrary accept loop and re-pins.
+    std::vector<std::uint8_t> hello;
+    proto::encode(proto::ClientHello{0, p}, hello);
     conn_by_part_[0][p] = transport_.connect_peer(addr->host, addr->port);
+    transport_.set_greeting(conn_by_part_[0][p], hello);
     if (resilience_.enabled) {
       // Sibling (failover) connection: a second TCP stream to the same
       // DC-local endpoint. A mid-frame reset or a wedged primary stream
       // does not strand the session — it retries on the sibling (replies
       // demux by client id, so either connection can carry them).
       conn_by_part_[1][p] = transport_.connect_peer(addr->host, addr->port);
+      transport_.set_greeting(conn_by_part_[1][p], std::move(hello));
     }
   }
   transport_.start();

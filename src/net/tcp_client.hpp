@@ -113,6 +113,48 @@ class TcpSession {
   TxResult ro_tx_ids(std::vector<KeyId> keys,
                      Duration timeout_us = 10'000'000);
 
+  // --- Pipelined (non-blocking) operation API --------------------------
+  //
+  // One operation in flight per session — the session stays SERIAL, which
+  // is what keeps its causal guarantees (read-your-writes, monotonic
+  // reads) and its checker history sound. Pipelining arises one level up:
+  // a driver thread interleaves MANY sessions over the pool's shared
+  // per-partition connections, so each connection carries several
+  // outstanding ops (distinct sessions) at once.
+  //
+  // Sequence: start_*() once, then pump() until it returns true, then the
+  // matching finish_*(). pump() never blocks; it runs the same
+  // deadline/retry/backoff/breaker machinery as the blocking calls
+  // (including the non-resilient single-attempt mode). The driving thread
+  // must be the session's only one.
+
+  /// False when an operation is already in flight.
+  bool start_get(const std::string& key, Duration timeout_us = 10'000'000);
+  bool start_get_id(KeyId key, Duration timeout_us = 10'000'000);
+  bool start_put(const std::string& key, const std::string& value,
+                 Duration timeout_us = 10'000'000);
+  bool start_put_id(KeyId key, std::string value,
+                    Duration timeout_us = 10'000'000);
+  bool start_ro_tx(const std::vector<std::string>& keys,
+                   Duration timeout_us = 10'000'000);
+  bool start_ro_tx_ids(std::vector<KeyId> keys,
+                       Duration timeout_us = 10'000'000);
+
+  /// Advance the in-flight operation without blocking. True when there is
+  /// nothing left to drive (op completed or none in flight).
+  bool pump();
+
+  /// True while a started operation has not been finish_*()ed yet.
+  [[nodiscard]] bool op_pending() const {
+    return async_.kind != OpKind::kNone;
+  }
+
+  /// Collect the completed operation's result (asserts pump() returned
+  /// true for an op of the matching kind) and make the session idle.
+  GetResult finish_get();
+  PutResult finish_put();
+  TxResult finish_tx();
+
   [[nodiscard]] ClientId id() const { return engine_.id(); }
   [[nodiscard]] bool pessimistic() const { return engine_.pessimistic(); }
 
@@ -150,6 +192,36 @@ class TcpSession {
                             Duration timeout_us);
   void record_session_closed();
 
+  // Pipelined-mode internals: the blocking run_op loop unrolled into a
+  // poll-driven state machine (one instance; sessions are serial).
+  enum class OpKind : std::uint8_t { kNone, kGet, kPut, kTx };
+  struct AsyncOp {
+    OpKind kind = OpKind::kNone;
+    bool done = false;
+    PartitionId part = 0;
+    std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point attempt_deadline{};
+    std::chrono::steady_clock::time_point backoff_until{};
+    bool in_backoff = false;
+    bool sent = false;   // an attempt is outstanding
+    bool first = true;   // no attempt made yet (retry accounting)
+    Duration ceiling = 0;
+    proto::GetReq get_req;
+    proto::PutReq put_req;
+    proto::RoTxReq tx_req;
+    GetResult get_res;
+    PutResult put_res;
+    TxResult tx_res;
+  };
+  /// Non-blocking reply check: extracts the matching reply if delivered,
+  /// flags an Overloaded for the op or a SessionClosed signal.
+  template <typename M>
+  std::optional<M> poll_reply(std::uint64_t op_id, bool* overloaded,
+                              Duration* retry_after_us, bool* closed);
+  void async_begin(OpKind kind, PartitionId part, Duration timeout_us);
+  bool async_send_attempt();
+  void async_schedule_backoff(Duration floor_us);
+
   client::ClientEngine engine_;
   TcpClientPool& pool_;
   checker::SessionHistory history_;
@@ -162,6 +234,7 @@ class TcpSession {
   unsigned replica_ = 0;  // sticky preferred connection (0 or 1)
   std::array<std::uint32_t, 2> consec_fail_{};
   std::array<std::chrono::steady_clock::time_point, 2> breaker_open_until_{};
+  AsyncOp async_;
 
   std::mutex mu_;
   std::condition_variable cv_;

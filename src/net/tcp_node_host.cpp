@@ -38,10 +38,23 @@ TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
               nullptr,
               [this](ConnId c) { on_disconnected(c); },
               [this] { on_tick(); },
+              // Driven mode: transport loop i IS worker i's thread — one
+              // service pass per loop iteration, socket → decode → engine
+              // with no cross-thread hop for pinned connections.
+              [this](std::uint32_t loop) -> Timestamp {
+                return group_ == nullptr ? 0 : group_->service(loop);
+              },
+              [this](ConnId from, ConnId to) { on_migrated(from, to); },
           },
-          [&options] {
+          [this] {
             TcpTransport::Options t;
-            t.tick_interval_us = options.batch.max_delay_us;
+            t.tick_interval_us = opt_.batch.max_delay_us;
+            // One event-loop shard per NodeGroup worker (same clamp the
+            // group applies), so every worker has exactly one owning loop.
+            const auto parts = static_cast<std::uint32_t>(self_.parts.size());
+            t.num_loops = std::max<std::uint32_t>(
+                1, self_.threads == 0 ? parts
+                                      : std::min(self_.threads, parts));
             return t;
           }()) {
   POCC_ASSERT_MSG(self_.dc < layout_.topology.num_dcs,
@@ -64,6 +77,8 @@ TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
   group_opt.seed = rng_.next();
   group_opt.wal = wal_.get();
   group_opt.max_inbox_messages = opt_.max_inbox_messages;
+  group_opt.driven = true;
+  group_opt.wake = [this](std::uint32_t w) { transport_.wake_loop(w); };
   group_ = std::make_unique<rt::NodeGroup>(self_.dc, self_.parts, *this,
                                            group_opt);
   tx_coordinator_part_ = group_->hosts(NodeId{self_.dc, 0})
@@ -162,8 +177,8 @@ void TcpNodeHost::start(const std::vector<ProcessSpec>& peers) {
       recovery_deadline_at_ = rt::steady_now_us() + opt_.recovery_deadline_us;
     }
   }
+  group_->start();  // driven: marks started, spawns nothing
   transport_.start();
-  group_->start();
   log("serving " + std::to_string(self_.parts.size()) + " partitions on " +
       std::to_string(group_->threads()) + " workers, port " +
       std::to_string(port()) +
@@ -178,10 +193,13 @@ void TcpNodeHost::stop() {
     if (!started_) return;
     started_ = false;
   }
-  group_->stop();
-  // Push out whatever the workers staged before the sockets close.
+  // Driven mode inverts the old order: the transport loops ARE the worker
+  // threads, so they stop first (their exit pass drains the outboxes
+  // best-effort), then the group runs its final timer/durability pass on
+  // this thread.
   for (const auto& link : links_) link->batcher->flush();
   transport_.stop();
+  group_->stop();
   if (wal_ != nullptr) wal_->stop();  // drain queued checkpoint commits
 }
 
@@ -191,12 +209,13 @@ void TcpNodeHost::crash_stop() {
     if (!started_) return;
     started_ = false;
   }
-  group_->stop();
   // Deliberately NO batcher flush — staged replication frames die with the
   // process, exactly like kill -9. Same for the WAL tail: records past the
   // last group commit are discarded, not synced (no output depended on
-  // them; Slot held those back).
+  // them; Slot held those back). Transport first: its loops own the workers
+  // in driven mode.
   transport_.stop();
+  group_->stop();
   if (wal_ != nullptr) {
     for (const PartitionId p : self_.parts) {
       wal_->wal_for(p).discard_unsynced();
@@ -285,15 +304,19 @@ void TcpNodeHost::route_to_client(NodeId /*from*/, ClientId client,
       // retire the in-flight marker. Cached even when the client's
       // connection is gone — it will retry the op after reconnecting.
       ClientOpCache& cache = client_ops_[client];
-      cache.has_last = true;
-      cache.last_op = op_id;
-      cache.last_reply = frame;
-      cache.in_flight = false;
+      cache.in_flight.erase(op_id);
+      if (cache.done.emplace(op_id, frame).second) {
+        cache.done_order.push_back(op_id);
+        while (cache.done_order.size() > kOpCacheWindow) {
+          cache.done.erase(cache.done_order.front());
+          cache.done_order.pop_front();
+        }
+      }
     } else if (std::holds_alternative<proto::SessionClosed>(m)) {
-      // HA-POCC abort: the op resolves with no reply to cache; the client
-      // re-initializes the session rather than retrying the op.
+      // HA-POCC abort: every outstanding op resolves with no reply to
+      // cache; the client re-initializes the session rather than retrying.
       auto it = client_ops_.find(client);
-      if (it != client_ops_.end()) it->second.in_flight = false;
+      if (it != client_ops_.end()) it->second.in_flight.clear();
     }
     auto it = client_conn_.find(client);
     if (it != client_conn_.end()) conn = it->second;
@@ -388,19 +411,19 @@ void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m,
     client_conn_[client] = conn;
     if (!replayed && op_id != 0) {
       // Idempotent retry absorption: the client retries with the SAME
-      // op_id, so a duplicate of the completed op is answered from the
-      // cached reply and a duplicate of the op still in flight is
+      // op_id, so a duplicate of a completed op is answered from the
+      // cached reply window and a duplicate of an op still in flight is
       // swallowed — a retried PUT never reaches the engine twice.
       ClientOpCache& cache = client_ops_[client];
-      if (cache.has_last && op_id == cache.last_op) {
+      auto done_it = cache.done.find(op_id);
+      if (done_it != cache.done.end()) {
         ++deduped_;
-        resend = cache.last_reply;  // sent below, outside mu_
-      } else if (cache.in_flight && op_id == cache.in_flight_op) {
+        resend = done_it->second;  // sent below, outside mu_
+      } else if (cache.in_flight.contains(op_id)) {
         ++deduped_;
         return;
       } else {
-        cache.in_flight = true;
-        cache.in_flight_op = op_id;
+        cache.in_flight.insert(op_id);
       }
     }
     if (resend.empty() && recovery_dones_pending_ > 0) {
@@ -425,8 +448,8 @@ void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m,
     {
       std::lock_guard lk(mu_);
       auto it = client_ops_.find(client);
-      if (it != client_ops_.end() && it->second.in_flight_op == op_id) {
-        it->second.in_flight = false;  // never admitted; a retry is fresh
+      if (it != client_ops_.end()) {
+        it->second.in_flight.erase(op_id);  // never admitted; a retry is fresh
       }
     }
     send_overloaded(conn, client, op_id);
@@ -455,8 +478,22 @@ void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
     return;
   }
   if (const auto* hello = std::get_if<proto::ClientHello>(&frame)) {
-    std::lock_guard lk(mu_);
-    client_conn_[hello->client] = conn;
+    if (hello->client != 0) {
+      std::lock_guard lk(mu_);
+      client_conn_[hello->client] = conn;
+    }
+    // Pinning: re-home the socket onto the event loop owning the preferred
+    // partition's worker, so its requests run socket → decode → engine on
+    // one thread. The client pool greets each connection with the
+    // partition it dialed it for; re-sent on every reconnect, so the fresh
+    // socket re-pins too.
+    if (hello->preferred_part != proto::kNoPreferredPart &&
+        group_->hosts(NodeId{self_.dc, hello->preferred_part})) {
+      const std::uint32_t target = group_->worker_of(hello->preferred_part);
+      if (target != TcpTransport::loop_of(conn)) {
+        transport_.migrate(conn, target);
+      }
+    }
     return;
   }
   if (auto* batch = std::get_if<proto::BatchFrame>(&frame)) {
@@ -512,6 +549,24 @@ void TcpNodeHost::on_frame(ConnId conn, proto::Frame frame) {
   ++dropped_;
   log("dropped unbatched " + std::string(proto::message_name(m)) +
       " from a peer connection");
+}
+
+void TcpNodeHost::on_migrated(ConnId from, ConnId to) {
+  // The socket kept its byte streams; only its transport identity changed.
+  // Rewrite every binding that names the old id (delivered on the source
+  // shard's thread, after that shard's last frame for the connection).
+  std::lock_guard lk(mu_);
+  auto it = conn_peer_.find(from);
+  if (it != conn_peer_.end()) {
+    conn_peer_.emplace(to, it->second);
+    conn_peer_.erase(it);
+  }
+  for (auto& [client, conn] : client_conn_) {
+    if (conn == from) conn = to;
+  }
+  for (auto& [conn, m] : parked_clients_) {
+    if (conn == from) conn = to;
+  }
 }
 
 void TcpNodeHost::on_disconnected(ConnId conn) {

@@ -29,10 +29,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -156,6 +158,7 @@ class TcpNodeHost final : public rt::Router {
   };
 
   void on_frame(ConnId conn, proto::Frame frame);
+  void on_migrated(ConnId from, ConnId to);
   void on_disconnected(ConnId conn);
   void on_tick();
   /// `replayed` marks re-dispatch of a request parked by the recovery gate:
@@ -191,19 +194,23 @@ class TcpNodeHost final : public rt::Router {
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_map<std::uint64_t, Link*> link_by_node_;
 
-  /// Exactly-once against client retries: one entry per client session,
-  /// exploiting the session's serial op stream (op n+1 is only sent once
-  /// op n resolved, so remembering the LAST reply suffices). A retry of
-  /// the completed op gets the cached reply frame resent; a retry of the
-  /// op still in flight is swallowed (the original's reply is coming).
-  /// Guarded by mu_.
+  /// Exactly-once against client retries, extended to pipelined windows:
+  /// one entry per client session. The serial protocol only ever needed the
+  /// LAST reply (op n+1 is sent once op n resolved); with pipelining a
+  /// connection can carry several outstanding ops, so completed replies
+  /// live in a bounded FIFO window and admitted-but-unresolved op_ids in a
+  /// set. A retry of a completed op gets the cached reply frame resent; a
+  /// retry of an op still in flight is swallowed (the original's reply is
+  /// coming). Guarded by mu_.
   struct ClientOpCache {
-    bool has_last = false;
-    std::uint64_t last_op = 0;
-    std::vector<std::uint8_t> last_reply;  // encoded frame, ready to resend
-    bool in_flight = false;
-    std::uint64_t in_flight_op = 0;
+    std::deque<std::uint64_t> done_order;  // completion order, for eviction
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> done;
+    std::unordered_set<std::uint64_t> in_flight;
   };
+  /// Completed replies remembered per session — must cover the deepest
+  /// pipeline window a client keeps outstanding per session (sessions stay
+  /// serial today, so anything >= 1 is safe; headroom is cheap).
+  static constexpr std::size_t kOpCacheWindow = 16;
 
   mutable std::mutex mu_;
   std::unordered_map<ConnId, NodeId> conn_peer_;  // inbound, via NodeHello

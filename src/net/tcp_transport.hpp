@@ -1,9 +1,13 @@
-// Poll-driven TCP transport for the networked deployment (poccd,
-// pocc_loadgen, and the in-process e2e tests).
+// Sharded TCP transport for the networked deployment (poccd, pocc_loadgen,
+// and the in-process e2e tests).
 //
-// One background thread owns every socket and runs a poll(2) event loop;
-// other threads interact only through the thread-safe send() and the
-// callbacks (invoked on the transport thread). Responsibilities:
+// The transport runs Options::num_loops event-loop shards (default 1 — the
+// original single-threaded shape). Each shard owns one net::EventLoop
+// (epoll on Linux, poll(2) fallback), one wake pipe, one SO_REUSEPORT
+// listening socket, and a disjoint set of connections; a connection is
+// only ever touched by its shard's thread, other threads interact through
+// the thread-safe send()/connect_peer() and the callbacks (invoked on the
+// owning shard's thread). Responsibilities:
 //
 //   * framing      — inbound bytes are cut into frames by proto::decode_frame
 //                    and delivered one decoded Frame at a time,
@@ -15,11 +19,22 @@
 //   * backpressure — each connection's outbound buffer is capped
 //                    (max_outbox_bytes); when a peer stops draining, send()
 //                    rejects further frames and reports the overflow instead
-//                    of growing without bound.
+//                    of growing without bound,
+//   * pinning      — an accepted connection can be migrated to a chosen
+//                    shard (migrate()), so a host can co-locate a client's
+//                    socket with the worker owning its partition and run
+//                    socket → decode → engine on one thread.
 //
-// A decode error on a connection is treated as corruption: the connection is
-// closed (and redialed if it is an outbound link). Accepted (inbound)
-// connections get fresh ConnIds and never redial — the remote owns recovery.
+// A ConnId encodes its owning shard in the upper bits, so routing a send
+// to the right shard is a shift, not a global map. A decode error on a
+// connection is treated as corruption: the connection is closed (and
+// redialed if it is an outbound link). Accepted (inbound) connections get
+// fresh ConnIds and never redial — the remote owns recovery.
+//
+// Syscall discipline: every ::send/::recv/::accept and wake-pipe
+// read/write retries on EINTR — a signal landing mid-syscall must never
+// tear down a healthy connection (scripts/check_syscalls.sh enforces that
+// new raw syscall sites go through audited files like this one).
 #pragma once
 
 #include <atomic>
@@ -36,12 +51,14 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/chaos.hpp"
+#include "net/event_loop.hpp"
 #include "proto/codec.hpp"
 
 namespace pocc::net {
 
-/// Identifier of one transport connection. Outbound ids are stable across
-/// reconnects; inbound ids are per-accepted-socket.
+/// Identifier of one transport connection: shard index in the top bits,
+/// per-shard sequence below. Outbound ids are stable across reconnects;
+/// inbound ids are per-accepted-socket (and change on migrate()).
 using ConnId = std::uint64_t;
 
 inline constexpr ConnId kInvalidConn = 0;
@@ -58,31 +75,67 @@ struct TransportStats {
   /// Frames dropped because a *down* link's reconnect buffer hit its cap
   /// (max_down_buffer_bytes) — a long partition cannot buffer unboundedly.
   std::uint64_t down_buffer_drops = 0;
+  /// Inbound connections re-homed onto another shard (pinning).
+  std::uint64_t migrations = 0;
   /// Chaos-injection accounting (zero unless set_chaos() armed a link).
   std::uint64_t chaos_delayed = 0;     // frames held before transmission
   std::uint64_t chaos_duplicates = 0;  // frames transmitted twice
   std::uint64_t chaos_resets = 0;      // connections torn down by chaos
+
+  TransportStats& operator+=(const TransportStats& o) {
+    frames_in += o.frames_in;
+    frames_out += o.frames_out;
+    bytes_in += o.bytes_in;
+    bytes_out += o.bytes_out;
+    accepts += o.accepts;
+    reconnects += o.reconnects;
+    decode_errors += o.decode_errors;
+    send_overflows += o.send_overflows;
+    down_buffer_drops += o.down_buffer_drops;
+    migrations += o.migrations;
+    chaos_delayed += o.chaos_delayed;
+    chaos_duplicates += o.chaos_duplicates;
+    chaos_resets += o.chaos_resets;
+    return *this;
+  }
 };
 
 class TcpTransport {
  public:
   struct Callbacks {
-    /// One decoded frame arrived on `conn`. Transport-thread context: keep it
-    /// short (enqueue and return).
+    /// One decoded frame arrived on `conn`. Owning-shard-thread context:
+    /// keep it short (enqueue and return) unless the host deliberately
+    /// drives engine work here (the driven NodeGroup mode).
     std::function<void(ConnId, proto::Frame)> on_frame;
     /// Outbound link established (first connect or reconnect), or inbound
     /// connection accepted.
     std::function<void(ConnId)> on_connected;
     /// Connection lost. Outbound links will redial; inbound ids are dead.
     std::function<void(ConnId)> on_disconnected;
-    /// Fired on the transport thread every Options::tick_interval_us (when
+    /// Fired on shard 0's thread every Options::tick_interval_us (when
     /// non-zero) — the time axis of the batch flush policy: hosts flush
     /// their staged LinkBatcher batches here, bounding how long a coalesced
     /// message can wait for companions.
     std::function<void()> on_tick;
+    /// Fired once per loop iteration on every shard, outside the shard
+    /// lock — the driven-NodeGroup seam: the host services the worker that
+    /// owns this loop (timers, inbox drain, durability) and returns the
+    /// worker's next timer deadline (absolute steady µs; 0 = none), which
+    /// bounds how long the loop may sleep.
+    std::function<Timestamp(std::uint32_t loop)> on_loop_pass;
+    /// An inbound connection finished migrate(): `from` is dead, the same
+    /// socket now lives on as `to` on the target shard. Delivered on the
+    /// *source* shard's thread, after the connection's final frames there.
+    std::function<void(ConnId from, ConnId to)> on_migrated;
   };
 
   struct Options {
+    /// Event-loop shards. 1 keeps the original single-threaded transport;
+    /// poccd passes the NodeGroup worker count so loop i drives worker i.
+    std::uint32_t num_loops = 1;
+    /// Readiness backend of every shard (tests exercise kPoll explicitly;
+    /// deployments keep the platform default).
+    EventLoop::Backend backend = EventLoop::default_backend();
     /// Per-connection cap on buffered unsent bytes (backpressure bound).
     std::size_t max_outbox_bytes = 64u << 20;
     /// Tighter cap applied while a link has no established socket: frames
@@ -96,7 +149,7 @@ class TcpTransport {
     /// it heals.
     Duration reconnect_backoff_min_us = 20'000;
     Duration reconnect_backoff_max_us = 1'000'000;
-    /// Seed of the backoff-jitter Rng (determinism in tests/campaigns).
+    /// Seed of the backoff-jitter Rngs (determinism in tests/campaigns).
     std::uint64_t seed = 0xbac0'ff5eULL;
     /// Period of Callbacks::on_tick; 0 disables the tick.
     Duration tick_interval_us = 0;
@@ -108,17 +161,23 @@ class TcpTransport {
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  /// Bind + listen on `port` (0 = ephemeral), all interfaces. Call before
-  /// start(). Returns the actually bound port. Asserts on bind failure.
+  /// Bind + listen on `port` (0 = ephemeral), all interfaces — one
+  /// SO_REUSEPORT socket per shard, so the kernel load-balances accepts
+  /// across the loops. Call before start(). Returns the actually bound
+  /// port. Asserts on bind failure.
   std::uint16_t listen(std::uint16_t port);
 
-  /// Register a persistent outbound link (dialed once the loop runs; redials
-  /// forever with backoff). Call before or after start().
-  ConnId connect_peer(std::string host, std::uint16_t port);
+  /// Register a persistent outbound link (dialed once the loop runs;
+  /// redials forever with backoff). `loop` pins the link to a shard
+  /// (server-to-server FIFO links get a designated owner); -1 assigns
+  /// round-robin. Call before or after start().
+  ConnId connect_peer(std::string host, std::uint16_t port,
+                      std::int32_t loop = -1);
 
   /// Frame transmitted first on `conn` every time its socket is established
   /// (initial connect and every reconnect), ahead of any buffered frames —
-  /// identity announcements (NodeHello) that must precede protocol traffic.
+  /// identity announcements (NodeHello/ClientHello) that must precede
+  /// protocol traffic.
   void set_greeting(ConnId conn, std::vector<std::uint8_t> frame);
 
   /// Arm wire-level fault injection on an outbound link: every frame sent
@@ -143,13 +202,41 @@ class TcpTransport {
   /// of losing the bytes. Moves from `frame` only on acceptance.
   bool try_send(ConnId conn, std::vector<std::uint8_t>& frame);
 
+  /// Re-home an inbound connection onto shard `target_loop` (connection
+  /// pinning: the host moves a client's socket to the loop driving the
+  /// worker that owns its partition). Only valid from within a callback on
+  /// the connection's current owning shard — in practice, from on_frame of
+  /// the pinning handshake. The handoff happens after the current loop
+  /// pass delivers the connection's remaining decoded frames, so frame
+  /// order is preserved across the move; the connection then answers to a
+  /// new ConnId, announced via Callbacks::on_migrated. Returns false for
+  /// unknown/outbound connections or an out-of-range target.
+  bool migrate(ConnId conn, std::uint32_t target_loop);
+
   /// True when the connection currently has an established socket.
   [[nodiscard]] bool connected(ConnId conn) const;
 
   [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
+  /// Aggregated over every shard.
   [[nodiscard]] TransportStats stats() const;
 
+  [[nodiscard]] std::uint32_t num_loops() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Shard owning `conn` (encoded in the id).
+  [[nodiscard]] static std::uint32_t loop_of(ConnId conn) {
+    return static_cast<std::uint32_t>(conn >> kShardShift);
+  }
+  /// Interrupt shard `loop`'s wait (the driven NodeGroup's enqueue wake).
+  void wake_loop(std::uint32_t loop);
+  /// Native handles of the running loop threads (signal-storm tests aim
+  /// pthread_kill at them). Valid between start() and stop().
+  [[nodiscard]] std::vector<std::thread::native_handle_type>
+  loop_thread_handles();
+
  private:
+  static constexpr unsigned kShardShift = 48;
+
   struct Conn {
     ConnId id = kInvalidConn;
     int fd = -1;
@@ -157,6 +244,7 @@ class TcpTransport {
     bool connecting = false;     // non-blocking connect in flight
     bool up = false;             // socket established
     bool announced = false;      // on_connected delivered for this socket
+    std::int32_t migrate_to = -1;  // pending migrate() target shard
     std::string host;            // outbound only
     std::uint16_t port = 0;      // outbound only
     Timestamp retry_at = 0;      // next dial attempt (steady us)
@@ -186,44 +274,61 @@ class TcpTransport {
     bool chaos_reset_pending = false;  // tear down on the next loop pass
   };
 
-  void run();
-  void wake();
-  void dial(Conn& c, Timestamp now);
-  void mark_established(Conn& c);
-  void close_socket(Conn& c, bool notify);
+  /// One event-loop shard: thread, readiness set, wake pipe, listener and
+  /// the connections it owns. A shard's conns/by_fd/stats are guarded by
+  /// its mu; the loop thread is the only closer of its sockets.
+  struct Shard {
+    std::uint32_t index = 0;
+    std::unique_ptr<EventLoop> loop;
+    int wake_pipe[2] = {-1, -1};
+    int listen_fd = -1;
+    mutable std::mutex mu;
+    std::unordered_map<ConnId, std::unique_ptr<Conn>> conns;
+    std::unordered_map<int, ConnId> by_fd;  // live sockets only
+    std::uint64_t next_seq = 1;
+    Rng backoff_rng{0};
+    TransportStats stats;
+    bool stopping = false;
+    /// Connections handed over by migrate(), adopted at the top of the
+    /// next loop pass (guarded by mu).
+    std::vector<std::unique_ptr<Conn>> adopted;
+    std::thread thread;
+  };
+
+  void run(Shard& s);
+  void wake(Shard& s);
+  void dial(Shard& s, Conn& c, Timestamp now);
+  void mark_established(Shard& s, Conn& c);
+  void close_socket(Shard& s, Conn& c);
   /// Append one framed message to the outbox (frame table + compaction).
-  void enqueue_frame(Conn& c, std::vector<std::uint8_t> frame);
+  static void enqueue_frame(Conn& c, std::vector<std::uint8_t> frame);
   /// Schedule the next dial attempt with full-jitter backoff.
-  void arm_backoff(Conn& c, Timestamp now);
+  void arm_backoff(Shard& s, Conn& c, Timestamp now);
   /// Chaos pass of one loop iteration: apply pending resets, enforce
   /// partition windows, release due held frames. Collects lost links.
-  void chaos_pass(Timestamp now, std::vector<ConnId>& went_down);
-  void drain_outbox(Conn& c);
-  void read_ready(Conn& c);
-  void accept_ready();
+  void chaos_pass(Shard& s, Timestamp now, std::vector<ConnId>& went_down);
+  void drain_outbox(Shard& s, Conn& c);
+  void read_ready(Shard& s, Conn& c);
+  void accept_ready(Shard& s);
+  /// Move conns marked by migrate() to their target shards; returns the
+  /// (old, new) id pairs to announce.
+  std::vector<std::pair<ConnId, ConnId>> hand_over_migrations(Shard& s);
+  [[nodiscard]] Shard* shard_of(ConnId conn) const;
   [[nodiscard]] static Timestamp now_us();
 
   Callbacks cb_;
   Options opt_;
 
-  int listen_fd_ = -1;
   std::uint16_t listen_port_ = 0;
-  int wake_pipe_[2] = {-1, -1};
-
-  mutable std::mutex mu_;
-  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
-  ConnId next_conn_id_ = 1;
-  Rng backoff_rng_;  // guarded by mu_ (backoff jitter + chaos paths)
-  TransportStats stats_;
-  bool stopping_ = false;
-  std::thread thread_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint32_t> next_dial_shard_{0};
   std::atomic<bool> started_{false};
 };
 
 /// Coalescing flush policy of one peer link: a staged batch is flushed as
 /// soon as it holds max_messages messages or max_bytes of staged body,
 /// whichever comes first; whatever is still staged when the transport tick
-/// fires goes out then. The tick rides the poll(2) timeout, which has
+/// fires goes out then. The tick rides the event-loop timeout, which has
 /// millisecond granularity, so the effective straggler delay is
 /// ~max(max_delay_us, 1ms) — the default is 1ms accordingly, two orders of
 /// magnitude under inter-DC RTTs while letting a loaded link coalesce

@@ -590,6 +590,7 @@ Frame decode_body(Reader& r, WireType type) {
     case WireType::kClientHello: {
       ClientHello h;
       h.client = r.u64();
+      h.preferred_part = r.u32();
       return Frame{h};
     }
     case WireType::kBatch: {
@@ -669,6 +670,7 @@ std::size_t encode(const ClientHello& h, std::vector<std::uint8_t>& out) {
   return encode_with_prefix(out, [&](Writer& w) {
     put_header(w, WireType::kClientHello);
     w.u64(h.client, Charge::kYes);
+    w.u32(h.preferred_part, Charge::kYes);
     return w.charged();
   });
 }

@@ -43,7 +43,10 @@ namespace pocc::proto {
 /// RecoveryDone — durable WAL deployments, src/wal/).
 /// v4: Overloaded replies (explicit admission-control refusal instead of
 /// silent inbox growth — chaos-hardened deployments, net/tcp_node_host.cpp).
-inline constexpr std::uint8_t kWireVersion = 4;
+/// v5: ClientHello carries the client's preferred partition so the sharded
+/// server can pin the connection to the event loop owning that partition's
+/// worker (net/tcp_transport.hpp, "pinning").
+inline constexpr std::uint8_t kWireVersion = 5;
 
 /// Size of the frame length prefix preceding every body.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -89,10 +92,17 @@ struct NodeHello {
   NodeId node;
 };
 
+/// preferred_part value meaning "no pinning preference".
+inline constexpr PartitionId kNoPreferredPart = 0xffff'ffffu;
+
 /// Optional first frame on a client connection (the server also learns
-/// client -> connection bindings lazily from request frames).
+/// client -> connection bindings lazily from request frames). `client` 0
+/// means the frame only pins: the connection pool greets with the partition
+/// it dialed the connection for, and the server migrates the socket to the
+/// event loop owning that partition's worker. (v5)
 struct ClientHello {
   ClientId client = 0;
+  PartitionId preferred_part = kNoPreferredPart;
 };
 
 /// One protocol message with its routing envelope, as carried inside a Batch

@@ -28,7 +28,10 @@ NodeGroup::NodeGroup(DcId dc, std::vector<PartitionId> parts, Router& router,
       threads, static_cast<std::uint32_t>(parts_.size()));
   for (std::uint32_t w = 0; w < threads; ++w) {
     workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = w;
   }
+  POCC_ASSERT_MSG(!opt_.driven || opt_.wake != nullptr,
+                  "driven mode needs a wake callback");
 
   by_part_.assign(parts_.back() + 1, nullptr);
   for (std::size_t i = 0; i < parts_.size(); ++i) {
@@ -127,6 +130,7 @@ void NodeGroup::start() {
                     "install_engines() must precede start()");
   }
   started_ = true;
+  if (opt_.driven) return;  // the owning event loops call service()
   for (auto& w : workers_) {
     w->thread = std::thread([this, worker = w.get()] { run_worker(*worker); });
   }
@@ -135,6 +139,15 @@ void NodeGroup::start() {
 void NodeGroup::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  if (opt_.driven) {
+    // The owning loops have already been joined (the host stops the
+    // transport first), so this thread is now each worker's sole toucher.
+    // One final pass per worker drains what the loops left behind and
+    // flushes unsynced WAL tails — the same exit-time flush the
+    // thread-per-worker mode performs in run_worker.
+    for (auto& w : workers_) service(w->index);
+    return;
+  }
   for (auto& w : workers_) {
     {
       std::lock_guard lk(w->mu);
@@ -156,7 +169,11 @@ void NodeGroup::enqueue(NodeId from, NodeId to, proto::Message m) {
     std::lock_guard lk(w.mu);
     w.inbox.push_back(Incoming{from, slot, std::move(m)});
   }
-  w.cv.notify_one();
+  if (opt_.driven) {
+    opt_.wake(w.index);
+  } else {
+    w.cv.notify_one();
+  }
 }
 
 bool NodeGroup::try_enqueue(NodeId from, NodeId to, proto::Message m) {
@@ -172,7 +189,11 @@ bool NodeGroup::try_enqueue(NodeId from, NodeId to, proto::Message m) {
     }
     w.inbox.push_back(Incoming{from, slot, std::move(m)});
   }
-  w.cv.notify_one();
+  if (opt_.driven) {
+    opt_.wake(w.index);
+  } else {
+    w.cv.notify_one();
+  }
   return true;
 }
 
@@ -201,54 +222,72 @@ NodeGroupStats NodeGroup::stats() const {
   return s;
 }
 
-void NodeGroup::run_worker(Worker& w) {
-  // Engine timer arming (start()) must run on the owning thread: it calls
-  // set_timer, which touches this worker's heap.
-  for (Slot* slot : w.slots) slot->engine->start();
-  common::Ring<Incoming> backlog;  // swap-drained batch, processed unlocked
-  std::unique_lock lk(w.mu);
+std::uint32_t NodeGroup::worker_of(PartitionId part) const {
+  POCC_ASSERT(hosts(NodeId{dc_, part}));
+  return by_part_[part]->worker->index;
+}
+
+Timestamp NodeGroup::service(std::uint32_t worker) {
+  POCC_ASSERT(worker < workers_.size());
+  Worker& w = *workers_[worker];
+  // Engine timer arming (start()) must run on the owner thread: it calls
+  // set_timer, which touches this worker's heap. Lazily on the first pass
+  // so driven loops need no separate startup hook.
+  if (!w.engines_started) {
+    w.engines_started = true;
+    for (Slot* slot : w.slots) slot->engine->start();
+  }
   while (true) {
-    // Fire due timers first; engine calls run unlocked (the engine is only
-    // ever touched from this thread).
+    // Fire due timers first; engine calls run with no lock held (the
+    // engine and the timer heap belong to this thread alone).
     while (!w.timers.empty() && w.timers.top().at <= steady_now_us()) {
       const Timer t = w.timers.top();
       w.timers.pop();
-      lk.unlock();
       t.slot->engine->on_timer(t.id);
-      lk.lock();
     }
     // Group-commit anything the timer callbacks appended (heartbeat VV
-    // raises) before sleeping — held outputs must never straddle a wait.
-    // Unlocked: releasing a held sibling send takes this worker's mutex.
+    // raises) before returning to the loop's sleep — held outputs must
+    // never straddle a wait.
     if (std::any_of(w.slots.begin(), w.slots.end(),
                     [](const Slot* s) { return s->needs_flush(); })) {
-      lk.unlock();
       for (Slot* slot : w.slots) slot->flush_durability();
-      lk.lock();
     }
-    if (w.stopping) break;
-    if (!w.inbox.empty()) {
-      // Swap-drain: take the whole backlog in ONE lock cycle instead of a
-      // mutex round-trip per message — a 64-message Batch frame enqueues 64
-      // items back-to-back, and producers must not contend with the drain.
-      std::swap(backlog, w.inbox);
-      lk.unlock();
-      while (!backlog.empty()) {
-        Incoming in = backlog.pop_front();
-        in.slot->engine->handle_message(in.from, std::move(in.msg));
+    bool drained = false;
+    {
+      std::lock_guard lk(w.mu);
+      if (w.stopping) break;
+      if (!w.inbox.empty()) {
+        // Swap-drain: take the whole backlog in ONE lock cycle instead of
+        // a mutex round-trip per message — a 64-message Batch frame
+        // enqueues 64 items back-to-back, and producers must not contend
+        // with the drain.
+        std::swap(w.backlog, w.inbox);
+        drained = true;
       }
-      // One fdatasync covers the whole drained batch (group commit), then
-      // the batch's replies and sends leave together.
-      for (Slot* slot : w.slots) slot->flush_durability();
-      lk.lock();
-      continue;
     }
-    if (w.timers.empty()) {
+    if (!drained) break;
+    while (!w.backlog.empty()) {
+      Incoming in = w.backlog.pop_front();
+      in.slot->engine->handle_message(in.from, std::move(in.msg));
+    }
+    // One fdatasync covers the whole drained batch (group commit), then
+    // the batch's replies and sends leave together.
+    for (Slot* slot : w.slots) slot->flush_durability();
+  }
+  return w.timers.empty() ? 0 : w.timers.top().at;
+}
+
+void NodeGroup::run_worker(Worker& w) {
+  while (true) {
+    const Timestamp next = service(w.index);
+    std::unique_lock lk(w.mu);
+    if (w.stopping) break;
+    if (!w.inbox.empty()) continue;  // raced a producer; go again
+    if (next == 0) {
       w.cv.wait(lk, [&w] { return w.stopping || !w.inbox.empty(); });
     } else {
-      const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::microseconds(w.timers.top().at - steady_now_us());
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(next - steady_now_us());
       w.cv.wait_until(lk, deadline,
                       [&w] { return w.stopping || !w.inbox.empty(); });
     }

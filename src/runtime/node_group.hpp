@@ -81,6 +81,17 @@ class NodeGroup {
     /// refused; enqueue() — server-to-server traffic whose loss would
     /// violate the lossless FIFO channel assumption — always delivers.
     std::size_t max_inbox_messages = 0;
+    /// Driven mode: the group spawns NO worker threads. An external event
+    /// loop owns each worker and calls service(w) from its thread (the
+    /// sharded TCP transport runs worker w on loop w: socket → decode →
+    /// engine with zero cross-thread hops for pinned connections). enqueue
+    /// from a foreign thread then signals readiness through `wake` instead
+    /// of a condition variable.
+    bool driven = false;
+    /// Driven mode only: called (possibly from any thread, including the
+    /// worker's own) when worker `w` gained inbox work and its loop must
+    /// schedule a service(w) pass.
+    std::function<void(std::uint32_t)> wake;
   };
 
   /// Builds one engine bound to `ctx` (its partition-private Context).
@@ -123,6 +134,19 @@ class NodeGroup {
   /// target worker's inbox is at Options::max_inbox_messages. The caller
   /// owns the refusal path (an Overloaded reply). Thread-safe.
   [[nodiscard]] bool try_enqueue(NodeId from, NodeId to, proto::Message m);
+
+  /// Driven mode: run one scheduling pass of worker `w` — fire due timers,
+  /// drain the inbox to empty (group-committing per drained batch), flush
+  /// durability — and return the earliest pending timer deadline (0 = none)
+  /// so the owning loop can bound its sleep. MUST always be called from the
+  /// same thread per worker (that thread becomes the worker's owner; the
+  /// engines and timer heap are touched from it exclusively). Also the
+  /// internal core of the thread-per-worker mode.
+  Timestamp service(std::uint32_t worker);
+
+  /// Index of the worker thread/loop that owns `part` (stable for the
+  /// group's lifetime — the pinning target for inbound client connections).
+  [[nodiscard]] std::uint32_t worker_of(PartitionId part) const;
 
   /// Current depth of the worker inbox serving `part` (thread-safe; a
   /// load-shedding signal, instantaneously stale like any queue depth).
@@ -198,14 +222,18 @@ class NodeGroup {
   };
 
   struct Worker {
+    std::uint32_t index = 0;
     std::mutex mu;
     std::condition_variable cv;
     common::Ring<Incoming> inbox;  // MPSC: any thread pushes, owner pops
     bool stopping = false;
-    // Armed and fired exclusively on this worker's thread.
+    // Armed and fired exclusively on this worker's owner thread, as is
+    // everything below (no lock).
     std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
     std::vector<Slot*> slots;
-    std::thread thread;
+    common::Ring<Incoming> backlog;  // swap-drain scratch (owner thread)
+    bool engines_started = false;
+    std::thread thread;  // empty in driven mode
   };
 
   void run_worker(Worker& w);

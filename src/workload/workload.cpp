@@ -22,8 +22,8 @@ Generator::Generator(const WorkloadConfig& cfg, std::uint32_t partitions,
 
 KeyId Generator::pick_key(PartitionId part) {
   // Interned without building a std::string (hot path: one call per GET/PUT).
-  return store::KeySpace::global().intern_partition_key(part,
-                                                        zipf_.next(rng_));
+  return store::KeySpace::global().intern_partition_key(
+      part, cfg_.key_offset + zipf_.next(rng_));
 }
 
 std::string Generator::make_value() {

@@ -53,6 +53,12 @@ struct WorkloadConfig {
   double zipf_theta = 0.99;
   /// Key-space size per partition (paper: 1M).
   std::uint64_t keys_per_partition = 1'000'000;
+  /// Constant added to every generated key rank. Successive runs against a
+  /// LIVE cluster use distinct offsets so their keyspaces are disjoint —
+  /// a fresh run reading a leftover version from an earlier run's clients
+  /// would (correctly) fail its history replay. The "<partition>:" prefix
+  /// routes the key, so the offset never changes partition placement.
+  std::uint64_t key_offset = 0;
   /// PUT payload size in bytes (paper: 8).
   std::uint32_t value_size = 8;
   /// Give-up timeout for an in-flight operation (0 = wait forever, the

@@ -319,6 +319,17 @@ TEST(Codec, ClientHelloRoundTrip) {
   const DecodeResult res = decode_frame(buf.data(), buf.size());
   ASSERT_EQ(res.status, DecodeResult::Status::kOk) << res.error;
   EXPECT_EQ(std::get<ClientHello>(res.frame).client, 12'345u);
+  // Omitted preferred_part decodes as the explicit "no preference" marker —
+  // hosts must not mistake it for partition 0.
+  EXPECT_EQ(std::get<ClientHello>(res.frame).preferred_part,
+            kNoPreferredPart);
+
+  buf.clear();
+  encode(ClientHello{99, 3}, buf);
+  const DecodeResult pinned = decode_frame(buf.data(), buf.size());
+  ASSERT_EQ(pinned.status, DecodeResult::Status::kOk) << pinned.error;
+  EXPECT_EQ(std::get<ClientHello>(pinned.frame).client, 99u);
+  EXPECT_EQ(std::get<ClientHello>(pinned.frame).preferred_part, 3u);
 }
 
 TEST(Codec, KeysAreReinternedByString) {

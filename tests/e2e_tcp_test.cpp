@@ -366,6 +366,89 @@ TEST(E2eTcp, ResilientSessionsAbsorbDuplicatedClientFrames) {
   expect_clean_replay(cluster);
 }
 
+TEST(E2eTcp, PipelinedSessionsReplayCleanly) {
+  // The pipelined client path: one driver thread per DC interleaves many
+  // sessions through the non-blocking start_*/pump/finish_* API, so each
+  // pool connection carries several in-flight ops at once (what
+  // pocc_loadgen --pipeline does). Every session stays serial, so the full
+  // history must still replay with zero causal violations.
+  Deployment cluster(rt::System::kPocc);
+  constexpr int kSessionsPerDc = 8;
+  constexpr int kOpsPerSession = 60;
+  std::vector<std::thread> drivers;
+  std::atomic<int> failures{0};
+  for (DcId dc = 0; dc < cluster.layout().topology.num_dcs; ++dc) {
+    std::vector<TcpSession*> sessions;
+    for (int i = 0; i < kSessionsPerDc; ++i) {
+      sessions.push_back(&cluster.connect(dc));
+    }
+    drivers.emplace_back([&, dc, sessions] {
+      struct Slot {
+        TcpSession* s = nullptr;
+        Rng rng{0};
+        int started = 0;
+        int completed = 0;
+        std::uint64_t kind = 0;
+      };
+      std::vector<Slot> slots;
+      for (int i = 0; i < kSessionsPerDc; ++i) {
+        Slot sl;
+        sl.s = sessions[i];
+        sl.rng = Rng((static_cast<std::uint64_t>(dc) << 8) | i);
+        slots.push_back(sl);
+      }
+      for (;;) {
+        bool progress = false;
+        bool all_done = true;
+        for (Slot& sl : slots) {
+          if (!sl.s->op_pending() && sl.started < kOpsPerSession) {
+            const std::string key =
+                "e2e:pipe:" + std::to_string(sl.rng.uniform(12));
+            sl.kind = sl.rng.uniform(10);
+            bool ok = false;
+            if (sl.kind < 5) {
+              ok = sl.s->start_get(key);
+            } else if (sl.kind < 9) {
+              ok = sl.s->start_put(
+                  key, "v" + std::to_string(dc) + "." +
+                           std::to_string(sl.started));
+            } else {
+              const std::string other =
+                  "e2e:pipe:" + std::to_string(sl.rng.uniform(12));
+              ok = sl.s->start_ro_tx({key, other});
+            }
+            EXPECT_TRUE(ok);
+            ++sl.started;
+            progress = true;
+          }
+          if (sl.s->op_pending() && sl.s->pump()) {
+            bool ok = false;
+            if (sl.kind < 5) {
+              ok = sl.s->finish_get().ok;
+            } else if (sl.kind < 9) {
+              ok = sl.s->finish_put().ok;
+            } else {
+              ok = sl.s->finish_tx().ok;
+            }
+            if (!ok) ++failures;
+            ++sl.completed;
+            progress = true;
+          }
+          all_done = all_done && sl.completed >= kOpsPerSession;
+        }
+        if (all_done) break;
+        if (!progress) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0) << "pipelined operations timed out";
+  EXPECT_EQ(cluster.dropped_frames(), 0u);
+  expect_clean_replay(cluster);
+}
+
 TEST(E2eTcp, CrossDcVisibilityEventuallyConverges) {
   Deployment cluster(rt::System::kPocc);
   TcpSession& writer = cluster.connect(0);

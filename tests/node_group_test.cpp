@@ -264,5 +264,70 @@ TEST(NodeGroup, BoundedAdmissionRefusesOnlyDroppableWork) {
   group.stop();
 }
 
+TEST(NodeGroup, DrivenModeServicesWorkersOnCallerThreads) {
+  // Driven mode is the sharded-transport integration seam: the group spawns
+  // NO threads; whoever owns each worker's event loop calls service() and
+  // gets woken through Options::wake when work lands in the inbox.
+  RecordingRouter router;
+  std::mutex wake_mu;
+  std::vector<std::uint32_t> wakes;
+  NodeGroup::Options opt;
+  opt.threads = 2;
+  opt.seed = 7;
+  opt.driven = true;
+  opt.wake = [&](std::uint32_t w) {
+    std::lock_guard lk(wake_mu);
+    wakes.push_back(w);
+  };
+  NodeGroup group(/*dc=*/0, std::vector<PartitionId>{0, 1, 2, 3}, router,
+                  opt);
+  group.install_engines([](NodeId id, server::Context& ctx) {
+    return std::make_unique<PoccServer>(id, one_dc_topology(),
+                                        ProtocolConfig{}, ServiceConfig{},
+                                        ctx);
+  });
+  group.start();  // must not spawn workers
+
+  // Every partition maps onto one of the two driven workers.
+  std::vector<std::uint32_t> hosted(group.threads(), 0);
+  for (PartitionId p = 0; p < kParts; ++p) {
+    const std::uint32_t w = group.worker_of(p);
+    ASSERT_LT(w, group.threads());
+    ++hosted[w];
+  }
+  EXPECT_EQ(hosted[0] + hosted[1], kParts);
+  EXPECT_GT(hosted[0], 0u);
+  EXPECT_GT(hosted[1], 0u);
+
+  // Enqueue one PUT per partition: each enqueue must wake the worker that
+  // owns the partition, and nothing is processed until service() runs.
+  std::uint64_t op = 0;
+  for (PartitionId p = 0; p < kParts; ++p) {
+    KeyId key = 0;
+    for (std::uint64_t i = 0;; ++i) {
+      key = store::intern_key("drv:" + std::to_string(p) + ":" +
+                              std::to_string(i));
+      if (part_of(key) == p) break;
+    }
+    const NodeId to{0, p};
+    group.enqueue(to, to, proto::Message{put_req(200 + p, key, "v", ++op)});
+    std::lock_guard lk(wake_mu);
+    ASSERT_FALSE(wakes.empty());
+    EXPECT_EQ(wakes.back(), group.worker_of(p))
+        << "enqueue must wake the owning worker";
+  }
+  EXPECT_TRUE(router.replies().empty()) << "no thread may drain undriven";
+
+  // Drive both workers from this thread — replies arrive synchronously.
+  for (std::uint32_t w = 0; w < group.threads(); ++w) group.service(w);
+  const auto replies = router.replies();
+  ASSERT_EQ(replies.size(), kParts);
+  for (const auto& [client, m] : replies) {
+    EXPECT_TRUE(std::holds_alternative<proto::PutReply>(m));
+  }
+  EXPECT_EQ(router.external_routes(), 0u);
+  group.stop();
+}
+
 }  // namespace
 }  // namespace pocc::rt

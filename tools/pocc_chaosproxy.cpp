@@ -341,13 +341,27 @@ int main(int argc, char** argv) {
         }
       }
     }
-    poll(pfds.data(), pfds.size(), timeout_ms);
+    const int nready = poll(pfds.data(), pfds.size(), timeout_ms);
+    if (nready < 0) {
+      // EINTR: a signal landed mid-wait and the revents are unspecified —
+      // re-enter the loop instead of consuming them. Anything else is a
+      // programming error on our own fd set.
+      if (errno != EINTR) {
+        std::perror("chaosproxy: poll");
+        break;
+      }
+      continue;
+    }
+    if (nready == 0) continue;  // timeout: release pass reruns up top
 
     for (std::size_t i = 0; i < pfds.size(); ++i) {
       if (pfds[i].revents == 0) continue;
       if (Route* r = pfd_routes[i]; r != nullptr) {
         // New inbound connection: dial the target, non-blocking.
-        const int cfd = accept(r->listen_fd, nullptr, nullptr);
+        int cfd = -1;
+        do {
+          cfd = accept(r->listen_fd, nullptr, nullptr);
+        } while (cfd < 0 && errno == EINTR);  // interrupted, not failed
         if (cfd < 0) continue;
         set_nonblock(cfd);
         const int one = 1;
@@ -399,8 +413,11 @@ int main(int argc, char** argv) {
         std::uint8_t buf[64 * 1024];
         const ssize_t n = read(fd, buf, sizeof(buf));
         if (n <= 0) {
-          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            // spurious
+          if (n < 0 &&
+              (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+            // spurious wakeup or interrupted read — the bytes are still
+            // coming; tearing the proxied connection down here would punch
+            // a hole in a live stream.
           } else {
             close_conn(*c);
             continue;
@@ -418,7 +435,9 @@ int main(int argc, char** argv) {
                                   p.outbuf.size() - p.out_head);
           if (n > 0) {
             p.out_head += static_cast<std::size_t>(n);
-          } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            // EINTR is a retry, not a failure — the next poll round resends.
             close_conn(*c);
             continue;
           }

@@ -62,12 +62,21 @@ struct Args {
   /// does; sessions round-robin across the pools.
   std::uint32_t connections_per_dc = 1;
   double duration_s = 5.0;
+  /// Sessions interleaved per driver thread (pipelined mode). 1 = the
+  /// classic closed loop: one blocking session per thread. W > 1 groups
+  /// every W sessions onto one driver that round-robins them through the
+  /// non-blocking start_*/pump/finish_* API, so each pool connection
+  /// carries up to W concurrent in-flight ops.
+  std::uint32_t pipeline = 1;
   std::string pattern = "getput";
   std::uint32_t gets_per_put = 4;
   std::uint32_t tx_partitions = 2;
   Duration think_us = 0;
   std::uint32_t value_size = 8;
   std::uint64_t keys_per_partition = 1'000;
+  /// Rank offset making this run's keyspace disjoint from earlier runs
+  /// against the same live cluster (see WorkloadConfig::key_offset).
+  std::uint64_t key_offset = 0;
   double zipf_theta = 0.99;
   std::uint64_t seed = 1;
   ClientId client_base = 1;
@@ -88,9 +97,10 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --config FILE [--mode load|smoke] [--dc N]\n"
       "          [--threads N | --clients N] [--connections N]\n"
-      "          [--duration-s S] [--pattern getput|txput]\n"
+      "          [--pipeline W] [--duration-s S] [--pattern getput|txput]\n"
       "          [--gets-per-put N] [--tx-partitions N] [--think-us N]\n"
-      "          [--value-size N] [--keys-per-partition N] [--zipf T]\n"
+      "          [--value-size N] [--keys-per-partition N] [--key-offset N]\n"
+      "          [--zipf T]\n"
       "          [--seed N] [--client-base N] [--out FILE] [--no-check]\n"
       "          [--expect-disruption] [--resilient]\n"
       "          [--op-deadline-us N] [--deadline-budget F]\n",
@@ -123,6 +133,10 @@ bool parse_args(int argc, char** argv, Args* args) {
       args->connections_per_dc =
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
       if (args->connections_per_dc == 0) args->connections_per_dc = 1;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      args->pipeline =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+      if (args->pipeline == 0) args->pipeline = 1;
     } else if (std::strcmp(argv[i], "--duration-s") == 0) {
       args->duration_s = std::strtod(value(), nullptr);
     } else if (std::strcmp(argv[i], "--pattern") == 0) {
@@ -140,6 +154,8 @@ bool parse_args(int argc, char** argv, Args* args) {
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (std::strcmp(argv[i], "--keys-per-partition") == 0) {
       args->keys_per_partition = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--key-offset") == 0) {
+      args->key_offset = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--zipf") == 0) {
       args->zipf_theta = std::strtod(value(), nullptr);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -225,6 +241,94 @@ void run_client(net::TcpSession& session, const workload::WorkloadConfig& wl,
   }
 }
 
+/// One session's slot inside a pipelined driver thread.
+struct PipelinedClient {
+  net::TcpSession* session = nullptr;
+  std::unique_ptr<workload::Generator> gen;
+  ThreadLatencies* lat = nullptr;
+  workload::Op op;
+  Duration op_start = 0;
+  Duration not_before = 0;  // think-time gate for the next op
+  bool active = false;      // an op is in flight on the session
+};
+
+/// Drives `clients` round-robin through the non-blocking session API: every
+/// pass starts ops on idle sessions (until the run deadline) and pumps the
+/// in-flight ones, so one thread keeps |clients| ops outstanding across the
+/// shared pool connections. After the deadline no new ops start, but
+/// in-flight ones are drained to completion (their own op deadline bounds
+/// the grace period).
+void run_pipelined(std::vector<PipelinedClient>& clients,
+                   const workload::WorkloadConfig& wl, Duration deadline,
+                   Duration op_deadline_us, OpStats& ops) {
+  while (true) {
+    bool progress = false;
+    bool any_active = false;
+    for (PipelinedClient& c : clients) {
+      if (!c.active) {
+        const Duration now = now_us();
+        if (now >= deadline || now < c.not_before) continue;
+        c.op = c.gen->next();
+        c.op_start = now;
+        bool started = false;
+        switch (c.op.type) {
+          case workload::OpType::kGet:
+            started = c.session->start_get_id(c.op.keys.front(),
+                                              op_deadline_us);
+            break;
+          case workload::OpType::kPut:
+            started = c.session->start_put_id(c.op.keys.front(), c.op.value,
+                                              op_deadline_us);
+            break;
+          case workload::OpType::kRoTx:
+            started = c.session->start_ro_tx_ids(c.op.keys, op_deadline_us);
+            break;
+        }
+        if (!started) continue;  // unreachable: the session was idle
+        c.active = true;
+        progress = true;
+      }
+      if (c.active && c.session->pump()) {
+        bool ok = false;
+        switch (c.op.type) {
+          case workload::OpType::kGet:
+            ok = c.session->finish_get().ok;
+            if (ok) {
+              ++ops.gets;
+              c.lat->get_us.record(now_us() - c.op_start);
+            }
+            break;
+          case workload::OpType::kPut:
+            ok = c.session->finish_put().ok;
+            if (ok) {
+              ++ops.puts;
+              c.lat->put_us.record(now_us() - c.op_start);
+            }
+            break;
+          case workload::OpType::kRoTx:
+            ok = c.session->finish_tx().ok;
+            if (ok) {
+              ++ops.txs;
+              c.lat->tx_us.record(now_us() - c.op_start);
+            }
+            break;
+        }
+        if (!ok) ++ops.failures;
+        if (ok && wl.think_time_us > 0) {
+          c.not_before = now_us() + wl.think_time_us;
+        }
+        c.active = false;
+        progress = true;
+      }
+      any_active |= c.active;
+    }
+    if (!any_active && now_us() >= deadline) break;
+    if (!progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
 /// Replays all histories; returns checker verdict (violations printed).
 struct CheckOutcome {
   bool complete = true;
@@ -262,6 +366,7 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   wl.think_time_us = args.think_us;
   wl.zipf_theta = args.zipf_theta;
   wl.keys_per_partition = args.keys_per_partition;
+  wl.key_offset = args.key_offset;
   wl.value_size = args.value_size;
 
   std::vector<DcId> dcs;
@@ -301,15 +406,42 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   const Duration deadline =
       start + static_cast<Duration>(args.duration_s * 1e6);
   std::size_t t = 0;
-  for (std::size_t d = 0; d < dcs.size(); ++d) {
-    for (std::uint32_t i = 0; i < args.clients_per_dc; ++i, ++t) {
-      const std::size_t pool_idx =
-          d * args.connections_per_dc + i % args.connections_per_dc;
-      net::TcpSession* session = &pools[pool_idx]->connect(next_client++);
-      const std::uint64_t seed = args.seed * 1'000'003 + t;
-      threads.emplace_back([&, session, seed, t] {
-        run_client(*session, wl, topo.partitions_per_dc, seed, deadline,
-                   args.op_deadline_us, ops, lats[t]);
+  // Declared at run_load scope: driver threads hold pointers into the
+  // groups until join(), so the storage must outlive the if/else below.
+  std::vector<std::vector<PipelinedClient>> groups;
+  if (args.pipeline <= 1) {
+    for (std::size_t d = 0; d < dcs.size(); ++d) {
+      for (std::uint32_t i = 0; i < args.clients_per_dc; ++i, ++t) {
+        const std::size_t pool_idx =
+            d * args.connections_per_dc + i % args.connections_per_dc;
+        net::TcpSession* session = &pools[pool_idx]->connect(next_client++);
+        const std::uint64_t seed = args.seed * 1'000'003 + t;
+        threads.emplace_back([&, session, seed, t] {
+          run_client(*session, wl, topo.partitions_per_dc, seed, deadline,
+                     args.op_deadline_us, ops, lats[t]);
+        });
+      }
+    }
+  } else {
+    // Pipelined: every driver thread owns up to --pipeline sessions of one
+    // DC and multiplexes them over the DC's pools, so each pool connection
+    // carries several in-flight ops at once.
+    for (std::size_t d = 0; d < dcs.size(); ++d) {
+      for (std::uint32_t i = 0; i < args.clients_per_dc; ++i, ++t) {
+        if (i % args.pipeline == 0) groups.emplace_back();
+        const std::size_t pool_idx =
+            d * args.connections_per_dc + i % args.connections_per_dc;
+        PipelinedClient c;
+        c.session = &pools[pool_idx]->connect(next_client++);
+        c.gen = std::make_unique<workload::Generator>(
+            wl, topo.partitions_per_dc, args.seed * 1'000'003 + t);
+        c.lat = &lats[t];
+        groups.back().push_back(std::move(c));
+      }
+    }
+    for (auto& group : groups) {
+      threads.emplace_back([&, clients = &group] {
+        run_pipelined(*clients, wl, deadline, args.op_deadline_us, ops);
       });
     }
   }
@@ -327,10 +459,12 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
 
   std::vector<checker::SessionHistory> histories;
   net::ClientResilienceStats rstats;
+  std::uint64_t reconnects = 0;
   for (const auto& pool : pools) {
     auto h = pool->histories();
     histories.insert(histories.end(), h.begin(), h.end());
     rstats += pool->resilience_stats();
+    reconnects += pool->transport_stats().reconnects;
   }
   for (auto& pool : pools) pool->stop();
 
@@ -350,7 +484,7 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       json, sizeof(json),
       "{\"bench\":\"tcp_loadgen\",\"mode\":\"load\",\"system\":\"%s\","
       "\"dcs\":%u,\"partitions\":%u,\"clients_per_dc\":%u,"
-      "\"connections_per_dc\":%u,\"pattern\":\"%s\","
+      "\"connections_per_dc\":%u,\"pipeline\":%u,\"pattern\":\"%s\","
       "\"seed\":%llu,\"duration_s\":%.2f,\"ops\":%llu,\"ops_per_sec\":%.1f,"
       "\"gets\":%llu,\"puts\":%llu,\"ro_txs\":%llu,\"failures\":%llu,"
       "\"get_p50_us\":%lld,\"get_p99_us\":%lld,\"put_p50_us\":%lld,"
@@ -359,9 +493,11 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       "\"resilient\":%s,\"op_deadline_us\":%lld,"
       "\"op_timeouts\":%llu,\"op_retries\":%llu,\"op_failovers\":%llu,"
       "\"op_overloaded\":%llu,\"breaker_opens\":%llu,"
-      "\"deadline_exhausted\":%llu,\"failure_rate\":%.6f}",
+      "\"deadline_exhausted\":%llu,\"reconnects\":%llu,"
+      "\"failure_rate\":%.6f}",
       net::system_name(layout.system), topo.num_dcs, topo.partitions_per_dc,
-      args.clients_per_dc, args.connections_per_dc, args.pattern.c_str(),
+      args.clients_per_dc, args.connections_per_dc, args.pipeline,
+      args.pattern.c_str(),
       static_cast<unsigned long long>(args.seed), elapsed_s,
       static_cast<unsigned long long>(total),
       elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0,
@@ -386,7 +522,7 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       static_cast<unsigned long long>(rstats.overloaded),
       static_cast<unsigned long long>(rstats.breaker_opens),
       static_cast<unsigned long long>(rstats.deadline_exhausted),
-      failure_rate);
+      static_cast<unsigned long long>(reconnects), failure_rate);
   std::printf("%s\n", json);
   if (args.out_path != nullptr) {
     std::FILE* f = std::fopen(args.out_path, "w");

@@ -23,6 +23,9 @@
 // --max-inbox bounds each worker's admission queue: past it, client requests
 // are refused with Overloaded replies instead of queueing without bound
 // (0 = unbounded, the default).
+#include <pthread.h>
+#include <signal.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -37,8 +40,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_stats = 0;
 
 void handle_signal(int /*sig*/) { g_stop = 1; }
+
+void handle_dump(int /*sig*/) { g_dump_stats = 1; }
 
 pocc::Timestamp realtime_us() {
   timespec ts{};
@@ -205,9 +211,36 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGPIPE, SIG_IGN);
+  // SIGUSR1 is the chaos harness's interrupt pepper: a no-op handler
+  // installed WITHOUT SA_RESTART, so delivery makes blocking syscalls in
+  // the loop threads actually return EINTR. The process must shrug it off —
+  // the e2e signal leg diffs the SIGUSR2 stats lines across the storm and
+  // fails on any new reconnects.
+  {
+    struct sigaction sa{};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately no SA_RESTART
+    sigaction(SIGUSR1, &sa, nullptr);
+  }
+  // SIGUSR2 dumps a live transport stats line. Scripts bracket a chaos
+  // window with two dumps and compare — the exit line alone can't separate
+  // storm-induced reconnects from benign startup dial races (a peer that
+  // wasn't listening yet also bumps the reconnect counter).
+  std::signal(SIGUSR2, handle_dump);
 
   net::TcpNodeHost host(spec, *layout, opt);
   host.start();
+  // Now that the loop threads exist (they inherited an unblocked mask),
+  // mask SIGUSR1 in the main thread: a process-directed pepper from the
+  // chaos harness would otherwise land on this thread's nanosleep and never
+  // actually interrupt an event loop.
+  {
+    sigset_t pepper;
+    sigemptyset(&pepper);
+    sigaddset(&pepper, SIGUSR1);
+    pthread_sigmask(SIG_BLOCK, &pepper, nullptr);
+  }
   std::fprintf(stderr,
                "poccd dc%ld: %s engine, %zu partitions on %u workers, "
                "port %u\n",
@@ -233,6 +266,18 @@ int main(int argc, char** argv) {
   while (g_stop == 0) {
     timespec nap{0, 50'000'000};  // 50 ms
     nanosleep(&nap, nullptr);
+    if (g_dump_stats != 0) {
+      g_dump_stats = 0;
+      const auto live = host.transport_stats();
+      std::fprintf(stderr,
+                   "poccd dc%ld: stats — accepts=%llu reconnects=%llu "
+                   "frames_in=%llu frames_out=%llu decode_errors=%llu\n",
+                   dc, static_cast<unsigned long long>(live.accepts),
+                   static_cast<unsigned long long>(live.reconnects),
+                   static_cast<unsigned long long>(live.frames_in),
+                   static_cast<unsigned long long>(live.frames_out),
+                   static_cast<unsigned long long>(live.decode_errors));
+    }
   }
 
   host.stop();
