@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "stats/metrics.hpp"
+
 namespace pocc::bench {
 
 Scale scale_from_env() {
@@ -113,9 +115,7 @@ void print_csv_row(const std::vector<std::string>& cells) {
 }
 
 std::string fmt(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-  return buf;
+  return stats::format_double(v, precision);
 }
 
 std::string fmt_mops(double ops_per_sec) {

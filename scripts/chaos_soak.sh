@@ -15,9 +15,14 @@
 # the undoctored config — client resilience is exercised by the kill leg
 # and the server-side admission bounds, not by the proxy.
 #
+# Each poccd also serves /metrics + /readyz on SOAK_METRICS_BASE_PORT+dc;
+# startup and post-restart waits poll /readyz (WAL recovery complete AND all
+# peer links up — through the proxies) instead of probing listen sockets.
+#
 # usage: scripts/chaos_soak.sh [BUILD_DIR] [OUT_DIR]
 # env:   SOAK_SEED (1)  SOAK_SYSTEM (pocc)  SOAK_DURATION_S (20)
 #        SOAK_BASE_PORT (7550)  SOAK_PROXY_BASE_PORT (7560)
+#        SOAK_METRICS_BASE_PORT (7590)
 #        SOAK_CLIENTS (8)  SOAK_THREADS (2)  SOAK_KILL (1)
 #        SOAK_DEADLINE_BUDGET (0.05)  SOAK_OP_DEADLINE_US (15000000)
 #        SOAK_DELAY_US (2000)  SOAK_JITTER_US (1000)  SOAK_LOSS (0.01)
@@ -38,6 +43,7 @@ OP_DEADLINE_US="${SOAK_OP_DEADLINE_US:-15000000}"
 DELAY_US="${SOAK_DELAY_US:-2000}"
 JITTER_US="${SOAK_JITTER_US:-1000}"
 LOSS="${SOAK_LOSS:-0.01}"
+METRICS_BASE_PORT="${SOAK_METRICS_BASE_PORT:-7590}"
 DCS=3
 PARTS=2
 
@@ -54,6 +60,34 @@ mkdir -p "$OUT_DIR"
 real_port() { echo $((BASE_PORT + $1)); }
 # Proxy listen port for the directed pair src -> dst.
 proxy_port() { echo $((PROXY_BASE_PORT + $1 * DCS + $2)); }
+# Embedded observability endpoint of each poccd.
+metrics_port() { echo $((METRICS_BASE_PORT + $1)); }
+
+# GET http://127.0.0.1:PORT/PATH over /dev/tcp; prints the full response.
+# Subshell-scoped so a refused connect survives `set -e`.
+http_get() {
+  local port=$1 path=$2
+  (
+    exec 3<>"/dev/tcp/127.0.0.1/$port" || exit 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+    cat <&3
+  ) 2>/dev/null
+}
+
+# Poll /readyz until 200: recovery complete, client gate open, peer links up.
+# Generous attempt budget — an active chaos partition can legitimately hold
+# a replication link (and thus readiness) down for a fault window.
+ready_wait() {
+  local port=$1 name=$2 attempts=${3:-200}
+  for attempt in $(seq 1 "$attempts"); do
+    if http_get "$port" /readyz | head -n 1 | grep -q ' 200 '; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "chaos_soak: $name never answered 200 on /readyz" >&2
+  return 1
+}
 
 config_header() {
   echo "dcs $DCS"
@@ -123,26 +157,14 @@ echo "chaos_soak: launching $DCS durable poccd processes (bounded admission)"
 for dc in $(seq 0 $((DCS - 1))); do
   "$BUILD_DIR/poccd" --config "$OUT_DIR/cluster_dc${dc}.cfg" --dc "$dc" \
     --data-dir "$OUT_DIR/data_dc$dc" --max-inbox 4096 \
+    --metrics-addr "127.0.0.1:$(metrics_port "$dc")" \
     > "$OUT_DIR/poccd_dc${dc}.log" 2>&1 &
   PIDS+=($!)
 done
 
-echo "chaos_soak: waiting for all node ports to listen"
-for attempt in $(seq 1 100); do
-  up=1
-  for dc in $(seq 0 $((DCS - 1))); do
-    if ! (exec 3<>"/dev/tcp/127.0.0.1/$(real_port "$dc")") 2>/dev/null; then
-      up=0
-      break
-    fi
-    exec 3>&- || true
-  done
-  [[ $up -eq 1 ]] && break
-  if [[ $attempt -eq 100 ]]; then
-    echo "chaos_soak: cluster never came up" >&2
-    exit 4
-  fi
-  sleep 0.1
+echo "chaos_soak: waiting for every DC to answer 200 on /readyz"
+for dc in $(seq 0 $((DCS - 1))); do
+  ready_wait "$(metrics_port "$dc")" "dc$dc" || exit 4
 done
 
 if ! kill -0 "$PROXY_PID" 2>/dev/null; then
@@ -172,19 +194,10 @@ if [[ "$KILL" == "1" ]]; then
   "$BUILD_DIR/poccd" --config "$OUT_DIR/cluster_dc${VICTIM_DC}.cfg" \
     --dc "$VICTIM_DC" --data-dir "$OUT_DIR/data_dc$VICTIM_DC" \
     --max-inbox 4096 \
+    --metrics-addr "127.0.0.1:$(metrics_port "$VICTIM_DC")" \
     >> "$OUT_DIR/poccd_dc${VICTIM_DC}.log" 2>&1 &
   PIDS[$VICTIM_DC]=$!
-  for attempt in $(seq 1 100); do
-    if (exec 3<>"/dev/tcp/127.0.0.1/$(real_port "$VICTIM_DC")") 2>/dev/null; then
-      exec 3>&- || true
-      break
-    fi
-    if [[ $attempt -eq 100 ]]; then
-      echo "chaos_soak: dc$VICTIM_DC never listened again" >&2
-      exit 7
-    fi
-    sleep 0.1
-  done
+  ready_wait "$(metrics_port "$VICTIM_DC")" "restarted dc$VICTIM_DC" 300 || exit 7
   # Second batch of "recovered part" lines proves the WAL replay ran.
   for attempt in $(seq 1 50); do
     lines="$(grep -c "recovered part" "$OUT_DIR/poccd_dc${VICTIM_DC}.log" || true)"
@@ -222,5 +235,6 @@ PIDS=(); PROXY_PID=""
 echo "chaos_soak: per-process exit stats:"
 grep -h "exiting" "$OUT_DIR"/poccd_dc*.log || true
 echo "chaos_soak: retry/dedupe accounting must show the resilience layer worked:"
-grep -hoE "overloaded=[0-9]+ deduped=[0-9]+" "$OUT_DIR"/poccd_dc*.log || true
+grep -hoE "host_overloaded_replies=[0-9]+ host_deduped_requests=[0-9]+" \
+  "$OUT_DIR"/poccd_dc*.log || true
 echo "chaos_soak: PASS"

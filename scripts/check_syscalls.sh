@@ -25,6 +25,7 @@ cd "$(dirname "$0")/.."
 
 AUDITED=(
   src/net/event_loop.cpp
+  src/net/http_server.cpp
   src/net/tcp_transport.cpp
   src/wal/partition_wal.cpp
   tools/pocc_chaosproxy.cpp

@@ -25,12 +25,24 @@
 # rebuild the missed replication suffix from its peers, and rejoin; the
 # disrupted load must finish with zero consistency violations.
 #
+# A tail-latency leg (E2E_TAIL_LEG=1, default) drives the paper's zipfian
+# skew (theta 0.99) over a millions-of-keys keyspace with skewed value sizes
+# and records p50/p99/p999 to BENCH_tail_latency.json; the delta vs
+# bench/baselines/BENCH_tail_latency.json is printed non-gating.
+#
+# Every poccd serves /metrics + /healthz + /readyz on BASE_PORT+40+dc;
+# startup and restart waits poll /readyz (recovery complete AND all peer
+# links up) instead of just probing the listen socket, and a mid-load scrape
+# of /metrics is saved to OUT_DIR as the observability artifact.
+#
 # usage: scripts/e2e_local_cluster.sh [BUILD_DIR] [OUT_DIR]
 # env:   E2E_BASE_PORT (7450)  E2E_SYSTEM (pocc)  E2E_DURATION_S (5)
 #        E2E_CLIENTS (8)  E2E_CONNECTIONS (2)  E2E_THREADS (2)
 #        E2E_PIPELINE (4)  E2E_PIPE_CONNECTIONS (4x E2E_CONNECTIONS)
 #        E2E_REQUIRE_SPEEDUP (0)  E2E_KILL_LEG (0)  E2E_KILL_DURATION_S (8)
 #        E2E_SIGNAL_LEG (1)  E2E_SIGNAL_DURATION_S (4)
+#        E2E_TAIL_LEG (1)  E2E_TAIL_DURATION_S (5)  E2E_TAIL_KEYS (1000000)
+#        E2E_TAIL_VMAX (1024)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -48,8 +60,44 @@ KILL_LEG="${E2E_KILL_LEG:-0}"
 KILL_DURATION_S="${E2E_KILL_DURATION_S:-8}"
 SIGNAL_LEG="${E2E_SIGNAL_LEG:-1}"
 SIGNAL_DURATION_S="${E2E_SIGNAL_DURATION_S:-4}"
+TAIL_LEG="${E2E_TAIL_LEG:-1}"
+TAIL_DURATION_S="${E2E_TAIL_DURATION_S:-5}"
+TAIL_KEYS="${E2E_TAIL_KEYS:-1000000}"
+TAIL_VMAX="${E2E_TAIL_VMAX:-1024}"
 DCS=3
 PARTS=2
+METRICS_BASE=$((BASE_PORT + 40))
+
+metrics_port() { echo $((METRICS_BASE + $1)); }
+
+# GET http://127.0.0.1:PORT/PATH over /dev/tcp; prints the full response
+# (status line + headers + body); rc != 0 when the connect fails. Runs in a
+# subshell so a refused connect doesn't kill the script under `set -e`.
+http_get() {
+  local port=$1 path=$2
+  (
+    exec 3<>"/dev/tcp/127.0.0.1/$port" || exit 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+    cat <&3
+  ) 2>/dev/null
+}
+
+http_body() { tr -d '\r' | sed '1,/^$/d'; }
+
+# Poll /readyz until it answers 200 — the server-side readiness predicate
+# (WAL recovery complete, client gate open, every peer link connected) —
+# instead of merely probing that the listen socket accepts.
+ready_wait() {
+  local port=$1 name=$2 attempts=${3:-150}
+  for attempt in $(seq 1 "$attempts"); do
+    if http_get "$port" /readyz | head -n 1 | grep -q ' 200 '; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "e2e: $name never answered 200 on /readyz" >&2
+  return 1
+}
 
 # The kill leg needs durable state to recover from; without it poccd runs in
 # its default non-durable mode (the pre-WAL deployment).
@@ -103,27 +151,14 @@ echo "e2e: launching $DCS poccd processes (one per DC, $PARTS partitions x $THRE
 for dc in $(seq 0 $((DCS - 1))); do
   data_args_for_dc "$dc"
   "$BUILD_DIR/poccd" --config "$CFG" --dc "$dc" ${DATA_ARGS[@]+"${DATA_ARGS[@]}"} \
+    --metrics-addr "127.0.0.1:$(metrics_port "$dc")" \
     > "$OUT_DIR/poccd_dc${dc}.log" 2>&1 &
   PIDS+=($!)
 done
 
-echo "e2e: waiting for all node ports to listen"
-for attempt in $(seq 1 100); do
-  up=1
-  for offset in $(seq 0 $((DCS - 1))); do
-    port=$((BASE_PORT + offset))
-    if ! (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
-      up=0
-      break
-    fi
-    exec 3>&- || true
-  done
-  [[ $up -eq 1 ]] && break
-  if [[ $attempt -eq 100 ]]; then
-    echo "e2e: cluster never came up" >&2
-    exit 4
-  fi
-  sleep 0.1
+echo "e2e: waiting for every DC to answer 200 on /readyz"
+for dc in $(seq 0 $((DCS - 1))); do
+  ready_wait "$(metrics_port "$dc")" "dc$dc" || exit 4
 done
 
 echo "e2e: causal smoke (read-your-writes + WC-DEP chain across DCs)"
@@ -136,7 +171,32 @@ echo "e2e: pipelined checked load ($CLIENTS sessions x pipeline $PIPELINE over $
 "$BUILD_DIR/pocc_loadgen" --config "$CFG" --mode load \
   --threads "$CLIENTS" --connections "$PIPE_CONNECTIONS" \
   --pipeline "$PIPELINE" --duration-s "$DURATION_S" \
-  --out "$OUT_DIR/BENCH_tcp_loadgen.json" --client-base 200000
+  --out "$OUT_DIR/BENCH_tcp_loadgen.json" --client-base 200000 \
+  > "$OUT_DIR/loadgen_pipelined.log" 2>&1 &
+PIPE_LOAD_PID=$!
+
+# Scrape /metrics from every DC mid-load — the observability artifact CI
+# uploads — and assert the server-side op-latency histograms are live.
+sleep 2
+for dc in $(seq 0 $((DCS - 1))); do
+  http_get "$(metrics_port "$dc")" /metrics | http_body \
+    > "$OUT_DIR/metrics_dc${dc}.prom" || true
+done
+if ! grep -q '^pocc_server_op_us_bucket{op="get",le="' "$OUT_DIR/metrics_dc0.prom"; then
+  echo "e2e: FAIL — mid-load /metrics scrape is missing pocc_server_op_us" >&2
+  exit 10
+fi
+if ! grep -q '^pocc_transport_frames_in_total ' "$OUT_DIR/metrics_dc0.prom"; then
+  echo "e2e: FAIL — mid-load /metrics scrape is missing transport counters" >&2
+  exit 10
+fi
+echo "e2e: mid-load /metrics scrape OK ($(wc -l < "$OUT_DIR/metrics_dc0.prom") series lines from dc0)"
+
+if ! wait "$PIPE_LOAD_PID"; then
+  echo "e2e: FAIL — pipelined checked load failed" >&2
+  tail -n 30 "$OUT_DIR/loadgen_pipelined.log" >&2 || true
+  exit 10
+fi
 cat "$OUT_DIR/BENCH_tcp_loadgen.json"
 
 echo "e2e: checked serial load ($CLIENTS client threads x $CONNECTIONS connections per DC for ${DURATION_S}s)"
@@ -158,6 +218,23 @@ if [[ -f "$BASELINE" ]]; then
       exit 6
     fi
     echo "e2e: pipelined throughput holds the baseline ($cur >= $base ops/s)"
+  fi
+fi
+
+if [[ "$TAIL_LEG" == "1" ]]; then
+  echo "e2e: tail-latency leg — zipfian theta=0.99 over $((TAIL_KEYS * PARTS)) keys/DC, value sizes 8..${TAIL_VMAX}B skewed, ${TAIL_DURATION_S}s"
+  "$BUILD_DIR/pocc_loadgen" --config "$CFG" --mode load \
+    --threads "$CLIENTS" --connections "$PIPE_CONNECTIONS" \
+    --pipeline "$PIPELINE" --duration-s "$TAIL_DURATION_S" \
+    --key-dist zipfian --theta 0.99 --keys-per-partition "$TAIL_KEYS" \
+    --value-size 8 --value-size-max "$TAIL_VMAX" \
+    --key-offset 400000000 \
+    --out "$OUT_DIR/BENCH_tail_latency.json" --client-base 700000
+  cat "$OUT_DIR/BENCH_tail_latency.json"
+  TAIL_BASELINE="bench/baselines/BENCH_tail_latency.json"
+  if [[ -f "$TAIL_BASELINE" ]]; then
+    echo "e2e: tail-latency delta vs the committed baseline (non-gating)"
+    scripts/perf_delta.sh "$OUT_DIR/BENCH_tail_latency.json" "$TAIL_BASELINE" || true
   fi
 fi
 
@@ -235,25 +312,18 @@ if [[ "$KILL_LEG" == "1" ]]; then
   echo "e2e: restarting dc$VICTIM_DC on its data dir (WAL replay + peer recovery)"
   data_args_for_dc "$VICTIM_DC"
   "$BUILD_DIR/poccd" --config "$CFG" --dc "$VICTIM_DC" "${DATA_ARGS[@]}" \
+    --metrics-addr "127.0.0.1:$(metrics_port "$VICTIM_DC")" \
     >> "$OUT_DIR/poccd_dc${VICTIM_DC}.log" 2>&1 &
   PIDS[$VICTIM_DC]=$!
 
-  port=$((BASE_PORT + VICTIM_DC))
-  for attempt in $(seq 1 100); do
-    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
-      exec 3>&- || true
-      break
-    fi
-    if [[ $attempt -eq 100 ]]; then
-      echo "e2e: dc$VICTIM_DC never listened again after restart" >&2
-      exit 7
-    fi
-    sleep 0.1
-  done
+  # /readyz only answers 200 once the WAL replay finished, the parked client
+  # gate reopened AND every peer link re-dialed — the full rejoin, not just a
+  # listening socket.
+  ready_wait "$(metrics_port "$VICTIM_DC")" "restarted dc$VICTIM_DC" 150 || exit 7
 
-# The first launch also prints PARTS "recovered part" lines (empty dir), so
-  # the restart is proven by a second batch — and the port starts listening
-  # before the main thread prints them, hence the poll.
+  # The first launch also prints PARTS "recovered part" lines (empty dir), so
+  # the restart is proven by a second batch — and readiness can precede the
+  # main thread printing them, hence the poll.
   for attempt in $(seq 1 50); do
     lines="$(grep -c "recovered part" "$OUT_DIR/poccd_dc${VICTIM_DC}.log" || true)"
     [[ "$lines" -ge $((2 * PARTS)) ]] && break

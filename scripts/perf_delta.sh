@@ -24,7 +24,7 @@ extract() { # file key -> numeric value (empty if absent)
 # Key set AND default baseline depend on the bench that produced the line.
 if grep -q '"bench":"tcp_loadgen"' "$CURRENT"; then
   BASELINE="${2:-bench/baselines/BENCH_tcp_loadgen.json}"
-  KEYS="ops_per_sec get_p50_us get_p99_us put_p50_us put_p99_us failures"
+  KEYS="ops_per_sec get_p50_us get_p99_us get_p999_us put_p50_us put_p99_us put_p999_us failures"
   NOTE="(positive % = larger than baseline; ops_per_sec higher is better, latencies lower)"
 elif grep -q '"bench":"recovery"' "$CURRENT"; then
   BASELINE="${2:-bench/baselines/BENCH_recovery.json}"

@@ -1,0 +1,219 @@
+// Syscall discipline (scripts/check_syscalls.sh): accept/recv/send here
+// retry on EINTR and treat EAGAIN as "wait for the next readiness event";
+// any other errno closes the connection instead of consuming garbage.
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace pocc::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  POCC_ASSERT(flags >= 0);
+  POCC_ASSERT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  POCC_ASSERT_MSG(!thread_.joinable(), "handle() after start()");
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::start(const std::string& addr) {
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos) return false;
+  const std::string host = addr.substr(0, colon);
+  const int port = std::atoi(addr.c_str() + colon + 1);
+  if (port < 0 || port > 65535) return false;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty() || host == "0.0.0.0") {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(sa);
+  POCC_ASSERT(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sa),
+                            &len) == 0);
+  port_ = ntohs(sa.sin_port);
+  set_nonblocking(listen_fd_);
+  loop_.watch(listen_fd_, /*read=*/true, /*write=*/false);
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  for (std::size_t i = conns_.size(); i-- > 0;) close_conn(i);
+  if (listen_fd_ >= 0) {
+    loop_.unwatch(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::run() {
+  std::vector<EventLoop::Event> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Short timeout bounds stop() latency; scrape traffic is light enough
+    // that the idle wakeup cost is irrelevant.
+    loop_.wait(50, events);
+    for (const auto& ev : events) {
+      if (ev.fd == listen_fd_) {
+        if (ev.readable) accept_ready();
+        continue;
+      }
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i].fd == ev.fd) {
+          if (ev.error && !ev.readable) {
+            close_conn(i);
+          } else {
+            conn_ready(i, ev.readable, ev.writable);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained; anything else: retry on next readiness
+    }
+    set_nonblocking(fd);
+    Conn c;
+    c.fd = fd;
+    conns_.push_back(std::move(c));
+    loop_.watch(fd, /*read=*/true, /*write=*/false);
+  }
+}
+
+void HttpServer::conn_ready(std::size_t idx, bool readable, bool writable) {
+  Conn& c = conns_[idx];
+  if (readable && !c.responded) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        if (c.in.size() > 8192) {  // header flood: not a scraper
+          close_conn(idx);
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_conn(idx);  // orderly EOF before a full request, or hard error
+      return;
+    }
+    if (c.in.find("\r\n\r\n") != std::string::npos ||
+        c.in.find("\n\n") != std::string::npos) {
+      respond(c);
+    }
+  }
+  if ((writable || c.responded) && !c.out.empty()) {
+    for (;;) {
+      const ssize_t n = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out.erase(0, static_cast<std::size_t>(n));
+        if (c.out.empty()) break;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        loop_.watch(c.fd, /*read=*/false, /*write=*/true);
+        return;
+      }
+      close_conn(idx);
+      return;
+    }
+  }
+  if (c.responded && c.out.empty()) close_conn(idx);  // Connection: close
+}
+
+void HttpServer::respond(Conn& c) {
+  // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
+  const auto eol = c.in.find_first_of("\r\n");
+  const std::string line = c.in.substr(0, eol);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  Response resp;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = Response{405, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    resp = Response{405, "text/plain; charset=utf-8", "GET only\n"};
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const auto q = path.find('?');
+    if (q != std::string::npos) path.erase(q);
+    const auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      resp = Response{404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      resp = it->second();
+    }
+  }
+  c.out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+          status_text(resp.status) + "\r\nContent-Type: " + resp.content_type +
+          "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+          "\r\nConnection: close\r\n\r\n" + resp.body;
+  c.responded = true;  // caller's write pass flushes c.out
+}
+
+void HttpServer::close_conn(std::size_t idx) {
+  Conn& c = conns_[idx];
+  if (c.fd >= 0) {
+    loop_.unwatch(c.fd);
+    ::close(c.fd);
+  }
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+}  // namespace pocc::net

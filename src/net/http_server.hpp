@@ -1,0 +1,69 @@
+// Minimal embedded HTTP/1.0-style server for observability endpoints
+// (/metrics, /healthz, /readyz). GET-only, Connection: close, served from a
+// dedicated net::EventLoop on its own thread so scrapes never touch the
+// transport shards or engine workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+
+namespace pocc::net {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  /// Handlers run on the server thread at request time; they must be safe to
+  /// call concurrently with the rest of the process (scrape-only state).
+  using Handler = std::function<Response()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for an exact path. Must be called before start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds `addr` ("host:port"; port 0 = ephemeral) and starts the server
+  /// thread. Returns false (with no thread started) on bind failure.
+  bool start(const std::string& addr);
+  void stop();
+
+  /// Port actually bound (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;    // request bytes until blank line
+    std::string out;   // response bytes not yet written
+    bool responded = false;
+  };
+
+  void run();
+  void accept_ready();
+  void conn_ready(std::size_t idx, bool readable, bool writable);
+  void respond(Conn& c);
+  void close_conn(std::size_t idx);
+
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  EventLoop loop_;
+  std::vector<Conn> conns_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace pocc::net

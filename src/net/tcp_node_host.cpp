@@ -77,6 +77,7 @@ TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
   group_opt.seed = rng_.next();
   group_opt.wal = wal_.get();
   group_opt.max_inbox_messages = opt_.max_inbox_messages;
+  group_opt.registry = &registry_;
   group_opt.driven = true;
   group_opt.wake = [this](std::uint32_t w) { transport_.wake_loop(w); };
   group_ = std::make_unique<rt::NodeGroup>(self_.dc, self_.parts, *this,
@@ -177,6 +178,29 @@ void TcpNodeHost::start(const std::vector<ProcessSpec>& peers) {
       recovery_deadline_at_ = rt::steady_now_us() + opt_.recovery_deadline_us;
     }
   }
+  register_metrics();
+  if (!opt_.metrics_addr.empty()) {
+    metrics_server_.handle("/metrics", [this] {
+      return HttpServer::Response{
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          stats::render_prometheus(registry_.snapshot())};
+    });
+    metrics_server_.handle("/healthz", [] {
+      return HttpServer::Response{200, "text/plain; charset=utf-8", "ok\n"};
+    });
+    metrics_server_.handle("/readyz", [this] {
+      return ready() ? HttpServer::Response{200, "text/plain; charset=utf-8",
+                                            "ready\n"}
+                     : HttpServer::Response{503, "text/plain; charset=utf-8",
+                                            "not ready\n"};
+    });
+    if (metrics_server_.start(opt_.metrics_addr)) {
+      log("metrics on " + opt_.metrics_addr + " (port " +
+          std::to_string(metrics_server_.port()) + ")");
+    } else {
+      log("metrics bind FAILED on " + opt_.metrics_addr);
+    }
+  }
   group_->start();  // driven: marks started, spawns nothing
   transport_.start();
   log("serving " + std::to_string(self_.parts.size()) + " partitions on " +
@@ -193,6 +217,9 @@ void TcpNodeHost::stop() {
     if (!started_) return;
     started_ = false;
   }
+  // Scrape endpoint first: its handlers read state the teardown below
+  // dismantles.
+  metrics_server_.stop();
   // Driven mode inverts the old order: the transport loops ARE the worker
   // threads, so they stop first (their exit pass drains the outboxes
   // best-effort), then the group runs its final timer/durability pass on
@@ -209,6 +236,7 @@ void TcpNodeHost::crash_stop() {
     if (!started_) return;
     started_ = false;
   }
+  metrics_server_.stop();
   // Deliberately NO batcher flush — staged replication frames die with the
   // process, exactly like kill -9. Same for the WAL tail: records past the
   // last group commit are discarded, not synced (no output depended on
@@ -227,6 +255,19 @@ void TcpNodeHost::crash_stop() {
 bool TcpNodeHost::recovering() const {
   std::lock_guard lk(mu_);
   return recovery_dones_pending_ > 0;
+}
+
+bool TcpNodeHost::ready() const {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_ || recovery_dones_pending_ > 0) return false;
+  }
+  // links_ is immutable once start() returns (and the metrics server only
+  // runs after that); connected() is a per-shard atomic read.
+  for (const auto& link : links_) {
+    if (!transport_.connected(link->conn)) return false;
+  }
+  return true;
 }
 
 void TcpNodeHost::arm_chaos(DcId peer_dc, std::shared_ptr<ChaosLink> link) {
@@ -254,6 +295,139 @@ std::uint64_t TcpNodeHost::overloaded_replies() const {
 std::uint64_t TcpNodeHost::deduped_requests() const {
   std::lock_guard lk(mu_);
   return deduped_;
+}
+
+std::uint64_t TcpNodeHost::client_requests() const {
+  std::lock_guard lk(mu_);
+  return client_requests_;
+}
+
+void TcpNodeHost::register_metrics() {
+  stats::Registry& r = registry_;
+  // --- transport (TransportStats aggregates its shards under their locks) --
+  struct TransportField {
+    const char* name;
+    std::uint64_t TransportStats::*field;
+  };
+  static constexpr TransportField kTransport[] = {
+      {"pocc_transport_frames_in_total", &TransportStats::frames_in},
+      {"pocc_transport_frames_out_total", &TransportStats::frames_out},
+      {"pocc_transport_bytes_in_total", &TransportStats::bytes_in},
+      {"pocc_transport_bytes_out_total", &TransportStats::bytes_out},
+      {"pocc_transport_accepts_total", &TransportStats::accepts},
+      {"pocc_transport_reconnects_total", &TransportStats::reconnects},
+      {"pocc_transport_decode_errors_total", &TransportStats::decode_errors},
+      {"pocc_transport_send_overflows_total", &TransportStats::send_overflows},
+      {"pocc_transport_down_buffer_drops_total",
+       &TransportStats::down_buffer_drops},
+      {"pocc_transport_migrations_total", &TransportStats::migrations},
+  };
+  for (const auto& f : kTransport) {
+    r.counter_fn(f.name, {},
+                 [this, field = f.field] { return transport_.stats().*field; });
+  }
+  // --- replication batching (summed over peer links) ---
+  struct BatchField {
+    const char* name;
+    std::uint64_t BatchStats::*field;
+  };
+  static constexpr BatchField kBatch[] = {
+      {"pocc_batch_messages_total", &BatchStats::messages},
+      {"pocc_batch_batches_total", &BatchStats::batches},
+      {"pocc_batch_protocol_bytes_total", &BatchStats::protocol_bytes},
+      {"pocc_batch_overhead_bytes_total", &BatchStats::overhead_bytes},
+      {"pocc_batch_send_failures_total", &BatchStats::send_failures},
+      {"pocc_batch_retried_batches_total", &BatchStats::retried_batches},
+      {"pocc_batch_dropped_batches_total", &BatchStats::dropped_batches},
+  };
+  for (const auto& f : kBatch) {
+    r.counter_fn(f.name, {},
+                 [this, field = f.field] { return batch_stats().*field; });
+  }
+  r.gauge_fn("pocc_batch_pending_bytes", {}, [this] {
+    std::int64_t total = 0;
+    for (const auto& link : links_) {
+      total += static_cast<std::int64_t>(link->batcher->pending_bytes());
+    }
+    return total;
+  }, "Replication bytes parked behind transport backpressure");
+  // --- host admission / client session plane ---
+  r.counter_fn("pocc_host_dropped_frames_total", {},
+               [this] { return dropped_frames(); });
+  r.counter_fn("pocc_host_overloaded_replies_total", {},
+               [this] { return overloaded_replies(); });
+  r.counter_fn("pocc_host_deduped_requests_total", {},
+               [this] { return deduped_requests(); },
+               "Retries absorbed by the idempotency cache (hit rate = this / "
+               "pocc_host_client_requests_total)");
+  r.counter_fn("pocc_host_client_requests_total", {},
+               [this] { return client_requests(); });
+  r.counter_fn("pocc_local_deliveries_total", {},
+               [this] { return group_->local_deliveries(); },
+               "Cross-partition messages delivered without a socket");
+  r.gauge_fn("pocc_host_recovering", {},
+             [this] { return recovering() ? 1 : 0; });
+  r.gauge_fn("pocc_host_ready", {}, [this] { return ready() ? 1 : 0; },
+             "The /readyz predicate");
+  // --- per-partition: inbox depth, engine counters, store, GC, WAL ---
+  for (std::size_t i = 0; i < self_.parts.size(); ++i) {
+    const PartitionId p = self_.parts[i];
+    const stats::Labels part_label = {{"part", std::to_string(p)}};
+    r.gauge_fn("pocc_inbox_depth", part_label, [this, p] {
+      return static_cast<std::int64_t>(group_->inbox_depth(p));
+    });
+    server::ReplicaBase* eng = &group_->engine(p);
+    r.counter_fn("pocc_engine_gets_total", part_label,
+                 [eng] { return eng->gets_served(); });
+    r.counter_fn("pocc_engine_puts_total", part_label,
+                 [eng] { return eng->puts_served(); });
+    r.counter_fn("pocc_engine_slices_total", part_label,
+                 [eng] { return eng->slices_served(); });
+    r.counter_fn("pocc_engine_blocking_ops_total", part_label,
+                 [eng] { return eng->blocking_stats().operations.load(); });
+    r.counter_fn("pocc_engine_blocked_total", part_label,
+                 [eng] { return eng->blocking_stats().blocked.load(); });
+    r.counter_fn("pocc_engine_blocked_macro_total", part_label,
+                 [eng] { return eng->blocking_stats().blocked_macro.load(); });
+    r.counter_fn("pocc_engine_reads_total", part_label,
+                 [eng] { return eng->staleness_stats().reads.load(); });
+    r.counter_fn("pocc_engine_old_reads_total", part_label,
+                 [eng] { return eng->staleness_stats().old_reads.load(); });
+    r.counter_fn(
+        "pocc_engine_unmerged_reads_total", part_label,
+        [eng] { return eng->staleness_stats().unmerged_reads.load(); });
+    r.gauge_fn("pocc_engine_gc_floor_us", part_label,
+               [eng] { return eng->scraped_gc_floor_us(); },
+               "Min entry of the last applied aggregate GC vector");
+    r.gauge_fn("pocc_store_keys", part_label, [eng] {
+      return static_cast<std::int64_t>(eng->partition_store().stats().keys);
+    });
+    r.gauge_fn("pocc_store_versions", part_label, [eng] {
+      return static_cast<std::int64_t>(eng->partition_store().stats().versions);
+    });
+    r.gauge_fn("pocc_store_multi_version_keys", part_label, [eng] {
+      return static_cast<std::int64_t>(
+          eng->partition_store().stats().multi_version_keys);
+    });
+    r.counter_fn("pocc_store_gc_removed_total", part_label, [eng] {
+      return eng->partition_store().stats().gc_removed;
+    });
+    if (wal_ != nullptr) {
+      wal::PartitionWal* wal = &wal_->wal_for(p);
+      r.counter_fn("pocc_wal_syncs_total", part_label,
+                   [wal] { return wal->syncs(); });
+      r.counter_fn("pocc_wal_synced_bytes_total", part_label,
+                   [wal] { return wal->synced_bytes(); });
+      // Replay stats are immutable after the constructor's restore pass.
+      const auto& rs = replay_stats_[i];
+      r.gauge("pocc_wal_replay_log_versions", part_label)
+          ->set(static_cast<std::int64_t>(rs.log_versions));
+      r.gauge("pocc_wal_replay_snapshot_versions", part_label)
+          ->set(static_cast<std::int64_t>(rs.snapshot_versions));
+      r.gauge("pocc_wal_replay_torn_bytes", part_label)
+          ->set(static_cast<std::int64_t>(rs.torn_bytes));
+    }
+  }
 }
 
 void TcpNodeHost::log(const std::string& what) const {
@@ -409,6 +583,7 @@ void TcpNodeHost::dispatch_client_request(ConnId conn, proto::Message m,
   {
     std::lock_guard lk(mu_);
     client_conn_[client] = conn;
+    if (!replayed) ++client_requests_;
     if (!replayed && op_id != 0) {
       // Idempotent retry absorption: the client retries with the SAME
       // op_id, so a duplicate of a completed op is answered from the

@@ -40,9 +40,11 @@
 
 #include "common/rng.hpp"
 #include "net/cluster_config.hpp"
+#include "net/http_server.hpp"
 #include "net/tcp_transport.hpp"
 #include "runtime/node_group.hpp"
 #include "server/replica_base.hpp"
+#include "stats/registry.hpp"
 #include "wal/wal_manager.hpp"
 
 namespace pocc::net {
@@ -80,6 +82,11 @@ class TcpNodeHost final : public rt::Router {
     std::size_t shed_pending_bytes = 8u << 20;
     /// Backoff hint carried in Overloaded replies.
     Duration overload_retry_after_us = 20'000;
+    /// Observability endpoint ("host:port", port 0 = ephemeral): serves
+    /// /metrics (Prometheus text), /healthz and /readyz from a dedicated
+    /// event-loop thread. Empty disables the HTTP server; the stats
+    /// registry is populated either way (SIGUSR2/exit dumps render it).
+    std::string metrics_addr;
   };
 
   /// Binds the listening socket immediately (port() is valid afterwards);
@@ -111,6 +118,21 @@ class TcpNodeHost final : public rt::Router {
 
   /// True while the client-admission gate is closed (peer recovery pending).
   [[nodiscard]] bool recovering() const;
+
+  /// Readiness (the /readyz predicate): started, WAL recovery complete
+  /// (client gate open), and every peer link connected.
+  [[nodiscard]] bool ready() const;
+
+  /// The unified stats registry. Every quantity this process tracks —
+  /// transport, batching, admission, engines, store, WAL — registers here;
+  /// /metrics, SIGUSR2 and the exit dump are renders of one snapshot().
+  [[nodiscard]] stats::Registry& registry() { return registry_; }
+
+  /// Port of the embedded metrics server (0 when Options::metrics_addr was
+  /// empty or the bind failed). Valid after start().
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return metrics_server_.port();
+  }
 
   /// Per hosted partition, what the WAL replay restored (empty when
   /// durability is off). Index-aligned with spec().parts.
@@ -144,6 +166,8 @@ class TcpNodeHost final : public rt::Router {
   /// Retransmitted client requests absorbed by the idempotency cache
   /// (cached reply resent or duplicate of an in-flight op swallowed).
   [[nodiscard]] std::uint64_t deduped_requests() const;
+  /// Client requests that reached dispatch (dedup hit-rate denominator).
+  [[nodiscard]] std::uint64_t client_requests() const;
 
   // --- rt::Router (called from the worker threads) ---
   void route(NodeId from, NodeId to, proto::Message m) override;
@@ -171,6 +195,10 @@ class TcpNodeHost final : public rt::Router {
   [[nodiscard]] bool replication_backlogged() const;
   void send_overloaded(ConnId conn, ClientId client, std::uint64_t op_id);
   void release_parked_clients(const char* why);
+  /// Populates registry_ with every instrument this process exposes. Called
+  /// once from start(), after links_ is final (the scrape-time callbacks
+  /// capture link/engine pointers that must be immutable by then).
+  void register_metrics();
   void log(const std::string& what) const;
   [[nodiscard]] static std::uint64_t flat(NodeId n) {
     return (static_cast<std::uint64_t>(n.dc) << 32) | n.part;
@@ -180,6 +208,9 @@ class TcpNodeHost final : public rt::Router {
   ClusterLayout layout_;
   Options opt_;
   Rng rng_;
+  /// Declared before group_ and metrics_server_: the group's workers hold
+  /// histogram-cell pointers into it, and the server's handlers snapshot it.
+  stats::Registry registry_;
   TcpTransport transport_;
   /// Declared before group_: slots hold raw PartitionWal pointers into it,
   /// so the group must be destroyed first.
@@ -219,12 +250,17 @@ class TcpNodeHost final : public rt::Router {
   std::uint64_t dropped_ = 0;
   std::uint64_t overloaded_ = 0;
   std::uint64_t deduped_ = 0;
+  std::uint64_t client_requests_ = 0;
   bool started_ = false;
   /// RecoveryDones still outstanding across all hosted partitions; client
   /// requests park in parked_clients_ until it reaches 0 (or the deadline).
   std::uint32_t recovery_dones_pending_ = 0;
   Timestamp recovery_deadline_at_ = 0;
   std::vector<std::pair<ConnId, proto::Message>> parked_clients_;
+
+  /// Last member: destroyed (and thus stopped) before anything its handlers
+  /// read — the registry, the group, the transport.
+  HttpServer metrics_server_;
 };
 
 }  // namespace pocc::net

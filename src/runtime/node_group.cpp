@@ -29,6 +29,18 @@ NodeGroup::NodeGroup(DcId dc, std::vector<PartitionId> parts, Router& router,
   for (std::uint32_t w = 0; w < threads; ++w) {
     workers_.push_back(std::make_unique<Worker>());
     workers_.back()->index = w;
+    if (opt_.registry != nullptr) {
+      // One histogram shard per worker per op: repeated registration of the
+      // same (name, labels) yields a fresh cell, merged at scrape time.
+      Worker& wk = *workers_.back();
+      wk.lat_get = opt_.registry->histogram(
+          "pocc_server_op_us", {{"op", "get"}},
+          "Server-side request latency at the engine seam (us)");
+      wk.lat_put = opt_.registry->histogram("pocc_server_op_us",
+                                            {{"op", "put"}});
+      wk.lat_tx = opt_.registry->histogram("pocc_server_op_us",
+                                           {{"op", "ro_tx"}});
+    }
   }
   POCC_ASSERT_MSG(!opt_.driven || opt_.wake != nullptr,
                   "driven mode needs a wake callback");
@@ -268,7 +280,26 @@ Timestamp NodeGroup::service(std::uint32_t worker) {
     if (!drained) break;
     while (!w.backlog.empty()) {
       Incoming in = w.backlog.pop_front();
-      in.slot->engine->handle_message(in.from, std::move(in.msg));
+      // Server-side op latency at the engine seam: time only the
+      // client-visible request types, and only when a registry is wired
+      // (one steady-clock read pair per timed message).
+      stats::HistogramCell* cell = nullptr;
+      if (w.lat_get != nullptr) {
+        if (std::holds_alternative<proto::GetReq>(in.msg)) {
+          cell = w.lat_get;
+        } else if (std::holds_alternative<proto::PutReq>(in.msg)) {
+          cell = w.lat_put;
+        } else if (std::holds_alternative<proto::RoTxReq>(in.msg)) {
+          cell = w.lat_tx;
+        }
+      }
+      if (cell == nullptr) {
+        in.slot->engine->handle_message(in.from, std::move(in.msg));
+      } else {
+        const Timestamp t0 = steady_now_us();
+        in.slot->engine->handle_message(in.from, std::move(in.msg));
+        cell->record(static_cast<std::int64_t>(steady_now_us() - t0));
+      }
     }
     // One fdatasync covers the whole drained batch (group commit), then
     // the batch's replies and sends leave together.

@@ -44,6 +44,7 @@
 #include "runtime/rt_node.hpp"
 #include "server/context.hpp"
 #include "server/replica_base.hpp"
+#include "stats/registry.hpp"
 #include "wal/wal_manager.hpp"
 
 namespace pocc::rt {
@@ -92,6 +93,11 @@ class NodeGroup {
     /// worker's own) when worker `w` gained inbox work and its loop must
     /// schedule a service(w) pass.
     std::function<void(std::uint32_t)> wake;
+    /// When set, each worker registers one shard of the server-side
+    /// `pocc_server_op_us{op=get|put|ro_tx}` latency histograms and times
+    /// client-visible requests around handle_message (the engine seam).
+    /// Must outlive the group. nullptr = no op-latency accounting.
+    stats::Registry* registry = nullptr;
   };
 
   /// Builds one engine bound to `ctx` (its partition-private Context).
@@ -233,6 +239,12 @@ class NodeGroup {
     std::vector<Slot*> slots;
     common::Ring<Incoming> backlog;  // swap-drain scratch (owner thread)
     bool engines_started = false;
+    // This worker's shards of the op-latency histograms (nullptr without
+    // Options::registry). Each worker records only into its own cells, so
+    // the cell mutexes are uncontended except during a scrape merge.
+    stats::HistogramCell* lat_get = nullptr;
+    stats::HistogramCell* lat_put = nullptr;
+    stats::HistogramCell* lat_tx = nullptr;
     std::thread thread;  // empty in driven mode
   };
 

@@ -597,6 +597,7 @@ Duration ReplicaBase::on_gc_vector(const proto::GcVector& msg) {
     return gc_version_at_floor(v, msg.gv);
   });
   charge(service_.version_hop_us * static_cast<Duration>(removed));
+  gc_floor_us_ = static_cast<std::int64_t>(msg.gv.min_entry());
   return work_;
 }
 

@@ -119,6 +119,12 @@ class ReplicaBase {
   [[nodiscard]] std::uint64_t puts_served() const { return puts_served_; }
   [[nodiscard]] std::uint64_t gets_served() const { return gets_served_; }
   [[nodiscard]] std::uint64_t slices_served() const { return slices_served_; }
+
+  /// Min entry of the last aggregate GC vector this engine applied (the GC
+  /// floor). Relaxed-published so a live scrape thread may read it.
+  [[nodiscard]] std::int64_t scraped_gc_floor_us() const {
+    return gc_floor_us_;
+  }
   void reset_stats() {
     blocking_.reset();
     staleness_.reset();
@@ -264,9 +270,12 @@ class ReplicaBase {
 
   stats::BlockingStats blocking_;
   stats::StalenessStats staleness_;
-  std::uint64_t puts_served_ = 0;
-  std::uint64_t gets_served_ = 0;
-  std::uint64_t slices_served_ = 0;
+  // Relaxed so /metrics scrapes may read them while the engine thread runs.
+  stats::RelaxedU64 puts_served_;
+  stats::RelaxedU64 gets_served_;
+  stats::RelaxedU64 slices_served_;
+
+  stats::RelaxedI64 gc_floor_us_;  // min entry of the last applied GC vector
 
   /// In-flight read-only transactions this node coordinates.
   struct PendingTx {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cinttypes>
+#include <cstdio>
 
 namespace pocc::stats {
 
@@ -62,6 +64,17 @@ std::int64_t Histogram::percentile(double p) const {
   return max_;
 }
 
+std::uint64_t Histogram::count_le(std::int64_t bound) const {
+  if (bound < 0) return 0;
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (bucket_mid(b) > bound) break;  // bucket_mid is monotone in b
+    seen += buckets_[b];
+  }
+  return seen;
+}
+
 void Histogram::merge(const Histogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {
@@ -82,6 +95,17 @@ void Histogram::reset() {
   sum_ = 0.0;
   min_ = 0;
   max_ = 0;
+}
+
+std::string latency_json_fields(const std::string& prefix,
+                                const Histogram& h) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s_p50_us\":%" PRId64 ",\"%s_p99_us\":%" PRId64
+                ",\"%s_p999_us\":%" PRId64,
+                prefix.c_str(), h.percentile(50), prefix.c_str(),
+                h.percentile(99), prefix.c_str(), h.percentile(99.9));
+  return buf;
 }
 
 }  // namespace pocc::stats

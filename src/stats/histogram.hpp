@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hpp"
 
@@ -25,8 +26,14 @@ class Histogram {
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double mean() const;
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
   [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
+
+  /// Samples recorded at or below `bound` (Prometheus cumulative-bucket
+  /// semantics). Accurate to the bucket resolution (<= ~6.25% relative
+  /// error): a bucket counts as <= bound when its representative midpoint is.
+  [[nodiscard]] std::uint64_t count_le(std::int64_t bound) const;
 
   /// p in [0, 100]. Returns a representative value of the bucket containing
   /// the requested rank.
@@ -45,5 +52,11 @@ class Histogram {
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
 };
+
+/// JSON fragment `"<prefix>_p50_us":N,"<prefix>_p99_us":N,"<prefix>_p999_us":N`
+/// (no surrounding braces or trailing comma) — the one definition of which
+/// percentiles a latency report carries, shared by the loadgen JSON line and
+/// the bench baselines so they can never drift apart.
+std::string latency_json_fields(const std::string& prefix, const Histogram& h);
 
 }  // namespace pocc::stats

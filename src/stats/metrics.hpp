@@ -10,6 +10,7 @@
 
 #include "common/types.hpp"
 #include "stats/histogram.hpp"
+#include "stats/relaxed_counter.hpp"
 
 namespace pocc::stats {
 
@@ -22,10 +23,12 @@ struct BlockingStats {
   /// inter-partition VV skew is indistinguishable from scheduling noise).
   static constexpr Duration kMacroThresholdUs = 1'000;
 
-  std::uint64_t operations = 0;  // ops subject to blocking (GET/PUT/slice)
-  std::uint64_t blocked = 0;     // ops that stalled at all
-  std::uint64_t blocked_macro = 0;  // ops that stalled > kMacroThresholdUs
-  Histogram blocked_time_us;     // blocking duration of blocked ops
+  // Counters are relaxed atomics so a live /metrics scrape may read them
+  // from another thread while the owning engine thread keeps incrementing.
+  RelaxedU64 operations;     // ops subject to blocking (GET/PUT/slice)
+  RelaxedU64 blocked;        // ops that stalled at all
+  RelaxedU64 blocked_macro;  // ops that stalled > kMacroThresholdUs
+  Histogram blocked_time_us;  // blocking duration of blocked ops
 
   void record_op(Duration blocked_us) {
     ++operations;
@@ -68,11 +71,11 @@ struct BlockingStats {
 ///  - an item is "unmerged" if at least one version of it is not yet stable,
 ///    regardless of the freshness of the returned version.
 struct StalenessStats {
-  std::uint64_t reads = 0;
-  std::uint64_t old_reads = 0;
-  std::uint64_t unmerged_reads = 0;
-  std::uint64_t fresher_versions = 0;   // summed over old reads
-  std::uint64_t unmerged_versions = 0;  // summed over unmerged reads
+  RelaxedU64 reads;
+  RelaxedU64 old_reads;
+  RelaxedU64 unmerged_reads;
+  RelaxedU64 fresher_versions;   // summed over old reads
+  RelaxedU64 unmerged_versions;  // summed over unmerged reads
 
   void record_read(std::uint32_t fresher, std::uint32_t unmerged) {
     ++reads;

@@ -1,0 +1,74 @@
+// Monotonic counters that stay plain-looking on the owner thread but are
+// safe to READ from any thread (live /metrics scrapes): relaxed atomics
+// with value semantics, so the structs that embed them keep their copy /
+// merge / aggregate idioms. Relaxed is sufficient — every counter here is
+// an independent statistic; scrapes tolerate instantaneous skew between
+// counters exactly like any monitoring system does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pocc::stats {
+
+class RelaxedU64 {
+ public:
+  RelaxedU64() = default;
+  RelaxedU64(std::uint64_t v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  RelaxedU64(const RelaxedU64& o) : v_(o.load()) {}
+  RelaxedU64& operator=(const RelaxedU64& o) {
+    store(o.load());
+    return *this;
+  }
+  RelaxedU64& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t load() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator std::uint64_t() const { return load(); }
+
+  RelaxedU64& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator+=(std::uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Signed variant for gauges mirrored off the owner thread (GC floors).
+class RelaxedI64 {
+ public:
+  RelaxedI64() = default;
+  RelaxedI64(std::int64_t v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  RelaxedI64(const RelaxedI64& o) : v_(o.load()) {}
+  RelaxedI64& operator=(const RelaxedI64& o) {
+    store(o.load());
+    return *this;
+  }
+  RelaxedI64& operator=(std::int64_t v) {
+    store(v);
+    return *this;
+  }
+
+  [[nodiscard]] std::int64_t load() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void store(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator std::int64_t() const { return load(); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+}  // namespace pocc::stats

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "server/durability.hpp"
+#include "stats/relaxed_counter.hpp"
 #include "store/version.hpp"
 #include "vclock/version_vector.hpp"
 
@@ -118,8 +119,9 @@ class PartitionWal final : public server::DurabilityLog {
   std::uint64_t active_segment_bytes_ = 0;
   std::vector<std::uint8_t> buf_;  // appended, not yet written+synced
   bool checkpoint_pending_ = false;
-  std::uint64_t syncs_ = 0;
-  std::uint64_t synced_bytes_ = 0;
+  // Relaxed so a live /metrics scrape may read them off the owner thread.
+  stats::RelaxedU64 syncs_;
+  stats::RelaxedU64 synced_bytes_;
   std::uint64_t replay_torn_bytes_ = 0;
 };
 

@@ -8,12 +8,31 @@
 
 namespace pocc::workload {
 
+namespace {
+
+/// Number of doublings from value_size up to (at most) value_size_max:
+/// 1 when sizes are fixed, so the size zipf degenerates to "always rank 0".
+std::uint64_t size_octaves(const WorkloadConfig& cfg) {
+  std::uint64_t octaves = 1;
+  if (cfg.value_size > 0) {
+    std::uint64_t size = cfg.value_size;
+    while (size * 2 <= cfg.value_size_max) {
+      size *= 2;
+      ++octaves;
+    }
+  }
+  return octaves;
+}
+
+}  // namespace
+
 Generator::Generator(const WorkloadConfig& cfg, std::uint32_t partitions,
                      std::uint64_t seed)
     : cfg_(cfg),
       partitions_(partitions),
       rng_(seed),
       zipf_(cfg.keys_per_partition, cfg.zipf_theta),
+      size_zipf_(size_octaves(cfg), cfg.zipf_theta),
       scratch_(partitions) {
   POCC_ASSERT(partitions > 0);
   POCC_ASSERT(cfg.keys_per_partition > 0);
@@ -27,9 +46,18 @@ KeyId Generator::pick_key(PartitionId part) {
 }
 
 std::string Generator::make_value() {
-  std::string v(cfg_.value_size, '\0');
-  for (char& c : v) {
-    c = static_cast<char>('a' + rng_.uniform(26));
+  // Skewed payload sizes: rank 0 (the common case) is value_size, each
+  // higher rank doubles it, capped by value_size_max. With value_size_max
+  // unset the zipf has one rank and the size is fixed (paper behavior).
+  std::size_t size = cfg_.value_size;
+  const std::uint64_t octave = size_zipf_.next(rng_);
+  size <<= octave;
+  std::string v(size, 'x');
+  // Randomize a short prefix for uniqueness; filling megabyte tails with
+  // per-char rng draws would dominate the client loop for no extra signal.
+  const std::size_t random_prefix = std::min<std::size_t>(v.size(), 16);
+  for (std::size_t i = 0; i < random_prefix; ++i) {
+    v[i] = static_cast<char>('a' + rng_.uniform(26));
   }
   return v;
 }

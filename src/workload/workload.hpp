@@ -61,6 +61,12 @@ struct WorkloadConfig {
   std::uint64_t key_offset = 0;
   /// PUT payload size in bytes (paper: 8).
   std::uint32_t value_size = 8;
+  /// When > value_size, payload sizes are SKEWED instead of fixed: each PUT
+  /// draws a size octave zipfianly (theta = zipf_theta), so most values stay
+  /// at value_size while a heavy tail doubles up to value_size_max — the
+  /// realistic "mostly-small, occasionally-huge" distribution production
+  /// stores see. 0 (or <= value_size) keeps the paper's fixed size.
+  std::uint32_t value_size_max = 0;
   /// Give-up timeout for an in-flight operation (0 = wait forever, the
   /// paper's failure-free closed loop). Under fault injection a server crash
   /// destroys requests outright; after this long without a reply the client
@@ -94,6 +100,7 @@ class Generator {
   std::uint32_t partitions_;
   Rng rng_;
   ZipfGenerator zipf_;
+  ZipfGenerator size_zipf_;  // over value-size octaves (value_size_max)
   std::uint32_t phase_ = 0;  // position within the N-GETs-then-PUT cycle
   std::vector<PartitionId> cycle_partitions_;  // GET targets for this cycle
   std::vector<PartitionId> scratch_;           // partition shuffle buffer

@@ -73,10 +73,17 @@ struct Args {
   std::uint32_t tx_partitions = 2;
   Duration think_us = 0;
   std::uint32_t value_size = 8;
+  /// > value_size arms the skewed payload distribution (zipfian size
+  /// octaves — see WorkloadConfig::value_size_max).
+  std::uint32_t value_size_max = 0;
   std::uint64_t keys_per_partition = 1'000;
   /// Rank offset making this run's keyspace disjoint from earlier runs
   /// against the same live cluster (see WorkloadConfig::key_offset).
   std::uint64_t key_offset = 0;
+  /// Key-popularity distribution: "zipfian" (default) or "uniform".
+  /// Uniform is zipf with theta 0; the split flag exists so scripts read as
+  /// the intent ("--key-dist uniform") rather than a magic theta.
+  std::string key_dist = "zipfian";
   double zipf_theta = 0.99;
   std::uint64_t seed = 1;
   ClientId client_base = 1;
@@ -99,8 +106,9 @@ int usage(const char* argv0) {
       "          [--threads N | --clients N] [--connections N]\n"
       "          [--pipeline W] [--duration-s S] [--pattern getput|txput]\n"
       "          [--gets-per-put N] [--tx-partitions N] [--think-us N]\n"
-      "          [--value-size N] [--keys-per-partition N] [--key-offset N]\n"
-      "          [--zipf T]\n"
+      "          [--value-size N] [--value-size-max N]\n"
+      "          [--keys-per-partition N] [--key-offset N]\n"
+      "          [--key-dist zipfian|uniform] [--zipf T | --theta T]\n"
       "          [--seed N] [--client-base N] [--out FILE] [--no-check]\n"
       "          [--expect-disruption] [--resilient]\n"
       "          [--op-deadline-us N] [--deadline-budget F]\n",
@@ -152,11 +160,17 @@ bool parse_args(int argc, char** argv, Args* args) {
     } else if (std::strcmp(argv[i], "--value-size") == 0) {
       args->value_size =
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--value-size-max") == 0) {
+      args->value_size_max =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (std::strcmp(argv[i], "--keys-per-partition") == 0) {
       args->keys_per_partition = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--key-offset") == 0) {
       args->key_offset = std::strtoull(value(), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+    } else if (std::strcmp(argv[i], "--key-dist") == 0) {
+      args->key_dist = value();
+    } else if (std::strcmp(argv[i], "--zipf") == 0 ||
+               std::strcmp(argv[i], "--theta") == 0) {
       args->zipf_theta = std::strtod(value(), nullptr);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       args->seed = std::strtoull(value(), nullptr, 10);
@@ -177,6 +191,13 @@ bool parse_args(int argc, char** argv, Args* args) {
     } else {
       return false;
     }
+  }
+  if (args->key_dist == "uniform") {
+    args->zipf_theta = 0.0;  // uniform = zipf with no skew
+  } else if (args->key_dist != "zipfian") {
+    std::fprintf(stderr, "loadgen: unknown --key-dist '%s'\n",
+                 args->key_dist.c_str());
+    return false;
   }
   return args->config_path != nullptr;
 }
@@ -368,6 +389,7 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
   wl.keys_per_partition = args.keys_per_partition;
   wl.key_offset = args.key_offset;
   wl.value_size = args.value_size;
+  wl.value_size_max = args.value_size_max;
 
   std::vector<DcId> dcs;
   if (args.dc >= 0) {
@@ -479,16 +501,23 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
           : 0.0;
   std::size_t history_events = 0;
   for (const auto& h : histories) history_events += h.events.size();
-  char json[1536];
+  // Percentile fields come from the shared stats helper so loadgen, the
+  // tail-latency baseline and any future report agree on which quantiles a
+  // latency block carries (p50/p99/p999).
+  const std::string lat_json = stats::latency_json_fields("get", get_us) +
+                               "," + stats::latency_json_fields("put", put_us) +
+                               "," + stats::latency_json_fields("tx", tx_us);
+  char json[2048];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\":\"tcp_loadgen\",\"mode\":\"load\",\"system\":\"%s\","
       "\"dcs\":%u,\"partitions\":%u,\"clients_per_dc\":%u,"
       "\"connections_per_dc\":%u,\"pipeline\":%u,\"pattern\":\"%s\","
+      "\"key_dist\":\"%s\",\"zipf_theta\":%.3f,\"keys_per_partition\":%llu,"
+      "\"value_size\":%u,\"value_size_max\":%u,"
       "\"seed\":%llu,\"duration_s\":%.2f,\"ops\":%llu,\"ops_per_sec\":%.1f,"
       "\"gets\":%llu,\"puts\":%llu,\"ro_txs\":%llu,\"failures\":%llu,"
-      "\"get_p50_us\":%lld,\"get_p99_us\":%lld,\"put_p50_us\":%lld,"
-      "\"put_p99_us\":%lld,\"tx_p50_us\":%lld,\"tx_p99_us\":%lld,"
+      "%s,"
       "\"history_events\":%zu,\"checks\":%llu,\"violations\":%llu,"
       "\"resilient\":%s,\"op_deadline_us\":%lld,"
       "\"op_timeouts\":%llu,\"op_retries\":%llu,\"op_failovers\":%llu,"
@@ -497,7 +526,9 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       "\"failure_rate\":%.6f}",
       net::system_name(layout.system), topo.num_dcs, topo.partitions_per_dc,
       args.clients_per_dc, args.connections_per_dc, args.pipeline,
-      args.pattern.c_str(),
+      args.pattern.c_str(), args.key_dist.c_str(), args.zipf_theta,
+      static_cast<unsigned long long>(args.keys_per_partition),
+      args.value_size, args.value_size_max,
       static_cast<unsigned long long>(args.seed), elapsed_s,
       static_cast<unsigned long long>(total),
       elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0,
@@ -505,13 +536,7 @@ int run_load(const Args& args, const net::ClusterLayout& layout) {
       static_cast<unsigned long long>(ops.puts.load()),
       static_cast<unsigned long long>(ops.txs.load()),
       static_cast<unsigned long long>(ops.failures.load()),
-      static_cast<long long>(get_us.percentile(50)),
-      static_cast<long long>(get_us.percentile(99)),
-      static_cast<long long>(put_us.percentile(50)),
-      static_cast<long long>(put_us.percentile(99)),
-      static_cast<long long>(tx_us.percentile(50)),
-      static_cast<long long>(tx_us.percentile(99)),
-      history_events,
+      lat_json.c_str(), history_events,
       static_cast<unsigned long long>(verdict.checks),
       static_cast<unsigned long long>(verdict.violations),
       args.resilient ? "true" : "false",

@@ -6,6 +6,7 @@
 //   poccd --config cluster.cfg --dc 0 [--part N] [--threads N]
 //         [--system pocc|cure|ha] [--seed N] [--verbose]
 //         [--data-dir DIR] [--no-durability] [--max-inbox N]
+//         [--metrics-addr HOST:PORT]
 //
 // --part selects a process in legacy one-partition-per-process configs (one
 // `node DC PART HOST:PORT` line each); group configs need only --dc.
@@ -23,6 +24,10 @@
 // --max-inbox bounds each worker's admission queue: past it, client requests
 // are refused with Overloaded replies instead of queueing without bound
 // (0 = unbounded, the default).
+// --metrics-addr serves /metrics (Prometheus text format), /healthz and
+// /readyz on an embedded HTTP endpoint; the SIGUSR2 live dump and the exit
+// stats line render the SAME stats registry, so the three surfaces can never
+// disagree about what the process counted.
 #include <pthread.h>
 #include <signal.h>
 
@@ -36,6 +41,7 @@
 
 #include "net/tcp_node_host.hpp"
 #include "runtime/rt_node.hpp"
+#include "stats/registry.hpp"
 
 namespace {
 
@@ -57,7 +63,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --config FILE --dc N [--part N] [--threads N]\n"
                "          [--system pocc|cure|ha] [--seed N] [--verbose]\n"
-               "          [--data-dir DIR] [--no-durability] [--max-inbox N]\n",
+               "          [--data-dir DIR] [--no-durability] [--max-inbox N]\n"
+               "          [--metrics-addr HOST:PORT]\n",
                argv0);
   return 3;
 }
@@ -95,6 +102,7 @@ int main(int argc, char** argv) {
   long threads_override = -1;
   const char* system_override = nullptr;
   const char* data_dir = nullptr;
+  const char* metrics_addr = nullptr;
   bool no_durability = false;
   std::uint64_t seed = 1;
   long max_inbox = 0;
@@ -121,6 +129,7 @@ int main(int argc, char** argv) {
     } else if (arg_with_value("--seed", &value)) {
       seed = std::strtoull(value, nullptr, 10);
     } else if (arg_with_value("--data-dir", &data_dir)) {
+    } else if (arg_with_value("--metrics-addr", &metrics_addr)) {
     } else if (arg_with_value("--max-inbox", &value)) {
       max_inbox = std::strtol(value, nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-durability") == 0) {
@@ -201,6 +210,7 @@ int main(int argc, char** argv) {
     }
     opt.data_dir = data_dir;
   }
+  if (metrics_addr != nullptr) opt.metrics_addr = metrics_addr;
   // Map the engine clock onto wall time: steady_now_us() is process-relative,
   // so without this bias every process would carry a clock skew equal to its
   // start-time stagger, stalling PUT clock waits (Alg. 2 line 7) for exactly
@@ -268,62 +278,20 @@ int main(int argc, char** argv) {
     nanosleep(&nap, nullptr);
     if (g_dump_stats != 0) {
       g_dump_stats = 0;
-      const auto live = host.transport_stats();
-      std::fprintf(stderr,
-                   "poccd dc%ld: stats — accepts=%llu reconnects=%llu "
-                   "frames_in=%llu frames_out=%llu decode_errors=%llu\n",
-                   dc, static_cast<unsigned long long>(live.accepts),
-                   static_cast<unsigned long long>(live.reconnects),
-                   static_cast<unsigned long long>(live.frames_in),
-                   static_cast<unsigned long long>(live.frames_out),
-                   static_cast<unsigned long long>(live.decode_errors));
+      // Live dump = human render of the same registry snapshot /metrics
+      // serves (scripts sed out e.g. "transport_reconnects=N" from it).
+      const std::string line =
+          stats::render_human(host.registry().snapshot());
+      std::fprintf(stderr, "poccd dc%ld: stats — %s\n", dc, line.c_str());
     }
   }
 
   host.stop();
-  // Exit stats aggregate every hosted partition engine (a single-node
-  // deployment used to report just its one engine).
-  const rt::NodeGroupStats agg = host.group().stats();
-  const auto stats = host.transport_stats();
-  const auto batch = host.batch_stats();
-  std::fprintf(stderr,
-               "poccd dc%ld: exiting — gets=%llu puts=%llu slices=%llu "
-               "parked=%llu local_deliveries=%llu "
-               "frames_in=%llu frames_out=%llu bytes_in=%llu bytes_out=%llu "
-               "batches_out=%llu batched_msgs=%llu batch_overhead_bytes=%llu "
-               "batch_send_failures=%llu batch_retries=%llu "
-               "batch_drops=%llu "
-               "reconnects=%llu decode_errors=%llu dropped=%llu "
-               "overloaded=%llu deduped=%llu\n",
-               dc, static_cast<unsigned long long>(agg.gets),
-               static_cast<unsigned long long>(agg.puts),
-               static_cast<unsigned long long>(agg.slices),
-               static_cast<unsigned long long>(agg.parked),
-               static_cast<unsigned long long>(agg.local_deliveries),
-               static_cast<unsigned long long>(stats.frames_in),
-               static_cast<unsigned long long>(stats.frames_out),
-               static_cast<unsigned long long>(stats.bytes_in),
-               static_cast<unsigned long long>(stats.bytes_out),
-               static_cast<unsigned long long>(batch.batches),
-               static_cast<unsigned long long>(batch.messages),
-               static_cast<unsigned long long>(batch.overhead_bytes),
-               static_cast<unsigned long long>(batch.send_failures),
-               static_cast<unsigned long long>(batch.retried_batches),
-               static_cast<unsigned long long>(batch.dropped_batches),
-               static_cast<unsigned long long>(stats.reconnects),
-               static_cast<unsigned long long>(stats.decode_errors),
-               static_cast<unsigned long long>(host.dropped_frames()),
-               static_cast<unsigned long long>(host.overloaded_replies()),
-               static_cast<unsigned long long>(host.deduped_requests()));
-  // Per-partition breakdown so a skewed key distribution is visible.
-  for (const PartitionId p : spec.parts) {
-    const auto& engine = host.engine(p);
-    std::fprintf(stderr,
-                 "poccd dc%ld:   part %u — gets=%llu puts=%llu slices=%llu\n",
-                 dc, p,
-                 static_cast<unsigned long long>(engine.gets_served()),
-                 static_cast<unsigned long long>(engine.puts_served()),
-                 static_cast<unsigned long long>(engine.slices_served()));
-  }
+  // Exit stats = the same registry snapshot /metrics and SIGUSR2 render,
+  // taken after the final drain so the counts are complete. The host (and
+  // everything the scrape callbacks read) outlives stop().
+  const std::string exit_line =
+      stats::render_human(host.registry().snapshot());
+  std::fprintf(stderr, "poccd dc%ld: exiting — %s\n", dc, exit_line.c_str());
   return 0;
 }
