@@ -31,9 +31,14 @@ AUDITED=(
   tools/pocc_chaosproxy.cpp
 )
 
-UNQUALIFIED='(^|[^_[:alnum:]>.:])(poll|epoll_wait|epoll_pwait|recvmsg|sendmsg|recv|accept4|accept)[[:space:]]*\('
-QUALIFIED='(^|[^_[:alnum:]])::[[:space:]]*(poll|recv|send|accept|read|write|connect)[[:space:]]*\('
-PATTERN="${UNQUALIFIED}|${QUALIFIED}"
+UNQUALIFIED='(^|[^_[:alnum:]>.:])(poll|epoll_wait|epoll_pwait|recvmsg|sendmsg|writev|recv|accept4|accept)[[:space:]]*\('
+QUALIFIED='(^|[^_[:alnum:]])::[[:space:]]*(poll|recvmsg|recv|sendmsg|send|writev|accept|read|write|connect)[[:space:]]*\('
+# io_uring is invoked through raw ::syscall(__NR_io_uring_*) (no liburing in
+# the build); io_uring_enter blocks in the wait phase and returns EINTR —
+# and can ALSO be interrupted after a partial submit, returning the consumed
+# SQE count instead — so its call sites carry the same audit duty.
+RAW_URING='__NR_io_uring_(setup|enter|register)'
+PATTERN="${UNQUALIFIED}|${QUALIFIED}|${RAW_URING}"
 
 fail=0
 

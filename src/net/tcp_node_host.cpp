@@ -48,6 +48,7 @@ TcpNodeHost::TcpNodeHost(ProcessSpec self, const ClusterLayout& layout,
           },
           [this] {
             TcpTransport::Options t;
+            t.backend = opt_.backend;
             t.tick_interval_us = opt_.batch.max_delay_us;
             // One event-loop shard per NodeGroup worker (same clamp the
             // group applies), so every worker has exactly one owning loop.
@@ -321,11 +322,30 @@ void TcpNodeHost::register_metrics() {
       {"pocc_transport_down_buffer_drops_total",
        &TransportStats::down_buffer_drops},
       {"pocc_transport_migrations_total", &TransportStats::migrations},
+      // Copy-path accounting (scatter-gather flush + pooled buffers):
+      // sendmsg_frames / sendmsg_calls is the coalescing ratio, arena_hits /
+      // (hits + misses) the buffer-recycle rate.
+      {"pocc_transport_sendmsg_calls_total", &TransportStats::sendmsg_calls},
+      {"pocc_transport_sendmsg_frames_total", &TransportStats::sendmsg_frames},
+      {"pocc_transport_arena_hits_total", &TransportStats::arena_hits},
+      {"pocc_transport_arena_misses_total", &TransportStats::arena_misses},
+      // io_uring backend accounting (all zero on kEpoll/kPoll):
+      // no_syscall_waits counts waits served straight from the CQ ring.
+      {"pocc_transport_uring_enters_total", &TransportStats::uring_enters},
+      {"pocc_transport_uring_sqes_total", &TransportStats::uring_sqes},
+      {"pocc_transport_uring_cqes_total", &TransportStats::uring_cqes},
+      {"pocc_transport_uring_no_syscall_waits_total",
+       &TransportStats::uring_no_syscall_waits},
   };
   for (const auto& f : kTransport) {
     r.counter_fn(f.name, {},
                  [this, field = f.field] { return transport_.stats().*field; });
   }
+  // Which readiness backend the transport shards run — the label carries the
+  // name, the value is a constant 1 (Prometheus *_info convention).
+  r.gauge_fn("pocc_transport_backend_info",
+             {{"backend", EventLoop::backend_name(opt_.backend)}},
+             [] { return 1; });
   // --- replication batching (summed over peer links) ---
   struct BatchField {
     const char* name;

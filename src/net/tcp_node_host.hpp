@@ -58,6 +58,9 @@ class TcpNodeHost final : public rt::Router {
     ClockConfig clock = ClockConfig::perfect();
     /// Replication coalescing thresholds (see BatchPolicy).
     BatchPolicy batch;
+    /// Readiness backend of the transport's event-loop shards (poccd
+    /// --event-backend; the default honors POCC_EVENT_BACKEND).
+    EventLoop::Backend backend = EventLoop::default_backend();
     /// Log connection events and dropped frames to stderr.
     bool verbose = false;
     /// Durable root: every hosted partition keeps its WAL + snapshots under

@@ -7,6 +7,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,6 +22,10 @@ namespace pocc::net {
 namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Scatter-gather width of one sendmsg flush: enough to drain a reply
+/// burst or a batcher flush in one syscall, small enough to stack-allocate.
+constexpr std::size_t kMaxFlushIov = 64;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -187,8 +192,7 @@ bool TcpTransport::try_send(ConnId conn, std::vector<std::uint8_t>& frame) {
   if (it == s.conns.end()) return false;
   Conn& c = *it->second;
   if (!c.outbound && !c.up) return false;
-  const std::size_t pending =
-      c.outbox.size() - c.outbox_head + c.chaos_held_bytes;
+  const std::size_t pending = c.outbox_bytes + c.chaos_held_bytes;
   // While the socket is down the tighter reconnect-buffer cap applies: a
   // long outage must not buffer up to the full backpressure bound.
   const bool socket_down = !c.up;
@@ -238,17 +242,35 @@ bool TcpTransport::try_send(ConnId conn, std::vector<std::uint8_t>& frame) {
 }
 
 void TcpTransport::enqueue_frame(Conn& c, std::vector<std::uint8_t> frame) {
-  // Compact the consumed prefix before appending when it dominates — but
-  // only up to the current frame's start: a disconnect rewinds into those
-  // bytes (see close_socket), so they must stay resident.
-  const std::size_t compactable = c.outbox_head - c.frame_written;
-  if (compactable > 0 && compactable >= c.outbox.size() / 2) {
-    c.outbox.erase(c.outbox.begin(),
-                   c.outbox.begin() + static_cast<std::ptrdiff_t>(compactable));
-    c.outbox_head = c.frame_written;
+  // Zero-copy: the caller's encode buffer IS the outbox entry; it returns
+  // to the shard arena once the socket has written it.
+  c.outbox_bytes += frame.size();
+  c.outbox.push_back(std::move(frame));
+}
+
+void TcpTransport::recycle_conn(Shard& s, Conn& c) {
+  s.arena.release(std::move(c.inbox));
+  c.inbox = {};
+  while (!c.outbox.empty()) {
+    s.arena.release(std::move(c.outbox.front()));
+    c.outbox.pop_front();
   }
-  c.outbox_frames.push_back(frame.size());
-  c.outbox.insert(c.outbox.end(), frame.begin(), frame.end());
+  c.outbox_bytes = 0;
+  c.frame_written = 0;
+}
+
+std::vector<std::uint8_t> TcpTransport::acquire_buffer(ConnId conn) {
+  Shard* sp = shard_of(conn);
+  if (sp == nullptr) return {};
+  std::lock_guard lk(sp->mu);
+  bool hit = false;
+  std::vector<std::uint8_t> buf = sp->arena.acquire(&hit);
+  if (hit) {
+    ++sp->stats.arena_hits;
+  } else {
+    ++sp->stats.arena_misses;
+  }
+  return buf;
 }
 
 void TcpTransport::set_chaos(ConnId conn, std::shared_ptr<ChaosLink> link) {
@@ -303,7 +325,7 @@ std::vector<std::pair<ConnId, ConnId>> TcpTransport::hand_over_migrations(
         continue;
       }
       s.loop->unwatch(c.fd);
-      s.by_fd.erase(c.fd);
+      s.unmap_fd(c.fd);
       ++s.stats.migrations;
       moving.push_back(std::move(it->second));
       it = s.conns.erase(it);
@@ -335,8 +357,18 @@ bool TcpTransport::connected(ConnId conn) const {
 TransportStats TcpTransport::stats() const {
   TransportStats total;
   for (const auto& s : shards_) {
-    std::lock_guard lk(s->mu);
-    total += s->stats;
+    {
+      std::lock_guard lk(s->mu);
+      total += s->stats;
+    }
+    // EventLoop counters are relaxed atomics written by the loop thread;
+    // the loop outlives every scrape, so reading them outside the shard
+    // lock is safe and keeps the scrape off the hot path.
+    const EventLoop::Stats& ls = s->loop->stats();
+    total.uring_enters += ls.uring_enters.load();
+    total.uring_sqes += ls.uring_sqes.load();
+    total.uring_cqes += ls.uring_cqes.load();
+    total.uring_no_syscall_waits += ls.uring_no_syscall_waits.load();
   }
   return total;
 }
@@ -362,13 +394,13 @@ void TcpTransport::dial(Shard& s, Conn& c, Timestamp now) {
   ::freeaddrinfo(res);
   if (rc == 0) {
     c.fd = fd;
-    s.by_fd[fd] = c.id;
+    s.map_fd(fd, c.id);
     mark_established(s, c);
     return;
   }
   if (errno == EINPROGRESS) {
     c.fd = fd;
-    s.by_fd[fd] = c.id;
+    s.map_fd(fd, c.id);
     c.connecting = true;
     return;
   }
@@ -398,18 +430,18 @@ void TcpTransport::mark_established(Shard& /*s*/, Conn& c) {
   c.up = true;
   c.backoff_us = 0;
   if (!c.greeting.empty()) {
-    // close_socket rewound to a frame boundary, so the head is one here.
-    c.outbox.insert(
-        c.outbox.begin() + static_cast<std::ptrdiff_t>(c.outbox_head),
-        c.greeting.begin(), c.greeting.end());
-    c.outbox_frames.push_front(c.greeting.size());
+    // close_socket rewound frame_written to 0, so the front frame has no
+    // partially-sent prefix and the greeting can jump the queue whole.
+    POCC_ASSERT(c.frame_written == 0);
+    c.outbox_bytes += c.greeting.size();
+    c.outbox.push_front(c.greeting);  // copy: re-sent on every reconnect
   }
 }
 
 void TcpTransport::close_socket(Shard& s, Conn& c) {
   if (c.fd >= 0) {
     s.loop->unwatch(c.fd);
-    s.by_fd.erase(c.fd);
+    s.unmap_fd(c.fd);
     ::close(c.fd);
     c.fd = -1;
   }
@@ -419,7 +451,7 @@ void TcpTransport::close_socket(Shard& s, Conn& c) {
   c.inbox.clear();
   // Rewind a partially-written frame to its boundary: the reconnected
   // socket must restart the frame from byte 0, never resume its tail.
-  c.outbox_head -= c.frame_written;
+  c.outbox_bytes += c.frame_written;
   c.frame_written = 0;
   if (c.outbound) {
     arm_backoff(s, c, now_us());
@@ -458,19 +490,35 @@ void TcpTransport::chaos_pass(Shard& s, Timestamp now,
 }
 
 void TcpTransport::drain_outbox(Shard& s, Conn& c) {
-  while (c.outbox_head < c.outbox.size()) {
-    const std::size_t n = c.outbox.size() - c.outbox_head;
-    const ssize_t w =
-        ::send(c.fd, c.outbox.data() + c.outbox_head, n, MSG_NOSIGNAL);
+  while (!c.outbox.empty()) {
+    // Gather the front frame's unsent tail plus whole queued frames into
+    // one sendmsg — a reply burst or a batcher flush leaves the process in
+    // a single syscall instead of one send() per contiguity break.
+    iovec iov[kMaxFlushIov];
+    std::size_t niov = 0;
+    for (const auto& f : c.outbox) {
+      const std::size_t off = niov == 0 ? c.frame_written : 0;
+      iov[niov].iov_base =
+          const_cast<std::uint8_t*>(f.data()) + off;  // sendmsg won't write
+      iov[niov].iov_len = f.size() - off;
+      if (++niov == kMaxFlushIov) break;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t w = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
     if (w > 0) {
-      c.outbox_head += static_cast<std::size_t>(w);
+      ++s.stats.sendmsg_calls;
       s.stats.bytes_out += static_cast<std::uint64_t>(w);
-      // Advance the frame cursor past fully-written frames.
+      c.outbox_bytes -= static_cast<std::size_t>(w);
       c.frame_written += static_cast<std::size_t>(w);
-      while (!c.outbox_frames.empty() &&
-             c.frame_written >= c.outbox_frames.front()) {
-        c.frame_written -= c.outbox_frames.front();
-        c.outbox_frames.pop_front();
+      // Recycle fully-written frames through the shard arena; a partial
+      // frame keeps its cursor for the next writable edge.
+      while (!c.outbox.empty() && c.frame_written >= c.outbox.front().size()) {
+        c.frame_written -= c.outbox.front().size();
+        ++s.stats.sendmsg_frames;
+        s.arena.release(std::move(c.outbox.front()));
+        c.outbox.pop_front();
       }
       continue;
     }
@@ -482,8 +530,6 @@ void TcpTransport::drain_outbox(Shard& s, Conn& c) {
     close_socket(s, c);
     return;
   }
-  c.outbox.clear();
-  c.outbox_head = 0;
 }
 
 void TcpTransport::read_ready(Shard& s, Conn& c) {
@@ -520,8 +566,15 @@ void TcpTransport::accept_ready(Shard& s) {
     conn->id = (static_cast<ConnId>(s.index) << kShardShift) | s.next_seq++;
     conn->fd = fd;
     conn->up = true;
+    bool hit = false;
+    conn->inbox = s.arena.acquire(&hit);  // accept churn reuses capacity
+    if (hit) {
+      ++s.stats.arena_hits;
+    } else {
+      ++s.stats.arena_misses;
+    }
     ++s.stats.accepts;
-    s.by_fd[fd] = conn->id;
+    s.map_fd(fd, conn->id);
     s.conns.emplace(conn->id, std::move(conn));
   }
 }
@@ -557,7 +610,7 @@ void TcpTransport::run(Shard& s) {
       // Adopt connections migrated here by other shards (pinning): they
       // arrive up-and-announced, carrying any undecoded inbox remainder.
       for (auto& cp : s.adopted) {
-        s.by_fd[cp->fd] = cp->id;
+        s.map_fd(cp->fd, cp->id);
         s.conns.emplace(cp->id, std::move(cp));
       }
       s.adopted.clear();
@@ -581,8 +634,7 @@ void TcpTransport::run(Shard& s) {
         if (c.fd >= 0) {
           // Interest delta only — EventLoop::watch no-ops when unchanged,
           // so the scan costs one epoll_ctl per actual transition.
-          s.loop->watch(c.fd, true,
-                        c.connecting || c.outbox_head < c.outbox.size());
+          s.loop->watch(c.fd, true, c.connecting || c.outbox_bytes > 0);
         } else if (c.retry_at > 0 &&
                    (next_timer == 0 || c.retry_at < next_timer)) {
           next_timer = c.retry_at;
@@ -651,9 +703,9 @@ void TcpTransport::run(Shard& s) {
           accept_pending = true;
           continue;
         }
-        auto fit = s.by_fd.find(ev.fd);
-        if (fit == s.by_fd.end()) continue;  // closed earlier this pass
-        auto it = s.conns.find(fit->second);
+        const ConnId cid = s.conn_at_fd(ev.fd);
+        if (cid == kInvalidConn) continue;  // closed earlier this pass
+        auto it = s.conns.find(cid);
         if (it == s.conns.end()) continue;
         Conn& c = *it->second;
         if (c.fd != ev.fd) continue;
@@ -699,6 +751,19 @@ void TcpTransport::run(Shard& s) {
         if (was_up && !c.up) went_down.push_back(c.id);
       }
       if (accept_pending) accept_ready(s);
+      // Optimistic flush: drain every queued outbox now instead of waiting
+      // for the next writable event. Multishot-poll readiness (kUring) is
+      // edge-like — a socket that stayed writable never re-posts a CQE — so
+      // write interest must mean "kernel buffer filled up", whose clearing
+      // IS a real edge; on epoll/poll this also saves one loop pass of
+      // latency per reply burst.
+      for (auto& [id, cp] : s.conns) {
+        Conn& c = *cp;
+        if (c.fd < 0 || !c.up || c.outbox_bytes == 0) continue;
+        const bool was_up = c.up;
+        drain_outbox(s, c);
+        if (was_up && !c.up) went_down.push_back(c.id);
+      }
       // Announce newly established sockets (accepted, connected or
       // reconnected — close_socket resets `announced`) and reap dead
       // inbound connections (the remote owns their recovery).
@@ -710,7 +775,12 @@ void TcpTransport::run(Shard& s) {
         }
         if (!c.outbound && !c.up) to_erase.push_back(id);
       }
-      for (const ConnId id : to_erase) s.conns.erase(id);
+      for (const ConnId id : to_erase) {
+        auto dead = s.conns.find(id);
+        if (dead == s.conns.end()) continue;
+        recycle_conn(s, *dead->second);
+        s.conns.erase(dead);
+      }
     }
 
     for (const ConnId id : went_up) {
@@ -768,7 +838,9 @@ void LinkBatcher::flush_locked() {
   stats_.protocol_bytes += writer_.stats().protocol_bytes;
   stats_.overhead_bytes +=
       writer_.stats().overhead_bytes + proto::kFrameHeaderBytes;
-  std::vector<std::uint8_t> frame;
+  // Encode into a recycled shard-arena buffer: the flushed frame's vector
+  // returns there once the transport writes it, closing the reuse loop.
+  std::vector<std::uint8_t> frame = transport_.acquire_buffer(conn_);
   writer_.flush_to(frame);
   ++stats_.batches;
   // FIFO: while older batches are parked, new ones must queue behind them

@@ -3,8 +3,8 @@
 //
 // The transport runs Options::num_loops event-loop shards (default 1 — the
 // original single-threaded shape). Each shard owns one net::EventLoop
-// (epoll on Linux, poll(2) fallback), one wake pipe, one SO_REUSEPORT
-// listening socket, and a disjoint set of connections; a connection is
+// (epoll, poll(2) or io_uring — Options::backend), one wake pipe, one
+// SO_REUSEPORT listening socket, and a disjoint set of connections; a connection is
 // only ever touched by its shard's thread, other threads interact through
 // the thread-safe send()/connect_peer() and the callbacks (invoked on the
 // owning shard's thread). Responsibilities:
@@ -31,12 +31,13 @@
 // redialed if it is an outbound link). Accepted (inbound) connections get
 // fresh ConnIds and never redial — the remote owns recovery.
 //
-// Syscall discipline: every ::send/::recv/::accept and wake-pipe
+// Syscall discipline: every ::sendmsg/::recv/::accept and wake-pipe
 // read/write retries on EINTR — a signal landing mid-syscall must never
 // tear down a healthy connection (scripts/check_syscalls.sh enforces that
 // new raw syscall sites go through audited files like this one).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -77,6 +78,21 @@ struct TransportStats {
   std::uint64_t down_buffer_drops = 0;
   /// Inbound connections re-homed onto another shard (pinning).
   std::uint64_t migrations = 0;
+  /// Scatter-gather flush accounting: sendmsg syscalls issued and frames
+  /// fully flushed through them — frames/call is the coalescing ratio a
+  /// reply burst or LinkBatcher flush achieves.
+  std::uint64_t sendmsg_calls = 0;
+  std::uint64_t sendmsg_frames = 0;
+  /// Buffer-arena accounting: acquisitions served from the pool vs fresh
+  /// allocations (connection churn at 100k sockets lives or dies on this).
+  std::uint64_t arena_hits = 0;
+  std::uint64_t arena_misses = 0;
+  /// io_uring backend accounting, summed from the shard EventLoops (all
+  /// zero on kEpoll/kPoll).
+  std::uint64_t uring_enters = 0;
+  std::uint64_t uring_sqes = 0;
+  std::uint64_t uring_cqes = 0;
+  std::uint64_t uring_no_syscall_waits = 0;
   /// Chaos-injection accounting (zero unless set_chaos() armed a link).
   std::uint64_t chaos_delayed = 0;     // frames held before transmission
   std::uint64_t chaos_duplicates = 0;  // frames transmitted twice
@@ -93,11 +109,69 @@ struct TransportStats {
     send_overflows += o.send_overflows;
     down_buffer_drops += o.down_buffer_drops;
     migrations += o.migrations;
+    sendmsg_calls += o.sendmsg_calls;
+    sendmsg_frames += o.sendmsg_frames;
+    arena_hits += o.arena_hits;
+    arena_misses += o.arena_misses;
+    uring_enters += o.uring_enters;
+    uring_sqes += o.uring_sqes;
+    uring_cqes += o.uring_cqes;
+    uring_no_syscall_waits += o.uring_no_syscall_waits;
     chaos_delayed += o.chaos_delayed;
     chaos_duplicates += o.chaos_duplicates;
     chaos_resets += o.chaos_resets;
     return *this;
   }
+};
+
+/// Per-shard pool of reusable byte buffers: connection inboxes and finished
+/// outbox frames return here instead of freeing, and acquire() hands their
+/// capacity to the next conn/frame — at 100k-connection churn the allocator
+/// otherwise sees one malloc/free pair per frame and per accept.
+///
+/// Ownership rule: the arena never holds a buffer that is still reachable
+/// from a Conn — release() is called exactly where the owning reference
+/// dies (frame fully flushed, connection reaped). Guarded by the owning
+/// shard's mutex like everything else it is touched with.
+class BufferArena {
+ public:
+  /// Pop a pooled buffer (cleared; capacity retained) or make a fresh one.
+  /// `*hit` reports which, for the arena_hits/arena_misses counters.
+  [[nodiscard]] std::vector<std::uint8_t> acquire(bool* hit) {
+    if (free_.empty()) {
+      *hit = false;
+      return {};
+    }
+    *hit = true;
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    pooled_bytes_ -= buf.capacity();
+    buf.clear();
+    return buf;
+  }
+
+  /// Return a dead buffer's capacity to the pool (bounded; oversized or
+  /// overflow buffers are simply freed).
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0 || buf.capacity() > kMaxPooledBuffer ||
+        free_.size() >= kMaxPooledBuffers ||
+        pooled_bytes_ + buf.capacity() > kMaxPooledBytes) {
+      return;  // let the vector free on scope exit
+    }
+    pooled_bytes_ += buf.capacity();
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+
+ private:
+  // LIFO: the hottest (cache-warm, grown-to-working-set) buffer is reused
+  // first. Caps bound idle memory, not throughput.
+  static constexpr std::size_t kMaxPooledBuffers = 4096;
+  static constexpr std::size_t kMaxPooledBuffer = 1u << 20;
+  static constexpr std::size_t kMaxPooledBytes = 32u << 20;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t pooled_bytes_ = 0;
 };
 
 class TcpTransport {
@@ -202,6 +276,14 @@ class TcpTransport {
   /// of losing the bytes. Moves from `frame` only on acceptance.
   bool try_send(ConnId conn, std::vector<std::uint8_t>& frame);
 
+  /// Pop a recycled encode buffer (empty, capacity retained) from the arena
+  /// of `conn`'s shard — the allocation-free counterpart of send(): frames
+  /// the transport finishes writing park their buffers there, and encoding
+  /// the next frame into one closes the loop. Thread-safe; falls back to a
+  /// fresh vector for unknown conns. Handing the buffer back via send() is
+  /// optional (it is an ordinary vector).
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer(ConnId conn);
+
   /// Re-home an inbound connection onto shard `target_loop` (connection
   /// pinning: the host moves a client's socket to the loop driving the
   /// worker that owns its partition). Only valid from within a callback on
@@ -249,15 +331,16 @@ class TcpTransport {
     std::uint16_t port = 0;      // outbound only
     Timestamp retry_at = 0;      // next dial attempt (steady us)
     Duration backoff_us = 0;
-    std::vector<std::uint8_t> inbox;   // undecoded inbound bytes
-    std::vector<std::uint8_t> outbox;  // unsent outbound bytes
-    std::size_t outbox_head = 0;       // bytes of outbox already written
-    // Frame boundaries of the bytes at/after the current frame's start, and
-    // how far into the front frame the socket got — a disconnect mid-frame
-    // rewinds to the boundary so the reconnected socket never resumes with
-    // the tail of a half-sent frame (which would garble the peer's framing).
-    std::deque<std::size_t> outbox_frames;
-    std::size_t frame_written = 0;
+    std::vector<std::uint8_t> inbox;  // undecoded inbound bytes
+    // Outbox as a deque of whole frames, flushed with one scatter-gather
+    // sendmsg per burst: frames move in from try_send() without a copy and
+    // their buffers recycle through the shard arena once written. A
+    // disconnect mid-frame resets frame_written to 0 so the reconnected
+    // socket restarts the front frame from byte 0, never resumes its tail
+    // (which would garble the peer's framing).
+    std::deque<std::vector<std::uint8_t>> outbox;
+    std::size_t outbox_bytes = 0;   // unsent bytes across all frames
+    std::size_t frame_written = 0;  // bytes of outbox.front() already sent
     std::vector<std::uint8_t> greeting;  // sent first on every establish
 
     // --- chaos injection (null on unarmed links) ---
@@ -284,8 +367,28 @@ class TcpTransport {
     int listen_fd = -1;
     mutable std::mutex mu;
     std::unordered_map<ConnId, std::unique_ptr<Conn>> conns;
-    std::unordered_map<int, ConnId> by_fd;  // live sockets only
+    /// fd → owning conn for live sockets: flat and fd-indexed (lazily grown
+    /// to the highest fd seen) so the per-event lookup on the wait path is
+    /// a load, not a hash — sized-for-100k-fds bookkeeping.
+    std::vector<ConnId> by_fd;
+    BufferArena arena;
     std::uint64_t next_seq = 1;
+
+    void map_fd(int fd, ConnId id) {
+      const auto idx = static_cast<std::size_t>(fd);
+      if (idx >= by_fd.size()) {
+        by_fd.resize(std::max(idx + 1, by_fd.size() * 2), kInvalidConn);
+      }
+      by_fd[idx] = id;
+    }
+    void unmap_fd(int fd) {
+      const auto idx = static_cast<std::size_t>(fd);
+      if (idx < by_fd.size()) by_fd[idx] = kInvalidConn;
+    }
+    [[nodiscard]] ConnId conn_at_fd(int fd) const {
+      const auto idx = static_cast<std::size_t>(fd);
+      return fd >= 0 && idx < by_fd.size() ? by_fd[idx] : kInvalidConn;
+    }
     Rng backoff_rng{0};
     TransportStats stats;
     bool stopping = false;
@@ -300,8 +403,12 @@ class TcpTransport {
   void dial(Shard& s, Conn& c, Timestamp now);
   void mark_established(Shard& s, Conn& c);
   void close_socket(Shard& s, Conn& c);
-  /// Append one framed message to the outbox (frame table + compaction).
+  /// Append one framed message to the outbox (no copy: the frame buffer
+  /// itself becomes the outbox entry).
   static void enqueue_frame(Conn& c, std::vector<std::uint8_t> frame);
+  /// Return a dead connection's buffers to the shard arena (call right
+  /// before the Conn is erased).
+  static void recycle_conn(Shard& s, Conn& c);
   /// Schedule the next dial attempt with full-jitter backoff.
   void arm_backoff(Shard& s, Conn& c, Timestamp now);
   /// Chaos pass of one loop iteration: apply pending resets, enforce

@@ -6,7 +6,7 @@
 //   poccd --config cluster.cfg --dc 0 [--part N] [--threads N]
 //         [--system pocc|cure|ha] [--seed N] [--verbose]
 //         [--data-dir DIR] [--no-durability] [--max-inbox N]
-//         [--metrics-addr HOST:PORT]
+//         [--metrics-addr HOST:PORT] [--event-backend epoll|poll|uring]
 //
 // --part selects a process in legacy one-partition-per-process configs (one
 // `node DC PART HOST:PORT` line each); group configs need only --dc.
@@ -64,7 +64,8 @@ int usage(const char* argv0) {
                "usage: %s --config FILE --dc N [--part N] [--threads N]\n"
                "          [--system pocc|cure|ha] [--seed N] [--verbose]\n"
                "          [--data-dir DIR] [--no-durability] [--max-inbox N]\n"
-               "          [--metrics-addr HOST:PORT]\n",
+               "          [--metrics-addr HOST:PORT]\n"
+               "          [--event-backend epoll|poll|uring]\n",
                argv0);
   return 3;
 }
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
   const char* system_override = nullptr;
   const char* data_dir = nullptr;
   const char* metrics_addr = nullptr;
+  const char* event_backend = nullptr;
   bool no_durability = false;
   std::uint64_t seed = 1;
   long max_inbox = 0;
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
       seed = std::strtoull(value, nullptr, 10);
     } else if (arg_with_value("--data-dir", &data_dir)) {
     } else if (arg_with_value("--metrics-addr", &metrics_addr)) {
+    } else if (arg_with_value("--event-backend", &event_backend)) {
     } else if (arg_with_value("--max-inbox", &value)) {
       max_inbox = std::strtol(value, nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-durability") == 0) {
@@ -211,6 +214,18 @@ int main(int argc, char** argv) {
     opt.data_dir = data_dir;
   }
   if (metrics_addr != nullptr) opt.metrics_addr = metrics_addr;
+  if (event_backend != nullptr) {
+    net::EventLoop::Backend backend;
+    if (!net::EventLoop::parse_backend(event_backend, &backend)) {
+      std::fprintf(stderr, "poccd: unknown --event-backend '%s'\n",
+                   event_backend);
+      return 3;
+    }
+    // The process default too: any auxiliary transport (tests, tools built
+    // on this main) follows the flag, exactly like POCC_EVENT_BACKEND.
+    net::EventLoop::set_default_backend(backend);
+    opt.backend = backend;
+  }
   // Map the engine clock onto wall time: steady_now_us() is process-relative,
   // so without this bias every process would carry a clock skew equal to its
   // start-time stagger, stalling PUT clock waits (Alg. 2 line 7) for exactly
@@ -253,9 +268,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "poccd dc%ld: %s engine, %zu partitions on %u workers, "
-               "port %u\n",
+               "port %u, %s event backend\n",
                dc, net::system_name(layout->system), spec.parts.size(),
-               host.group().threads(), host.port());
+               host.group().threads(), host.port(),
+               net::EventLoop::backend_name(opt.backend));
   if (data_dir != nullptr) {
     // One line per partition so crash drills can assert the WAL replay
     // actually ran (scripts grep for "recovered part").
